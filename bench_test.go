@@ -1,0 +1,152 @@
+package alefb
+
+// Benchmark harness: one benchmark per table/figure of the paper (see
+// DESIGN.md's experiment index). Each benchmark runs the corresponding
+// experiment at the Reduced scale — the full pipeline with smaller sizes —
+// and reports the headline numbers via testing.B metrics, so
+//
+//	go test -bench=. -benchmem
+//
+// regenerates a miniature of the paper's evaluation. For paper-scale runs
+// use cmd/experiments -scale paper.
+
+import (
+	"testing"
+
+	"github.com/netml/alefb/internal/experiments"
+)
+
+// BenchmarkTable1 regenerates Table 1 (Scream-vs-rest balanced accuracy
+// across the nine feedback algorithms, with Wilcoxon p-values).
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := experiments.ReducedScreamConfig()
+		cfg.Seed += uint64(i)
+		res, err := experiments.RunTable1(cfg, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Row(experiments.AlgNoFeedback).Mean*100, "%bal-acc-nofb")
+		b.ReportMetric(res.Row(experiments.AlgWithinALE).Mean*100, "%bal-acc-within")
+		b.ReportMetric(res.Row(experiments.AlgCrossALE).Mean*100, "%bal-acc-cross")
+		b.ReportMetric(res.Row(experiments.AlgUpsampling).Mean*100, "%bal-acc-upsample")
+	}
+}
+
+// BenchmarkUCL regenerates the §4.2 results on the synthetic firewall
+// dataset (pool-restricted feedback, 40/20/40 splits).
+func BenchmarkUCL(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := experiments.ReducedUCLConfig()
+		cfg.Seed += uint64(i)
+		res, err := experiments.RunUCL(cfg, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Row(experiments.AlgNoFeedback).Mean*100, "%bal-acc-nofb")
+		b.ReportMetric(res.Row(experiments.AlgWithinALEPool).Mean*100, "%bal-acc-within-pool")
+	}
+}
+
+// BenchmarkFigure1 regenerates Figure 1 (the committee ALE plot for
+// config.link_rate with its flagged high-variance regions).
+func BenchmarkFigure1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := experiments.ReducedScreamConfig()
+		cfg.Seed += uint64(i)
+		fig, err := experiments.RunFigure1(cfg, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(fig.Analysis.PeakStd, "peak-ale-std")
+		b.ReportMetric(float64(len(fig.Analysis.Intervals)), "flagged-regions")
+	}
+}
+
+// BenchmarkFigure2 regenerates Figure 2 (source-port and destination-port
+// ALE plots on the firewall data).
+func BenchmarkFigure2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := experiments.ReducedUCLConfig()
+		cfg.Seed += uint64(i)
+		figs, err := experiments.RunFigure2(cfg, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(figs.SrcPort.Analysis.PeakStd, "srcport-peak-std")
+		b.ReportMetric(figs.DstPort.Analysis.PeakStd, "dstport-peak-std")
+	}
+}
+
+// BenchmarkThresholdSweep regenerates the §4.2 "Setting the threshold"
+// analysis (flagged-subspace size as a function of T).
+func BenchmarkThresholdSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := experiments.ReducedScreamConfig()
+		cfg.Seed += uint64(i)
+		res, err := experiments.RunThresholdSweep(cfg, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.MedianThreshold, "median-T")
+		b.ReportMetric(res.Points[0].RegionFraction-res.Points[len(res.Points)-1].RegionFraction, "region-shrink")
+	}
+}
+
+// BenchmarkAblationDisagreement (AB1) compares ALE-variance vs PDP-variance
+// vs prediction-entropy disagreement on identical committees.
+func BenchmarkAblationDisagreement(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := experiments.ReducedScreamConfig()
+		cfg.Reps = 1
+		cfg.Seed += uint64(i)
+		res, err := experiments.RunAblationDisagreement(cfg, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Rows[0].Mean*100, "%bal-acc-ale")
+		b.ReportMetric(res.Rows[2].Mean*100, "%bal-acc-entropy")
+	}
+}
+
+// BenchmarkAblationCrossRuns (AB2) varies the Cross-ALE committee size.
+func BenchmarkAblationCrossRuns(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := experiments.ReducedScreamConfig()
+		cfg.Reps = 1
+		cfg.Seed += uint64(i)
+		res, err := experiments.RunAblationCrossRuns(cfg, []int{1, 3}, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Rows[len(res.Rows)-1].Mean*100, "%bal-acc-max-runs")
+	}
+}
+
+// BenchmarkAblationPriors (AB3) measures the §1 domain-prior straw-man.
+func BenchmarkAblationPriors(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := experiments.ReducedScreamConfig()
+		cfg.Seed += uint64(i)
+		res, err := experiments.RunAblationPriors(cfg, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Rows[0].Mean*100, "%bal-acc-free")
+		b.ReportMetric(res.Rows[1].Mean*100, "%bal-acc-priors")
+	}
+}
+
+// BenchmarkFeedbackLoop measures the iterative multi-round campaign (an
+// extension of the paper's single-round protocol).
+func BenchmarkFeedbackLoop(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := experiments.ReducedScreamConfig()
+		cfg.Seed += uint64(i)
+		res, err := experiments.RunLoopExperiment(cfg, 2, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.FinalAccuracy*100, "%bal-acc-final")
+	}
+}

@@ -1,0 +1,186 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments -run table1 -scale reduced
+//	experiments -run all -scale paper -out results/
+//
+// Experiments: table1, ucl, figure1, figure2, threshold, ablation-
+// disagreement, ablation-crossruns, ablation-priors, all. Scale "paper"
+// uses the paper's sizes (minutes to hours); "reduced" is a faithful
+// smaller run (tens of seconds to minutes).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"github.com/netml/alefb/internal/experiments"
+)
+
+func main() {
+	var (
+		run    = flag.String("run", "table1", "experiment: table1|ucl|figure1|figure2|threshold|loop|ablation-disagreement|ablation-crossruns|ablation-priors|all")
+		scale  = flag.String("scale", "reduced", "experiment scale: paper|reduced")
+		seed   = flag.Uint64("seed", 0, "override the experiment seed (0 keeps the preset)")
+		reps   = flag.Int("reps", 0, "override repetitions/splits (0 keeps the preset)")
+		budget = flag.Int("budget", 0, "override AutoML pipelines per run (0 keeps the preset)")
+		cross  = flag.Int("crossruns", 0, "override Cross-ALE committee size (0 keeps the preset)")
+		out    = flag.String("out", "", "directory for SVG figures and CSV dumps (optional)")
+		quiet  = flag.Bool("quiet", false, "suppress progress lines")
+	)
+	flag.Parse()
+
+	scream, ucl, err := configs(*scale)
+	if err != nil {
+		fatal(err)
+	}
+	if *seed != 0 {
+		scream.Seed = *seed
+		ucl.Seed = *seed + 1
+	}
+	if *reps > 0 {
+		scream.Reps = *reps
+		ucl.Splits = *reps
+	}
+	if *budget > 0 {
+		scream.AutoML.MaxCandidates = *budget
+		ucl.AutoML.MaxCandidates = *budget
+	}
+	if *cross > 0 {
+		scream.CrossRuns = *cross
+		ucl.CrossRuns = *cross
+	}
+	if *out != "" {
+		if err := os.MkdirAll(*out, 0o755); err != nil {
+			fatal(fmt.Errorf("create output dir: %w", err))
+		}
+	}
+	progress := os.Stderr
+	if *quiet {
+		progress = nil
+	}
+
+	wanted := map[string]bool{}
+	for _, name := range strings.Split(*run, ",") {
+		wanted[strings.TrimSpace(name)] = true
+	}
+	all := wanted["all"]
+	ran := 0
+
+	if all || wanted["table1"] {
+		res, err := experiments.RunTable1(scream, progress)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(res)
+		ran++
+	}
+	if all || wanted["ucl"] {
+		res, err := experiments.RunUCL(ucl, progress)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(res)
+		ran++
+	}
+	if all || wanted["figure1"] {
+		fig, err := experiments.RunFigure1(scream, progress)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(fig.Plot.RenderASCII(76, 16))
+		fmt.Printf("flagged regions (T=%.4g): %s\n\n", fig.Threshold, fig.Regions())
+		saveSVG(*out, "figure1.svg", fig)
+		ran++
+	}
+	if all || wanted["figure2"] {
+		figs, err := experiments.RunFigure2(ucl, progress)
+		if err != nil {
+			fatal(err)
+		}
+		for _, fig := range []*experiments.FigureResult{figs.SrcPort, figs.DstPort} {
+			fmt.Println(fig.Plot.RenderASCII(76, 14))
+			fmt.Printf("flagged regions (T=%.4g): %s\n\n", fig.Threshold, fig.Regions())
+		}
+		saveSVG(*out, "figure2a.svg", figs.SrcPort)
+		saveSVG(*out, "figure2b.svg", figs.DstPort)
+		ran++
+	}
+	if all || wanted["threshold"] {
+		res, err := experiments.RunThresholdSweep(scream, progress)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(res)
+		ran++
+	}
+	if all || wanted["ablation-disagreement"] {
+		res, err := experiments.RunAblationDisagreement(scream, progress)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(res)
+		ran++
+	}
+	if all || wanted["ablation-crossruns"] {
+		res, err := experiments.RunAblationCrossRuns(scream, nil, progress)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(res)
+		ran++
+	}
+	if all || wanted["loop"] {
+		res, err := experiments.RunLoopExperiment(scream, 3, progress)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(res)
+		ran++
+	}
+	if all || wanted["ablation-priors"] {
+		res, err := experiments.RunAblationPriors(scream, progress)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(res)
+		ran++
+	}
+	if ran == 0 {
+		fatal(fmt.Errorf("unknown experiment %q; see -h", *run))
+	}
+}
+
+// configs returns the scream and UCL configurations for a scale.
+func configs(scale string) (experiments.ScreamConfig, experiments.UCLConfig, error) {
+	switch scale {
+	case "paper":
+		return experiments.PaperScreamConfig(), experiments.PaperUCLConfig(), nil
+	case "reduced":
+		return experiments.ReducedScreamConfig(), experiments.ReducedUCLConfig(), nil
+	default:
+		return experiments.ScreamConfig{}, experiments.UCLConfig{}, fmt.Errorf("unknown scale %q (paper|reduced)", scale)
+	}
+}
+
+// saveSVG writes a figure if an output directory was given.
+func saveSVG(dir, name string, fig *experiments.FigureResult) {
+	if dir == "" {
+		return
+	}
+	path := filepath.Join(dir, name)
+	if err := fig.Plot.WriteSVGFile(path, 720, 420); err != nil {
+		fmt.Fprintf(os.Stderr, "warning: %v\n", err)
+		return
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "experiments:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,50 @@
+// Command firewallgen generates the synthetic Internet-firewall dataset
+// (the UCI "Internet Firewall Data" stand-in) as CSV.
+//
+// Usage:
+//
+//	firewallgen -n 65532 -seed 1 -o firewall.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/netml/alefb/internal/firewall"
+	"github.com/netml/alefb/internal/rng"
+)
+
+func main() {
+	var (
+		n    = flag.Int("n", 10000, "number of rows")
+		seed = flag.Uint64("seed", 1, "random seed")
+		out  = flag.String("o", "", "output CSV path (default stdout)")
+	)
+	flag.Parse()
+
+	d := firewall.Generate(*n, rng.New(*seed))
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := d.WriteCSV(w); err != nil {
+		fatal(err)
+	}
+	counts := d.ClassCounts()
+	fmt.Fprintf(os.Stderr, "generated %d rows:", d.Len())
+	for c, name := range d.Schema.Classes {
+		fmt.Fprintf(os.Stderr, " %s=%d", name, counts[c])
+	}
+	fmt.Fprintln(os.Stderr)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "firewallgen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,71 @@
+package alefb_test
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/netml/alefb"
+)
+
+// buildDataset assembles a small labelled dataset by hand.
+func buildDataset() *alefb.Dataset {
+	schema := &alefb.Schema{
+		Features: []alefb.Feature{
+			{Name: "rtt_ms", Min: 0, Max: 200},
+			{Name: "loss_rate", Min: 0, Max: 0.1},
+		},
+		Classes: []string{"healthy", "degraded"},
+	}
+	d := alefb.NewDataset(schema)
+	for i := 0; i < 200; i++ {
+		rtt := float64(i)
+		label := 0
+		if rtt > 100 {
+			label = 1
+		}
+		d.Append([]float64{rtt, 0.01}, label)
+	}
+	return d
+}
+
+// Example shows the minimal train-then-explain workflow.
+func Example() {
+	train := buildDataset()
+	ens, err := alefb.Train(train, alefb.AutoMLConfig{MaxCandidates: 6, Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fb, err := alefb.WithinFeedback(ens, train, alefb.FeedbackConfig{Bins: 16})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// fb.Explain() describes, per feature, where the ensemble's models
+	// disagree and what data to collect; fb.Subspaces() returns the same
+	// regions as half-space systems; alefb.Sample draws points from them.
+	_ = fb.Explain()
+	fmt.Println(len(fb.Analyses) > 0)
+	// Output: true
+}
+
+// ExampleImprove runs one full suggest-label-retrain cycle against an
+// oracle (here: ground truth; in practice a testbed or an operator).
+func ExampleImprove() {
+	oracle := alefb.OracleFunc(func(x []float64) int {
+		if x[0] > 100 {
+			return 1
+		}
+		return 0
+	})
+	res, err := alefb.Improve(
+		buildDataset(),
+		alefb.AutoMLConfig{MaxCandidates: 6, Seed: 2},
+		alefb.FeedbackConfig{Bins: 16},
+		20,
+		oracle,
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(res.Before != nil && res.After != nil)
+	// Output: true
+}

@@ -1,0 +1,89 @@
+// Congestion-control protocol selection — the paper's running example
+// (§2.1 example 2, Figure 1).
+//
+// A developer wants a model that predicts whether the SCReAM protocol
+// will deliver the lowest end-to-end latency under given network
+// conditions. Training data comes from the packet-level emulator (the
+// Pantheon stand-in). When AutoML disappoints, the ALE-variance feedback
+// points at the link-rate ranges where the ensemble's models disagree —
+// and because the oracle is an emulator, we can collect exactly the data
+// it asks for and retrain.
+//
+//	go run ./examples/congestion
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/netml/alefb"
+	"github.com/netml/alefb/internal/metrics"
+	"github.com/netml/alefb/internal/plot"
+	"github.com/netml/alefb/internal/rng"
+	"github.com/netml/alefb/internal/screamset"
+)
+
+func main() {
+	gen := screamset.NewGenerator(42)
+	r := rng.New(42)
+
+	fmt.Println("collecting training data from the emulator (this runs 5 protocols per point)...")
+	train := gen.GenerateProduction(300, r.Split())
+	test := gen.GenerateProduction(400, r.Split())
+	counts := train.ClassCounts()
+	fmt.Printf("training set: %d points (%d scream-wins / %d other)\n\n",
+		train.Len(), counts[screamset.LabelScream], counts[screamset.LabelOther])
+
+	automlCfg := alefb.AutoMLConfig{MaxCandidates: 12, Seed: 9}
+	fbCfg := alefb.FeedbackConfig{Bins: 24, Classes: []int{screamset.LabelScream}}
+
+	before, err := alefb.Train(train, automlCfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	accBefore := metrics.BalancedAccuracy(2, test.Y, before.Predict(test.X))
+	fmt.Printf("AutoML without feedback: balanced accuracy %.3f\n\n", accBefore)
+
+	fb, err := alefb.WithinFeedback(before, train, fbCfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Figure-1-style plot: mean ALE for config.link_rate with error bars.
+	for _, fa := range fb.Analyses {
+		if fa.Name != "config.link_rate" {
+			continue
+		}
+		p := &plot.Plot{
+			Title:  "ALE for config.link_rate (mean +/- committee std)",
+			XLabel: "config.link_rate (Mbps)",
+			YLabel: "ALE",
+			Series: []plot.Series{{X: fa.Grid, Y: fa.Mean, YErr: fa.Std}},
+			HLines: []float64{fb.Threshold},
+		}
+		fmt.Println(p.RenderASCII(72, 14))
+	}
+	fmt.Println(fb.Explain())
+
+	// Collect what the feedback asks for: sample the flagged subspaces and
+	// label each point by emulation.
+	suggestions := alefb.Sample(fb, 80, 1001)
+	if len(suggestions) == 0 {
+		fmt.Println("the committee agrees everywhere — nothing to collect")
+		return
+	}
+	fmt.Printf("collecting %d suggested conditions from the emulator...\n", len(suggestions))
+	augmented := train.Clone()
+	for _, x := range suggestions {
+		augmented.Append(x, gen.Label(x))
+	}
+
+	retrainCfg := automlCfg
+	retrainCfg.Seed++
+	after, err := alefb.Train(augmented, retrainCfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	accAfter := metrics.BalancedAccuracy(2, test.Y, after.Predict(test.X))
+	fmt.Printf("AutoML with ALE feedback:  balanced accuracy %.3f (was %.3f)\n", accAfter, accBefore)
+}

@@ -1,0 +1,60 @@
+// Emulator tour: using the packet-level network emulator directly.
+//
+// This example skips the ML entirely and shows the substrate the
+// Scream-vs-rest dataset is generated from: a droptail bottleneck shared
+// by N flows, five congestion-control protocols, and the throughput /
+// latency trade-offs between them across three canonical regimes.
+//
+//	go run ./examples/emulator
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/netml/alefb/internal/netsim"
+	"github.com/netml/alefb/internal/netsim/cc"
+)
+
+func main() {
+	scenarios := []struct {
+		name string
+		link netsim.LinkConfig
+	}{
+		{
+			name: "bufferbloat: 40 Mbps, 40 ms, deep buffer",
+			link: netsim.LinkConfig{RateMbps: 40, DelayMs: 40, QueuePackets: 500},
+		},
+		{
+			name: "shallow buffer: 40 Mbps, 40 ms, 40-packet queue",
+			link: netsim.LinkConfig{RateMbps: 40, DelayMs: 40, QueuePackets: 40},
+		},
+		{
+			name: "lossy path: 20 Mbps, 30 ms, 2% random loss",
+			link: netsim.LinkConfig{RateMbps: 20, DelayMs: 30, QueuePackets: 200, LossRate: 0.02},
+		},
+	}
+	registry := cc.Registry(1500)
+	for _, sc := range scenarios {
+		fmt.Println(sc.name)
+		fmt.Printf("  %-8s %12s %14s %12s %10s\n", "proto", "goodput", "mean delay", "p95 delay", "loss")
+		for _, name := range cc.Names() {
+			res, err := netsim.Run(netsim.Config{
+				Link:     sc.link,
+				Flows:    2,
+				Protocol: registry[name],
+				Duration: 4,
+				Seed:     1,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("  %-8s %9.2f Mb/s %11.1f ms %9.1f ms %9.1f%%\n",
+				name, res.TotalThroughputMbps, res.MeanOWDMs, res.P95OWDMs, res.LossRate*100)
+		}
+		fmt.Println()
+	}
+	fmt.Println("note how scream/vegas hold delay near the propagation floor in deep")
+	fmt.Println("buffers while cubic/reno/bbr fill them — the structure the dataset's")
+	fmt.Println("labels (and the paper's Figure 1) are built on.")
+}

@@ -1,0 +1,100 @@
+// Interaction analysis: beyond per-feature feedback.
+//
+// The paper's feedback is per-feature (first-order ALE variance) and its
+// §5 lists "identifying confounding variables" as future work. This
+// example shows the building blocks this library provides toward that:
+// permutation importance (how much the model relies on each feature),
+// second-order ALE surfaces (how two features interact), and the
+// committee's *interaction disagreement* — the 2-D analogue of the
+// paper's signal.
+//
+//	go run ./examples/interactions
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/netml/alefb/internal/automl"
+	"github.com/netml/alefb/internal/data"
+	"github.com/netml/alefb/internal/interpret"
+	"github.com/netml/alefb/internal/plot"
+	"github.com/netml/alefb/internal/rng"
+)
+
+func main() {
+	// A problem with a planted interaction: congestion collapse happens
+	// when BOTH utilization and burstiness are high; either one alone is
+	// harmless. A third feature is pure noise.
+	schema := &data.Schema{
+		Features: []data.Feature{
+			{Name: "utilization", Min: 0, Max: 1},
+			{Name: "burstiness", Min: 0, Max: 1},
+			{Name: "noise", Min: 0, Max: 1},
+		},
+		Classes: []string{"healthy", "collapse"},
+	}
+	r := rng.New(5)
+	train := data.New(schema)
+	for i := 0; i < 1500; i++ {
+		u, b, n := r.Float64(), r.Float64(), r.Float64()
+		y := 0
+		if u > 0.6 && b > 0.6 {
+			y = 1
+		}
+		if r.Bool(0.05) {
+			y = 1 - y // label noise
+		}
+		train.Append([]float64{u, b, n}, y)
+	}
+
+	ens, err := automl.Run(train, automl.Config{MaxCandidates: 10, Seed: 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("trained %s (val %.3f)\n\n", ens.Name(), ens.ValScore)
+
+	// 1. Which features does the model rely on?
+	imp, err := interpret.PermutationImportance(ens, train, 3, rng.New(7))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("permutation importance (accuracy drop when shuffled):")
+	for j, v := range imp {
+		fmt.Printf("  %-12s %.4f\n", schema.Features[j].Name, v)
+	}
+	fmt.Println()
+
+	// 2. Do utilization and burstiness interact?
+	surface, err := interpret.ALE2D(ens, train, 0, 1, interpret.Options{Bins: 8, Class: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	hm := &plot.Heatmap{
+		Title:  "second-order ALE: utilization x burstiness (class 'collapse')",
+		XLabel: "utilization",
+		YLabel: "burstiness",
+		X:      surface.GridX,
+		Y:      surface.GridY,
+		Values: surface.Values,
+	}
+	fmt.Println(hm.RenderASCII())
+
+	// 3. Compare against a non-interacting pair.
+	flat, err := interpret.ALE2D(ens, train, 0, 2, interpret.Options{Bins: 8, Class: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("max |interaction|: utilization x burstiness = %.4f, utilization x noise = %.4f\n",
+		surface.MaxAbs(), flat.MaxAbs())
+
+	// 4. Committee-level interaction disagreement — the 2-D analogue of
+	// the paper's ALE-variance feedback signal.
+	mean, std, err := interpret.InteractionStrength(ens.Models(), train, 0, 1, interpret.Options{Bins: 8, Class: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("committee interaction strength: mean %.4f, cross-model std %.4f\n", mean, std)
+	fmt.Println("\nhigh std here would tell the operator the committee cannot agree on")
+	fmt.Println("HOW the two features combine — more data in the joint region needed.")
+}

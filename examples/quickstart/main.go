@@ -1,0 +1,81 @@
+// Quickstart: the complete feedback loop in ~60 lines.
+//
+// We build a toy problem whose labels are deterministic except inside a
+// band of one feature, train AutoML, ask the feedback algorithm where the
+// ensemble's models disagree, sample new points from the flagged regions,
+// label them with an oracle, retrain, and compare accuracy.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/netml/alefb"
+	"github.com/netml/alefb/internal/metrics"
+	"github.com/netml/alefb/internal/rng"
+)
+
+// oracle is the ground truth: class 1 iff load > 0.5.
+func oracle(x []float64) int {
+	if x[0] > 0.5 {
+		return 1
+	}
+	return 0
+}
+
+// noisyDataset mimics a real measurement campaign: labels are clean far
+// from the decision boundary and noisy near it (load in 0.4..0.6), and
+// the campaign under-sampled exactly that band.
+func noisyDataset(n int, seed uint64) *alefb.Dataset {
+	schema := &alefb.Schema{
+		Features: []alefb.Feature{
+			{Name: "load", Min: 0, Max: 1},
+			{Name: "jitter", Min: 0, Max: 1},
+		},
+		Classes: []string{"healthy", "overloaded"},
+	}
+	r := rng.New(seed)
+	d := alefb.NewDataset(schema)
+	for d.Len() < n {
+		load, jitter := r.Float64(), r.Float64()
+		y := oracle([]float64{load, jitter})
+		if load > 0.4 && load < 0.6 {
+			if r.Bool(0.7) {
+				continue // the band is under-sampled...
+			}
+			y = r.Intn(2) // ...and noisy
+		}
+		d.Append([]float64{load, jitter}, y)
+	}
+	return d
+}
+
+func main() {
+	train := noisyDataset(400, 1)
+	test := alefb.NewDataset(train.Schema)
+	r := rng.New(2)
+	for i := 0; i < 1000; i++ {
+		x := []float64{r.Float64(), r.Float64()}
+		test.Append(x, oracle(x))
+	}
+
+	res, err := alefb.Improve(
+		train,
+		alefb.AutoMLConfig{MaxCandidates: 12, Seed: 7},
+		alefb.FeedbackConfig{Bins: 24, Classes: []int{1}},
+		80, // points the operator is willing to label
+		alefb.OracleFunc(oracle),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println(res.Feedback.Explain())
+
+	before := metrics.BalancedAccuracy(2, test.Y, res.Before.Predict(test.X))
+	after := metrics.BalancedAccuracy(2, test.Y, res.After.Predict(test.X))
+	fmt.Printf("balanced accuracy before feedback: %.3f\n", before)
+	fmt.Printf("balanced accuracy after adding %d suggested points: %.3f\n", res.Added.Len(), after)
+}

@@ -1,0 +1,3 @@
+module github.com/netml/alefb
+
+go 1.22

@@ -1,0 +1,297 @@
+package active
+
+import (
+	"math"
+	"testing"
+
+	"github.com/netml/alefb/internal/data"
+	"github.com/netml/alefb/internal/ml"
+	"github.com/netml/alefb/internal/rng"
+)
+
+type oracleFunc func(x []float64) int
+
+func (f oracleFunc) Label(x []float64) int { return f(x) }
+
+// confModel has confidence that grows with |x0 - 0.5| (certain at the
+// extremes, uncertain at the boundary).
+type confModel struct{}
+
+func (c *confModel) Name() string                           { return "conf" }
+func (c *confModel) Fit(d *data.Dataset, r *rng.Rand) error { return nil }
+func (c *confModel) PredictProba(x []float64) []float64 {
+	p := 0.5 + (x[0] - 0.5) // linear from 0 at x0=0 to 1 at x0=1
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	return []float64{1 - p, p}
+}
+
+// biasModel always predicts a fixed class with certainty.
+type biasModel struct{ class, k int }
+
+func (b *biasModel) Name() string                           { return "bias" }
+func (b *biasModel) Fit(d *data.Dataset, r *rng.Rand) error { return nil }
+func (b *biasModel) PredictProba(x []float64) []float64 {
+	p := make([]float64, b.k)
+	p[b.class] = 1
+	return p
+}
+
+func schema2() *data.Schema {
+	return &data.Schema{
+		Features: []data.Feature{
+			{Name: "x0", Min: 0, Max: 1},
+			{Name: "port", Min: 0, Max: 100, Integer: true},
+		},
+		Classes: []string{"a", "b"},
+	}
+}
+
+func TestUniformRespectsSchema(t *testing.T) {
+	r := rng.New(1)
+	oracle := oracleFunc(func(x []float64) int {
+		if x[0] > 0.5 {
+			return 1
+		}
+		return 0
+	})
+	d := Uniform(schema2(), 100, oracle, r)
+	if d.Len() != 100 {
+		t.Fatalf("len = %d", d.Len())
+	}
+	for i, row := range d.X {
+		if row[0] < 0 || row[0] > 1 || row[1] < 0 || row[1] > 100 {
+			t.Fatalf("row out of range: %v", row)
+		}
+		if row[1] != math.Round(row[1]) {
+			t.Fatalf("integer feature not rounded: %v", row[1])
+		}
+		if want := oracle.Label(row); d.Y[i] != want {
+			t.Fatalf("label mismatch at %d", i)
+		}
+	}
+}
+
+func TestUniformPoints(t *testing.T) {
+	pts := UniformPoints(schema2(), 50, rng.New(2))
+	if len(pts) != 50 {
+		t.Fatalf("len = %d", len(pts))
+	}
+	seenLow, seenHigh := false, false
+	for _, p := range pts {
+		if p[0] < 0.3 {
+			seenLow = true
+		}
+		if p[0] > 0.7 {
+			seenHigh = true
+		}
+	}
+	if !seenLow || !seenHigh {
+		t.Fatal("uniform points do not cover the range")
+	}
+}
+
+func TestLeastConfidencePicksBoundary(t *testing.T) {
+	pool := make([][]float64, 101)
+	for i := range pool {
+		pool[i] = []float64{float64(i) / 100, 0}
+	}
+	idx := LeastConfidence(&confModel{}, pool, 10)
+	if len(idx) != 10 {
+		t.Fatalf("returned %d indices", len(idx))
+	}
+	for _, i := range idx {
+		if math.Abs(pool[i][0]-0.5) > 0.1 {
+			t.Fatalf("least-confidence picked confident point x0=%v", pool[i][0])
+		}
+	}
+}
+
+func TestLeastConfidenceCapAtPoolSize(t *testing.T) {
+	pool := [][]float64{{0.5, 0}, {0.6, 0}}
+	if got := LeastConfidence(&confModel{}, pool, 10); len(got) != 2 {
+		t.Fatalf("returned %d indices, want pool size 2", len(got))
+	}
+}
+
+func TestQBCVoteEntropyPicksDisagreement(t *testing.T) {
+	// Committee of two step models that disagree for x0 in (0.4, 0.6).
+	committee := []ml.Classifier{
+		stepAt(0.4), stepAt(0.6),
+	}
+	pool := make([][]float64, 101)
+	for i := range pool {
+		pool[i] = []float64{float64(i) / 100, 0}
+	}
+	idx := QBC(committee, pool, 10, QBCVoteEntropy)
+	for _, i := range idx {
+		x := pool[i][0]
+		if x <= 0.4 || x > 0.6 {
+			t.Fatalf("QBC picked agreement point x0=%v", x)
+		}
+	}
+}
+
+func TestQBCSoftEntropy(t *testing.T) {
+	committee := []ml.Classifier{stepAt(0.4), stepAt(0.6)}
+	pool := make([][]float64, 101)
+	for i := range pool {
+		pool[i] = []float64{float64(i) / 100, 0}
+	}
+	idx := QBC(committee, pool, 10, QBCSoftEntropy)
+	if len(idx) != 10 {
+		t.Fatalf("returned %d", len(idx))
+	}
+	// Soft entropy is maximized where the average probability is closest
+	// to 0.5, i.e. between the cuts.
+	for _, i := range idx {
+		x := pool[i][0]
+		if x <= 0.35 || x > 0.65 {
+			t.Fatalf("soft QBC picked x0=%v", x)
+		}
+	}
+}
+
+func TestQBCEmpty(t *testing.T) {
+	if QBC(nil, [][]float64{{1}}, 5, QBCVoteEntropy) != nil {
+		t.Fatal("empty committee should return nil")
+	}
+	if QBC([]ml.Classifier{&confModel{}}, nil, 5, QBCVoteEntropy) != nil {
+		t.Fatal("empty pool should return nil")
+	}
+}
+
+// stepAt builds a step model with the given cut.
+func stepAt(cut float64) ml.Classifier { return &stepModel{cut: cut} }
+
+type stepModel struct{ cut float64 }
+
+func (s *stepModel) Name() string                           { return "step" }
+func (s *stepModel) Fit(d *data.Dataset, r *rng.Rand) error { return nil }
+func (s *stepModel) PredictProba(x []float64) []float64 {
+	if x[0] > s.cut {
+		return []float64{0.1, 0.9}
+	}
+	return []float64{0.9, 0.1}
+}
+
+func imbalanced(r *rng.Rand) *data.Dataset {
+	d := data.New(schema2())
+	for i := 0; i < 180; i++ {
+		d.Append([]float64{r.Float64() * 0.5, float64(r.Intn(100))}, 0)
+	}
+	for i := 0; i < 20; i++ {
+		d.Append([]float64{0.5 + r.Float64()*0.5, float64(r.Intn(100))}, 1)
+	}
+	return d
+}
+
+func TestOversampleTargetsMinority(t *testing.T) {
+	r := rng.New(3)
+	d := imbalanced(r)
+	add := Oversample(d, 100, r)
+	counts := add.ClassCounts()
+	if counts[1] < 95 {
+		t.Fatalf("oversample added %v, want almost all minority", counts)
+	}
+	// Every synthetic row must equal an existing minority row.
+	for i, row := range add.X {
+		if add.Y[i] != 1 {
+			continue
+		}
+		found := false
+		for j, orig := range d.X {
+			if d.Y[j] == 1 && orig[0] == row[0] && orig[1] == row[1] {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("oversampled row %v not in original data", row)
+		}
+	}
+}
+
+func TestSMOTEInterpolates(t *testing.T) {
+	r := rng.New(4)
+	d := imbalanced(r)
+	add := SMOTE(d, 100, 5, r)
+	if add.Len() != 100 {
+		t.Fatalf("SMOTE len = %d", add.Len())
+	}
+	counts := add.ClassCounts()
+	if counts[1] < 95 {
+		t.Fatalf("SMOTE added %v, want almost all minority", counts)
+	}
+	// Synthetic minority rows must lie within the minority class's bounding
+	// box (interpolation property).
+	lo, hi := 1.0, 0.0
+	for j, y := range d.Y {
+		if y != 1 {
+			continue
+		}
+		if d.X[j][0] < lo {
+			lo = d.X[j][0]
+		}
+		if d.X[j][0] > hi {
+			hi = d.X[j][0]
+		}
+	}
+	for i, row := range add.X {
+		if add.Y[i] != 1 {
+			continue
+		}
+		if row[0] < lo-1e-9 || row[0] > hi+1e-9 {
+			t.Fatalf("SMOTE row outside minority hull: %v not in [%v,%v]", row[0], lo, hi)
+		}
+		if row[1] != math.Round(row[1]) {
+			t.Fatalf("SMOTE produced non-integer port %v", row[1])
+		}
+	}
+}
+
+func TestSMOTESingletonClass(t *testing.T) {
+	d := data.New(schema2())
+	r := rng.New(5)
+	for i := 0; i < 50; i++ {
+		d.Append([]float64{r.Float64(), 1}, 0)
+	}
+	d.Append([]float64{0.5, 2}, 1)
+	add := SMOTE(d, 20, 5, r)
+	// Singleton minority can only be duplicated, never interpolated.
+	for i, row := range add.X {
+		if add.Y[i] == 1 && (row[0] != 0.5 || row[1] != 2) {
+			t.Fatalf("singleton SMOTE row %v", row)
+		}
+	}
+}
+
+func TestBalancedDataUniformWeights(t *testing.T) {
+	d := data.New(schema2())
+	r := rng.New(6)
+	for i := 0; i < 50; i++ {
+		d.Append([]float64{r.Float64(), 1}, 0)
+		d.Append([]float64{r.Float64(), 1}, 1)
+	}
+	add := Oversample(d, 200, r)
+	counts := add.ClassCounts()
+	if counts[0] == 0 || counts[1] == 0 {
+		t.Fatalf("balanced oversample starved a class: %v", counts)
+	}
+}
+
+func TestEntropy(t *testing.T) {
+	if e := entropy([]float64{1, 1}); math.Abs(e-math.Log(2)) > 1e-12 {
+		t.Fatalf("entropy uniform = %v", e)
+	}
+	if e := entropy([]float64{5, 0}); e != 0 {
+		t.Fatalf("entropy certain = %v", e)
+	}
+	if e := entropy([]float64{0, 0}); e != 0 {
+		t.Fatalf("entropy empty = %v", e)
+	}
+}

@@ -1,0 +1,47 @@
+package active
+
+import "testing"
+
+func TestMarginSamplingPicksBoundary(t *testing.T) {
+	pool := make([][]float64, 101)
+	for i := range pool {
+		pool[i] = []float64{float64(i) / 100, 0}
+	}
+	idx := MarginSampling(&confModel{}, pool, 10)
+	if len(idx) != 10 {
+		t.Fatalf("returned %d indices", len(idx))
+	}
+	for _, i := range idx {
+		// The confModel's two class probabilities cross at x0 = 0.5; the
+		// margin is smallest there.
+		if pool[i][0] < 0.4 || pool[i][0] > 0.6 {
+			t.Fatalf("margin sampling picked confident point x0=%v", pool[i][0])
+		}
+	}
+}
+
+func TestMarginSamplingCapsAtPool(t *testing.T) {
+	pool := [][]float64{{0.5, 0}}
+	if got := MarginSampling(&confModel{}, pool, 10); len(got) != 1 {
+		t.Fatalf("returned %d", len(got))
+	}
+}
+
+func TestMarginVsLeastConfidenceAgreeOnBinary(t *testing.T) {
+	// For binary problems the two strategies induce the same ranking.
+	pool := make([][]float64, 50)
+	for i := range pool {
+		pool[i] = []float64{float64(i) / 50, 0}
+	}
+	a := MarginSampling(&confModel{}, pool, 5)
+	b := LeastConfidence(&confModel{}, pool, 5)
+	seen := map[int]bool{}
+	for _, i := range a {
+		seen[i] = true
+	}
+	for _, i := range b {
+		if !seen[i] {
+			t.Fatalf("binary rankings differ: %v vs %v", a, b)
+		}
+	}
+}

@@ -1,0 +1,443 @@
+package automl
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"github.com/netml/alefb/internal/data"
+	"github.com/netml/alefb/internal/metrics"
+	"github.com/netml/alefb/internal/ml"
+	"github.com/netml/alefb/internal/rng"
+)
+
+// Config controls one AutoML run.
+type Config struct {
+	// MaxCandidates is the number of pipelines evaluated, counting both
+	// the random phase and the evolutionary phase (default 24).
+	MaxCandidates int
+	// Generations of evolutionary refinement after the random phase
+	// (default 2). 0 disables evolution.
+	Generations int
+	// EnsembleSize is the number of greedy selection rounds; members may
+	// repeat, which weights them (default 10).
+	EnsembleSize int
+	// MinDistinctMembers seeds the ensemble with this many of the
+	// best-scoring distinct pipelines before greedy selection starts
+	// (default 3, capped by EnsembleSize and the candidate count). The
+	// ALE-variance and QBC feedback algorithms need a committee of
+	// *diverse* models, which pure greedy selection does not guarantee.
+	MinDistinctMembers int
+	// ValFraction is the stratified holdout fraction used for model
+	// selection and ensemble construction (default 0.25). Ignored when
+	// CVFolds is set.
+	ValFraction float64
+	// CVFolds switches model selection from a single holdout to k-fold
+	// cross-validation: every candidate is scored on out-of-fold
+	// predictions covering the whole training set, which stabilizes both
+	// selection and greedy ensembling on small datasets at k times the
+	// fit cost. 0 keeps the holdout.
+	CVFolds int
+	// PreScreen enables successive-halving: PreScreen x the random budget
+	// of specs are first scored cheaply on a small data subsample, and
+	// only the best survive to full evaluation. Values <= 1 disable it.
+	PreScreen int
+	// TimeBudget optionally bounds wall-clock search time; 0 means no
+	// bound. At least one candidate is always evaluated.
+	TimeBudget time.Duration
+	// Seed drives all stochastic choices of the run. Distinct seeds give
+	// the run-to-run diversity Cross-ALE feedback relies on.
+	Seed uint64
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxCandidates <= 0 {
+		c.MaxCandidates = 24
+	}
+	if c.Generations < 0 {
+		c.Generations = 0
+	} else if c.Generations == 0 {
+		c.Generations = 2
+	}
+	if c.EnsembleSize <= 0 {
+		c.EnsembleSize = 10
+	}
+	if c.MinDistinctMembers <= 0 {
+		c.MinDistinctMembers = 3
+	}
+	if c.MinDistinctMembers > c.EnsembleSize {
+		c.MinDistinctMembers = c.EnsembleSize
+	}
+	if c.ValFraction <= 0 || c.ValFraction >= 1 {
+		c.ValFraction = 0.25
+	}
+	return c
+}
+
+// Member is one ensemble component.
+type Member struct {
+	// Model is trained on the full training set.
+	Model ml.Classifier
+	// Spec is the hyperparameter point the model was built from.
+	Spec Spec
+	// Weight is the normalized greedy-selection weight.
+	Weight float64
+	// ValScore is the member's own holdout balanced accuracy.
+	ValScore float64
+}
+
+// Ensemble is the output of an AutoML run: a weighted model ensemble plus
+// search metadata.
+type Ensemble struct {
+	Members []Member
+	// NumClasses of the training schema.
+	NumClasses int
+	// ValScore is the greedy ensemble's holdout balanced accuracy.
+	ValScore float64
+	// Evaluated is the number of candidate pipelines scored.
+	Evaluated int
+}
+
+// PredictProba returns the weighted average of member probabilities.
+func (e *Ensemble) PredictProba(x []float64) []float64 {
+	out := make([]float64, e.NumClasses)
+	for _, m := range e.Members {
+		p := m.Model.PredictProba(x)
+		for i, v := range p {
+			out[i] += m.Weight * v
+		}
+	}
+	return out
+}
+
+// Predict returns argmax labels for every row of X.
+func (e *Ensemble) Predict(X [][]float64) []int {
+	out := make([]int, len(X))
+	for i, x := range X {
+		out[i] = metrics.Argmax(e.PredictProba(x))
+	}
+	return out
+}
+
+// Name implements ml.Classifier so ensembles can be used anywhere a
+// single model can.
+func (e *Ensemble) Name() string { return fmt.Sprintf("ensemble(%d members)", len(e.Members)) }
+
+// Fit implements ml.Classifier by refitting every member on d.
+func (e *Ensemble) Fit(d *data.Dataset, r *rng.Rand) error {
+	for i := range e.Members {
+		fresh := Build(e.Members[i].Spec)
+		if err := fresh.Fit(d, r.Split()); err != nil {
+			return fmt.Errorf("automl: refit member %d: %w", i, err)
+		}
+		e.Members[i].Model = fresh
+	}
+	return nil
+}
+
+// Models returns the distinct trained models of the ensemble — the
+// committee the feedback algorithms (QBC, ALE-variance) operate on.
+func (e *Ensemble) Models() []ml.Classifier {
+	out := make([]ml.Classifier, 0, len(e.Members))
+	for _, m := range e.Members {
+		out = append(out, m.Model)
+	}
+	return out
+}
+
+// Confidence returns max-class probability, the standard confidence score
+// used by the confidence-based active-learning baseline.
+func (e *Ensemble) Confidence(x []float64) float64 {
+	p := e.PredictProba(x)
+	return p[metrics.Argmax(p)]
+}
+
+// candidate couples a spec with its holdout evaluation.
+type candidate struct {
+	spec  Spec
+	model ml.Classifier
+	// valProba[i] is the probability row for validation row i.
+	valProba [][]float64
+	score    float64
+}
+
+// Run executes one AutoML search on train and returns the ensemble.
+// All members of the returned ensemble are refit on the complete training
+// set; the holdout is only used for selection.
+func Run(train *data.Dataset, cfg Config) (*Ensemble, error) {
+	cfg = cfg.withDefaults()
+	if train.Len() < 10 {
+		return nil, errors.New("automl: need at least 10 training rows")
+	}
+	r := rng.New(cfg.Seed)
+	k := train.Schema.NumClasses()
+
+	deadline := time.Time{}
+	if cfg.TimeBudget > 0 {
+		deadline = time.Now().Add(cfg.TimeBudget)
+	}
+	expired := func() bool { return !deadline.IsZero() && time.Now().After(deadline) }
+
+	var evaluate func(spec Spec) (candidate, bool)
+	var valY []int
+	if cfg.CVFolds >= 2 {
+		folds := train.Folds(cfg.CVFolds, r)
+		for _, f := range folds {
+			valY = append(valY, f.Val.Y...)
+		}
+		evaluate = func(spec Spec) (candidate, bool) {
+			var proba [][]float64
+			var model ml.Classifier
+			for _, f := range folds {
+				m := Build(spec)
+				if err := m.Fit(f.Train, r.Split()); err != nil {
+					return candidate{}, false
+				}
+				proba = append(proba, ml.PredictProbaBatch(m, f.Val.X)...)
+				model = m // keep the last fold's model; refit replaces it
+			}
+			pred := make([]int, len(proba))
+			for i, p := range proba {
+				pred[i] = metrics.Argmax(p)
+			}
+			score := metrics.BalancedAccuracy(k, valY, pred)
+			return candidate{spec: spec, model: model, valProba: proba, score: score}, true
+		}
+	} else {
+		fitSet, valSet := train.StratifiedSplit(1-cfg.ValFraction, r)
+		if fitSet.Len() == 0 || valSet.Len() == 0 {
+			return nil, errors.New("automl: degenerate train/validation split")
+		}
+		valY = valSet.Y
+		evaluate = func(spec Spec) (candidate, bool) {
+			model := Build(spec)
+			if err := model.Fit(fitSet, r.Split()); err != nil {
+				return candidate{}, false
+			}
+			proba := ml.PredictProbaBatch(model, valSet.X)
+			pred := make([]int, len(proba))
+			for i, p := range proba {
+				pred[i] = metrics.Argmax(p)
+			}
+			score := metrics.BalancedAccuracy(k, valSet.Y, pred)
+			return candidate{spec: spec, model: model, valProba: proba, score: score}, true
+		}
+	}
+
+	// Phase 1: random search. Reserve a share of the budget for evolution.
+	evoBudget := 0
+	if cfg.Generations > 0 {
+		evoBudget = cfg.MaxCandidates / 3
+	}
+	randomBudget := cfg.MaxCandidates - evoBudget
+	specs := make([]Spec, 0, randomBudget)
+	if cfg.PreScreen > 1 {
+		specs = preScreen(train, cfg.PreScreen*randomBudget, randomBudget, k, r)
+	} else {
+		for i := 0; i < randomBudget; i++ {
+			specs = append(specs, RandomSpec(r))
+		}
+	}
+	var cands []candidate
+	for _, spec := range specs {
+		if len(cands) > 0 && expired() {
+			break
+		}
+		if c, ok := evaluate(spec); ok {
+			cands = append(cands, c)
+		}
+	}
+	if len(cands) == 0 {
+		return nil, errors.New("automl: no candidate pipeline trained successfully")
+	}
+
+	// Phase 2: evolutionary refinement of the best quartile.
+	for gen := 0; gen < cfg.Generations && evoBudget > 0; gen++ {
+		sort.SliceStable(cands, func(i, j int) bool { return cands[i].score > cands[j].score })
+		parents := len(cands) / 4
+		if parents < 1 {
+			parents = 1
+		}
+		perGen := evoBudget / cfg.Generations
+		if perGen < 1 {
+			perGen = 1
+		}
+		for i := 0; i < perGen; i++ {
+			if expired() {
+				break
+			}
+			parent := cands[r.Intn(parents)].spec
+			if c, ok := evaluate(Mutate(parent, r)); ok {
+				cands = append(cands, c)
+			}
+		}
+	}
+
+	// Phase 3: Caruana greedy ensemble selection with replacement on the
+	// holdout predictions.
+	counts := greedySelect(cands, valY, k, cfg.EnsembleSize, cfg.MinDistinctMembers)
+
+	ens := &Ensemble{NumClasses: k, Evaluated: len(cands)}
+	totalCount := 0
+	for _, c := range counts {
+		totalCount += c
+	}
+	for ci, count := range counts {
+		if count == 0 {
+			continue
+		}
+		ens.Members = append(ens.Members, Member{
+			Model:    cands[ci].model,
+			Spec:     cands[ci].spec,
+			Weight:   float64(count) / float64(totalCount),
+			ValScore: cands[ci].score,
+		})
+	}
+	ens.ValScore = ensembleScore(cands, counts, valY, k)
+
+	// Refit members on the full training set so no data is wasted.
+	if err := ens.Fit(train, r); err != nil {
+		return nil, err
+	}
+	return ens, nil
+}
+
+// preScreen implements the cheap rung of successive halving: it draws
+// `total` random specs, scores each on a small stratified subsample of
+// train with a fast holdout, and returns the best `keep` specs for full
+// evaluation.
+func preScreen(train *data.Dataset, total, keep, k int, r *rng.Rand) []Spec {
+	subN := 200
+	if subN > train.Len() {
+		subN = train.Len()
+	}
+	sub := train.Subset(r.Sample(train.Len(), subN))
+	fitSet, valSet := sub.StratifiedSplit(0.7, r)
+	if fitSet.Len() < 5 || valSet.Len() < 2 {
+		// Too little data to screen meaningfully: fall back to random.
+		out := make([]Spec, keep)
+		for i := range out {
+			out[i] = RandomSpec(r)
+		}
+		return out
+	}
+	type scored struct {
+		spec  Spec
+		score float64
+	}
+	all := make([]scored, 0, total)
+	for i := 0; i < total; i++ {
+		spec := RandomSpec(r)
+		m := Build(spec)
+		if err := m.Fit(fitSet, r.Split()); err != nil {
+			continue
+		}
+		pred := ml.Predict(m, valSet.X)
+		all = append(all, scored{spec: spec, score: metrics.BalancedAccuracy(k, valSet.Y, pred)})
+	}
+	sort.SliceStable(all, func(i, j int) bool { return all[i].score > all[j].score })
+	if keep > len(all) {
+		keep = len(all)
+	}
+	out := make([]Spec, keep)
+	for i := 0; i < keep; i++ {
+		out[i] = all[i].spec
+	}
+	return out
+}
+
+// greedySelect returns per-candidate selection counts after rounds of
+// greedy forward selection (with replacement) maximizing balanced accuracy
+// on the validation labels. The first minDistinct rounds are reserved for
+// the best distinct pipelines, guaranteeing committee diversity.
+func greedySelect(cands []candidate, valY []int, k, rounds, minDistinct int) []int {
+	counts := make([]int, len(cands))
+	n := len(valY)
+	sum := make([][]float64, n)
+	for i := range sum {
+		sum[i] = make([]float64, k)
+	}
+	total := 0
+	pred := make([]int, n)
+	addTo := func(dst [][]float64, c candidate) {
+		for i := range dst {
+			for j, v := range c.valProba[i] {
+				dst[i][j] += v
+			}
+		}
+	}
+	// Seed with the top distinct candidates by individual score.
+	order := make([]int, len(cands))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return cands[order[a]].score > cands[order[b]].score })
+	seed := minDistinct
+	if seed > len(cands) {
+		seed = len(cands)
+	}
+	if seed > rounds {
+		seed = rounds
+	}
+	if seed < 1 {
+		seed = 1
+	}
+	for _, ci := range order[:seed] {
+		addTo(sum, cands[ci])
+		counts[ci]++
+		total++
+	}
+
+	scoreWith := func(c candidate) float64 {
+		for i := range sum {
+			bestJ, bestV := 0, sum[i][0]+c.valProba[i][0]
+			for j := 1; j < k; j++ {
+				if v := sum[i][j] + c.valProba[i][j]; v > bestV {
+					bestJ, bestV = j, v
+				}
+			}
+			pred[i] = bestJ
+		}
+		return metrics.BalancedAccuracy(k, valY, pred)
+	}
+
+	for round := total; round < rounds; round++ {
+		bestIdx, bestScore := -1, -1.0
+		for ci := range cands {
+			if s := scoreWith(cands[ci]); s > bestScore {
+				bestIdx, bestScore = ci, s
+			}
+		}
+		if bestIdx < 0 {
+			break
+		}
+		addTo(sum, cands[bestIdx])
+		counts[bestIdx]++
+		total++
+	}
+	return counts
+}
+
+// ensembleScore computes the balanced accuracy of the count-weighted
+// ensemble on the validation labels.
+func ensembleScore(cands []candidate, counts []int, valY []int, k int) float64 {
+	n := len(valY)
+	pred := make([]int, n)
+	row := make([]float64, k)
+	for i := 0; i < n; i++ {
+		for j := range row {
+			row[j] = 0
+		}
+		for ci, c := range counts {
+			if c == 0 {
+				continue
+			}
+			for j, v := range cands[ci].valProba[i] {
+				row[j] += float64(c) * v
+			}
+		}
+		pred[i] = metrics.Argmax(row)
+	}
+	return metrics.BalancedAccuracy(k, valY, pred)
+}

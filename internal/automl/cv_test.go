@@ -1,0 +1,105 @@
+package automl
+
+import (
+	"testing"
+
+	"github.com/netml/alefb/internal/metrics"
+	"github.com/netml/alefb/internal/rng"
+)
+
+func TestRunWithCVFolds(t *testing.T) {
+	r := rng.New(21)
+	train := blobs(200, 2, r)
+	test := blobs(150, 2, r)
+	cfg := smallCfg(31)
+	cfg.CVFolds = 3
+	ens, err := Run(train, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred := ens.Predict(test.X)
+	if acc := metrics.BalancedAccuracy(2, test.Y, pred); acc < 0.9 {
+		t.Fatalf("CV ensemble accuracy %.3f", acc)
+	}
+	if ens.ValScore <= 0 || ens.ValScore > 1 {
+		t.Fatalf("CV val score %v", ens.ValScore)
+	}
+}
+
+func TestCVDeterministicPerSeed(t *testing.T) {
+	train := blobs(150, 2, rng.New(22))
+	cfg := smallCfg(33)
+	cfg.CVFolds = 3
+	a, err := Run(train, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(train, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := []float64{0.7, -1.1}
+	pa, pb := a.PredictProba(x), b.PredictProba(x)
+	for i := range pa {
+		if pa[i] != pb[i] {
+			t.Fatalf("CV same seed differs: %v vs %v", pa, pb)
+		}
+	}
+}
+
+func TestCVFoldsOneFallsBackToHoldout(t *testing.T) {
+	train := blobs(120, 2, rng.New(23))
+	cfg := smallCfg(35)
+	cfg.CVFolds = 1 // < 2: holdout path
+	if _, err := Run(train, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunWithPreScreen(t *testing.T) {
+	r := rng.New(41)
+	train := blobs(300, 3, r)
+	test := blobs(200, 3, r)
+	cfg := smallCfg(43)
+	cfg.PreScreen = 3
+	ens, err := Run(train, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred := ens.Predict(test.X)
+	if acc := metrics.BalancedAccuracy(3, test.Y, pred); acc < 0.9 {
+		t.Fatalf("prescreened ensemble accuracy %.3f", acc)
+	}
+}
+
+func TestPreScreenTinyData(t *testing.T) {
+	// With almost no data the screen must fall back gracefully.
+	r := rng.New(44)
+	train := blobs(12, 2, r)
+	cfg := smallCfg(45)
+	cfg.PreScreen = 4
+	if _, err := Run(train, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPreScreenDeterministic(t *testing.T) {
+	train := blobs(150, 2, rng.New(46))
+	cfg := smallCfg(47)
+	cfg.PreScreen = 2
+	a, err := Run(train, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(train, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := []float64{0.2, 0.4}
+	pa, pb := a.PredictProba(x), b.PredictProba(x)
+	for i := range pa {
+		if pa[i] != pb[i] {
+			t.Fatalf("prescreen same seed differs")
+		}
+	}
+}

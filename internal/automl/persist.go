@@ -1,0 +1,120 @@
+package automl
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"github.com/netml/alefb/internal/data"
+	"github.com/netml/alefb/internal/rng"
+)
+
+// Description is a serializable record of an AutoML result: the selected
+// pipeline specs, their weights, and the refit seed. Together with the
+// training data it reconstructs the exact ensemble (every model in this
+// repository is deterministic given data and seed), which keeps the format
+// tiny and forward-compatible — no per-model weight dumps.
+type Description struct {
+	// Version guards the format.
+	Version int `json:"version"`
+	// RefitSeed drives the deterministic refit.
+	RefitSeed uint64 `json:"refit_seed"`
+	// NumClasses sanity-checks the training data at load time.
+	NumClasses int `json:"num_classes"`
+	// ValScore is the recorded validation balanced accuracy.
+	ValScore float64 `json:"val_score"`
+	// Members lists the selected pipelines.
+	Members []MemberDescription `json:"members"`
+}
+
+// MemberDescription is one serialized ensemble member.
+type MemberDescription struct {
+	Family   int                `json:"family"`
+	Params   map[string]float64 `json:"params"`
+	Weight   float64            `json:"weight"`
+	ValScore float64            `json:"val_score"`
+}
+
+// currentVersion of the description format.
+const currentVersion = 1
+
+// Describe captures the ensemble's reconstruction record with the given
+// refit seed.
+func (e *Ensemble) Describe(refitSeed uint64) Description {
+	d := Description{
+		Version:    currentVersion,
+		RefitSeed:  refitSeed,
+		NumClasses: e.NumClasses,
+		ValScore:   e.ValScore,
+	}
+	for _, m := range e.Members {
+		d.Members = append(d.Members, MemberDescription{
+			Family:   int(m.Spec.Family),
+			Params:   m.Spec.Params,
+			Weight:   m.Weight,
+			ValScore: m.ValScore,
+		})
+	}
+	return d
+}
+
+// Save writes the ensemble's description as JSON.
+func (e *Ensemble) Save(w io.Writer, refitSeed uint64) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(e.Describe(refitSeed)); err != nil {
+		return fmt.Errorf("automl: save ensemble: %w", err)
+	}
+	return nil
+}
+
+// Load reads a description and reconstructs the ensemble by refitting
+// every member on train with the recorded seed. The training data must be
+// the dataset the ensemble was built for (same schema).
+func Load(r io.Reader, train *data.Dataset) (*Ensemble, error) {
+	var d Description
+	if err := json.NewDecoder(r).Decode(&d); err != nil {
+		return nil, fmt.Errorf("automl: load ensemble: %w", err)
+	}
+	return Rebuild(d, train)
+}
+
+// Rebuild reconstructs an ensemble from its description.
+func Rebuild(d Description, train *data.Dataset) (*Ensemble, error) {
+	if d.Version != currentVersion {
+		return nil, fmt.Errorf("automl: description version %d unsupported (want %d)", d.Version, currentVersion)
+	}
+	if len(d.Members) == 0 {
+		return nil, fmt.Errorf("automl: description has no members")
+	}
+	if d.NumClasses != train.Schema.NumClasses() {
+		return nil, fmt.Errorf("automl: description built for %d classes, data has %d",
+			d.NumClasses, train.Schema.NumClasses())
+	}
+	ens := &Ensemble{NumClasses: d.NumClasses, ValScore: d.ValScore}
+	for i, md := range d.Members {
+		if md.Family < 0 || md.Family >= int(numFamilies) {
+			return nil, fmt.Errorf("automl: member %d has unknown family %d", i, md.Family)
+		}
+		if md.Weight <= 0 {
+			return nil, fmt.Errorf("automl: member %d has non-positive weight %v", i, md.Weight)
+		}
+		ens.Members = append(ens.Members, Member{
+			Spec:     Spec{Family: family(md.Family), Params: md.Params},
+			Weight:   md.Weight,
+			ValScore: md.ValScore,
+		})
+	}
+	// Normalize weights defensively (they should already sum to 1).
+	total := 0.0
+	for _, m := range ens.Members {
+		total += m.Weight
+	}
+	for i := range ens.Members {
+		ens.Members[i].Weight /= total
+	}
+	if err := ens.Fit(train, rng.New(d.RefitSeed)); err != nil {
+		return nil, err
+	}
+	return ens, nil
+}

@@ -1,0 +1,91 @@
+package automl
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"github.com/netml/alefb/internal/rng"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	r := rng.New(61)
+	train := blobs(200, 2, r)
+	ens, err := Run(train, smallCfg(63))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := ens.Save(&buf, 42); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf, train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loaded.Members) != len(ens.Members) {
+		t.Fatalf("members %d != %d", len(loaded.Members), len(ens.Members))
+	}
+	// Rebuilt weights must match.
+	for i := range ens.Members {
+		if diff := loaded.Members[i].Weight - ens.Members[i].Weight; diff > 1e-12 || diff < -1e-12 {
+			t.Fatalf("member %d weight %v != %v", i, loaded.Members[i].Weight, ens.Members[i].Weight)
+		}
+	}
+	// Predictions should be valid probabilities on arbitrary points.
+	p := loaded.PredictProba([]float64{1, -2})
+	sum := 0.0
+	for _, v := range p {
+		sum += v
+	}
+	if sum < 0.999 || sum > 1.001 {
+		t.Fatalf("loaded proba sums to %v", sum)
+	}
+}
+
+func TestLoadDeterministic(t *testing.T) {
+	r := rng.New(65)
+	train := blobs(150, 2, r)
+	ens, err := Run(train, smallCfg(67))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := ens.Save(&buf, 7); err != nil {
+		t.Fatal(err)
+	}
+	saved := buf.String()
+	a, err := Load(strings.NewReader(saved), train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Load(strings.NewReader(saved), train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := []float64{0.3, -0.7}
+	pa, pb := a.PredictProba(x), b.PredictProba(x)
+	for i := range pa {
+		if pa[i] != pb[i] {
+			t.Fatal("loads diverge")
+		}
+	}
+}
+
+func TestLoadRejectsBadDescriptions(t *testing.T) {
+	r := rng.New(69)
+	train := blobs(50, 2, r)
+	cases := []string{
+		`not json`,
+		`{"version": 99, "members": [{"family":0,"params":{},"weight":1}]}`,
+		`{"version": 1, "num_classes": 2, "members": []}`,
+		`{"version": 1, "num_classes": 5, "members": [{"family":0,"params":{},"weight":1}]}`,
+		`{"version": 1, "num_classes": 2, "members": [{"family":99,"params":{},"weight":1}]}`,
+		`{"version": 1, "num_classes": 2, "members": [{"family":0,"params":{},"weight":0}]}`,
+	}
+	for _, in := range cases {
+		if _, err := Load(strings.NewReader(in), train); err == nil {
+			t.Fatalf("bad description accepted: %s", in)
+		}
+	}
+}

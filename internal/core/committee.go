@@ -1,0 +1,93 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/netml/alefb/internal/automl"
+	"github.com/netml/alefb/internal/data"
+	"github.com/netml/alefb/internal/ml"
+	"github.com/netml/alefb/internal/rng"
+)
+
+// Oracle labels suggested data points. In the paper's first setting
+// ("the user has complete control and can collect any data") this is the
+// Pantheon-like emulator; in the fixed-pool setting labels come from the
+// candidate pool instead and no oracle is needed.
+type Oracle interface {
+	Label(x []float64) int
+}
+
+// OracleFunc adapts a function to the Oracle interface.
+type OracleFunc func(x []float64) int
+
+// Label implements Oracle.
+func (f OracleFunc) Label(x []float64) int { return f(x) }
+
+// WithinCommittee returns the committee for Within-ALE feedback: the
+// individual models inside one AutoML ensemble (§3, main algorithm).
+func WithinCommittee(e *automl.Ensemble) []ml.Classifier {
+	return e.Models()
+}
+
+// CrossCommittee builds the committee for Cross-ALE feedback (§3,
+// "Algorithm variants"): it runs AutoML `runs` times with distinct seeds
+// and returns each run's full ensemble as one committee member. It also
+// returns the ensembles so the caller can reuse the best one.
+func CrossCommittee(train *data.Dataset, base automl.Config, runs int) ([]ml.Classifier, []*automl.Ensemble, error) {
+	if runs <= 0 {
+		runs = 10 // the paper's evaluation uses 10 AutoML runs
+	}
+	committee := make([]ml.Classifier, 0, runs)
+	ensembles := make([]*automl.Ensemble, 0, runs)
+	for i := 0; i < runs; i++ {
+		cfg := base
+		cfg.Seed = base.Seed + uint64(i)*0x9e3779b97f4a7c15
+		ens, err := automl.Run(train, cfg)
+		if err != nil {
+			return nil, nil, fmt.Errorf("core: AutoML run %d of %d: %w", i+1, runs, err)
+		}
+		committee = append(committee, ens)
+		ensembles = append(ensembles, ens)
+	}
+	return committee, ensembles, nil
+}
+
+// Suggest runs the complete feedback pipeline against a labelling oracle:
+// it computes feedback for the committee, samples n points from the
+// flagged subspaces, labels them with the oracle, and returns the
+// suggested points as a dataset sharing train's schema, together with the
+// feedback object for explanation. The returned dataset is empty (but
+// non-nil) when the committee agrees everywhere.
+func Suggest(committee []ml.Classifier, train *data.Dataset, cfg Config, n int, oracle Oracle, r *rng.Rand) (*data.Dataset, *Feedback, error) {
+	fb, err := Compute(committee, train, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	add := data.New(train.Schema)
+	for _, x := range fb.Sample(n, r) {
+		add.Append(x, oracle.Label(x))
+	}
+	return add, fb, nil
+}
+
+// SuggestFromPool runs the pool-restricted variant: instead of sampling
+// fresh points it selects up to n pool rows that fall inside the flagged
+// subspaces (labels come with the pool). The paper evaluates this as
+// Within-ALE-Pool / Cross-ALE-Pool; the region intersection usually yields
+// fewer than n points, which Table 1 reports in parentheses.
+func SuggestFromPool(committee []ml.Classifier, train, pool *data.Dataset, cfg Config, n int, r *rng.Rand) (*data.Dataset, *Feedback, error) {
+	fb, err := Compute(committee, train, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	idx := fb.FilterPool(pool)
+	if len(idx) > n {
+		chosen := r.Sample(len(idx), n)
+		sub := make([]int, n)
+		for i, c := range chosen {
+			sub[i] = idx[c]
+		}
+		idx = sub
+	}
+	return pool.Subset(idx), fb, nil
+}

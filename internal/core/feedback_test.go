@@ -1,0 +1,518 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"github.com/netml/alefb/internal/automl"
+	"github.com/netml/alefb/internal/data"
+	"github.com/netml/alefb/internal/ml"
+	"github.com/netml/alefb/internal/rng"
+)
+
+// stepModel predicts P(class 1) = hi for x[feature] > cut else lo.
+type stepModel struct {
+	feature int
+	cut     float64
+	lo, hi  float64
+}
+
+func (s *stepModel) Name() string                           { return "step" }
+func (s *stepModel) Fit(d *data.Dataset, r *rng.Rand) error { return nil }
+func (s *stepModel) PredictProba(x []float64) []float64 {
+	p := s.lo
+	if x[s.feature] > s.cut {
+		p = s.hi
+	}
+	return []float64{1 - p, p}
+}
+
+func twoFeatureData(n int, r *rng.Rand) *data.Dataset {
+	schema := &data.Schema{
+		Features: []data.Feature{
+			{Name: "link_rate", Min: 0, Max: 1},
+			{Name: "loss", Min: 0, Max: 1},
+		},
+		Classes: []string{"other", "scream"},
+	}
+	d := data.New(schema)
+	for i := 0; i < n; i++ {
+		d.Append([]float64{r.Float64(), r.Float64()}, r.Intn(2))
+	}
+	return d
+}
+
+// disagreeCommittee returns two models that disagree about feature 0 only
+// between the two cut points.
+func disagreeCommittee() []ml.Classifier {
+	return []ml.Classifier{
+		&stepModel{feature: 0, cut: 0.4, lo: 0.2, hi: 0.8},
+		&stepModel{feature: 0, cut: 0.6, lo: 0.2, hi: 0.8},
+	}
+}
+
+func TestComputeFlagsDisagreementRegion(t *testing.T) {
+	r := rng.New(1)
+	d := twoFeatureData(3000, r)
+	// Threshold 0.1 sits between the centering spill-over (~0.06 std far
+	// from the cuts) and the true disagreement between the cuts (~0.24).
+	fb, err := Compute(disagreeCommittee(), d, Config{Bins: 40, Threshold: 0.1, Classes: []int{1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	flagged := fb.Flagged()
+	if len(flagged) != 1 {
+		t.Fatalf("flagged %d features, want 1 (got %+v)", len(flagged), flagged)
+	}
+	fa := flagged[0]
+	if fa.Name != "link_rate" {
+		t.Fatalf("flagged feature %q, want link_rate", fa.Name)
+	}
+	if len(fa.Intervals) == 0 {
+		t.Fatal("no intervals")
+	}
+	// The disagreement lives between the cuts (0.4, 0.6); the flagged
+	// union must cover the midpoint 0.5 and stay away from the extremes.
+	covers := false
+	for _, iv := range fa.Intervals {
+		if iv.Contains(0.5) {
+			covers = true
+		}
+		if iv.Contains(0.05) || iv.Contains(0.95) {
+			t.Fatalf("interval %v covers agreement region", iv)
+		}
+	}
+	if !covers {
+		t.Fatalf("intervals %v do not cover disagreement midpoint", fa.Intervals)
+	}
+}
+
+func TestComputeAgreementFlagsNothing(t *testing.T) {
+	r := rng.New(2)
+	d := twoFeatureData(1000, r)
+	same := []ml.Classifier{
+		&stepModel{feature: 0, cut: 0.5, lo: 0.2, hi: 0.8},
+		&stepModel{feature: 0, cut: 0.5, lo: 0.2, hi: 0.8},
+	}
+	fb, err := Compute(same, d, Config{Bins: 20, Threshold: 0.01, Classes: []int{1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := len(fb.Flagged()); n != 0 {
+		t.Fatalf("identical models flagged %d features", n)
+	}
+	if !strings.Contains(fb.Explain(), "agree everywhere") {
+		t.Fatalf("Explain for agreement: %q", fb.Explain())
+	}
+	if fb.Sample(10, r) != nil {
+		t.Fatal("Sample should return nil with nothing flagged")
+	}
+}
+
+func TestMedianThresholdHeuristic(t *testing.T) {
+	r := rng.New(3)
+	d := twoFeatureData(2000, r)
+	fb, err := Compute(disagreeCommittee(), d, Config{Bins: 30, Classes: []int{1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fb.Threshold <= 0 {
+		t.Fatalf("median threshold = %v", fb.Threshold)
+	}
+	// With a localized disagreement, the median std is below the peak, so
+	// something must be flagged.
+	if len(fb.Flagged()) == 0 {
+		t.Fatal("median heuristic flagged nothing despite disagreement")
+	}
+}
+
+func TestThresholdMonotonicity(t *testing.T) {
+	// Higher thresholds must flag smaller (or equal) total region width —
+	// the paper's "Setting the threshold" discussion.
+	r := rng.New(4)
+	d := twoFeatureData(2000, r)
+	width := func(th float64) float64 {
+		fb, err := Compute(disagreeCommittee(), d, Config{Bins: 40, Threshold: th, Classes: []int{1}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		total := 0.0
+		for _, fa := range fb.Flagged() {
+			for _, iv := range fa.Intervals {
+				total += iv.Width()
+			}
+		}
+		return total
+	}
+	w1, w2, w3 := width(0.01), width(0.05), width(0.2)
+	if !(w1 >= w2 && w2 >= w3) {
+		t.Fatalf("region width not monotone in threshold: %v %v %v", w1, w2, w3)
+	}
+}
+
+func TestSubspacesMatchIntervals(t *testing.T) {
+	r := rng.New(5)
+	d := twoFeatureData(2000, r)
+	fb, err := Compute(disagreeCommittee(), d, Config{Bins: 40, Threshold: 0.05, Classes: []int{1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	boxes := fb.Subspaces()
+	if len(boxes) == 0 {
+		t.Fatal("no subspaces")
+	}
+	for _, b := range boxes {
+		if len(b.Constraints) != 2 {
+			t.Fatalf("box has %d constraints, want 2", len(b.Constraints))
+		}
+		mid := []float64{0, 0.5}
+		mid[b.Feature] = (b.Interval.Lo + b.Interval.Hi) / 2
+		if !b.Contains(mid) {
+			t.Fatalf("box does not contain its interval midpoint")
+		}
+		outside := []float64{0, 0.5}
+		outside[b.Feature] = b.Interval.Hi + 1
+		if b.Contains(outside) {
+			t.Fatal("box contains point beyond its interval")
+		}
+	}
+}
+
+func TestSampleRespectsRegions(t *testing.T) {
+	r := rng.New(6)
+	d := twoFeatureData(2000, r)
+	fb, err := Compute(disagreeCommittee(), d, Config{Bins: 40, Threshold: 0.05, Classes: []int{1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := fb.Sample(200, r)
+	if len(pts) != 200 {
+		t.Fatalf("Sample returned %d points", len(pts))
+	}
+	boxes := fb.Subspaces()
+	for _, x := range pts {
+		inAny := false
+		for _, b := range boxes {
+			if b.Contains(x) {
+				inAny = true
+				break
+			}
+		}
+		if !inAny {
+			t.Fatalf("sampled point %v outside all flagged regions", x)
+		}
+		// Non-flagged features must respect the schema range.
+		if x[1] < 0 || x[1] > 1 {
+			t.Fatalf("free feature out of range: %v", x)
+		}
+	}
+}
+
+func TestSampleRoundsIntegerFeatures(t *testing.T) {
+	schema := &data.Schema{
+		Features: []data.Feature{
+			{Name: "port", Min: 0, Max: 65535, Integer: true},
+			{Name: "bytes", Min: 0, Max: 1e6},
+		},
+		Classes: []string{"a", "b"},
+	}
+	d := data.New(schema)
+	r := rng.New(7)
+	for i := 0; i < 1500; i++ {
+		d.Append([]float64{float64(r.Intn(65536)), r.Uniform(0, 1e6)}, r.Intn(2))
+	}
+	committee := []ml.Classifier{
+		&stepModel{feature: 0, cut: 20000, lo: 0.2, hi: 0.8},
+		&stepModel{feature: 0, cut: 40000, lo: 0.2, hi: 0.8},
+	}
+	fb, err := Compute(committee, d, Config{Bins: 30, Threshold: 0.05, Classes: []int{1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range fb.Sample(50, r) {
+		if x[0] != float64(int(x[0])) {
+			t.Fatalf("integer feature sampled non-integer %v", x[0])
+		}
+	}
+}
+
+func TestFilterPool(t *testing.T) {
+	r := rng.New(8)
+	d := twoFeatureData(2000, r)
+	fb, err := Compute(disagreeCommittee(), d, Config{Bins: 40, Threshold: 0.05, Classes: []int{1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := twoFeatureData(500, r)
+	idx := fb.FilterPool(pool)
+	if len(idx) == 0 {
+		t.Fatal("pool intersection empty")
+	}
+	boxes := fb.Subspaces()
+	inRegion := map[int]bool{}
+	for i, row := range pool.X {
+		for _, b := range boxes {
+			if b.Contains(row) {
+				inRegion[i] = true
+				break
+			}
+		}
+	}
+	if len(idx) != len(inRegion) {
+		t.Fatalf("FilterPool returned %d rows, expected %d", len(idx), len(inRegion))
+	}
+	for _, i := range idx {
+		if !inRegion[i] {
+			t.Fatalf("row %d not in any region", i)
+		}
+	}
+}
+
+func TestExplainMentionsRegions(t *testing.T) {
+	r := rng.New(9)
+	d := twoFeatureData(2000, r)
+	fb, err := Compute(disagreeCommittee(), d, Config{Bins: 40, Threshold: 0.05, Classes: []int{1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := fb.Explain()
+	for _, want := range []string{"link_rate", "disagree", "Collect", "loss"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("Explain missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestExplainOneSidedNotation(t *testing.T) {
+	// Committee disagreeing at the low end should produce "x <= ..".
+	r := rng.New(10)
+	d := twoFeatureData(3000, r)
+	committee := []ml.Classifier{
+		&stepModel{feature: 0, cut: 0.02, lo: 0.2, hi: 0.8},
+		&stepModel{feature: 0, cut: 0.12, lo: 0.2, hi: 0.8},
+	}
+	fb, err := Compute(committee, d, Config{Bins: 20, Threshold: 0.05, Classes: []int{1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if text := fb.Explain(); !strings.Contains(text, "x <= ") {
+		t.Fatalf("low-end disagreement not rendered one-sided:\n%s", text)
+	}
+}
+
+func TestComputeErrors(t *testing.T) {
+	r := rng.New(11)
+	d := twoFeatureData(100, r)
+	if _, err := Compute(nil, d, Config{}); err != ErrNoCommittee {
+		t.Fatalf("want ErrNoCommittee, got %v", err)
+	}
+	empty := data.New(d.Schema)
+	if _, err := Compute(disagreeCommittee(), empty, Config{}); err == nil {
+		t.Fatal("empty dataset should error")
+	}
+}
+
+func TestComputeSkipsConstantFeatures(t *testing.T) {
+	schema := &data.Schema{
+		Features: []data.Feature{
+			{Name: "varies", Min: 0, Max: 1},
+			{Name: "constant", Min: 0, Max: 1},
+		},
+		Classes: []string{"a", "b"},
+	}
+	d := data.New(schema)
+	r := rng.New(12)
+	for i := 0; i < 1000; i++ {
+		d.Append([]float64{r.Float64(), 0.5}, r.Intn(2))
+	}
+	committee := []ml.Classifier{
+		&stepModel{feature: 0, cut: 0.4, lo: 0.2, hi: 0.8},
+		&stepModel{feature: 0, cut: 0.6, lo: 0.2, hi: 0.8},
+	}
+	fb, err := Compute(committee, d, Config{Bins: 20, Threshold: 0.05, Classes: []int{1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fb.Analyses) != 1 {
+		t.Fatalf("analyses = %d, want 1 (constant feature skipped)", len(fb.Analyses))
+	}
+}
+
+func TestExtractIntervals(t *testing.T) {
+	grid := []float64{0, 1, 2, 3, 4, 5}
+	cases := []struct {
+		std  []float64
+		want int
+	}{
+		{[]float64{0, 0, 0, 0, 0, 0}, 0},
+		{[]float64{1, 1, 0, 0, 1, 1}, 2},
+		{[]float64{0, 1, 0, 1, 0, 1}, 3},
+		{[]float64{1, 1, 1, 1, 1, 1}, 1},
+	}
+	for _, c := range cases {
+		got := extractIntervals(grid, c.std, 0.5, -10, 10)
+		if len(got) != c.want {
+			t.Fatalf("std=%v: %d intervals, want %d (%v)", c.std, len(got), c.want, got)
+		}
+	}
+	// Boundary runs extend to the feature range.
+	ivs := extractIntervals(grid, []float64{1, 1, 0, 0, 0, 0}, 0.5, -10, 10)
+	if ivs[0].Lo != -10 {
+		t.Fatalf("boundary run lo = %v, want -10", ivs[0].Lo)
+	}
+	ivs = extractIntervals(grid, []float64{0, 0, 0, 0, 1, 1}, 0.5, -10, 10)
+	if ivs[0].Hi != 10 {
+		t.Fatalf("boundary run hi = %v, want 10", ivs[0].Hi)
+	}
+}
+
+func TestQuickIntervalInvariants(t *testing.T) {
+	r := rng.New(13)
+	f := func(seed uint16) bool {
+		rr := rng.New(uint64(seed))
+		n := 5 + rr.Intn(30)
+		grid := make([]float64, n)
+		std := make([]float64, n)
+		for i := range grid {
+			grid[i] = float64(i)
+			std[i] = rr.Float64()
+		}
+		ivs := extractIntervals(grid, std, 0.5, -1, float64(n))
+		prevHi := -2.0
+		for _, iv := range ivs {
+			if iv.Lo > iv.Hi {
+				return false
+			}
+			if iv.Lo <= prevHi {
+				return false // intervals must be disjoint and ordered
+			}
+			prevHi = iv.Hi
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+	_ = r
+}
+
+func TestSuggestWithOracle(t *testing.T) {
+	r := rng.New(14)
+	d := twoFeatureData(2000, r)
+	oracle := OracleFunc(func(x []float64) int {
+		if x[0] > 0.5 {
+			return 1
+		}
+		return 0
+	})
+	add, fb, err := Suggest(disagreeCommittee(), d, Config{Bins: 40, Threshold: 0.05, Classes: []int{1}}, 50, oracle, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if add.Len() != 50 {
+		t.Fatalf("Suggest returned %d rows", add.Len())
+	}
+	if len(fb.Flagged()) == 0 {
+		t.Fatal("no flagged features")
+	}
+	for i, x := range add.X {
+		if want := oracle.Label(x); add.Y[i] != want {
+			t.Fatalf("row %d label %d, want %d", i, add.Y[i], want)
+		}
+	}
+}
+
+func TestSuggestFromPoolBounded(t *testing.T) {
+	r := rng.New(15)
+	d := twoFeatureData(2000, r)
+	pool := twoFeatureData(1000, r)
+	add, _, err := SuggestFromPool(disagreeCommittee(), d, pool, Config{Bins: 40, Threshold: 0.05, Classes: []int{1}}, 30, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if add.Len() > 30 {
+		t.Fatalf("pool suggestion returned %d rows, cap 30", add.Len())
+	}
+	if add.Len() == 0 {
+		t.Fatal("pool suggestion empty")
+	}
+}
+
+func TestCrossCommitteeDistinctSeeds(t *testing.T) {
+	r := rng.New(16)
+	schema := &data.Schema{
+		Features: []data.Feature{
+			{Name: "x0", Min: -8, Max: 8},
+			{Name: "x1", Min: -8, Max: 8},
+		},
+		Classes: []string{"A", "B"},
+	}
+	train := data.New(schema)
+	for i := 0; i < 150; i++ {
+		c := i % 2
+		cx := -3.0
+		if c == 1 {
+			cx = 3
+		}
+		train.Append([]float64{r.Normal(cx, 1), r.Normal(cx, 1)}, c)
+	}
+	committee, ensembles, err := CrossCommittee(train, automl.Config{MaxCandidates: 6, Generations: 1, EnsembleSize: 3, Seed: 5}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(committee) != 3 || len(ensembles) != 3 {
+		t.Fatalf("committee %d ensembles %d", len(committee), len(ensembles))
+	}
+	// Committee members must be usable classifiers.
+	for _, m := range committee {
+		if p := m.PredictProba([]float64{0, 0}); len(p) != 2 {
+			t.Fatal("committee member proba wrong length")
+		}
+	}
+}
+
+func TestFeedbackWithRealEnsemble(t *testing.T) {
+	// End-to-end within-ALE on a problem with a known confusing region:
+	// labels are random in x0 ∈ [0.4, 0.6], deterministic elsewhere.
+	r := rng.New(17)
+	schema := &data.Schema{
+		Features: []data.Feature{
+			{Name: "x0", Min: 0, Max: 1},
+			{Name: "x1", Min: 0, Max: 1},
+		},
+		Classes: []string{"no", "yes"},
+	}
+	train := data.New(schema)
+	for i := 0; i < 400; i++ {
+		x0, x1 := r.Float64(), r.Float64()
+		var y int
+		switch {
+		case x0 < 0.4:
+			y = 0
+		case x0 > 0.6:
+			y = 1
+		default:
+			y = r.Intn(2)
+		}
+		train.Append([]float64{x0, x1}, y)
+	}
+	ens, err := automl.Run(train, automl.Config{MaxCandidates: 8, Generations: 1, EnsembleSize: 5, Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fb, err := Compute(WithinCommittee(ens), train, Config{Bins: 24, Classes: []int{1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fb.Analyses) != 2 {
+		t.Fatalf("analyses = %d", len(fb.Analyses))
+	}
+	// The committee must be diverse enough for the median heuristic to
+	// produce a usable (positive) threshold.
+	if fb.Threshold <= 0 {
+		t.Fatalf("median threshold = %v; committee too homogeneous (%d members)", fb.Threshold, len(ens.Members))
+	}
+}
+
+var _ ml.Classifier = (*stepModel)(nil)

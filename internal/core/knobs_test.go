@@ -1,0 +1,161 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/netml/alefb/internal/data"
+	"github.com/netml/alefb/internal/ml"
+	"github.com/netml/alefb/internal/rng"
+)
+
+func TestPerFeatureThresholds(t *testing.T) {
+	r := rng.New(1)
+	d := twoFeatureData(3000, r)
+	committee := []ml.Classifier{
+		&stepBoth{cut: 0.45},
+		&stepBoth{cut: 0.55},
+	}
+	// With a global threshold both features flag; raising feature 1's
+	// threshold to an unreachable level must unflag only feature 1.
+	fb, err := Compute(committee, d, Config{Bins: 30, Threshold: 0.08, Classes: []int{1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fb.Flagged()) != 2 {
+		t.Fatalf("baseline flagged %d features, want 2", len(fb.Flagged()))
+	}
+	fb, err = Compute(committee, d, Config{
+		Bins: 30, Threshold: 0.08, Classes: []int{1},
+		FeatureThresholds: map[int]float64{1: 10},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	flagged := fb.Flagged()
+	if len(flagged) != 1 || flagged[0].Feature != 0 {
+		t.Fatalf("per-feature threshold did not unflag feature 1: %+v", flagged)
+	}
+	// The per-feature threshold must be recorded and rendered.
+	for _, fa := range fb.Analyses {
+		switch fa.Feature {
+		case 0:
+			if fa.Threshold != 0.08 {
+				t.Fatalf("feature 0 threshold %v", fa.Threshold)
+			}
+		case 1:
+			if fa.Threshold != 10 {
+				t.Fatalf("feature 1 threshold %v", fa.Threshold)
+			}
+		}
+	}
+	if !strings.Contains(fb.Explain(), "T=0.08") {
+		t.Fatalf("Explain missing per-feature threshold:\n%s", fb.Explain())
+	}
+}
+
+// stepBoth steps on both features at the same cut.
+type stepBoth struct{ cut float64 }
+
+func (s *stepBoth) Name() string                           { return "stepboth" }
+func (s *stepBoth) Fit(d *data.Dataset, r *rng.Rand) error { return nil }
+func (s *stepBoth) PredictProba(x []float64) []float64 {
+	p := 0.2
+	if x[0] > s.cut {
+		p += 0.3
+	}
+	if x[1] > s.cut {
+		p += 0.3
+	}
+	return []float64{1 - p, p}
+}
+
+func TestPrioritiesSteerSampling(t *testing.T) {
+	r := rng.New(2)
+	d := twoFeatureData(3000, r)
+	committee := []ml.Classifier{
+		&stepBoth{cut: 0.45},
+		&stepBoth{cut: 0.55},
+	}
+	// De-prioritize feature 0 entirely: every suggestion must target
+	// feature 1's flagged interval (feature 0 becomes a free variable,
+	// uniform over its range).
+	fb, err := Compute(committee, d, Config{
+		Bins: 30, Threshold: 0.08, Classes: []int{1},
+		Priorities: map[int]float64{0: 0, 1: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fb.Flagged()) != 2 {
+		t.Skipf("expected both features flagged, got %d", len(fb.Flagged()))
+	}
+	var f1Intervals []Interval
+	for _, fa := range fb.Analyses {
+		if fa.Feature == 1 {
+			f1Intervals = fa.Intervals
+		}
+	}
+	pts := fb.Sample(300, r)
+	if len(pts) != 300 {
+		t.Fatalf("sampled %d", len(pts))
+	}
+	inF1 := 0
+	for _, x := range pts {
+		for _, iv := range f1Intervals {
+			if iv.Contains(x[1]) {
+				inF1++
+				break
+			}
+		}
+	}
+	// All samples should have feature 1 inside its flagged intervals;
+	// feature 0 free means many samples fall outside feature 0's narrow
+	// flagged band.
+	if inF1 != 300 {
+		t.Fatalf("only %d/300 samples target feature 1's regions", inF1)
+	}
+	outF0 := 0
+	for _, x := range pts {
+		if x[0] < 0.35 || x[0] > 0.65 {
+			outF0++
+		}
+	}
+	if outF0 == 0 {
+		t.Fatal("feature 0 never sampled outside its band; priorities ignored")
+	}
+}
+
+func TestAllZeroPrioritiesSampleNothing(t *testing.T) {
+	r := rng.New(3)
+	d := twoFeatureData(2000, r)
+	fb, err := Compute(disagreeCommittee(), d, Config{
+		Bins: 30, Threshold: 0.1, Classes: []int{1},
+		Priorities: map[int]float64{0: 0, 1: 0},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := fb.Sample(10, r); got != nil {
+		t.Fatalf("zero priorities sampled %d points", len(got))
+	}
+}
+
+func TestNegativePrioritiesTreatedAsZero(t *testing.T) {
+	r := rng.New(4)
+	d := twoFeatureData(2000, r)
+	fb, err := Compute(disagreeCommittee(), d, Config{
+		Bins: 30, Threshold: 0.1, Classes: []int{1},
+		Priorities: map[int]float64{0: -5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Feature 0 is the only flagged one and its priority is negative:
+	// nothing to sample.
+	if got := fb.Sample(10, r); got != nil {
+		t.Fatalf("negative priority sampled %d points", len(got))
+	}
+}
+
+var _ ml.Classifier = (*stepBoth)(nil)

@@ -1,0 +1,128 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/netml/alefb/internal/automl"
+	"github.com/netml/alefb/internal/data"
+	"github.com/netml/alefb/internal/rng"
+)
+
+// LoopConfig drives an iterative feedback campaign: the paper evaluates a
+// single suggest-label-retrain round; in practice an operator repeats the
+// cycle until the committee stops disagreeing or the labelling budget runs
+// out. RunLoop implements that protocol.
+type LoopConfig struct {
+	// Rounds is the maximum number of feedback cycles (default 3).
+	Rounds int
+	// PerRound is the number of points suggested and labelled per cycle.
+	PerRound int
+	// AutoML is the search budget for each cycle's (re)training.
+	AutoML automl.Config
+	// Feedback configures the disagreement analysis.
+	Feedback Config
+	// Oracle labels the suggested points.
+	Oracle Oracle
+	// StopStd ends the campaign early once the largest committee
+	// disagreement falls below this value; 0 disables early stopping.
+	StopStd float64
+	// Seed drives sampling.
+	Seed uint64
+}
+
+// LoopRound records one cycle of the campaign.
+type LoopRound struct {
+	// Round counts from 1.
+	Round int
+	// Ensemble is the model trained at the start of the round.
+	Ensemble *automl.Ensemble
+	// Feedback is the disagreement analysis of that ensemble.
+	Feedback *Feedback
+	// Added is the number of points labelled and appended this round.
+	Added int
+	// TrainSize is the training-set size the ensemble saw.
+	TrainSize int
+	// PeakStd is the largest per-feature committee disagreement.
+	PeakStd float64
+}
+
+// LoopResult is the campaign outcome.
+type LoopResult struct {
+	Rounds []LoopRound
+	// Final is the ensemble trained on all accumulated data.
+	Final *automl.Ensemble
+	// Train is the augmented training set after all rounds.
+	Train *data.Dataset
+	// Converged reports whether StopStd ended the campaign early.
+	Converged bool
+}
+
+// RunLoop runs up to cfg.Rounds suggest-label-retrain cycles of Within
+// feedback, accumulating the suggested points into the training set.
+func RunLoop(train *data.Dataset, cfg LoopConfig) (*LoopResult, error) {
+	if cfg.Oracle == nil {
+		return nil, errors.New("core: RunLoop needs an oracle")
+	}
+	if cfg.Rounds <= 0 {
+		cfg.Rounds = 3
+	}
+	if cfg.PerRound <= 0 {
+		return nil, errors.New("core: RunLoop needs PerRound > 0")
+	}
+	r := rng.New(cfg.Seed ^ 0x100b)
+	cur := train.Clone()
+	res := &LoopResult{}
+
+	for round := 1; round <= cfg.Rounds; round++ {
+		mlCfg := cfg.AutoML
+		mlCfg.Seed = cfg.AutoML.Seed + uint64(round)*131
+		ens, err := automl.Run(cur, mlCfg)
+		if err != nil {
+			return nil, fmt.Errorf("core: loop round %d: %w", round, err)
+		}
+		fb, err := Compute(WithinCommittee(ens), cur, cfg.Feedback)
+		if err != nil {
+			return nil, fmt.Errorf("core: loop round %d feedback: %w", round, err)
+		}
+		peak := 0.0
+		for _, fa := range fb.Analyses {
+			if fa.PeakStd > peak {
+				peak = fa.PeakStd
+			}
+		}
+		lr := LoopRound{
+			Round:     round,
+			Ensemble:  ens,
+			Feedback:  fb,
+			TrainSize: cur.Len(),
+			PeakStd:   peak,
+		}
+		res.Final = ens
+		if cfg.StopStd > 0 && peak < cfg.StopStd {
+			res.Rounds = append(res.Rounds, lr)
+			res.Converged = true
+			break
+		}
+		pts := fb.Sample(cfg.PerRound, r)
+		for _, x := range pts {
+			cur.Append(x, cfg.Oracle.Label(x))
+		}
+		lr.Added = len(pts)
+		res.Rounds = append(res.Rounds, lr)
+		if len(pts) == 0 {
+			res.Converged = true
+			break
+		}
+	}
+	// Final refit on everything collected.
+	mlCfg := cfg.AutoML
+	mlCfg.Seed = cfg.AutoML.Seed + 997
+	final, err := automl.Run(cur, mlCfg)
+	if err != nil {
+		return nil, fmt.Errorf("core: loop final fit: %w", err)
+	}
+	res.Final = final
+	res.Train = cur
+	return res, nil
+}

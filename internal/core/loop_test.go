@@ -1,0 +1,145 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/netml/alefb/internal/automl"
+	"github.com/netml/alefb/internal/data"
+	"github.com/netml/alefb/internal/metrics"
+	"github.com/netml/alefb/internal/ml"
+	"github.com/netml/alefb/internal/rng"
+)
+
+// loopProblem builds the confusable-band dataset plus its oracle.
+func loopProblem(n int, seed uint64) (*data.Dataset, Oracle) {
+	schema := &data.Schema{
+		Features: []data.Feature{
+			{Name: "x0", Min: 0, Max: 1},
+			{Name: "x1", Min: 0, Max: 1},
+		},
+		Classes: []string{"no", "yes"},
+	}
+	oracle := OracleFunc(func(x []float64) int {
+		if x[0] > 0.5 {
+			return 1
+		}
+		return 0
+	})
+	r := rng.New(seed)
+	d := data.New(schema)
+	for i := 0; i < n; i++ {
+		x0, x1 := r.Float64(), r.Float64()
+		var y int
+		switch {
+		case x0 < 0.4:
+			y = 0
+		case x0 > 0.6:
+			y = 1
+		default:
+			y = r.Intn(2)
+		}
+		d.Append([]float64{x0, x1}, y)
+	}
+	return d, oracle
+}
+
+func loopAutoML(seed uint64) automl.Config {
+	return automl.Config{MaxCandidates: 5, Generations: 1, EnsembleSize: 4, Seed: seed}
+}
+
+func TestRunLoopAccumulates(t *testing.T) {
+	train, oracle := loopProblem(250, 1)
+	res, err := RunLoop(train, LoopConfig{
+		Rounds:   3,
+		PerRound: 40,
+		AutoML:   loopAutoML(7),
+		Feedback: Config{Bins: 16, Classes: []int{1}},
+		Oracle:   oracle,
+		Seed:     9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rounds) == 0 || len(res.Rounds) > 3 {
+		t.Fatalf("rounds = %d", len(res.Rounds))
+	}
+	if res.Final == nil || res.Train == nil {
+		t.Fatal("incomplete result")
+	}
+	// The training set must have grown by the added counts.
+	added := 0
+	for _, lr := range res.Rounds {
+		added += lr.Added
+		if lr.TrainSize < train.Len() {
+			t.Fatalf("round %d saw %d rows < initial %d", lr.Round, lr.TrainSize, train.Len())
+		}
+	}
+	if res.Train.Len() != train.Len()+added {
+		t.Fatalf("final train %d != %d + %d", res.Train.Len(), train.Len(), added)
+	}
+	// The original dataset must be untouched.
+	if train.Len() != 250 {
+		t.Fatal("RunLoop mutated the input dataset")
+	}
+}
+
+func TestRunLoopImprovesAccuracy(t *testing.T) {
+	train, oracle := loopProblem(250, 2)
+	res, err := RunLoop(train, LoopConfig{
+		Rounds:   2,
+		PerRound: 60,
+		AutoML:   loopAutoML(11),
+		Feedback: Config{Bins: 16, Classes: []int{1}},
+		Oracle:   oracle,
+		Seed:     13,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Evaluate first-round vs final ensembles on clean data.
+	test := data.New(train.Schema)
+	r := rng.New(3)
+	for i := 0; i < 800; i++ {
+		x := []float64{r.Float64(), r.Float64()}
+		test.Append(x, oracle.Label(x))
+	}
+	first := metrics.BalancedAccuracy(2, test.Y, res.Rounds[0].Ensemble.Predict(test.X))
+	final := metrics.BalancedAccuracy(2, test.Y, res.Final.Predict(test.X))
+	if final < first-0.03 {
+		t.Fatalf("loop degraded accuracy: %.3f -> %.3f", first, final)
+	}
+}
+
+func TestRunLoopEarlyStop(t *testing.T) {
+	train, oracle := loopProblem(250, 4)
+	res, err := RunLoop(train, LoopConfig{
+		Rounds:   5,
+		PerRound: 20,
+		AutoML:   loopAutoML(15),
+		Feedback: Config{Bins: 16, Classes: []int{1}},
+		Oracle:   oracle,
+		StopStd:  10, // absurdly high: stops immediately
+		Seed:     17,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("loop did not converge with StopStd=10")
+	}
+	if len(res.Rounds) != 1 || res.Rounds[0].Added != 0 {
+		t.Fatalf("early stop shape wrong: %+v", res.Rounds)
+	}
+}
+
+func TestRunLoopValidation(t *testing.T) {
+	train, oracle := loopProblem(50, 5)
+	if _, err := RunLoop(train, LoopConfig{PerRound: 10}); err == nil {
+		t.Fatal("missing oracle accepted")
+	}
+	if _, err := RunLoop(train, LoopConfig{Oracle: oracle}); err == nil {
+		t.Fatal("missing PerRound accepted")
+	}
+}
+
+var _ ml.Classifier = (*automl.Ensemble)(nil)

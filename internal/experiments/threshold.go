@@ -1,0 +1,125 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"github.com/netml/alefb/internal/core"
+	"github.com/netml/alefb/internal/data"
+	"github.com/netml/alefb/internal/rng"
+	"github.com/netml/alefb/internal/screamset"
+	"github.com/netml/alefb/internal/stats"
+)
+
+// ThresholdPoint is one row of the threshold sweep (§4.2 "Setting the
+// threshold"): how the flagged subspace shrinks as T grows.
+type ThresholdPoint struct {
+	// Quantile of the std distribution T was set to (0.5 = the paper's
+	// median heuristic).
+	Quantile float64
+	// Threshold is the resulting T.
+	Threshold float64
+	// FlaggedFeatures counts features with at least one region.
+	FlaggedFeatures int
+	// RegionFraction is the flagged width summed over features, divided
+	// by the total feature-range width (a size measure of the sampling
+	// area the user is given).
+	RegionFraction float64
+	// PoolHits is the number of candidate-pool points inside the regions.
+	PoolHits int
+}
+
+// ThresholdResult is the sweep outcome.
+type ThresholdResult struct {
+	Points []ThresholdPoint
+	// MedianThreshold is the T the paper's heuristic picks.
+	MedianThreshold float64
+}
+
+// RunThresholdSweep quantifies the paper's threshold discussion on the
+// Scream problem: lower thresholds yield larger feature subspaces (better
+// when the sampling budget is high), higher thresholds concentrate on the
+// most contested regions (better when it is low).
+func RunThresholdSweep(cfg ScreamConfig, progress io.Writer) (*ThresholdResult, error) {
+	gen := screamOracle(cfg)
+	r := rng.New(cfg.Seed + 17)
+	train := gen.GenerateProduction(cfg.TrainN, r.Split())
+	poolPts := make([][]float64, 0, cfg.PoolN)
+	schema := screamset.Schema()
+	for i := 0; i < cfg.PoolN; i++ {
+		poolPts = append(poolPts, screamset.SampleCondition(r))
+	}
+	pool := data.New(schema)
+	for _, x := range poolPts {
+		pool.Append(x, 0)
+	}
+	if progress != nil {
+		fmt.Fprintf(progress, "threshold sweep: training AutoML on %d rows\n", train.Len())
+	}
+	ens, err := runAutoML(train, cfg.AutoML, cfg.Seed+17)
+	if err != nil {
+		return nil, err
+	}
+	committee := core.WithinCommittee(ens)
+
+	// First pass with the median heuristic to learn the std distribution.
+	fb0, err := core.Compute(committee, train, core.Config{Bins: cfg.Bins, Classes: []int{screamset.LabelScream}})
+	if err != nil {
+		return nil, err
+	}
+	var allStds []float64
+	for _, fa := range fb0.Analyses {
+		allStds = append(allStds, fa.Std...)
+	}
+
+	res := &ThresholdResult{MedianThreshold: fb0.Threshold}
+	for _, q := range []float64{0.1, 0.25, 0.5, 0.75, 0.9, 0.95} {
+		th := stats.Quantile(allStds, q)
+		if th <= 0 {
+			th = 1e-12
+		}
+		fb, err := core.Compute(committee, train, core.Config{
+			Bins:      cfg.Bins,
+			Threshold: th,
+			Classes:   []int{screamset.LabelScream},
+		})
+		if err != nil {
+			return nil, err
+		}
+		pt := ThresholdPoint{Quantile: q, Threshold: th}
+		totalWidth, flaggedWidth := 0.0, 0.0
+		for _, fa := range fb.Analyses {
+			f := schema.Features[fa.Feature]
+			totalWidth += f.Max - f.Min
+			for _, iv := range fa.Intervals {
+				flaggedWidth += iv.Width()
+			}
+			if fa.Flagged() {
+				pt.FlaggedFeatures++
+			}
+		}
+		if totalWidth > 0 {
+			pt.RegionFraction = flaggedWidth / totalWidth
+		}
+		pt.PoolHits = len(fb.FilterPool(pool))
+		res.Points = append(res.Points, pt)
+		if progress != nil {
+			fmt.Fprintf(progress, "threshold q=%.2f T=%.4g: %d features, %.1f%% of space, %d pool hits\n",
+				q, th, pt.FlaggedFeatures, pt.RegionFraction*100, pt.PoolHits)
+		}
+	}
+	return res, nil
+}
+
+// String renders the sweep as a table.
+func (t *ThresholdResult) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Threshold sweep (median heuristic T=%.4g)\n", t.MedianThreshold)
+	fmt.Fprintf(&sb, "%-10s %-12s %-10s %-14s %s\n", "quantile", "T", "features", "space share", "pool hits")
+	for _, p := range t.Points {
+		fmt.Fprintf(&sb, "%-10.2f %-12.4g %-10d %-14.3f %d\n",
+			p.Quantile, p.Threshold, p.FlaggedFeatures, p.RegionFraction, p.PoolHits)
+	}
+	return sb.String()
+}

@@ -1,0 +1,206 @@
+package firewall
+
+import (
+	"math"
+	"testing"
+
+	"github.com/netml/alefb/internal/automl"
+	"github.com/netml/alefb/internal/metrics"
+	"github.com/netml/alefb/internal/rng"
+)
+
+func TestSchemaMatchesUCIShape(t *testing.T) {
+	s := Schema()
+	if s.NumFeatures() != 11 {
+		t.Fatalf("features = %d, want 11", s.NumFeatures())
+	}
+	if s.NumClasses() != 4 {
+		t.Fatalf("classes = %d, want 4", s.NumClasses())
+	}
+	if s.Classes[ActionAllow] != "allow" || s.Classes[ActionResetBoth] != "reset-both" {
+		t.Fatalf("class names wrong: %v", s.Classes)
+	}
+}
+
+func TestGenerateShapeAndRanges(t *testing.T) {
+	r := rng.New(1)
+	d := Generate(2000, r)
+	if d.Len() != 2000 {
+		t.Fatalf("len = %d", d.Len())
+	}
+	s := Schema()
+	for i, row := range d.X {
+		for j, f := range s.Features {
+			if row[j] < f.Min || row[j] > f.Max {
+				t.Fatalf("row %d feature %s = %v outside [%v,%v]", i, f.Name, row[j], f.Min, f.Max)
+			}
+			if f.Integer && row[j] != math.Round(row[j]) {
+				t.Fatalf("row %d feature %s not integral: %v", i, f.Name, row[j])
+			}
+		}
+	}
+}
+
+func TestClassDistributionRealistic(t *testing.T) {
+	r := rng.New(2)
+	d := Generate(20000, r)
+	counts := d.ClassCounts()
+	frac := func(c int) float64 { return float64(counts[c]) / float64(d.Len()) }
+	if frac(ActionAllow) < 0.4 || frac(ActionAllow) > 0.7 {
+		t.Fatalf("allow fraction %.3f outside [0.4,0.7]", frac(ActionAllow))
+	}
+	if frac(ActionDeny) < 0.1 || frac(ActionDeny) > 0.3 {
+		t.Fatalf("deny fraction %.3f", frac(ActionDeny))
+	}
+	if frac(ActionDrop) < 0.1 || frac(ActionDrop) > 0.35 {
+		t.Fatalf("drop fraction %.3f", frac(ActionDrop))
+	}
+	if counts[ActionResetBoth] == 0 {
+		t.Fatal("reset-both absent")
+	}
+	if frac(ActionResetBoth) > 0.05 {
+		t.Fatalf("reset-both fraction %.3f too common", frac(ActionResetBoth))
+	}
+}
+
+func TestAccountingConsistency(t *testing.T) {
+	r := rng.New(3)
+	d := Generate(5000, r)
+	for i, row := range d.X {
+		if row[FeatBytes] != row[FeatBytesSent]+row[FeatBytesReceived] {
+			t.Fatalf("row %d: bytes %v != sent %v + received %v", i,
+				row[FeatBytes], row[FeatBytesSent], row[FeatBytesReceived])
+		}
+		if row[FeatPackets] != row[FeatPktsSent]+row[FeatPktsReceived] {
+			t.Fatalf("row %d: packets inconsistent", i)
+		}
+	}
+}
+
+func TestDeniedSessionsLackNAT(t *testing.T) {
+	r := rng.New(4)
+	d := Generate(5000, r)
+	for i, row := range d.X {
+		if d.Y[i] == ActionDeny || d.Y[i] == ActionDrop {
+			if row[FeatNATSrcPort] != 0 || row[FeatNATDstPort] != 0 {
+				t.Fatalf("blocked row %d has NAT ports %v/%v", i, row[FeatNATSrcPort], row[FeatNATDstPort])
+			}
+		}
+	}
+}
+
+func TestAllowedSessionsMostlyNATted(t *testing.T) {
+	r := rng.New(5)
+	d := Generate(5000, r)
+	natted, allowed := 0, 0
+	for i, row := range d.X {
+		if d.Y[i] != ActionAllow {
+			continue
+		}
+		allowed++
+		if row[FeatNATSrcPort] > 0 {
+			natted++
+		}
+	}
+	f := float64(natted) / float64(allowed)
+	if f < 0.8 || f == 1 {
+		t.Fatalf("NAT fraction among allowed = %.3f, want high but < 1 (imperfect logging)", f)
+	}
+}
+
+func TestPort443IsAmbiguous(t *testing.T) {
+	// The planted Figure-2b phenomenon: traffic to 443-445 must contain a
+	// real mixture of allow and drop — not separable by port alone.
+	r := rng.New(6)
+	d := Generate(30000, r)
+	counts := map[int]int{}
+	total := 0
+	for i, row := range d.X {
+		p := row[FeatDstPort]
+		if p >= 443 && p <= 445 {
+			counts[d.Y[i]]++
+			total++
+		}
+	}
+	if total < 1000 {
+		t.Fatalf("too little 443-445 traffic: %d", total)
+	}
+	fAllow := float64(counts[ActionAllow]) / float64(total)
+	fDrop := float64(counts[ActionDrop]) / float64(total)
+	if fAllow < 0.15 || fDrop < 0.15 {
+		t.Fatalf("443-445 not ambiguous: allow=%.2f drop=%.2f", fAllow, fDrop)
+	}
+}
+
+func TestLowSourcePortsWeaklyInformative(t *testing.T) {
+	// Low (spoofed) source ports should skew toward drop, but not
+	// deterministically — that weak signal is Figure 2a's story.
+	r := rng.New(7)
+	d := Generate(30000, r)
+	lowDrop, lowTotal := 0, 0
+	dropTotal := 0
+	for i, row := range d.X {
+		if d.Y[i] == ActionDrop {
+			dropTotal++
+		}
+		if row[FeatSrcPort] < 1024 {
+			lowTotal++
+			if d.Y[i] == ActionDrop {
+				lowDrop++
+			}
+		}
+	}
+	if lowTotal == 0 {
+		t.Fatal("no low source ports generated")
+	}
+	baseRate := float64(dropTotal) / float64(d.Len())
+	lowRate := float64(lowDrop) / float64(lowTotal)
+	if lowRate <= baseRate {
+		t.Fatalf("low source ports not skewed toward drop: %.2f vs base %.2f", lowRate, baseRate)
+	}
+	if lowRate > 0.99 {
+		t.Fatalf("low source ports deterministic (%.3f): signal should be noisy", lowRate)
+	}
+}
+
+func TestDatasetIsLearnable(t *testing.T) {
+	// An AutoML ensemble must beat the majority-class baseline clearly —
+	// otherwise the UCL reproduction is meaningless.
+	r := rng.New(8)
+	d := Generate(4000, r)
+	train, test := d.StratifiedSplit(0.7, r)
+	ens, err := automl.Run(train, automl.Config{MaxCandidates: 8, Generations: 1, EnsembleSize: 5, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred := ens.Predict(test.X)
+	ba := metrics.BalancedAccuracy(4, test.Y, pred)
+	if ba < 0.6 {
+		t.Fatalf("balanced accuracy %.3f — dataset not learnable", ba)
+	}
+	if ba >= 0.999 {
+		t.Fatalf("balanced accuracy %.3f — dataset trivially separable, ambiguity missing", ba)
+	}
+}
+
+func TestDeterministicGeneration(t *testing.T) {
+	a := Generate(100, rng.New(9))
+	b := Generate(100, rng.New(9))
+	for i := range a.X {
+		if a.Y[i] != b.Y[i] {
+			t.Fatal("same seed, different labels")
+		}
+		for j := range a.X[i] {
+			if a.X[i][j] != b.X[i][j] {
+				t.Fatal("same seed, different rows")
+			}
+		}
+	}
+}
+
+func TestInterestingFeatures(t *testing.T) {
+	s, d := InterestingFeatures()
+	if s != FeatSrcPort || d != FeatDstPort {
+		t.Fatal("InterestingFeatures wrong")
+	}
+}

@@ -1,0 +1,328 @@
+// Package interpret implements model-agnostic interpretation methods:
+// first-order Accumulated Local Effects (ALE, Apley & Zhu) — the method the
+// paper's feedback solution is built on — and Partial Dependence (PDP) as a
+// comparison point for ablations.
+//
+// The package's central object is the committee computation: every model
+// of an AutoML ensemble is evaluated on a *shared* per-feature grid so the
+// cross-model standard deviation of the interpretation is well defined at
+// each grid point. That standard deviation is the paper's measure of model
+// disagreement (§3 step 4).
+package interpret
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"github.com/netml/alefb/internal/data"
+	"github.com/netml/alefb/internal/ml"
+	"github.com/netml/alefb/internal/rng"
+	"github.com/netml/alefb/internal/stats"
+)
+
+// Options configures an interpretation computation.
+type Options struct {
+	// Bins is the number of quantile bins (default 32).
+	Bins int
+	// Class selects the predicted-probability output explained.
+	Class int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Bins <= 0 {
+		o.Bins = 32
+	}
+	if o.Class < 0 {
+		o.Class = 0
+	}
+	return o
+}
+
+// Curve is one model's interpretation of one feature: Values[i] is the
+// effect at Grid[i]. For ALE, values are centred so their weighted mean
+// over the data distribution is zero.
+type Curve struct {
+	Feature int
+	Grid    []float64
+	Values  []float64
+}
+
+// ErrConstantFeature is returned when a feature takes a single value in
+// the background data, making local effects undefined.
+var ErrConstantFeature = errors.New("interpret: feature is constant in the background data")
+
+// quantileGrid returns deduplicated quantile edges z_0..z_K for feature j.
+func quantileGrid(d *data.Dataset, feature, bins int) ([]float64, error) {
+	col := d.Column(feature)
+	sort.Float64s(col)
+	if col[0] == col[len(col)-1] {
+		return nil, fmt.Errorf("%w: feature %d", ErrConstantFeature, feature)
+	}
+	edges := make([]float64, 0, bins+1)
+	for i := 0; i <= bins; i++ {
+		q := float64(i) / float64(bins)
+		pos := q * float64(len(col)-1)
+		lo := int(pos)
+		hi := lo
+		if lo+1 < len(col) {
+			hi = lo + 1
+		}
+		frac := pos - float64(lo)
+		v := col[lo]*(1-frac) + col[hi]*frac
+		if len(edges) == 0 || v > edges[len(edges)-1] {
+			edges = append(edges, v)
+		}
+	}
+	if len(edges) < 2 {
+		return nil, fmt.Errorf("%w: feature %d", ErrConstantFeature, feature)
+	}
+	return edges, nil
+}
+
+// binIndex returns the bin (1..K) of value v for edges z_0..z_K, where bin
+// k covers (z_{k-1}, z_k] and values at or below z_0 land in bin 1.
+func binIndex(edges []float64, v float64) int {
+	k := sort.SearchFloat64s(edges, v) // first index with edges[i] >= v
+	if k == 0 {
+		return 1
+	}
+	if k >= len(edges) {
+		return len(edges) - 1
+	}
+	return k
+}
+
+// aleOnGrid computes the first-order ALE curve for one model on a fixed
+// grid of bin edges.
+func aleOnGrid(model ml.Classifier, d *data.Dataset, feature int, edges []float64, class int) Curve {
+	K := len(edges) - 1
+	sumDelta := make([]float64, K+1) // index k: effects of bin k (1-based)
+	counts := make([]float64, K+1)
+
+	// Buffer row reused across predictions.
+	buf := make([]float64, d.Schema.NumFeatures())
+	for i, row := range d.X {
+		k := binIndex(edges, row[feature])
+		copy(buf, row)
+		buf[feature] = edges[k]
+		hi := model.PredictProba(buf)[class]
+		buf[feature] = edges[k-1]
+		lo := model.PredictProba(buf)[class]
+		sumDelta[k] += hi - lo
+		counts[k]++
+		_ = i
+	}
+
+	values := make([]float64, K+1)
+	acc := 0.0
+	for k := 1; k <= K; k++ {
+		if counts[k] > 0 {
+			acc += sumDelta[k] / counts[k]
+		}
+		values[k] = acc
+	}
+	// Centre: subtract the data-weighted mean of the accumulated curve.
+	// Each data point in bin k sits between values[k-1] and values[k]; the
+	// standard estimator uses the bin-average of the two edge values.
+	totalW, mean := 0.0, 0.0
+	for k := 1; k <= K; k++ {
+		w := counts[k]
+		if w == 0 {
+			continue
+		}
+		mean += w * (values[k-1] + values[k]) / 2
+		totalW += w
+	}
+	if totalW > 0 {
+		mean /= totalW
+		for k := range values {
+			values[k] -= mean
+		}
+	}
+	return Curve{Feature: feature, Grid: edges, Values: values}
+}
+
+// ALE computes the first-order accumulated local effects of feature on the
+// model's predicted probability of opt.Class, using quantile bins over d.
+func ALE(model ml.Classifier, d *data.Dataset, feature int, opt Options) (Curve, error) {
+	opt = opt.withDefaults()
+	if d.Len() == 0 {
+		return Curve{}, errors.New("interpret: empty background dataset")
+	}
+	edges, err := quantileGrid(d, feature, opt.Bins)
+	if err != nil {
+		return Curve{}, err
+	}
+	return aleOnGrid(model, d, feature, edges, opt.Class), nil
+}
+
+// PDP computes the partial-dependence curve of feature on the model's
+// predicted probability of opt.Class on the same quantile grid ALE uses.
+func PDP(model ml.Classifier, d *data.Dataset, feature int, opt Options) (Curve, error) {
+	opt = opt.withDefaults()
+	if d.Len() == 0 {
+		return Curve{}, errors.New("interpret: empty background dataset")
+	}
+	edges, err := quantileGrid(d, feature, opt.Bins)
+	if err != nil {
+		return Curve{}, err
+	}
+	values := make([]float64, len(edges))
+	buf := make([]float64, d.Schema.NumFeatures())
+	for gi, z := range edges {
+		sum := 0.0
+		for _, row := range d.X {
+			copy(buf, row)
+			buf[feature] = z
+			sum += model.PredictProba(buf)[opt.Class]
+		}
+		values[gi] = sum / float64(d.Len())
+	}
+	return Curve{Feature: feature, Grid: edges, Values: values}, nil
+}
+
+// Method selects the interpretation algorithm for committee computations.
+type Method int
+
+const (
+	// MethodALE uses accumulated local effects (the paper's choice).
+	MethodALE Method = iota
+	// MethodPDP uses partial dependence (ablation comparison).
+	MethodPDP
+)
+
+// String names the method.
+func (m Method) String() string {
+	if m == MethodPDP {
+		return "PDP"
+	}
+	return "ALE"
+}
+
+// CommitteeCurve aggregates the interpretation of one feature across all
+// models of a committee, on a shared grid.
+type CommitteeCurve struct {
+	Feature int
+	Grid    []float64
+	// PerModel[m][i] is model m's effect at Grid[i].
+	PerModel [][]float64
+	// Mean[i] and Std[i] are the cross-model mean and population standard
+	// deviation at Grid[i]. Std is the paper's disagreement signal.
+	Mean, Std []float64
+}
+
+// Committee computes the shared-grid interpretation of one feature for
+// every model and aggregates mean and cross-model standard deviation.
+func Committee(models []ml.Classifier, d *data.Dataset, feature int, method Method, opt Options) (CommitteeCurve, error) {
+	opt = opt.withDefaults()
+	if len(models) == 0 {
+		return CommitteeCurve{}, errors.New("interpret: empty committee")
+	}
+	if d.Len() == 0 {
+		return CommitteeCurve{}, errors.New("interpret: empty background dataset")
+	}
+	edges, err := quantileGrid(d, feature, opt.Bins)
+	if err != nil {
+		return CommitteeCurve{}, err
+	}
+	cc := CommitteeCurve{Feature: feature, Grid: edges}
+	for _, m := range models {
+		var c Curve
+		switch method {
+		case MethodPDP:
+			values := make([]float64, len(edges))
+			buf := make([]float64, d.Schema.NumFeatures())
+			for gi, z := range edges {
+				sum := 0.0
+				for _, row := range d.X {
+					copy(buf, row)
+					buf[feature] = z
+					sum += m.PredictProba(buf)[opt.Class]
+				}
+				values[gi] = sum / float64(d.Len())
+			}
+			c = Curve{Feature: feature, Grid: edges, Values: values}
+		default:
+			c = aleOnGrid(m, d, feature, edges, opt.Class)
+		}
+		cc.PerModel = append(cc.PerModel, c.Values)
+	}
+	n := len(edges)
+	cc.Mean = make([]float64, n)
+	cc.Std = make([]float64, n)
+	col := make([]float64, len(models))
+	for i := 0; i < n; i++ {
+		for m := range cc.PerModel {
+			col[m] = cc.PerModel[m][i]
+		}
+		cc.Mean[i] = stats.Mean(col)
+		cc.Std[i] = stats.PopStdDev(col)
+	}
+	return cc, nil
+}
+
+// MaxStd returns the largest cross-model standard deviation on the curve.
+func (c *CommitteeCurve) MaxStd() float64 {
+	best := 0.0
+	for _, s := range c.Std {
+		if s > best {
+			best = s
+		}
+	}
+	return best
+}
+
+// PermutationImportance measures each feature's importance to the model as
+// the drop in accuracy when that feature's column is randomly permuted
+// [Breiman 2001]. It complements ALE in explanations: ALE says *how* a
+// feature influences predictions, importance says *how much* the model
+// relies on it. Returns one value per feature (larger = more important;
+// values can be slightly negative for irrelevant features).
+func PermutationImportance(model ml.Classifier, d *data.Dataset, repeats int, r *rng.Rand) ([]float64, error) {
+	if d.Len() == 0 {
+		return nil, errors.New("interpret: empty dataset")
+	}
+	if repeats <= 0 {
+		repeats = 3
+	}
+	baseline := accuracyOf(model, d.X, d.Y)
+	nf := d.Schema.NumFeatures()
+	out := make([]float64, nf)
+	buf := make([][]float64, d.Len())
+	for i, row := range d.X {
+		buf[i] = append([]float64(nil), row...)
+	}
+	for j := 0; j < nf; j++ {
+		drop := 0.0
+		for rep := 0; rep < repeats; rep++ {
+			perm := r.Perm(d.Len())
+			for i := range buf {
+				buf[i][j] = d.X[perm[i]][j]
+			}
+			drop += baseline - accuracyOf(model, buf, d.Y)
+		}
+		for i := range buf {
+			buf[i][j] = d.X[i][j] // restore the column
+		}
+		out[j] = drop / float64(repeats)
+	}
+	return out, nil
+}
+
+func accuracyOf(model ml.Classifier, X [][]float64, y []int) float64 {
+	correct := 0
+	for i, x := range X {
+		p := model.PredictProba(x)
+		best, bestV := 0, p[0]
+		for c := 1; c < len(p); c++ {
+			if p[c] > bestV {
+				best, bestV = c, p[c]
+			}
+		}
+		if best == y[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(X))
+}

@@ -1,0 +1,202 @@
+package interpret
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/netml/alefb/internal/data"
+	"github.com/netml/alefb/internal/ml"
+	"github.com/netml/alefb/internal/stats"
+)
+
+// Surface is a second-order (interaction) ALE: Values[i][j] is the pure
+// interaction effect of (feature1=GridX[i], feature2=GridY[j]) on the
+// predicted probability, with both main effects removed. A surface that is
+// ~0 everywhere means the two features do not interact in the model —
+// the paper's "identifying confounding variables" future-work direction
+// builds on exactly this quantity.
+type Surface struct {
+	Feature1, Feature2 int
+	GridX, GridY       []float64
+	Values             [][]float64
+}
+
+// MaxAbs returns the largest absolute interaction effect on the surface.
+func (s *Surface) MaxAbs() float64 {
+	best := 0.0
+	for _, row := range s.Values {
+		for _, v := range row {
+			if v < 0 {
+				v = -v
+			}
+			if v > best {
+				best = v
+			}
+		}
+	}
+	return best
+}
+
+// ALE2D computes the second-order accumulated local effects of the feature
+// pair (f1, f2) following Apley & Zhu: per 2-D bin, the average
+// second-order finite difference of the prediction; accumulated over both
+// axes; centred by subtracting the accumulated first-order effects and the
+// global mean.
+func ALE2D(model ml.Classifier, d *data.Dataset, f1, f2 int, opt Options) (Surface, error) {
+	opt = opt.withDefaults()
+	if d.Len() == 0 {
+		return Surface{}, errors.New("interpret: empty background dataset")
+	}
+	if f1 == f2 {
+		return Surface{}, fmt.Errorf("interpret: ALE2D needs two distinct features, got %d twice", f1)
+	}
+	// Coarser default for the 2-D grid: cost scales with bins^2.
+	bins := opt.Bins
+	if bins > 12 {
+		bins = 12
+	}
+	gx, err := quantileGrid(d, f1, bins)
+	if err != nil {
+		return Surface{}, err
+	}
+	gy, err := quantileGrid(d, f2, bins)
+	if err != nil {
+		return Surface{}, err
+	}
+	K, L := len(gx)-1, len(gy)-1
+
+	sumDelta := make([][]float64, K+1)
+	counts := make([][]float64, K+1)
+	for i := range sumDelta {
+		sumDelta[i] = make([]float64, L+1)
+		counts[i] = make([]float64, L+1)
+	}
+	buf := make([]float64, d.Schema.NumFeatures())
+	predict := func(row []float64, x, y float64) float64 {
+		copy(buf, row)
+		buf[f1], buf[f2] = x, y
+		return model.PredictProba(buf)[opt.Class]
+	}
+	for _, row := range d.X {
+		k := binIndex(gx, row[f1])
+		l := binIndex(gy, row[f2])
+		// Second-order finite difference over the bin's four corners.
+		dd := predict(row, gx[k], gy[l]) - predict(row, gx[k-1], gy[l]) -
+			predict(row, gx[k], gy[l-1]) + predict(row, gx[k-1], gy[l-1])
+		sumDelta[k][l] += dd
+		counts[k][l]++
+	}
+
+	// Accumulate the mean local interaction over both axes.
+	acc := make([][]float64, K+1)
+	for i := range acc {
+		acc[i] = make([]float64, L+1)
+	}
+	for k := 1; k <= K; k++ {
+		for l := 1; l <= L; l++ {
+			mean := 0.0
+			if counts[k][l] > 0 {
+				mean = sumDelta[k][l] / counts[k][l]
+			}
+			acc[k][l] = mean + acc[k-1][l] + acc[k][l-1] - acc[k-1][l-1]
+		}
+	}
+
+	// Remove the accumulated first-order (main) effects: subtract the
+	// data-weighted average over each axis.
+	rowCounts := make([]float64, K+1) // per k-bin mass
+	colCounts := make([]float64, L+1)
+	total := 0.0
+	for k := 1; k <= K; k++ {
+		for l := 1; l <= L; l++ {
+			rowCounts[k] += counts[k][l]
+			colCounts[l] += counts[k][l]
+			total += counts[k][l]
+		}
+	}
+	// Main effect of f1 at k: weighted mean over l of the bin-averaged acc
+	// differences; the standard estimator averages neighbouring cells.
+	mainX := make([]float64, K+1)
+	for k := 1; k <= K; k++ {
+		num, den := 0.0, 0.0
+		for l := 1; l <= L; l++ {
+			w := counts[k][l]
+			if w == 0 {
+				continue
+			}
+			num += w * (acc[k][l] + acc[k][l-1] - acc[k-1][l] - acc[k-1][l-1]) / 2
+			den += w
+		}
+		prev := mainX[k-1]
+		if den > 0 {
+			mainX[k] = prev + num/den
+		} else {
+			mainX[k] = prev
+		}
+	}
+	mainY := make([]float64, L+1)
+	for l := 1; l <= L; l++ {
+		num, den := 0.0, 0.0
+		for k := 1; k <= K; k++ {
+			w := counts[k][l]
+			if w == 0 {
+				continue
+			}
+			num += w * (acc[k][l] + acc[k-1][l] - acc[k][l-1] - acc[k-1][l-1]) / 2
+			den += w
+		}
+		prev := mainY[l-1]
+		if den > 0 {
+			mainY[l] = prev + num/den
+		} else {
+			mainY[l] = prev
+		}
+	}
+	values := make([][]float64, K+1)
+	for k := range values {
+		values[k] = make([]float64, L+1)
+		for l := range values[k] {
+			values[k][l] = acc[k][l] - mainX[k] - mainY[l]
+		}
+	}
+	// Centre to zero data-weighted mean.
+	if total > 0 {
+		mean := 0.0
+		for k := 1; k <= K; k++ {
+			for l := 1; l <= L; l++ {
+				w := counts[k][l]
+				if w == 0 {
+					continue
+				}
+				mean += w * (values[k][l] + values[k-1][l] + values[k][l-1] + values[k-1][l-1]) / 4
+			}
+		}
+		mean /= total
+		for k := range values {
+			for l := range values[k] {
+				values[k][l] -= mean
+			}
+		}
+	}
+	return Surface{Feature1: f1, Feature2: f2, GridX: gx, GridY: gy, Values: values}, nil
+}
+
+// InteractionStrength summarizes the committee's view of a feature pair:
+// the mean of each model's maximum absolute interaction effect, plus the
+// cross-model standard deviation of that quantity. High mean = the models
+// agree the features interact; high std = the committee disagrees about
+// the interaction, a deeper form of the paper's disagreement signal.
+func InteractionStrength(models []ml.Classifier, d *data.Dataset, f1, f2 int, opt Options) (mean, std float64, err error) {
+	if len(models) == 0 {
+		return 0, 0, errors.New("interpret: empty committee")
+	}
+	maxes := make([]float64, 0, len(models))
+	for _, m := range models {
+		s, err := ALE2D(m, d, f1, f2, opt)
+		if err != nil {
+			return 0, 0, err
+		}
+		maxes = append(maxes, s.MaxAbs())
+	}
+	return stats.Mean(maxes), stats.PopStdDev(maxes), nil
+}

@@ -1,0 +1,139 @@
+package interpret
+
+import (
+	"math"
+	"testing"
+
+	"github.com/netml/alefb/internal/data"
+	"github.com/netml/alefb/internal/ml"
+	"github.com/netml/alefb/internal/rng"
+)
+
+// additiveModel has NO interaction: P(1) = clamp(0.2 + 0.3*x0 + 0.3*x1).
+type additiveModel struct{}
+
+func (a *additiveModel) Name() string                           { return "additive" }
+func (a *additiveModel) Fit(d *data.Dataset, r *rng.Rand) error { return nil }
+func (a *additiveModel) PredictProba(x []float64) []float64 {
+	p := 0.2 + 0.3*x[0] + 0.3*x[1]
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	return []float64{1 - p, p}
+}
+
+// xorModel has a PURE interaction: P(1) high iff exactly one of x0, x1 is
+// above 0.5.
+type xorModel struct{}
+
+func (x *xorModel) Name() string                           { return "xor" }
+func (x *xorModel) Fit(d *data.Dataset, r *rng.Rand) error { return nil }
+func (x *xorModel) PredictProba(v []float64) []float64 {
+	p := 0.2
+	if (v[0] > 0.5) != (v[1] > 0.5) {
+		p = 0.8
+	}
+	return []float64{1 - p, p}
+}
+
+func TestALE2DAdditiveModelIsFlat(t *testing.T) {
+	r := rng.New(1)
+	d := uniformDataset(3000, r)
+	s, err := ALE2D(&additiveModel{}, d, 0, 1, Options{Bins: 10, Class: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.MaxAbs(); got > 0.02 {
+		t.Fatalf("additive model interaction %v, want ~0", got)
+	}
+}
+
+func TestALE2DXorModelIsStrong(t *testing.T) {
+	r := rng.New(2)
+	d := uniformDataset(3000, r)
+	s, err := ALE2D(&xorModel{}, d, 0, 1, Options{Bins: 10, Class: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.MaxAbs(); got < 0.1 {
+		t.Fatalf("xor model interaction %v, want substantial", got)
+	}
+}
+
+func TestALE2DSameFeatureRejected(t *testing.T) {
+	r := rng.New(3)
+	d := uniformDataset(100, r)
+	if _, err := ALE2D(&additiveModel{}, d, 0, 0, Options{}); err == nil {
+		t.Fatal("same-feature pair accepted")
+	}
+}
+
+func TestALE2DEmptyDataset(t *testing.T) {
+	schema := &data.Schema{
+		Features: []data.Feature{{Name: "a", Min: 0, Max: 1}, {Name: "b", Min: 0, Max: 1}},
+		Classes:  []string{"x", "y"},
+	}
+	if _, err := ALE2D(&additiveModel{}, data.New(schema), 0, 1, Options{}); err == nil {
+		t.Fatal("empty dataset accepted")
+	}
+}
+
+func TestALE2DGridShape(t *testing.T) {
+	r := rng.New(4)
+	d := uniformDataset(500, r)
+	s, err := ALE2D(&xorModel{}, d, 0, 1, Options{Bins: 8, Class: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Values) != len(s.GridX) {
+		t.Fatalf("rows %d != gridX %d", len(s.Values), len(s.GridX))
+	}
+	for _, row := range s.Values {
+		if len(row) != len(s.GridY) {
+			t.Fatalf("cols %d != gridY %d", len(row), len(s.GridY))
+		}
+		for _, v := range row {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatalf("non-finite surface value %v", v)
+			}
+		}
+	}
+}
+
+func TestInteractionStrengthSeparates(t *testing.T) {
+	r := rng.New(5)
+	d := uniformDataset(2000, r)
+	meanAdd, _, err := InteractionStrength([]ml.Classifier{&additiveModel{}, &additiveModel{}}, d, 0, 1, Options{Bins: 8, Class: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	meanXor, stdXor, err := InteractionStrength([]ml.Classifier{&xorModel{}, &xorModel{}}, d, 0, 1, Options{Bins: 8, Class: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meanXor < 5*meanAdd {
+		t.Fatalf("interaction strengths not separated: xor=%v additive=%v", meanXor, meanAdd)
+	}
+	if stdXor > 1e-9 {
+		t.Fatalf("identical models disagree: std=%v", stdXor)
+	}
+	// A mixed committee (one of each) must disagree about the interaction.
+	_, stdMixed, err := InteractionStrength([]ml.Classifier{&xorModel{}, &additiveModel{}}, d, 0, 1, Options{Bins: 8, Class: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stdMixed <= 0 {
+		t.Fatal("mixed committee shows zero interaction disagreement")
+	}
+}
+
+func TestInteractionStrengthEmptyCommittee(t *testing.T) {
+	r := rng.New(6)
+	d := uniformDataset(100, r)
+	if _, _, err := InteractionStrength(nil, d, 0, 1, Options{}); err == nil {
+		t.Fatal("empty committee accepted")
+	}
+}

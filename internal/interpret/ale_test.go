@@ -1,0 +1,347 @@
+package interpret
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"github.com/netml/alefb/internal/data"
+	"github.com/netml/alefb/internal/ml"
+	"github.com/netml/alefb/internal/rng"
+)
+
+// linearModel is a hand-built classifier with P(class 1) = clamp(a + b*x0).
+// Its analytic ALE curve is known, which lets tests verify correctness.
+type linearModel struct{ a, b float64 }
+
+func (l *linearModel) Name() string { return "linear" }
+func (l *linearModel) Fit(d *data.Dataset, r *rng.Rand) error {
+	return nil
+}
+func (l *linearModel) PredictProba(x []float64) []float64 {
+	p := l.a + l.b*x[0]
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	return []float64{1 - p, p}
+}
+
+// stepModel predicts P(class 1) = high for x0 > cut else low.
+type stepModel struct{ cut, lo, hi float64 }
+
+func (s *stepModel) Name() string                           { return "step" }
+func (s *stepModel) Fit(d *data.Dataset, r *rng.Rand) error { return nil }
+func (s *stepModel) PredictProba(x []float64) []float64 {
+	p := s.lo
+	if x[0] > s.cut {
+		p = s.hi
+	}
+	return []float64{1 - p, p}
+}
+
+func uniformDataset(n int, r *rng.Rand) *data.Dataset {
+	schema := &data.Schema{
+		Features: []data.Feature{
+			{Name: "x0", Min: 0, Max: 1},
+			{Name: "x1", Min: 0, Max: 1},
+		},
+		Classes: []string{"neg", "pos"},
+	}
+	d := data.New(schema)
+	for i := 0; i < n; i++ {
+		d.Append([]float64{r.Float64(), r.Float64()}, r.Intn(2))
+	}
+	return d
+}
+
+func TestALELinearModelSlope(t *testing.T) {
+	r := rng.New(1)
+	d := uniformDataset(2000, r)
+	m := &linearModel{a: 0.2, b: 0.5} // stays in [0.2, 0.7] over x0 in [0,1]
+	c, err := ALE(m, d, 0, Options{Bins: 20, Class: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ALE of a linear effect is linear with the same slope, centred at 0.
+	for i, z := range c.Grid {
+		want := 0.5 * (z - 0.5) // centred around the x0 mean ~0.5
+		if math.Abs(c.Values[i]-want) > 0.03 {
+			t.Fatalf("ALE at %.3f = %.4f, want ~%.4f", z, c.Values[i], want)
+		}
+	}
+}
+
+func TestALEIgnoresOtherFeatures(t *testing.T) {
+	// The model only uses x0, so ALE for x1 must be ~flat zero.
+	r := rng.New(2)
+	d := uniformDataset(1000, r)
+	m := &linearModel{a: 0.2, b: 0.5}
+	c, err := ALE(m, d, 1, Options{Bins: 16, Class: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range c.Values {
+		if math.Abs(v) > 1e-9 {
+			t.Fatalf("ALE of unused feature at grid %d = %v, want 0", i, v)
+		}
+	}
+}
+
+func TestALEStepModel(t *testing.T) {
+	r := rng.New(3)
+	d := uniformDataset(3000, r)
+	m := &stepModel{cut: 0.5, lo: 0.2, hi: 0.8}
+	c, err := ALE(m, d, 0, Options{Bins: 30, Class: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The curve should be ~-0.3 before the cut and ~+0.3 after.
+	first, last := c.Values[0], c.Values[len(c.Values)-1]
+	if math.Abs(first+0.3) > 0.05 || math.Abs(last-0.3) > 0.05 {
+		t.Fatalf("step ALE endpoints = %.3f / %.3f, want -0.3 / +0.3", first, last)
+	}
+}
+
+func TestALECentred(t *testing.T) {
+	r := rng.New(4)
+	d := uniformDataset(800, r)
+	m := &stepModel{cut: 0.3, lo: 0.1, hi: 0.9}
+	c, err := ALE(m, d, 0, Options{Bins: 24, Class: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Data-weighted mean of bin-averaged consecutive values must be ~0.
+	// Approximate with the simple mean over interior grid values; for a
+	// uniform feature it should be near zero.
+	sum := 0.0
+	for _, v := range c.Values {
+		sum += v
+	}
+	if mean := sum / float64(len(c.Values)); math.Abs(mean) > 0.05 {
+		t.Fatalf("ALE mean %v, want ~0", mean)
+	}
+}
+
+func TestALEConstantFeature(t *testing.T) {
+	schema := &data.Schema{
+		Features: []data.Feature{{Name: "x", Min: 0, Max: 1}},
+		Classes:  []string{"a", "b"},
+	}
+	d := data.New(schema)
+	for i := 0; i < 10; i++ {
+		d.Append([]float64{0.5}, i%2)
+	}
+	if _, err := ALE(&linearModel{}, d, 0, Options{}); !errors.Is(err, ErrConstantFeature) {
+		t.Fatalf("want ErrConstantFeature, got %v", err)
+	}
+}
+
+func TestALEEmptyDataset(t *testing.T) {
+	schema := &data.Schema{
+		Features: []data.Feature{{Name: "x", Min: 0, Max: 1}},
+		Classes:  []string{"a", "b"},
+	}
+	if _, err := ALE(&linearModel{}, data.New(schema), 0, Options{}); err == nil {
+		t.Fatal("empty dataset should error")
+	}
+}
+
+func TestPDPLinearModel(t *testing.T) {
+	r := rng.New(5)
+	d := uniformDataset(1000, r)
+	m := &linearModel{a: 0.2, b: 0.5}
+	c, err := PDP(m, d, 0, Options{Bins: 10, Class: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// PDP of the linear model is a + b*z exactly (x1 is unused).
+	for i, z := range c.Grid {
+		want := 0.2 + 0.5*z
+		if math.Abs(c.Values[i]-want) > 1e-9 {
+			t.Fatalf("PDP at %.3f = %.4f, want %.4f", z, c.Values[i], want)
+		}
+	}
+}
+
+func TestCommitteeAgreementGivesZeroStd(t *testing.T) {
+	r := rng.New(6)
+	d := uniformDataset(500, r)
+	models := []ml.Classifier{
+		&linearModel{a: 0.2, b: 0.5},
+		&linearModel{a: 0.2, b: 0.5},
+		&linearModel{a: 0.2, b: 0.5},
+	}
+	cc, err := Committee(models, d, 0, MethodALE, Options{Bins: 16, Class: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range cc.Std {
+		if s > 1e-12 {
+			t.Fatalf("identical models disagree at grid %d: std=%v", i, s)
+		}
+	}
+	if cc.MaxStd() > 1e-12 {
+		t.Fatalf("MaxStd = %v", cc.MaxStd())
+	}
+}
+
+func TestCommitteeDisagreementLocalized(t *testing.T) {
+	// Two step models with different cut points disagree only between the
+	// cuts; the std must peak there and be ~0 far away.
+	r := rng.New(7)
+	d := uniformDataset(4000, r)
+	models := []ml.Classifier{
+		&stepModel{cut: 0.45, lo: 0.2, hi: 0.8},
+		&stepModel{cut: 0.55, lo: 0.2, hi: 0.8},
+	}
+	cc, err := Committee(models, d, 0, MethodALE, Options{Bins: 40, Class: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var inside, outside float64
+	for i, z := range cc.Grid {
+		if z > 0.46 && z < 0.54 {
+			if cc.Std[i] > inside {
+				inside = cc.Std[i]
+			}
+		}
+		if z < 0.2 || z > 0.8 {
+			if cc.Std[i] > outside {
+				outside = cc.Std[i]
+			}
+		}
+	}
+	if inside < 3*outside || inside == 0 {
+		t.Fatalf("disagreement not localized: inside=%v outside=%v", inside, outside)
+	}
+}
+
+func TestCommitteeErrors(t *testing.T) {
+	r := rng.New(8)
+	d := uniformDataset(100, r)
+	if _, err := Committee(nil, d, 0, MethodALE, Options{}); err == nil {
+		t.Fatal("empty committee should error")
+	}
+}
+
+func TestCommitteePDPMethod(t *testing.T) {
+	r := rng.New(9)
+	d := uniformDataset(300, r)
+	models := []ml.Classifier{
+		&linearModel{a: 0.2, b: 0.5},
+		&linearModel{a: 0.3, b: 0.4},
+	}
+	cc, err := Committee(models, d, 0, MethodPDP, Options{Bins: 8, Class: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cc.PerModel) != 2 || len(cc.Mean) != len(cc.Grid) {
+		t.Fatal("PDP committee shape wrong")
+	}
+	// Models differ in intercept and slope: std should be nonzero somewhere.
+	if cc.MaxStd() == 0 {
+		t.Fatal("different models produced zero PDP std")
+	}
+}
+
+func TestBinIndexEdges(t *testing.T) {
+	edges := []float64{0, 1, 2, 3}
+	cases := []struct {
+		v    float64
+		want int
+	}{
+		{-5, 1}, {0, 1}, {0.5, 1}, {1, 1}, {1.5, 2}, {3, 3}, {99, 3},
+	}
+	for _, c := range cases {
+		if got := binIndex(edges, c.v); got != c.want {
+			t.Fatalf("binIndex(%v) = %d, want %d", c.v, got, c.want)
+		}
+	}
+}
+
+func TestQuantileGridDedup(t *testing.T) {
+	schema := &data.Schema{
+		Features: []data.Feature{{Name: "x", Min: 0, Max: 10}},
+		Classes:  []string{"a", "b"},
+	}
+	d := data.New(schema)
+	// Heavy ties: most mass at 1, a little spread elsewhere.
+	for i := 0; i < 90; i++ {
+		d.Append([]float64{1}, 0)
+	}
+	for i := 0; i < 10; i++ {
+		d.Append([]float64{float64(i)}, 1)
+	}
+	edges, err := quantileGrid(d, 0, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(edges); i++ {
+		if edges[i] <= edges[i-1] {
+			t.Fatalf("edges not strictly increasing: %v", edges)
+		}
+	}
+}
+
+func TestMethodString(t *testing.T) {
+	if MethodALE.String() != "ALE" || MethodPDP.String() != "PDP" {
+		t.Fatal("Method.String wrong")
+	}
+}
+
+func TestALEOnTrainedModel(t *testing.T) {
+	// End-to-end: a forest trained on data where class depends on x0 only
+	// should yield a monotone-ish ALE for x0 and near-flat for x1.
+	r := rng.New(10)
+	schema := &data.Schema{
+		Features: []data.Feature{
+			{Name: "x0", Min: 0, Max: 1},
+			{Name: "x1", Min: 0, Max: 1},
+		},
+		Classes: []string{"neg", "pos"},
+	}
+	d := data.New(schema)
+	for i := 0; i < 1200; i++ {
+		x0, x1 := r.Float64(), r.Float64()
+		y := 0
+		if x0 > 0.5 {
+			y = 1
+		}
+		d.Append([]float64{x0, x1}, y)
+	}
+	f := ml.NewRandomForest(20, 8)
+	if err := f.Fit(d, r); err != nil {
+		t.Fatal(err)
+	}
+	c0, err := ALE(f, d, 0, Options{Bins: 20, Class: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1, err := ALE(f, d, 1, Options{Bins: 20, Class: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	span0 := c0.Values[len(c0.Values)-1] - c0.Values[0]
+	span1 := math.Abs(c1.Values[len(c1.Values)-1] - c1.Values[0])
+	if span0 < 0.5 {
+		t.Fatalf("informative feature ALE span %v, want > 0.5", span0)
+	}
+	if span1 > span0/4 {
+		t.Fatalf("noise feature ALE span %v vs informative %v", span1, span0)
+	}
+}
+
+func BenchmarkALE(b *testing.B) {
+	r := rng.New(11)
+	d := uniformDataset(500, r)
+	m := &stepModel{cut: 0.5, lo: 0.2, hi: 0.8}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ALE(m, d, 0, Options{Bins: 32, Class: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

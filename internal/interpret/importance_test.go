@@ -1,0 +1,71 @@
+package interpret
+
+import (
+	"testing"
+
+	"github.com/netml/alefb/internal/ml"
+	"github.com/netml/alefb/internal/rng"
+)
+
+func TestPermutationImportanceRanksFeatures(t *testing.T) {
+	// A forest trained on data where only x0 matters should assign much
+	// higher importance to x0 than to x1.
+	r := rng.New(1)
+	d := uniformDataset(800, r)
+	for i := range d.X {
+		d.Y[i] = 0
+		if d.X[i][0] > 0.5 {
+			d.Y[i] = 1
+		}
+	}
+	f := ml.NewRandomForest(15, 8)
+	if err := f.Fit(d, r); err != nil {
+		t.Fatal(err)
+	}
+	imp, err := PermutationImportance(f, d, 3, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(imp) != 2 {
+		t.Fatalf("importance length %d", len(imp))
+	}
+	if imp[0] < 0.2 {
+		t.Fatalf("informative feature importance %v", imp[0])
+	}
+	if imp[1] > imp[0]/4 {
+		t.Fatalf("noise feature importance %v vs %v", imp[1], imp[0])
+	}
+}
+
+func TestPermutationImportanceEmptyData(t *testing.T) {
+	r := rng.New(2)
+	d := uniformDataset(0, r)
+	if _, err := PermutationImportance(&linearModel{}, d, 3, r); err == nil {
+		t.Fatal("empty dataset accepted")
+	}
+}
+
+func TestPermutationImportanceRestoresData(t *testing.T) {
+	r := rng.New(3)
+	d := uniformDataset(100, r)
+	before := make([]float64, d.Len())
+	for i := range d.X {
+		before[i] = d.X[i][0]
+	}
+	if _, err := PermutationImportance(&linearModel{a: 0.2, b: 0.5}, d, 2, r); err != nil {
+		t.Fatal(err)
+	}
+	for i := range d.X {
+		if d.X[i][0] != before[i] {
+			t.Fatal("PermutationImportance mutated the dataset")
+		}
+	}
+}
+
+func TestPermutationImportanceDefaultRepeats(t *testing.T) {
+	r := rng.New(4)
+	d := uniformDataset(50, r)
+	if _, err := PermutationImportance(&linearModel{a: 0.2, b: 0.5}, d, 0, r); err != nil {
+		t.Fatal(err)
+	}
+}

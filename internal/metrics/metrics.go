@@ -1,0 +1,210 @@
+// Package metrics implements the classification quality measures the
+// evaluation uses. The paper reports balanced accuracy everywhere "to avoid
+// biases due to label imbalance" (§4); the remaining metrics support the
+// wider test suite and the AutoML engine's internal model selection.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// ConfusionMatrix counts predictions: M[true][predicted].
+type ConfusionMatrix struct {
+	M [][]int
+}
+
+// NewConfusion builds a k-class confusion matrix from parallel label
+// slices. It panics on length mismatch and returns an error for labels
+// outside [0, k).
+func NewConfusion(k int, yTrue, yPred []int) (*ConfusionMatrix, error) {
+	if len(yTrue) != len(yPred) {
+		panic("metrics: label slices have different lengths")
+	}
+	m := make([][]int, k)
+	for i := range m {
+		m[i] = make([]int, k)
+	}
+	for i := range yTrue {
+		t, p := yTrue[i], yPred[i]
+		if t < 0 || t >= k || p < 0 || p >= k {
+			return nil, fmt.Errorf("metrics: label out of range at row %d: true=%d pred=%d k=%d", i, t, p, k)
+		}
+		m[t][p]++
+	}
+	return &ConfusionMatrix{M: m}, nil
+}
+
+// Accuracy returns the fraction of correct predictions.
+func Accuracy(yTrue, yPred []int) float64 {
+	if len(yTrue) == 0 {
+		return math.NaN()
+	}
+	correct := 0
+	for i := range yTrue {
+		if yTrue[i] == yPred[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(yTrue))
+}
+
+// BalancedAccuracy returns the unweighted mean of per-class recalls over
+// the classes that appear in yTrue. This is sklearn's balanced_accuracy and
+// the headline metric of Table 1.
+func BalancedAccuracy(k int, yTrue, yPred []int) float64 {
+	cm, err := NewConfusion(k, yTrue, yPred)
+	if err != nil || len(yTrue) == 0 {
+		return math.NaN()
+	}
+	sum, present := 0.0, 0
+	for c := 0; c < k; c++ {
+		total := 0
+		for p := 0; p < k; p++ {
+			total += cm.M[c][p]
+		}
+		if total == 0 {
+			continue
+		}
+		present++
+		sum += float64(cm.M[c][c]) / float64(total)
+	}
+	if present == 0 {
+		return math.NaN()
+	}
+	return sum / float64(present)
+}
+
+// PrecisionRecallF1 returns per-class precision, recall and F1.
+// Undefined ratios (no predicted / no true instances) are reported as 0,
+// matching sklearn's zero_division=0 behaviour.
+func PrecisionRecallF1(k int, yTrue, yPred []int) (precision, recall, f1 []float64, err error) {
+	cm, err := NewConfusion(k, yTrue, yPred)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	precision = make([]float64, k)
+	recall = make([]float64, k)
+	f1 = make([]float64, k)
+	for c := 0; c < k; c++ {
+		tp := cm.M[c][c]
+		predicted, actual := 0, 0
+		for i := 0; i < k; i++ {
+			predicted += cm.M[i][c]
+			actual += cm.M[c][i]
+		}
+		if predicted > 0 {
+			precision[c] = float64(tp) / float64(predicted)
+		}
+		if actual > 0 {
+			recall[c] = float64(tp) / float64(actual)
+		}
+		if precision[c]+recall[c] > 0 {
+			f1[c] = 2 * precision[c] * recall[c] / (precision[c] + recall[c])
+		}
+	}
+	return precision, recall, f1, nil
+}
+
+// MacroF1 returns the unweighted mean F1 over classes present in yTrue.
+func MacroF1(k int, yTrue, yPred []int) float64 {
+	_, _, f1, err := PrecisionRecallF1(k, yTrue, yPred)
+	if err != nil {
+		return math.NaN()
+	}
+	counts := make([]int, k)
+	for _, y := range yTrue {
+		counts[y]++
+	}
+	sum, present := 0.0, 0
+	for c := 0; c < k; c++ {
+		if counts[c] == 0 {
+			continue
+		}
+		present++
+		sum += f1[c]
+	}
+	if present == 0 {
+		return math.NaN()
+	}
+	return sum / float64(present)
+}
+
+// LogLoss returns the mean negative log-likelihood of the true labels
+// under predicted probability rows. Probabilities are clipped to
+// [eps, 1-eps] to keep the loss finite.
+func LogLoss(proba [][]float64, yTrue []int) float64 {
+	if len(proba) == 0 || len(proba) != len(yTrue) {
+		return math.NaN()
+	}
+	const eps = 1e-15
+	sum := 0.0
+	for i, row := range proba {
+		p := row[yTrue[i]]
+		if p < eps {
+			p = eps
+		}
+		if p > 1-eps {
+			p = 1 - eps
+		}
+		sum -= math.Log(p)
+	}
+	return sum / float64(len(proba))
+}
+
+// AUC returns the area under the ROC curve for a binary problem: scores
+// are the predicted probabilities of the positive class, yTrue the 0/1
+// labels. Ties are handled by midranks (the Mann-Whitney formulation).
+// It returns NaN if either class is absent.
+func AUC(scores []float64, yTrue []int) float64 {
+	if len(scores) != len(yTrue) || len(scores) == 0 {
+		return math.NaN()
+	}
+	type pair struct {
+		s float64
+		y int
+	}
+	ps := make([]pair, len(scores))
+	nPos, nNeg := 0, 0
+	for i := range scores {
+		ps[i] = pair{scores[i], yTrue[i]}
+		if yTrue[i] == 1 {
+			nPos++
+		} else {
+			nNeg++
+		}
+	}
+	if nPos == 0 || nNeg == 0 {
+		return math.NaN()
+	}
+	sort.Slice(ps, func(a, b int) bool { return ps[a].s < ps[b].s })
+	// Midranks over tied scores.
+	rankSumPos := 0.0
+	for i := 0; i < len(ps); {
+		j := i
+		for j < len(ps) && ps[j].s == ps[i].s {
+			j++
+		}
+		mid := float64(i+j+1) / 2
+		for k := i; k < j; k++ {
+			if ps[k].y == 1 {
+				rankSumPos += mid
+			}
+		}
+		i = j
+	}
+	u := rankSumPos - float64(nPos)*float64(nPos+1)/2
+	return u / (float64(nPos) * float64(nNeg))
+}
+
+// Argmax returns the index of the largest value in xs (first on ties).
+func Argmax(xs []float64) int {
+	best, bestV := 0, math.Inf(-1)
+	for i, v := range xs {
+		if v > bestV {
+			best, bestV = i, v
+		}
+	}
+	return best
+}

@@ -1,0 +1,190 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/netml/alefb/internal/rng"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-12 }
+
+func TestAccuracy(t *testing.T) {
+	if got := Accuracy([]int{0, 1, 1, 0}, []int{0, 1, 0, 0}); got != 0.75 {
+		t.Fatalf("Accuracy = %v", got)
+	}
+	if !math.IsNaN(Accuracy(nil, nil)) {
+		t.Fatal("empty Accuracy should be NaN")
+	}
+}
+
+func TestConfusion(t *testing.T) {
+	cm, err := NewConfusion(3, []int{0, 1, 2, 2}, []int{0, 2, 2, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cm.M[0][0] != 1 || cm.M[1][2] != 1 || cm.M[2][2] != 1 || cm.M[2][1] != 1 {
+		t.Fatalf("confusion = %v", cm.M)
+	}
+	if _, err := NewConfusion(2, []int{0, 5}, []int{0, 1}); err == nil {
+		t.Fatal("out-of-range label should error")
+	}
+}
+
+func TestBalancedAccuracyImbalance(t *testing.T) {
+	// 90 of class 0, 10 of class 1; classifier always predicts 0.
+	yTrue := make([]int, 100)
+	yPred := make([]int, 100)
+	for i := 90; i < 100; i++ {
+		yTrue[i] = 1
+	}
+	if got := Accuracy(yTrue, yPred); got != 0.9 {
+		t.Fatalf("Accuracy = %v", got)
+	}
+	if got := BalancedAccuracy(2, yTrue, yPred); got != 0.5 {
+		t.Fatalf("BalancedAccuracy = %v, want 0.5 for majority-vote classifier", got)
+	}
+}
+
+func TestBalancedAccuracySkipsAbsentClasses(t *testing.T) {
+	// k=3 declared but only classes 0 and 1 appear.
+	got := BalancedAccuracy(3, []int{0, 0, 1, 1}, []int{0, 0, 1, 0})
+	if !almost(got, 0.75) {
+		t.Fatalf("BalancedAccuracy = %v, want 0.75", got)
+	}
+}
+
+func TestBalancedAccuracyPerfect(t *testing.T) {
+	y := []int{0, 1, 2, 0, 1, 2}
+	if got := BalancedAccuracy(3, y, y); got != 1 {
+		t.Fatalf("perfect BalancedAccuracy = %v", got)
+	}
+}
+
+func TestPrecisionRecallF1(t *testing.T) {
+	yTrue := []int{0, 0, 1, 1, 1}
+	yPred := []int{0, 1, 1, 1, 0}
+	p, r, f1, err := PrecisionRecallF1(2, yTrue, yPred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(p[1], 2.0/3.0) || !almost(r[1], 2.0/3.0) || !almost(f1[1], 2.0/3.0) {
+		t.Fatalf("class1 p=%v r=%v f1=%v", p[1], r[1], f1[1])
+	}
+	if !almost(p[0], 0.5) || !almost(r[0], 0.5) {
+		t.Fatalf("class0 p=%v r=%v", p[0], r[0])
+	}
+}
+
+func TestPrecisionZeroDivision(t *testing.T) {
+	// Class 1 never predicted and never true: everything should be 0, not NaN.
+	p, r, f1, err := PrecisionRecallF1(2, []int{0, 0}, []int{0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p[1] != 0 || r[1] != 0 || f1[1] != 0 {
+		t.Fatalf("absent class: p=%v r=%v f1=%v", p[1], r[1], f1[1])
+	}
+}
+
+func TestMacroF1(t *testing.T) {
+	yTrue := []int{0, 0, 1, 1}
+	yPred := []int{0, 0, 1, 1}
+	if got := MacroF1(2, yTrue, yPred); got != 1 {
+		t.Fatalf("MacroF1 perfect = %v", got)
+	}
+}
+
+func TestLogLoss(t *testing.T) {
+	proba := [][]float64{{0.9, 0.1}, {0.2, 0.8}}
+	want := -(math.Log(0.9) + math.Log(0.8)) / 2
+	if got := LogLoss(proba, []int{0, 1}); !almost(got, want) {
+		t.Fatalf("LogLoss = %v, want %v", got, want)
+	}
+	// Zero probability must not produce +Inf.
+	if got := LogLoss([][]float64{{0, 1}}, []int{0}); math.IsInf(got, 0) {
+		t.Fatal("LogLoss with zero probability should be clipped")
+	}
+}
+
+func TestArgmax(t *testing.T) {
+	if got := Argmax([]float64{0.1, 0.7, 0.2}); got != 1 {
+		t.Fatalf("Argmax = %d", got)
+	}
+	if got := Argmax([]float64{0.5, 0.5}); got != 0 {
+		t.Fatalf("Argmax tie = %d, want first index", got)
+	}
+}
+
+func TestQuickBalancedAccuracyBounds(t *testing.T) {
+	r := rng.New(1)
+	f := func(n uint8) bool {
+		m := int(n%50) + 1
+		yTrue := make([]int, m)
+		yPred := make([]int, m)
+		for i := 0; i < m; i++ {
+			yTrue[i] = r.Intn(3)
+			yPred[i] = r.Intn(3)
+		}
+		ba := BalancedAccuracy(3, yTrue, yPred)
+		return ba >= 0 && ba <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickAccuracyMatchesBalancedOnBalancedData(t *testing.T) {
+	// With equal class counts and a symmetric error pattern, plain accuracy
+	// equals balanced accuracy for a perfect classifier.
+	f := func(n uint8) bool {
+		m := int(n%20)*2 + 2
+		yTrue := make([]int, m)
+		for i := range yTrue {
+			yTrue[i] = i % 2
+		}
+		return almost(Accuracy(yTrue, yTrue), BalancedAccuracy(2, yTrue, yTrue))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAUCPerfectAndRandom(t *testing.T) {
+	// Perfectly separating scores.
+	scores := []float64{0.1, 0.2, 0.8, 0.9}
+	yTrue := []int{0, 0, 1, 1}
+	if got := AUC(scores, yTrue); got != 1 {
+		t.Fatalf("perfect AUC = %v", got)
+	}
+	// Perfectly wrong.
+	if got := AUC(scores, []int{1, 1, 0, 0}); got != 0 {
+		t.Fatalf("inverted AUC = %v", got)
+	}
+	// All ties: AUC 0.5.
+	if got := AUC([]float64{0.5, 0.5, 0.5, 0.5}, yTrue); got != 0.5 {
+		t.Fatalf("tied AUC = %v", got)
+	}
+}
+
+func TestAUCKnownValue(t *testing.T) {
+	// scores: pos {0.9, 0.4}, neg {0.5, 0.1}: pairs (0.9>0.5, 0.9>0.1,
+	// 0.4<0.5, 0.4>0.1) -> 3/4.
+	got := AUC([]float64{0.9, 0.4, 0.5, 0.1}, []int{1, 1, 0, 0})
+	if math.Abs(got-0.75) > 1e-12 {
+		t.Fatalf("AUC = %v, want 0.75", got)
+	}
+}
+
+func TestAUCDegenerate(t *testing.T) {
+	if !math.IsNaN(AUC([]float64{0.5}, []int{1})) {
+		t.Fatal("single-class AUC should be NaN")
+	}
+	if !math.IsNaN(AUC(nil, nil)) {
+		t.Fatal("empty AUC should be NaN")
+	}
+	if !math.IsNaN(AUC([]float64{1, 2}, []int{0})) {
+		t.Fatal("mismatched lengths should be NaN")
+	}
+}

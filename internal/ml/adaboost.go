@@ -1,0 +1,151 @@
+package ml
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/netml/alefb/internal/data"
+	"github.com/netml/alefb/internal/rng"
+)
+
+// AdaBoostConfig configures the SAMME multi-class AdaBoost classifier.
+type AdaBoostConfig struct {
+	// Rounds is the number of boosting rounds (default 50).
+	Rounds int
+	// MaxDepth of each weak-learner tree (default 2: decision stumps are
+	// depth 1; slightly deeper trees handle multi-class splits better).
+	MaxDepth int
+	// LearningRate shrinks each round's vote (default 1.0).
+	LearningRate float64
+}
+
+func (c AdaBoostConfig) withDefaults() AdaBoostConfig {
+	if c.Rounds <= 0 {
+		c.Rounds = 50
+	}
+	if c.MaxDepth <= 0 {
+		c.MaxDepth = 2
+	}
+	if c.LearningRate <= 0 {
+		c.LearningRate = 1
+	}
+	return c
+}
+
+// AdaBoost is the SAMME variant of multi-class AdaBoost [Zhu et al. 2009]:
+// weighted weak trees are combined by staged votes; a round's vote weight
+// is log((1-err)/err) + log(K-1). Misclassified rows gain sample weight so
+// later rounds focus on them.
+type AdaBoost struct {
+	Config AdaBoostConfig
+
+	classes int
+	trees   []*Tree
+	alphas  []float64
+}
+
+// NewAdaBoost returns a SAMME AdaBoost classifier.
+func NewAdaBoost(cfg AdaBoostConfig) *AdaBoost { return &AdaBoost{Config: cfg.withDefaults()} }
+
+// Name implements Classifier.
+func (a *AdaBoost) Name() string {
+	return fmt.Sprintf("adaboost(rounds=%d,depth=%d)", a.Config.Rounds, a.Config.MaxDepth)
+}
+
+// Fit implements Classifier.
+func (a *AdaBoost) Fit(d *data.Dataset, r *rng.Rand) error {
+	if d.Len() == 0 {
+		return ErrEmptyDataset
+	}
+	cfg := a.Config
+	n := d.Len()
+	k := d.Schema.NumClasses()
+	a.classes = k
+	a.trees = a.trees[:0]
+	a.alphas = a.alphas[:0]
+
+	weights := make([]float64, n)
+	for i := range weights {
+		weights[i] = 1 / float64(n)
+	}
+	// Weak learners are trained on weighted resamples (weight-aware tree
+	// fitting via resampling keeps the tree code unchanged and is the
+	// standard randomized approximation).
+	for round := 0; round < cfg.Rounds; round++ {
+		idx := make([]int, n)
+		for i := range idx {
+			idx[i] = r.Weighted(weights)
+		}
+		sample := d.Subset(idx)
+		tree := NewTree(TreeConfig{MaxDepth: cfg.MaxDepth, MinSamplesLeaf: 1})
+		if err := tree.Fit(sample, r); err != nil {
+			return fmt.Errorf("ml: adaboost round %d: %w", round, err)
+		}
+		// Weighted training error of this weak learner.
+		errSum := 0.0
+		pred := make([]int, n)
+		for i, row := range d.X {
+			pred[i] = PredictOne(tree, row)
+			if pred[i] != d.Y[i] {
+				errSum += weights[i]
+			}
+		}
+		if errSum >= 1-1/float64(k) {
+			// Worse than chance: skip this round (resampling will differ
+			// next time).
+			continue
+		}
+		if errSum < 1e-10 {
+			// Perfect weak learner: give it a large but finite vote and
+			// stop — additional rounds cannot improve.
+			a.trees = append(a.trees, tree)
+			a.alphas = append(a.alphas, cfg.LearningRate*10)
+			break
+		}
+		alpha := cfg.LearningRate * (math.Log((1-errSum)/errSum) + math.Log(float64(k-1)))
+		a.trees = append(a.trees, tree)
+		a.alphas = append(a.alphas, alpha)
+		// Reweight and renormalize.
+		total := 0.0
+		for i := range weights {
+			if pred[i] != d.Y[i] {
+				weights[i] *= math.Exp(alpha)
+			}
+			total += weights[i]
+		}
+		for i := range weights {
+			weights[i] /= total
+		}
+	}
+	if len(a.trees) == 0 {
+		// Degenerate data (e.g. one class): fall back to a single tree.
+		tree := NewTree(TreeConfig{MaxDepth: cfg.MaxDepth})
+		if err := tree.Fit(d, r); err != nil {
+			return err
+		}
+		a.trees = append(a.trees, tree)
+		a.alphas = append(a.alphas, 1)
+	}
+	return nil
+}
+
+// PredictProba implements Classifier: softmax over the staged votes.
+func (a *AdaBoost) PredictProba(x []float64) []float64 {
+	votes := make([]float64, a.classes)
+	for t, tree := range a.trees {
+		votes[PredictOne(tree, x)] += a.alphas[t]
+	}
+	// Scale votes into a temperatured softmax so probabilities are smooth.
+	total := 0.0
+	for _, v := range votes {
+		total += v
+	}
+	if total > 0 {
+		for i := range votes {
+			votes[i] = 3 * votes[i] / total
+		}
+	}
+	out := make([]float64, a.classes)
+	softmaxInto(votes, out)
+	return out
+}

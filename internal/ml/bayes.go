@@ -1,0 +1,285 @@
+package ml
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/netml/alefb/internal/data"
+	"github.com/netml/alefb/internal/rng"
+)
+
+// GaussianNB is a Gaussian naive Bayes classifier: each feature is modelled
+// as an independent normal per class. It is the model family the paper's
+// domain-customization straw-man (encoding independence priors) speaks to;
+// see internal/priors for that extension.
+type GaussianNB struct {
+	// VarSmoothing is added to every variance for numerical stability,
+	// as a fraction of the largest feature variance (default 1e-9).
+	VarSmoothing float64
+
+	logPrior [][]float64 // singleton per class: log prior
+	mean     [][]float64 // [class][feature]
+	variance [][]float64 // [class][feature]
+	classes  int
+}
+
+// NewGaussianNB returns a Gaussian naive Bayes classifier.
+func NewGaussianNB() *GaussianNB { return &GaussianNB{VarSmoothing: 1e-9} }
+
+// Name implements Classifier.
+func (g *GaussianNB) Name() string { return "gnb" }
+
+// Fit implements Classifier.
+func (g *GaussianNB) Fit(d *data.Dataset, r *rng.Rand) error {
+	if d.Len() == 0 {
+		return ErrEmptyDataset
+	}
+	_ = r
+	k := d.Schema.NumClasses()
+	nf := d.Schema.NumFeatures()
+	g.classes = k
+	counts := make([]float64, k)
+	g.mean = make([][]float64, k)
+	g.variance = make([][]float64, k)
+	for c := 0; c < k; c++ {
+		g.mean[c] = make([]float64, nf)
+		g.variance[c] = make([]float64, nf)
+	}
+	for i, row := range d.X {
+		c := d.Y[i]
+		counts[c]++
+		for j, v := range row {
+			g.mean[c][j] += v
+		}
+	}
+	for c := 0; c < k; c++ {
+		if counts[c] == 0 {
+			continue
+		}
+		for j := range g.mean[c] {
+			g.mean[c][j] /= counts[c]
+		}
+	}
+	for i, row := range d.X {
+		c := d.Y[i]
+		for j, v := range row {
+			dlt := v - g.mean[c][j]
+			g.variance[c][j] += dlt * dlt
+		}
+	}
+	// Global smoothing floor proportional to the largest feature variance.
+	maxVar := 0.0
+	for c := 0; c < k; c++ {
+		if counts[c] == 0 {
+			continue
+		}
+		for j := range g.variance[c] {
+			g.variance[c][j] /= counts[c]
+			if g.variance[c][j] > maxVar {
+				maxVar = g.variance[c][j]
+			}
+		}
+	}
+	eps := g.VarSmoothing * maxVar
+	if eps <= 0 {
+		eps = 1e-12
+	}
+	for c := 0; c < k; c++ {
+		for j := range g.variance[c] {
+			g.variance[c][j] += eps
+			if g.variance[c][j] <= 0 {
+				g.variance[c][j] = eps
+			}
+		}
+	}
+	// Laplace-smoothed class priors keep absent classes representable.
+	g.logPrior = [][]float64{make([]float64, k)}
+	total := float64(d.Len()) + float64(k)
+	for c := 0; c < k; c++ {
+		g.logPrior[0][c] = math.Log((counts[c] + 1) / total)
+	}
+	return nil
+}
+
+// PredictProba implements Classifier.
+func (g *GaussianNB) PredictProba(x []float64) []float64 {
+	k := g.classes
+	logP := make([]float64, k)
+	for c := 0; c < k; c++ {
+		lp := g.logPrior[0][c]
+		for j, v := range x {
+			variance := g.variance[c][j]
+			dlt := v - g.mean[c][j]
+			lp += -0.5*math.Log(2*math.Pi*variance) - dlt*dlt/(2*variance)
+		}
+		logP[c] = lp
+	}
+	out := make([]float64, k)
+	softmaxInto(logP, out)
+	return out
+}
+
+// Mean returns the fitted per-class feature means (for priors extension).
+func (g *GaussianNB) Mean() [][]float64 { return g.mean }
+
+// Variance returns the fitted per-class feature variances.
+func (g *GaussianNB) Variance() [][]float64 { return g.variance }
+
+// MLPConfig configures a one-hidden-layer perceptron.
+type MLPConfig struct {
+	// Hidden is the hidden layer width (default 16).
+	Hidden int
+	// Epochs of SGD (default 100).
+	Epochs int
+	// LearningRate (default 0.05).
+	LearningRate float64
+	// L2 weight decay (default 1e-4).
+	L2 float64
+}
+
+func (c MLPConfig) withDefaults() MLPConfig {
+	if c.Hidden <= 0 {
+		c.Hidden = 16
+	}
+	if c.Epochs <= 0 {
+		c.Epochs = 100
+	}
+	if c.LearningRate <= 0 {
+		c.LearningRate = 0.05
+	}
+	if c.L2 <= 0 {
+		c.L2 = 1e-4
+	}
+	return c
+}
+
+// MLP is a small fully-connected network with one ReLU hidden layer and a
+// softmax output, trained with plain SGD. It adds a non-linear, non-tree
+// member to the AutoML search space, increasing committee diversity.
+type MLP struct {
+	Config MLPConfig
+
+	w1 [][]float64 // [hidden][in]
+	b1 []float64
+	w2 [][]float64 // [out][hidden]
+	b2 []float64
+}
+
+// NewMLP returns an MLP classifier.
+func NewMLP(cfg MLPConfig) *MLP { return &MLP{Config: cfg.withDefaults()} }
+
+// Name implements Classifier.
+func (m *MLP) Name() string {
+	return fmt.Sprintf("mlp(hidden=%d,lr=%g)", m.Config.Hidden, m.Config.LearningRate)
+}
+
+// Fit implements Classifier.
+func (m *MLP) Fit(d *data.Dataset, r *rng.Rand) error {
+	if d.Len() == 0 {
+		return ErrEmptyDataset
+	}
+	cfg := m.Config
+	in := d.Schema.NumFeatures()
+	out := d.Schema.NumClasses()
+	h := cfg.Hidden
+
+	initLayer := func(rows, cols int, scale float64) [][]float64 {
+		w := make([][]float64, rows)
+		for i := range w {
+			w[i] = make([]float64, cols)
+			for j := range w[i] {
+				w[i][j] = r.Normal(0, scale)
+			}
+		}
+		return w
+	}
+	m.w1 = initLayer(h, in, math.Sqrt(2/float64(in)))
+	m.b1 = make([]float64, h)
+	m.w2 = initLayer(out, h, math.Sqrt(2/float64(h)))
+	m.b2 = make([]float64, out)
+
+	hidden := make([]float64, h)
+	scores := make([]float64, out)
+	proba := make([]float64, out)
+	dHidden := make([]float64, h)
+	n := d.Len()
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		step := cfg.LearningRate / (1 + 0.01*float64(epoch))
+		for _, i := range r.Perm(n) {
+			x := d.X[i]
+			// Forward.
+			for hi := 0; hi < h; hi++ {
+				s := m.b1[hi]
+				for j, v := range x {
+					s += m.w1[hi][j] * v
+				}
+				if s < 0 {
+					s = 0
+				}
+				hidden[hi] = s
+			}
+			for o := 0; o < out; o++ {
+				s := m.b2[o]
+				for hi := 0; hi < h; hi++ {
+					s += m.w2[o][hi] * hidden[hi]
+				}
+				scores[o] = s
+			}
+			softmaxInto(scores, proba)
+			// Backward.
+			for hi := range dHidden {
+				dHidden[hi] = 0
+			}
+			for o := 0; o < out; o++ {
+				grad := proba[o]
+				if d.Y[i] == o {
+					grad -= 1
+				}
+				for hi := 0; hi < h; hi++ {
+					dHidden[hi] += grad * m.w2[o][hi]
+					m.w2[o][hi] -= step * (grad*hidden[hi] + cfg.L2*m.w2[o][hi])
+				}
+				m.b2[o] -= step * grad
+			}
+			for hi := 0; hi < h; hi++ {
+				if hidden[hi] <= 0 {
+					continue // ReLU gradient is zero
+				}
+				g := dHidden[hi]
+				for j, v := range x {
+					m.w1[hi][j] -= step * (g*v + cfg.L2*m.w1[hi][j])
+				}
+				m.b1[hi] -= step * g
+			}
+		}
+	}
+	return nil
+}
+
+// PredictProba implements Classifier.
+func (m *MLP) PredictProba(x []float64) []float64 {
+	h := len(m.w1)
+	out := len(m.w2)
+	hidden := make([]float64, h)
+	for hi := 0; hi < h; hi++ {
+		s := m.b1[hi]
+		for j, v := range x {
+			s += m.w1[hi][j] * v
+		}
+		if s < 0 {
+			s = 0
+		}
+		hidden[hi] = s
+	}
+	scores := make([]float64, out)
+	for o := 0; o < out; o++ {
+		s := m.b2[o]
+		for hi := 0; hi < h; hi++ {
+			s += m.w2[o][hi] * hidden[hi]
+		}
+		scores[o] = s
+	}
+	proba := make([]float64, out)
+	softmaxInto(scores, proba)
+	return proba
+}

@@ -1,0 +1,118 @@
+package ml
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/netml/alefb/internal/data"
+	"github.com/netml/alefb/internal/rng"
+)
+
+// ForestConfig configures a bagged tree ensemble.
+type ForestConfig struct {
+	// NumTrees is the ensemble size (default 50).
+	NumTrees int
+	// MaxDepth bounds each tree; <= 0 means unbounded.
+	MaxDepth int
+	// MinSamplesLeaf for each tree (default 1).
+	MinSamplesLeaf int
+	// MaxFeatures per split; <= 0 means round(sqrt(nFeatures)).
+	MaxFeatures int
+	// Bootstrap resamples the training rows with replacement per tree
+	// (true for random forests, typically false for extra-trees).
+	Bootstrap bool
+	// ExtraTrees draws random thresholds instead of exhaustive scans.
+	ExtraTrees bool
+}
+
+func (c ForestConfig) withDefaults() ForestConfig {
+	if c.NumTrees <= 0 {
+		c.NumTrees = 50
+	}
+	if c.MinSamplesLeaf <= 0 {
+		c.MinSamplesLeaf = 1
+	}
+	return c
+}
+
+// Forest is a bagged ensemble of decision trees (random forest or
+// extra-trees depending on configuration).
+type Forest struct {
+	Config ForestConfig
+	trees  []*Tree
+}
+
+// NewForest returns a forest with the given configuration.
+func NewForest(cfg ForestConfig) *Forest { return &Forest{Config: cfg.withDefaults()} }
+
+// NewRandomForest returns a standard random forest.
+func NewRandomForest(numTrees, maxDepth int) *Forest {
+	return NewForest(ForestConfig{NumTrees: numTrees, MaxDepth: maxDepth, Bootstrap: true})
+}
+
+// NewExtraTrees returns an extremely-randomized trees ensemble.
+func NewExtraTrees(numTrees, maxDepth int) *Forest {
+	return NewForest(ForestConfig{NumTrees: numTrees, MaxDepth: maxDepth, ExtraTrees: true})
+}
+
+// Name implements Classifier.
+func (f *Forest) Name() string {
+	kind := "rf"
+	if f.Config.ExtraTrees {
+		kind = "xt"
+	}
+	return fmt.Sprintf("%s(trees=%d,depth=%d)", kind, f.Config.NumTrees, f.Config.MaxDepth)
+}
+
+// Fit implements Classifier.
+func (f *Forest) Fit(d *data.Dataset, r *rng.Rand) error {
+	if d.Len() == 0 {
+		return ErrEmptyDataset
+	}
+	cfg := f.Config
+	maxFeatures := cfg.MaxFeatures
+	if maxFeatures <= 0 {
+		maxFeatures = int(math.Round(math.Sqrt(float64(d.Schema.NumFeatures()))))
+		if maxFeatures < 1 {
+			maxFeatures = 1
+		}
+	}
+	f.trees = make([]*Tree, cfg.NumTrees)
+	for t := range f.trees {
+		tree := NewTree(TreeConfig{
+			MaxDepth:         cfg.MaxDepth,
+			MinSamplesLeaf:   cfg.MinSamplesLeaf,
+			MaxFeatures:      maxFeatures,
+			RandomThresholds: cfg.ExtraTrees,
+		})
+		train := d
+		if cfg.Bootstrap {
+			idx := make([]int, d.Len())
+			for i := range idx {
+				idx[i] = r.Intn(d.Len())
+			}
+			train = d.Subset(idx)
+		}
+		if err := tree.Fit(train, r); err != nil {
+			return fmt.Errorf("ml: forest tree %d: %w", t, err)
+		}
+		f.trees[t] = tree
+	}
+	return nil
+}
+
+// PredictProba implements Classifier by averaging tree probabilities.
+func (f *Forest) PredictProba(x []float64) []float64 {
+	var sum []float64
+	for _, t := range f.trees {
+		p := t.PredictProba(x)
+		if sum == nil {
+			sum = make([]float64, len(p))
+		}
+		for i, v := range p {
+			sum[i] += v
+		}
+	}
+	normalize(sum)
+	return sum
+}

@@ -1,0 +1,161 @@
+package ml
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/netml/alefb/internal/data"
+	"github.com/netml/alefb/internal/rng"
+)
+
+// GBDTConfig configures gradient-boosted decision trees.
+type GBDTConfig struct {
+	// NumRounds is the number of boosting rounds (default 50).
+	NumRounds int
+	// LearningRate shrinks each tree's contribution (default 0.1).
+	LearningRate float64
+	// MaxDepth of each regression tree (default 3).
+	MaxDepth int
+	// MinSamplesLeaf of each regression tree (default 5).
+	MinSamplesLeaf int
+	// Subsample is the row fraction per round, (0,1]; default 1.
+	Subsample float64
+}
+
+func (c GBDTConfig) withDefaults() GBDTConfig {
+	if c.NumRounds <= 0 {
+		c.NumRounds = 50
+	}
+	if c.LearningRate <= 0 {
+		c.LearningRate = 0.1
+	}
+	if c.MaxDepth <= 0 {
+		c.MaxDepth = 3
+	}
+	if c.MinSamplesLeaf <= 0 {
+		c.MinSamplesLeaf = 5
+	}
+	if c.Subsample <= 0 || c.Subsample > 1 {
+		c.Subsample = 1
+	}
+	return c
+}
+
+// GBDT is a multi-class gradient boosting classifier with softmax loss:
+// each round fits one regression tree per class to the probability
+// residuals, following Friedman's multinomial deviance recipe.
+type GBDT struct {
+	Config GBDTConfig
+
+	nClasses int
+	base     []float64    // initial log-odds per class
+	rounds   [][]*regTree // rounds[t][k]
+}
+
+// NewGBDT returns a boosted-trees classifier.
+func NewGBDT(cfg GBDTConfig) *GBDT { return &GBDT{Config: cfg.withDefaults()} }
+
+// Name implements Classifier.
+func (g *GBDT) Name() string {
+	return fmt.Sprintf("gbdt(rounds=%d,lr=%g,depth=%d)", g.Config.NumRounds, g.Config.LearningRate, g.Config.MaxDepth)
+}
+
+// Fit implements Classifier.
+func (g *GBDT) Fit(d *data.Dataset, r *rng.Rand) error {
+	if d.Len() == 0 {
+		return ErrEmptyDataset
+	}
+	cfg := g.Config
+	n := d.Len()
+	g.nClasses = d.Schema.NumClasses()
+
+	// Base score: log of smoothed class priors.
+	priors := classPriors(d)
+	g.base = make([]float64, g.nClasses)
+	for k, p := range priors {
+		g.base[k] = math.Log(p)
+	}
+
+	// scores[i][k] is the current raw (log-odds) score.
+	scores := make([][]float64, n)
+	for i := range scores {
+		scores[i] = append([]float64(nil), g.base...)
+	}
+
+	g.rounds = make([][]*regTree, 0, cfg.NumRounds)
+	residual := make([]float64, n)
+	proba := make([]float64, g.nClasses)
+	for round := 0; round < cfg.NumRounds; round++ {
+		// Optional stochastic row subsample for this round.
+		rows := d.X
+		rowIdx := make([]int, n)
+		for i := range rowIdx {
+			rowIdx[i] = i
+		}
+		if cfg.Subsample < 1 {
+			m := int(math.Max(1, cfg.Subsample*float64(n)))
+			rowIdx = r.Sample(n, m)
+		}
+
+		trees := make([]*regTree, g.nClasses)
+		for k := 0; k < g.nClasses; k++ {
+			// Residual = one-hot(y) - softmax(scores) for class k.
+			subX := make([][]float64, len(rowIdx))
+			subY := make([]float64, len(rowIdx))
+			for si, i := range rowIdx {
+				softmaxInto(scores[i], proba)
+				target := 0.0
+				if d.Y[i] == k {
+					target = 1
+				}
+				residual[i] = target - proba[k]
+				subX[si] = rows[i]
+				subY[si] = residual[i]
+			}
+			t := &regTree{maxDepth: cfg.MaxDepth, minSamplesLeaf: cfg.MinSamplesLeaf}
+			t.fit(subX, subY, r)
+			trees[k] = t
+		}
+		// Update all scores (not only the subsample) so residuals stay
+		// consistent across rounds.
+		for i := 0; i < n; i++ {
+			for k := 0; k < g.nClasses; k++ {
+				scores[i][k] += cfg.LearningRate * trees[k].predict(rows[i])
+			}
+		}
+		g.rounds = append(g.rounds, trees)
+	}
+	return nil
+}
+
+// PredictProba implements Classifier.
+func (g *GBDT) PredictProba(x []float64) []float64 {
+	scores := append([]float64(nil), g.base...)
+	for _, trees := range g.rounds {
+		for k, t := range trees {
+			scores[k] += g.Config.LearningRate * t.predict(x)
+		}
+	}
+	out := make([]float64, g.nClasses)
+	softmaxInto(scores, out)
+	return out
+}
+
+// softmaxInto writes softmax(scores) into out (same length).
+func softmaxInto(scores, out []float64) {
+	maxS := math.Inf(-1)
+	for _, s := range scores {
+		if s > maxS {
+			maxS = s
+		}
+	}
+	sum := 0.0
+	for i, s := range scores {
+		e := math.Exp(s - maxS)
+		out[i] = e
+		sum += e
+	}
+	for i := range out {
+		out[i] /= sum
+	}
+}

@@ -1,0 +1,90 @@
+package ml
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/netml/alefb/internal/data"
+	"github.com/netml/alefb/internal/rng"
+)
+
+// KNNConfig configures a k-nearest-neighbours classifier.
+type KNNConfig struct {
+	// K is the neighbour count (default 5).
+	K int
+	// DistanceWeighted weights votes by inverse distance.
+	DistanceWeighted bool
+}
+
+// KNN is a k-nearest-neighbours classifier over Euclidean distance.
+// It retains (a reference to) the training rows, as all k-NN models do.
+// Pair it with a scaler in a Pipeline so no feature dominates the metric.
+type KNN struct {
+	Config KNNConfig
+
+	X        [][]float64
+	Y        []int
+	nClasses int
+}
+
+// NewKNN returns a k-NN classifier.
+func NewKNN(cfg KNNConfig) *KNN {
+	if cfg.K <= 0 {
+		cfg.K = 5
+	}
+	return &KNN{Config: cfg}
+}
+
+// Name implements Classifier.
+func (k *KNN) Name() string {
+	w := "uniform"
+	if k.Config.DistanceWeighted {
+		w = "dist"
+	}
+	return fmt.Sprintf("knn(k=%d,%s)", k.Config.K, w)
+}
+
+// Fit implements Classifier. It stores the dataset's rows by reference.
+func (k *KNN) Fit(d *data.Dataset, r *rng.Rand) error {
+	if d.Len() == 0 {
+		return ErrEmptyDataset
+	}
+	k.X = d.X
+	k.Y = d.Y
+	k.nClasses = d.Schema.NumClasses()
+	_ = r
+	return nil
+}
+
+// PredictProba implements Classifier.
+func (k *KNN) PredictProba(x []float64) []float64 {
+	type neigh struct {
+		d2 float64
+		y  int
+	}
+	neighbours := make([]neigh, len(k.X))
+	for i, row := range k.X {
+		d2 := 0.0
+		for j, v := range row {
+			diff := v - x[j]
+			d2 += diff * diff
+		}
+		neighbours[i] = neigh{d2, k.Y[i]}
+	}
+	kk := k.Config.K
+	if kk > len(neighbours) {
+		kk = len(neighbours)
+	}
+	// Partial selection of the kk nearest.
+	sort.Slice(neighbours, func(a, b int) bool { return neighbours[a].d2 < neighbours[b].d2 })
+	proba := make([]float64, k.nClasses)
+	for _, n := range neighbours[:kk] {
+		w := 1.0
+		if k.Config.DistanceWeighted {
+			w = 1 / (n.d2 + 1e-9)
+		}
+		proba[n.y] += w
+	}
+	normalize(proba)
+	return proba
+}

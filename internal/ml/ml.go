@@ -1,0 +1,132 @@
+// Package ml is a from-scratch machine-learning model zoo standing in for
+// scikit-learn's estimators. It provides the diverse model families the
+// AutoML engine searches over: decision trees, random forests,
+// extra-trees, gradient-boosted trees, k-nearest neighbours, multinomial
+// logistic regression, Gaussian naive Bayes, linear SVMs, and a small
+// multilayer perceptron, plus the feature scaling they need.
+//
+// Every model implements Classifier and is deterministic given the
+// *rng.Rand passed to Fit. Probability outputs always sum to one and have
+// one entry per class in the training schema, even for classes absent from
+// the training rows.
+package ml
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/netml/alefb/internal/data"
+	"github.com/netml/alefb/internal/metrics"
+	"github.com/netml/alefb/internal/rng"
+)
+
+// Classifier is a trainable multi-class probabilistic classifier.
+type Classifier interface {
+	// Name returns a short human-readable identifier including the main
+	// hyperparameters, used in feedback explanations and logs.
+	Name() string
+	// Fit trains on the dataset. Implementations must not retain the
+	// dataset's row slices unless documented otherwise (k-NN does).
+	Fit(d *data.Dataset, r *rng.Rand) error
+	// PredictProba returns the class-probability vector for one row.
+	// It must only be called after a successful Fit.
+	PredictProba(x []float64) []float64
+}
+
+// ErrEmptyDataset is returned by Fit when given no rows.
+var ErrEmptyDataset = errors.New("ml: empty training set")
+
+// Predict returns argmax-probability class labels for every row of X.
+func Predict(c Classifier, X [][]float64) []int {
+	out := make([]int, len(X))
+	for i, x := range X {
+		out[i] = metrics.Argmax(c.PredictProba(x))
+	}
+	return out
+}
+
+// PredictProbaBatch returns the probability matrix for every row of X.
+func PredictProbaBatch(c Classifier, X [][]float64) [][]float64 {
+	out := make([][]float64, len(X))
+	for i, x := range X {
+		out[i] = c.PredictProba(x)
+	}
+	return out
+}
+
+// PredictOne returns the argmax class for a single row.
+func PredictOne(c Classifier, x []float64) int {
+	return metrics.Argmax(c.PredictProba(x))
+}
+
+// Pipeline scales inputs with an optional Scaler before delegating to the
+// wrapped classifier. It is the unit the AutoML search operates on.
+type Pipeline struct {
+	Scaler Scaler
+	Model  Classifier
+}
+
+// Name describes the pipeline.
+func (p *Pipeline) Name() string {
+	if p.Scaler == nil {
+		return p.Model.Name()
+	}
+	return fmt.Sprintf("%s+%s", p.Scaler.Name(), p.Model.Name())
+}
+
+// Fit fits the scaler on the data, transforms, and fits the model.
+func (p *Pipeline) Fit(d *data.Dataset, r *rng.Rand) error {
+	if d.Len() == 0 {
+		return ErrEmptyDataset
+	}
+	if p.Scaler == nil {
+		return p.Model.Fit(d, r)
+	}
+	p.Scaler.FitScaler(d.X)
+	scaled := &data.Dataset{Schema: d.Schema, X: make([][]float64, d.Len()), Y: d.Y}
+	for i, row := range d.X {
+		scaled.X[i] = p.Scaler.Transform(row)
+	}
+	return p.Model.Fit(scaled, r)
+}
+
+// PredictProba scales the row and delegates.
+func (p *Pipeline) PredictProba(x []float64) []float64 {
+	if p.Scaler == nil {
+		return p.Model.PredictProba(x)
+	}
+	return p.Model.PredictProba(p.Scaler.Transform(x))
+}
+
+// classPriors returns smoothed class frequencies; useful as a fallback
+// prediction for degenerate inputs.
+func classPriors(d *data.Dataset) []float64 {
+	k := d.Schema.NumClasses()
+	priors := make([]float64, k)
+	for _, y := range d.Y {
+		priors[y]++
+	}
+	total := float64(d.Len() + k)
+	for i := range priors {
+		priors[i] = (priors[i] + 1) / total
+	}
+	return priors
+}
+
+// normalize scales p in place to sum to one; if the sum is not positive it
+// resets to uniform.
+func normalize(p []float64) {
+	sum := 0.0
+	for _, v := range p {
+		sum += v
+	}
+	if sum <= 0 {
+		for i := range p {
+			p[i] = 1 / float64(len(p))
+		}
+		return
+	}
+	for i := range p {
+		p[i] /= sum
+	}
+}

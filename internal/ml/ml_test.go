@@ -1,0 +1,482 @@
+package ml
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/netml/alefb/internal/data"
+	"github.com/netml/alefb/internal/metrics"
+	"github.com/netml/alefb/internal/rng"
+)
+
+// blobs generates a well-separated k-class Gaussian blob problem.
+func blobs(n, k int, r *rng.Rand) *data.Dataset {
+	schema := &data.Schema{
+		Features: []data.Feature{
+			{Name: "x0", Min: -10, Max: 10},
+			{Name: "x1", Min: -10, Max: 10},
+		},
+	}
+	for c := 0; c < k; c++ {
+		schema.Classes = append(schema.Classes, string(rune('A'+c)))
+	}
+	d := data.New(schema)
+	centers := [][]float64{{-4, -4}, {4, 4}, {-4, 4}, {4, -4}}
+	for i := 0; i < n; i++ {
+		c := i % k
+		d.Append([]float64{
+			r.Normal(centers[c][0], 1),
+			r.Normal(centers[c][1], 1),
+		}, c)
+	}
+	return d
+}
+
+// xor generates the classic non-linearly-separable XOR problem.
+func xor(n int, r *rng.Rand) *data.Dataset {
+	schema := &data.Schema{
+		Features: []data.Feature{
+			{Name: "x0", Min: -2, Max: 2},
+			{Name: "x1", Min: -2, Max: 2},
+		},
+		Classes: []string{"0", "1"},
+	}
+	d := data.New(schema)
+	for i := 0; i < n; i++ {
+		a, b := r.Uniform(-2, 2), r.Uniform(-2, 2)
+		y := 0
+		if (a > 0) != (b > 0) {
+			y = 1
+		}
+		d.Append([]float64{a, b}, y)
+	}
+	return d
+}
+
+func holdoutAccuracy(t *testing.T, c Classifier, train, test *data.Dataset, seed uint64) float64 {
+	t.Helper()
+	if err := c.Fit(train, rng.New(seed)); err != nil {
+		t.Fatalf("%s Fit: %v", c.Name(), err)
+	}
+	pred := Predict(c, test.X)
+	return metrics.Accuracy(test.Y, pred)
+}
+
+func allModels() []Classifier {
+	return []Classifier{
+		NewTree(TreeConfig{MaxDepth: 8}),
+		NewRandomForest(20, 8),
+		NewExtraTrees(20, 8),
+		NewGBDT(GBDTConfig{NumRounds: 20}),
+		&Pipeline{Scaler: &StandardScaler{}, Model: NewKNN(KNNConfig{K: 5})},
+		&Pipeline{Scaler: &StandardScaler{}, Model: NewLogReg(LogRegConfig{Epochs: 40})},
+		NewGaussianNB(),
+		&Pipeline{Scaler: &StandardScaler{}, Model: NewSVM(SVMConfig{Epochs: 30})},
+		&Pipeline{Scaler: &StandardScaler{}, Model: NewMLP(MLPConfig{Epochs: 60})},
+	}
+}
+
+func TestAllModelsLearnBlobs(t *testing.T) {
+	r := rng.New(1)
+	train := blobs(300, 3, r)
+	test := blobs(150, 3, r)
+	for _, m := range allModels() {
+		acc := holdoutAccuracy(t, m, train, test, 7)
+		if acc < 0.9 {
+			t.Errorf("%s: blob accuracy %.3f < 0.9", m.Name(), acc)
+		}
+	}
+}
+
+func TestNonlinearModelsLearnXOR(t *testing.T) {
+	r := rng.New(2)
+	train := xor(500, r)
+	test := xor(250, r)
+	nonlinear := []Classifier{
+		NewTree(TreeConfig{MaxDepth: 8}),
+		NewRandomForest(25, 8),
+		NewExtraTrees(40, 10),
+		NewGBDT(GBDTConfig{NumRounds: 40}),
+		&Pipeline{Scaler: &StandardScaler{}, Model: NewKNN(KNNConfig{K: 5})},
+		&Pipeline{Scaler: &StandardScaler{}, Model: NewMLP(MLPConfig{Hidden: 24, Epochs: 150})},
+	}
+	for _, m := range nonlinear {
+		acc := holdoutAccuracy(t, m, train, test, 11)
+		if acc < 0.85 {
+			t.Errorf("%s: XOR accuracy %.3f < 0.85", m.Name(), acc)
+		}
+	}
+}
+
+func TestLinearModelFailsXOR(t *testing.T) {
+	// Sanity check that XOR really is non-separable: logistic regression
+	// should hover near chance. Guards against a data-generation bug that
+	// would make the non-linear tests vacuous.
+	r := rng.New(3)
+	train := xor(500, r)
+	test := xor(250, r)
+	m := &Pipeline{Scaler: &StandardScaler{}, Model: NewLogReg(LogRegConfig{Epochs: 40})}
+	acc := holdoutAccuracy(t, m, train, test, 13)
+	if acc > 0.65 {
+		t.Fatalf("logreg on XOR = %.3f; expected near-chance", acc)
+	}
+}
+
+func TestProbabilitiesSumToOne(t *testing.T) {
+	r := rng.New(4)
+	train := blobs(200, 3, r)
+	for _, m := range allModels() {
+		if err := m.Fit(train, rng.New(5)); err != nil {
+			t.Fatalf("%s: %v", m.Name(), err)
+		}
+		for trial := 0; trial < 20; trial++ {
+			x := []float64{r.Uniform(-10, 10), r.Uniform(-10, 10)}
+			p := m.PredictProba(x)
+			if len(p) != 3 {
+				t.Fatalf("%s: proba len %d, want 3", m.Name(), len(p))
+			}
+			sum := 0.0
+			for _, v := range p {
+				if v < -1e-12 || math.IsNaN(v) {
+					t.Fatalf("%s: invalid probability %v", m.Name(), p)
+				}
+				sum += v
+			}
+			if math.Abs(sum-1) > 1e-9 {
+				t.Fatalf("%s: probabilities sum to %v", m.Name(), sum)
+			}
+		}
+	}
+}
+
+func TestEmptyDatasetErrors(t *testing.T) {
+	empty := data.New(&data.Schema{
+		Features: []data.Feature{{Name: "x", Min: 0, Max: 1}},
+		Classes:  []string{"a", "b"},
+	})
+	for _, m := range allModels() {
+		if err := m.Fit(empty, rng.New(1)); err == nil {
+			t.Errorf("%s: Fit on empty dataset should fail", m.Name())
+		}
+	}
+}
+
+func TestDeterministicFit(t *testing.T) {
+	r := rng.New(6)
+	train := blobs(150, 2, r)
+	probe := []float64{0.5, -0.3}
+	for _, mk := range []func() Classifier{
+		func() Classifier { return NewRandomForest(10, 6) },
+		func() Classifier { return NewGBDT(GBDTConfig{NumRounds: 10}) },
+		func() Classifier {
+			return &Pipeline{Scaler: &StandardScaler{}, Model: NewMLP(MLPConfig{Epochs: 20})}
+		},
+	} {
+		a, b := mk(), mk()
+		if err := a.Fit(train, rng.New(42)); err != nil {
+			t.Fatal(err)
+		}
+		if err := b.Fit(train, rng.New(42)); err != nil {
+			t.Fatal(err)
+		}
+		pa, pb := a.PredictProba(probe), b.PredictProba(probe)
+		for i := range pa {
+			if pa[i] != pb[i] {
+				t.Fatalf("%s: same seed produced different models: %v vs %v", a.Name(), pa, pb)
+			}
+		}
+	}
+}
+
+func TestSingleClassDataset(t *testing.T) {
+	// All rows share one label out of two declared classes; predictions
+	// should heavily favour that label and stay valid.
+	schema := &data.Schema{
+		Features: []data.Feature{{Name: "x", Min: 0, Max: 1}},
+		Classes:  []string{"a", "b"},
+	}
+	d := data.New(schema)
+	r := rng.New(7)
+	for i := 0; i < 40; i++ {
+		d.Append([]float64{r.Float64()}, 0)
+	}
+	for _, m := range allModels() {
+		if err := m.Fit(d, rng.New(8)); err != nil {
+			t.Fatalf("%s: %v", m.Name(), err)
+		}
+		p := m.PredictProba([]float64{0.5})
+		if metrics.Argmax(p) != 0 {
+			t.Errorf("%s: single-class dataset predicted class %d: %v", m.Name(), metrics.Argmax(p), p)
+		}
+	}
+}
+
+func TestTreeDepthRespectsConfig(t *testing.T) {
+	r := rng.New(9)
+	d := blobs(400, 4, r)
+	tree := NewTree(TreeConfig{MaxDepth: 3})
+	if err := tree.Fit(d, r); err != nil {
+		t.Fatal(err)
+	}
+	if got := tree.Depth(); got > 3 {
+		t.Fatalf("tree depth %d exceeds MaxDepth 3", got)
+	}
+}
+
+func TestTreeMinLeafRespected(t *testing.T) {
+	r := rng.New(10)
+	d := blobs(100, 2, r)
+	tree := NewTree(TreeConfig{MinSamplesLeaf: 30})
+	if err := tree.Fit(d, r); err != nil {
+		t.Fatal(err)
+	}
+	// With n=100 and leaves >= 30 the tree can split at most twice along
+	// any path; depth must be small.
+	if got := tree.Depth(); got > 2 {
+		t.Fatalf("depth %d with MinSamplesLeaf=30 on 100 rows", got)
+	}
+}
+
+func TestStandardScaler(t *testing.T) {
+	s := &StandardScaler{}
+	X := [][]float64{{1, 5}, {3, 5}, {5, 5}}
+	s.FitScaler(X)
+	got := s.Transform([]float64{3, 5})
+	if got[0] != 0 {
+		t.Fatalf("centered value = %v", got[0])
+	}
+	// Constant column: scale falls back to 1 so output is 0, not NaN.
+	if got[1] != 0 || math.IsNaN(got[1]) {
+		t.Fatalf("constant column transform = %v", got[1])
+	}
+	lo := s.Transform([]float64{1, 5})[0]
+	hi := s.Transform([]float64{5, 5})[0]
+	if math.Abs(lo+hi) > 1e-12 || hi <= 0 {
+		t.Fatalf("scaling asymmetric: %v / %v", lo, hi)
+	}
+}
+
+func TestMinMaxScaler(t *testing.T) {
+	s := &MinMaxScaler{}
+	s.FitScaler([][]float64{{0, 7}, {10, 7}})
+	got := s.Transform([]float64{5, 7})
+	if got[0] != 0.5 || got[1] != 0 {
+		t.Fatalf("Transform = %v", got)
+	}
+}
+
+func TestUnfittedScalerIdentity(t *testing.T) {
+	var s StandardScaler
+	x := []float64{1, 2}
+	got := s.Transform(x)
+	if got[0] != 1 || got[1] != 2 {
+		t.Fatalf("unfitted Transform = %v", got)
+	}
+	got[0] = 99
+	if x[0] == 99 {
+		t.Fatal("Transform aliased its input")
+	}
+}
+
+func TestKNNKLargerThanData(t *testing.T) {
+	d := blobs(3, 2, rng.New(11))
+	k := NewKNN(KNNConfig{K: 10})
+	if err := k.Fit(d, rng.New(1)); err != nil {
+		t.Fatal(err)
+	}
+	p := k.PredictProba([]float64{0, 0})
+	sum := 0.0
+	for _, v := range p {
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("proba sum = %v", sum)
+	}
+}
+
+func TestGaussianNBRecoverMoments(t *testing.T) {
+	r := rng.New(12)
+	schema := &data.Schema{
+		Features: []data.Feature{{Name: "x", Min: -10, Max: 10}},
+		Classes:  []string{"a", "b"},
+	}
+	d := data.New(schema)
+	for i := 0; i < 2000; i++ {
+		d.Append([]float64{r.Normal(2, 1)}, 0)
+		d.Append([]float64{r.Normal(-2, 0.5)}, 1)
+	}
+	g := NewGaussianNB()
+	if err := g.Fit(d, r); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(g.Mean()[0][0]-2) > 0.1 || math.Abs(g.Mean()[1][0]+2) > 0.1 {
+		t.Fatalf("means = %v", g.Mean())
+	}
+	if math.Abs(g.Variance()[0][0]-1) > 0.15 || math.Abs(g.Variance()[1][0]-0.25) > 0.1 {
+		t.Fatalf("variances = %v", g.Variance())
+	}
+}
+
+func TestPipelineName(t *testing.T) {
+	p := &Pipeline{Scaler: &StandardScaler{}, Model: NewKNN(KNNConfig{K: 3})}
+	if p.Name() != "std+knn(k=3,uniform)" {
+		t.Fatalf("Name = %q", p.Name())
+	}
+	bare := &Pipeline{Model: NewGaussianNB()}
+	if bare.Name() != "gnb" {
+		t.Fatalf("bare Name = %q", bare.Name())
+	}
+}
+
+func TestQuickForestProbaValid(t *testing.T) {
+	train := blobs(120, 2, rng.New(13))
+	f := NewRandomForest(10, 6)
+	if err := f.Fit(train, rng.New(14)); err != nil {
+		t.Fatal(err)
+	}
+	prop := func(a, b float64) bool {
+		if math.IsNaN(a) || math.IsNaN(b) || math.IsInf(a, 0) || math.IsInf(b, 0) {
+			return true
+		}
+		p := f.PredictProba([]float64{a, b})
+		sum := 0.0
+		for _, v := range p {
+			if v < 0 || v > 1 {
+				return false
+			}
+			sum += v
+		}
+		return math.Abs(sum-1) < 1e-9
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPredictHelpers(t *testing.T) {
+	train := blobs(100, 2, rng.New(15))
+	m := NewTree(TreeConfig{MaxDepth: 5})
+	if err := m.Fit(train, rng.New(16)); err != nil {
+		t.Fatal(err)
+	}
+	X := [][]float64{{-4, -4}, {4, 4}}
+	preds := Predict(m, X)
+	if preds[0] != 0 || preds[1] != 1 {
+		t.Fatalf("Predict = %v", preds)
+	}
+	probas := PredictProbaBatch(m, X)
+	if len(probas) != 2 || metrics.Argmax(probas[0]) != 0 {
+		t.Fatalf("PredictProbaBatch = %v", probas)
+	}
+	if PredictOne(m, X[1]) != 1 {
+		t.Fatal("PredictOne mismatch")
+	}
+}
+
+func BenchmarkForestFit(b *testing.B) {
+	train := blobs(500, 3, rng.New(17))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f := NewRandomForest(20, 8)
+		if err := f.Fit(train, rng.New(1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkForestPredict(b *testing.B) {
+	train := blobs(500, 3, rng.New(18))
+	f := NewRandomForest(20, 8)
+	if err := f.Fit(train, rng.New(1)); err != nil {
+		b.Fatal(err)
+	}
+	x := []float64{1, -1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.PredictProba(x)
+	}
+}
+
+func BenchmarkGBDTFit(b *testing.B) {
+	train := blobs(300, 3, rng.New(19))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g := NewGBDT(GBDTConfig{NumRounds: 10})
+		if err := g.Fit(train, rng.New(1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestAdaBoostLearnsBlobs(t *testing.T) {
+	r := rng.New(31)
+	train := blobs(300, 3, r)
+	test := blobs(150, 3, r)
+	a := NewAdaBoost(AdaBoostConfig{Rounds: 30, MaxDepth: 2})
+	if acc := holdoutAccuracy(t, a, train, test, 33); acc < 0.9 {
+		t.Fatalf("adaboost blob accuracy %.3f", acc)
+	}
+}
+
+func TestAdaBoostLearnsXOR(t *testing.T) {
+	r := rng.New(34)
+	train := xor(500, r)
+	test := xor(250, r)
+	a := NewAdaBoost(AdaBoostConfig{Rounds: 60, MaxDepth: 3})
+	if acc := holdoutAccuracy(t, a, train, test, 35); acc < 0.85 {
+		t.Fatalf("adaboost XOR accuracy %.3f", acc)
+	}
+}
+
+func TestAdaBoostSingleClass(t *testing.T) {
+	schema := &data.Schema{
+		Features: []data.Feature{{Name: "x", Min: 0, Max: 1}},
+		Classes:  []string{"a", "b"},
+	}
+	d := data.New(schema)
+	r := rng.New(36)
+	for i := 0; i < 30; i++ {
+		d.Append([]float64{r.Float64()}, 0)
+	}
+	a := NewAdaBoost(AdaBoostConfig{Rounds: 10})
+	if err := a.Fit(d, r); err != nil {
+		t.Fatal(err)
+	}
+	if got := metrics.Argmax(a.PredictProba([]float64{0.5})); got != 0 {
+		t.Fatalf("single-class predicted %d", got)
+	}
+}
+
+func TestAdaBoostProbaValid(t *testing.T) {
+	r := rng.New(37)
+	train := blobs(200, 3, r)
+	a := NewAdaBoost(AdaBoostConfig{Rounds: 20})
+	if err := a.Fit(train, rng.New(38)); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 30; i++ {
+		p := a.PredictProba([]float64{r.Uniform(-10, 10), r.Uniform(-10, 10)})
+		sum := 0.0
+		for _, v := range p {
+			if v < 0 || math.IsNaN(v) {
+				t.Fatalf("bad proba %v", p)
+			}
+			sum += v
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("proba sums to %v", sum)
+		}
+	}
+}
+
+func TestAdaBoostEmpty(t *testing.T) {
+	schema := &data.Schema{
+		Features: []data.Feature{{Name: "x", Min: 0, Max: 1}},
+		Classes:  []string{"a", "b"},
+	}
+	if err := NewAdaBoost(AdaBoostConfig{}).Fit(data.New(schema), rng.New(1)); err == nil {
+		t.Fatal("empty dataset accepted")
+	}
+}

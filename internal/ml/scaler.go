@@ -1,0 +1,112 @@
+package ml
+
+import "math"
+
+// Scaler is a fitted feature transformation.
+type Scaler interface {
+	// Name identifies the scaler in pipeline descriptions.
+	Name() string
+	// FitScaler learns the transformation parameters from rows.
+	FitScaler(X [][]float64)
+	// Transform returns a scaled copy of x; it never mutates x.
+	Transform(x []float64) []float64
+}
+
+// StandardScaler centres each feature to zero mean and unit variance.
+// Constant features are left centred with unit denominator.
+type StandardScaler struct {
+	mean, scale []float64
+}
+
+// Name implements Scaler.
+func (s *StandardScaler) Name() string { return "std" }
+
+// FitScaler implements Scaler.
+func (s *StandardScaler) FitScaler(X [][]float64) {
+	if len(X) == 0 {
+		return
+	}
+	nf := len(X[0])
+	s.mean = make([]float64, nf)
+	s.scale = make([]float64, nf)
+	for _, row := range X {
+		for j, v := range row {
+			s.mean[j] += v
+		}
+	}
+	n := float64(len(X))
+	for j := range s.mean {
+		s.mean[j] /= n
+	}
+	for _, row := range X {
+		for j, v := range row {
+			d := v - s.mean[j]
+			s.scale[j] += d * d
+		}
+	}
+	for j := range s.scale {
+		s.scale[j] = math.Sqrt(s.scale[j] / n)
+		if s.scale[j] == 0 {
+			s.scale[j] = 1
+		}
+	}
+}
+
+// Transform implements Scaler.
+func (s *StandardScaler) Transform(x []float64) []float64 {
+	if s.mean == nil {
+		return append([]float64(nil), x...)
+	}
+	out := make([]float64, len(x))
+	for j, v := range x {
+		out[j] = (v - s.mean[j]) / s.scale[j]
+	}
+	return out
+}
+
+// MinMaxScaler maps each feature to [0, 1] based on the fitted range.
+// Constant features map to 0.
+type MinMaxScaler struct {
+	min, span []float64
+}
+
+// Name implements Scaler.
+func (s *MinMaxScaler) Name() string { return "minmax" }
+
+// FitScaler implements Scaler.
+func (s *MinMaxScaler) FitScaler(X [][]float64) {
+	if len(X) == 0 {
+		return
+	}
+	nf := len(X[0])
+	s.min = make([]float64, nf)
+	s.span = make([]float64, nf)
+	for j := 0; j < nf; j++ {
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for _, row := range X {
+			if row[j] < lo {
+				lo = row[j]
+			}
+			if row[j] > hi {
+				hi = row[j]
+			}
+		}
+		s.min[j] = lo
+		s.span[j] = hi - lo
+		if s.span[j] == 0 {
+			s.span[j] = 1
+		}
+	}
+}
+
+// Transform implements Scaler.
+func (s *MinMaxScaler) Transform(x []float64) []float64 {
+	if s.min == nil {
+		return append([]float64(nil), x...)
+	}
+	out := make([]float64, len(x))
+	for j, v := range x {
+		out[j] = (v - s.min[j]) / s.span[j]
+	}
+	return out
+}

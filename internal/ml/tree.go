@@ -1,0 +1,364 @@
+package ml
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"github.com/netml/alefb/internal/data"
+	"github.com/netml/alefb/internal/rng"
+)
+
+// TreeConfig configures a CART decision-tree classifier.
+type TreeConfig struct {
+	// MaxDepth bounds the tree depth; <= 0 means unbounded.
+	MaxDepth int
+	// MinSamplesLeaf is the minimum rows in each child of a split.
+	MinSamplesLeaf int
+	// MinSamplesSplit is the minimum rows required to consider splitting.
+	MinSamplesSplit int
+	// MaxFeatures is the number of features examined per split; <= 0
+	// means all features. Random forests set this to sqrt(nFeatures).
+	MaxFeatures int
+	// RandomThresholds picks one uniform threshold per candidate feature
+	// instead of scanning all cut points (the extra-trees rule).
+	RandomThresholds bool
+}
+
+func (c TreeConfig) withDefaults() TreeConfig {
+	if c.MinSamplesLeaf <= 0 {
+		c.MinSamplesLeaf = 1
+	}
+	if c.MinSamplesSplit < 2*c.MinSamplesLeaf {
+		c.MinSamplesSplit = 2 * c.MinSamplesLeaf
+	}
+	return c
+}
+
+// Tree is a CART decision-tree classifier.
+type Tree struct {
+	Config TreeConfig
+
+	root      *treeNode
+	nClasses  int
+	nFeatures int
+}
+
+type treeNode struct {
+	// Leaf payload: class-probability distribution.
+	proba []float64
+	// Internal payload: rows with x[feature] <= threshold go left.
+	feature     int
+	threshold   float64
+	left, right *treeNode
+}
+
+// NewTree returns a tree classifier with the given configuration.
+func NewTree(cfg TreeConfig) *Tree { return &Tree{Config: cfg.withDefaults()} }
+
+// Name implements Classifier.
+func (t *Tree) Name() string {
+	kind := "cart"
+	if t.Config.RandomThresholds {
+		kind = "xtree"
+	}
+	return fmt.Sprintf("%s(depth=%d,leaf=%d)", kind, t.Config.MaxDepth, t.Config.MinSamplesLeaf)
+}
+
+// Fit implements Classifier.
+func (t *Tree) Fit(d *data.Dataset, r *rng.Rand) error {
+	if d.Len() == 0 {
+		return ErrEmptyDataset
+	}
+	t.nClasses = d.Schema.NumClasses()
+	t.nFeatures = d.Schema.NumFeatures()
+	idx := make([]int, d.Len())
+	for i := range idx {
+		idx[i] = i
+	}
+	t.root = t.build(d, idx, 0, r)
+	return nil
+}
+
+// PredictProba implements Classifier.
+func (t *Tree) PredictProba(x []float64) []float64 {
+	n := t.root
+	for n.proba == nil {
+		if x[n.feature] <= n.threshold {
+			n = n.left
+		} else {
+			n = n.right
+		}
+	}
+	return append([]float64(nil), n.proba...)
+}
+
+func (t *Tree) leaf(d *data.Dataset, idx []int) *treeNode {
+	proba := make([]float64, t.nClasses)
+	for _, i := range idx {
+		proba[d.Y[i]]++
+	}
+	normalize(proba)
+	return &treeNode{proba: proba}
+}
+
+func (t *Tree) build(d *data.Dataset, idx []int, depth int, r *rng.Rand) *treeNode {
+	cfg := t.Config
+	if len(idx) < cfg.MinSamplesSplit || (cfg.MaxDepth > 0 && depth >= cfg.MaxDepth) || pure(d, idx) {
+		return t.leaf(d, idx)
+	}
+	feat, thr, ok := t.bestSplit(d, idx, r)
+	if !ok {
+		return t.leaf(d, idx)
+	}
+	var left, right []int
+	for _, i := range idx {
+		if d.X[i][feat] <= thr {
+			left = append(left, i)
+		} else {
+			right = append(right, i)
+		}
+	}
+	if len(left) < cfg.MinSamplesLeaf || len(right) < cfg.MinSamplesLeaf {
+		return t.leaf(d, idx)
+	}
+	return &treeNode{
+		feature:   feat,
+		threshold: thr,
+		left:      t.build(d, left, depth+1, r),
+		right:     t.build(d, right, depth+1, r),
+	}
+}
+
+func pure(d *data.Dataset, idx []int) bool {
+	first := d.Y[idx[0]]
+	for _, i := range idx[1:] {
+		if d.Y[i] != first {
+			return false
+		}
+	}
+	return true
+}
+
+// bestSplit finds the (feature, threshold) pair with lowest weighted Gini
+// impurity among a random subset of features.
+func (t *Tree) bestSplit(d *data.Dataset, idx []int, r *rng.Rand) (feat int, thr float64, ok bool) {
+	nf := t.nFeatures
+	candidates := nf
+	if t.Config.MaxFeatures > 0 && t.Config.MaxFeatures < nf {
+		candidates = t.Config.MaxFeatures
+	}
+	feats := r.Sample(nf, candidates)
+
+	bestGini := math.Inf(1)
+	pairs := make([]valueLabel, len(idx))
+	for _, f := range feats {
+		for pi, i := range idx {
+			pairs[pi] = valueLabel{d.X[i][f], d.Y[i]}
+		}
+		sort.Slice(pairs, func(a, b int) bool { return pairs[a].v < pairs[b].v })
+		if pairs[0].v == pairs[len(pairs)-1].v {
+			continue // constant feature in this node
+		}
+		if t.Config.RandomThresholds {
+			cut := r.Uniform(pairs[0].v, pairs[len(pairs)-1].v)
+			g, valid := giniAt(pairs, cut, t.nClasses, t.Config.MinSamplesLeaf)
+			if valid && g < bestGini {
+				bestGini, feat, thr, ok = g, f, cut, true
+			}
+			continue
+		}
+		// Exhaustive scan: sweep sorted values maintaining class counts.
+		leftCounts := make([]float64, t.nClasses)
+		rightCounts := make([]float64, t.nClasses)
+		for _, p := range pairs {
+			rightCounts[p.y]++
+		}
+		n := float64(len(pairs))
+		for i := 0; i < len(pairs)-1; i++ {
+			leftCounts[pairs[i].y]++
+			rightCounts[pairs[i].y]--
+			if pairs[i].v == pairs[i+1].v {
+				continue
+			}
+			nl := float64(i + 1)
+			nr := n - nl
+			if int(nl) < t.Config.MinSamplesLeaf || int(nr) < t.Config.MinSamplesLeaf {
+				continue
+			}
+			g := (nl*giniImpurity(leftCounts, nl) + nr*giniImpurity(rightCounts, nr)) / n
+			if g < bestGini {
+				bestGini = g
+				feat = f
+				thr = (pairs[i].v + pairs[i+1].v) / 2
+				ok = true
+			}
+		}
+	}
+	return feat, thr, ok
+}
+
+func giniImpurity(counts []float64, n float64) float64 {
+	g := 1.0
+	for _, c := range counts {
+		p := c / n
+		g -= p * p
+	}
+	return g
+}
+
+// valueLabel pairs one feature value with its row's class label.
+type valueLabel struct {
+	v float64
+	y int
+}
+
+// giniAt evaluates a single threshold over pre-sorted pairs.
+func giniAt(pairs []valueLabel, cut float64, k, minLeaf int) (float64, bool) {
+	leftCounts := make([]float64, k)
+	rightCounts := make([]float64, k)
+	nl, nr := 0.0, 0.0
+	for _, p := range pairs {
+		if p.v <= cut {
+			leftCounts[p.y]++
+			nl++
+		} else {
+			rightCounts[p.y]++
+			nr++
+		}
+	}
+	if int(nl) < minLeaf || int(nr) < minLeaf {
+		return 0, false
+	}
+	n := nl + nr
+	return (nl*giniImpurity(leftCounts, nl) + nr*giniImpurity(rightCounts, nr)) / n, true
+}
+
+// Depth returns the depth of the fitted tree (0 for a lone leaf).
+func (t *Tree) Depth() int { return nodeDepth(t.root) }
+
+func nodeDepth(n *treeNode) int {
+	if n == nil || n.proba != nil {
+		return 0
+	}
+	l, r := nodeDepth(n.left), nodeDepth(n.right)
+	if l > r {
+		return l + 1
+	}
+	return r + 1
+}
+
+// --- regression tree (used by gradient boosting) ---
+
+// regTree is a small CART regression tree minimizing squared error.
+type regTree struct {
+	maxDepth       int
+	minSamplesLeaf int
+	root           *regNode
+}
+
+type regNode struct {
+	isLeaf      bool
+	value       float64
+	feature     int
+	threshold   float64
+	left, right *regNode
+}
+
+func (t *regTree) fit(X [][]float64, y []float64, r *rng.Rand) {
+	idx := make([]int, len(X))
+	for i := range idx {
+		idx[i] = i
+	}
+	t.root = t.build(X, y, idx, 0)
+	_ = r
+}
+
+func (t *regTree) build(X [][]float64, y []float64, idx []int, depth int) *regNode {
+	mean := 0.0
+	for _, i := range idx {
+		mean += y[i]
+	}
+	mean /= float64(len(idx))
+	if depth >= t.maxDepth || len(idx) < 2*t.minSamplesLeaf {
+		return &regNode{isLeaf: true, value: mean}
+	}
+	feat, thr, ok := t.bestSplit(X, y, idx)
+	if !ok {
+		return &regNode{isLeaf: true, value: mean}
+	}
+	var left, right []int
+	for _, i := range idx {
+		if X[i][feat] <= thr {
+			left = append(left, i)
+		} else {
+			right = append(right, i)
+		}
+	}
+	if len(left) < t.minSamplesLeaf || len(right) < t.minSamplesLeaf {
+		return &regNode{isLeaf: true, value: mean}
+	}
+	return &regNode{
+		feature:   feat,
+		threshold: thr,
+		left:      t.build(X, y, left, depth+1),
+		right:     t.build(X, y, right, depth+1),
+	}
+}
+
+func (t *regTree) bestSplit(X [][]float64, y []float64, idx []int) (feat int, thr float64, ok bool) {
+	nf := len(X[idx[0]])
+	type pair struct{ v, y float64 }
+	pairs := make([]pair, len(idx))
+	bestScore := math.Inf(1)
+	for f := 0; f < nf; f++ {
+		for pi, i := range idx {
+			pairs[pi] = pair{X[i][f], y[i]}
+		}
+		sort.Slice(pairs, func(a, b int) bool { return pairs[a].v < pairs[b].v })
+		if pairs[0].v == pairs[len(pairs)-1].v {
+			continue
+		}
+		sumL, sumR, sqL, sqR := 0.0, 0.0, 0.0, 0.0
+		for _, p := range pairs {
+			sumR += p.y
+			sqR += p.y * p.y
+		}
+		n := float64(len(pairs))
+		for i := 0; i < len(pairs)-1; i++ {
+			sumL += pairs[i].y
+			sqL += pairs[i].y * pairs[i].y
+			sumR -= pairs[i].y
+			sqR -= pairs[i].y * pairs[i].y
+			if pairs[i].v == pairs[i+1].v {
+				continue
+			}
+			nl := float64(i + 1)
+			nr := n - nl
+			if int(nl) < t.minSamplesLeaf || int(nr) < t.minSamplesLeaf {
+				continue
+			}
+			// Sum of squared errors around each child's mean.
+			score := (sqL - sumL*sumL/nl) + (sqR - sumR*sumR/nr)
+			if score < bestScore {
+				bestScore = score
+				feat = f
+				thr = (pairs[i].v + pairs[i+1].v) / 2
+				ok = true
+			}
+		}
+	}
+	return feat, thr, ok
+}
+
+func (t *regTree) predict(x []float64) float64 {
+	n := t.root
+	for !n.isLeaf {
+		if x[n.feature] <= n.threshold {
+			n = n.left
+		} else {
+			n = n.right
+		}
+	}
+	return n.value
+}

@@ -1,0 +1,106 @@
+package netsim
+
+import "fmt"
+
+// AQM selects the bottleneck queue discipline.
+type AQM int
+
+const (
+	// AQMDropTail drops arrivals when the buffer is full (the default).
+	AQMDropTail AQM = iota
+	// AQMRED runs Random Early Detection on the EWMA queue length,
+	// optionally marking (ECN) instead of dropping.
+	AQMRED
+)
+
+// String names the discipline.
+func (a AQM) String() string {
+	if a == AQMRED {
+		return "red"
+	}
+	return "droptail"
+}
+
+// REDConfig parameterizes Random Early Detection [Floyd & Jacobson 1993].
+type REDConfig struct {
+	// MinThresh and MaxThresh bound the early-action region, in packets
+	// of EWMA average queue length.
+	MinThresh, MaxThresh float64
+	// MaxP is the mark/drop probability as the average reaches MaxThresh.
+	MaxP float64
+	// Weight is the EWMA weight for the average queue length
+	// (default 0.002, the classic recommendation).
+	Weight float64
+	// ECN marks packets instead of dropping them in the early-action
+	// region (above MaxThresh, packets are always dropped).
+	ECN bool
+}
+
+// Validate reports configuration errors.
+func (c REDConfig) Validate() error {
+	if c.MinThresh < 0 || c.MaxThresh <= c.MinThresh {
+		return fmt.Errorf("netsim: RED thresholds min=%v max=%v invalid", c.MinThresh, c.MaxThresh)
+	}
+	if c.MaxP <= 0 || c.MaxP > 1 {
+		return fmt.Errorf("netsim: RED maxP %v outside (0,1]", c.MaxP)
+	}
+	if c.Weight < 0 || c.Weight > 1 {
+		return fmt.Errorf("netsim: RED weight %v outside [0,1]", c.Weight)
+	}
+	return nil
+}
+
+func (c REDConfig) withDefaults() REDConfig {
+	if c.Weight == 0 {
+		c.Weight = 0.002
+	}
+	return c
+}
+
+// redState tracks the EWMA average queue length and the count since the
+// last early action (the count term spaces marks out, per the paper).
+type redState struct {
+	cfg   REDConfig
+	avg   float64
+	count int
+}
+
+// redDecision is the outcome of RED admission control.
+type redDecision int
+
+const (
+	redEnqueue redDecision = iota
+	redMark
+	redDrop
+)
+
+// onArrival updates the average for the instantaneous queue length q and
+// decides what to do with the arriving packet.
+func (s *redState) onArrival(q int, rand func() float64) redDecision {
+	s.avg = (1-s.cfg.Weight)*s.avg + s.cfg.Weight*float64(q)
+	switch {
+	case s.avg < s.cfg.MinThresh:
+		s.count = 0
+		return redEnqueue
+	case s.avg >= s.cfg.MaxThresh:
+		s.count = 0
+		return redDrop
+	default:
+		s.count++
+		pb := s.cfg.MaxP * (s.avg - s.cfg.MinThresh) / (s.cfg.MaxThresh - s.cfg.MinThresh)
+		// Spacing correction: probability grows with packets since the
+		// last action.
+		pa := pb / (1 - float64(s.count)*pb)
+		if pa < 0 || pa > 1 {
+			pa = 1
+		}
+		if rand() < pa {
+			s.count = 0
+			if s.cfg.ECN {
+				return redMark
+			}
+			return redDrop
+		}
+		return redEnqueue
+	}
+}

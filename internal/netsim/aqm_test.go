@@ -1,0 +1,258 @@
+package netsim
+
+import (
+	"math"
+	"testing"
+
+	"github.com/netml/alefb/internal/netsim/cc"
+	"github.com/netml/alefb/internal/rng"
+)
+
+func TestREDConfigValidate(t *testing.T) {
+	bad := []REDConfig{
+		{MinThresh: -1, MaxThresh: 10, MaxP: 0.1},
+		{MinThresh: 10, MaxThresh: 10, MaxP: 0.1},
+		{MinThresh: 5, MaxThresh: 15, MaxP: 0},
+		{MinThresh: 5, MaxThresh: 15, MaxP: 1.5},
+		{MinThresh: 5, MaxThresh: 15, MaxP: 0.1, Weight: 2},
+	}
+	for _, cfg := range bad {
+		if cfg.Validate() == nil {
+			t.Fatalf("config %+v should be invalid", cfg)
+		}
+	}
+	good := REDConfig{MinThresh: 5, MaxThresh: 15, MaxP: 0.1}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLinkConfigValidatesRED(t *testing.T) {
+	cfg := LinkConfig{
+		RateMbps: 10, DelayMs: 10, QueuePackets: 100,
+		AQM: AQMRED,
+		RED: REDConfig{MinThresh: 10, MaxThresh: 5, MaxP: 0.1},
+	}
+	if cfg.Validate() == nil {
+		t.Fatal("bad RED config accepted through LinkConfig")
+	}
+}
+
+func TestRedStateRegions(t *testing.T) {
+	s := &redState{cfg: REDConfig{MinThresh: 5, MaxThresh: 15, MaxP: 0.5, Weight: 1}.withDefaults()}
+	constRand := func() float64 { return 0.99 } // never triggers probabilistic action
+	// Below min: always enqueue.
+	if got := s.onArrival(2, constRand); got != redEnqueue {
+		t.Fatalf("below min: %v", got)
+	}
+	// Above max: always drop.
+	if got := s.onArrival(50, constRand); got != redDrop {
+		t.Fatalf("above max: %v", got)
+	}
+	// In between with rand ~ 0: action fires.
+	zeroRand := func() float64 { return 0 }
+	s2 := &redState{cfg: REDConfig{MinThresh: 5, MaxThresh: 15, MaxP: 0.5, Weight: 1, ECN: true}}
+	if got := s2.onArrival(10, zeroRand); got != redMark {
+		t.Fatalf("ECN RED should mark, got %v", got)
+	}
+	s3 := &redState{cfg: REDConfig{MinThresh: 5, MaxThresh: 15, MaxP: 0.5, Weight: 1}}
+	if got := s3.onArrival(10, zeroRand); got != redDrop {
+		t.Fatalf("non-ECN RED should drop, got %v", got)
+	}
+}
+
+func TestRedEWMASmoothes(t *testing.T) {
+	s := &redState{cfg: REDConfig{MinThresh: 5, MaxThresh: 15, MaxP: 0.5, Weight: 0.002}}
+	r := func() float64 { return 0.99 }
+	// A single large instantaneous queue barely moves the average.
+	s.onArrival(1000, r)
+	if s.avg > 5 {
+		t.Fatalf("EWMA jumped to %v after one sample", s.avg)
+	}
+}
+
+func TestAQMString(t *testing.T) {
+	if AQMDropTail.String() != "droptail" || AQMRED.String() != "red" {
+		t.Fatal("AQM names wrong")
+	}
+}
+
+func TestREDMarksUnderLoad(t *testing.T) {
+	// Saturate a RED+ECN link: some packets must be marked, far fewer
+	// dropped than droptail would.
+	sim := NewSimulator()
+	link, err := NewLink(sim, LinkConfig{
+		RateMbps: 12, DelayMs: 5, QueuePackets: 100,
+		AQM: AQMRED,
+		RED: REDConfig{MinThresh: 5, MaxThresh: 50, MaxP: 0.2, Weight: 0.05, ECN: true},
+	}, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	markedSeen := 0
+	link.Deliver = func(p Packet, qd float64) {
+		if p.ECN {
+			markedSeen++
+		}
+	}
+	for burst := 0; burst < 40; burst++ {
+		for i := 0; i < 30; i++ {
+			link.Send(Packet{Seq: int64(burst*30 + i), Size: 1500})
+		}
+		sim.Run(float64(burst+1) * 0.05)
+	}
+	sim.Run(10)
+	if link.Marked() == 0 || markedSeen == 0 {
+		t.Fatalf("RED+ECN never marked (marked=%d seen=%d)", link.Marked(), markedSeen)
+	}
+}
+
+func TestECNKeepsQueueShortWithoutLoss(t *testing.T) {
+	// Cubic over RED+ECN: the mark signal should keep the queue shorter
+	// than droptail does, with (nearly) no packet loss.
+	red := LinkConfig{
+		RateMbps: 20, DelayMs: 20, QueuePackets: 400,
+		AQM: AQMRED,
+		RED: REDConfig{MinThresh: 10, MaxThresh: 60, MaxP: 0.1, Weight: 0.01, ECN: true},
+	}
+	droptail := LinkConfig{RateMbps: 20, DelayMs: 20, QueuePackets: 400}
+	run := func(link LinkConfig) Result {
+		res, err := Run(Config{Link: link, Flows: 1, Protocol: func() cc.Protocol { return cc.NewCubic() }, Duration: 3, Seed: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	withECN := run(red)
+	plain := run(droptail)
+	if withECN.MeanOWDMs >= plain.MeanOWDMs {
+		t.Fatalf("ECN delay %.1f ms >= droptail %.1f ms", withECN.MeanOWDMs, plain.MeanOWDMs)
+	}
+	if withECN.LossRate > plain.LossRate {
+		t.Fatalf("ECN loss %.3f exceeds droptail %.3f", withECN.LossRate, plain.LossRate)
+	}
+	if withECN.TotalThroughputMbps < 0.5*plain.TotalThroughputMbps {
+		t.Fatalf("ECN throughput collapsed: %.2f vs %.2f", withECN.TotalThroughputMbps, plain.TotalThroughputMbps)
+	}
+}
+
+func TestScreamReactsToECNGently(t *testing.T) {
+	s := cc.NewScream()
+	for i := 0; i < 100; i++ {
+		s.OnAck(cc.Ack{Now: float64(i) * 0.01, RTT: 0.05, Bytes: 1500})
+	}
+	before := s.Window()
+	s.OnAck(cc.Ack{Now: 2, RTT: 0.05, Bytes: 1500, ECN: true})
+	after := s.Window()
+	if math.Abs(after-before*0.8) > 1e-9 {
+		t.Fatalf("scream ECN response: %v -> %v, want x0.8", before, after)
+	}
+	// Loss response (x0.5) must be stronger than the ECN response.
+	s.OnLoss(3)
+	if got := s.Window(); math.Abs(got-after*0.5) > 1e-9 {
+		t.Fatalf("loss after ECN: %v -> %v, want x0.5", after, got)
+	}
+}
+
+func TestRenoCubicTreatECNAsLoss(t *testing.T) {
+	for _, p := range []cc.Protocol{cc.NewReno(), cc.NewCubic()} {
+		for i := 0; i < 50; i++ {
+			p.OnAck(cc.Ack{Now: float64(i) * 0.01, RTT: 0.05, Bytes: 1500})
+		}
+		before := p.Window()
+		p.OnAck(cc.Ack{Now: 2, RTT: 0.05, Bytes: 1500, ECN: true})
+		if p.Window() >= before {
+			t.Fatalf("%s ignored ECN mark", p.Name())
+		}
+	}
+}
+
+func TestRateScheduleChangesThroughput(t *testing.T) {
+	// 12 Mbps for 1 s, then 1.2 Mbps: delivered count in the second half
+	// must collapse by ~10x.
+	sim := NewSimulator()
+	link, err := NewLink(sim, LinkConfig{RateMbps: 12, DelayMs: 0, QueuePackets: 1 << 20}, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := link.SetRateSchedule([]RateStep{{At: 1.0, RateMbps: 1.2}}); err != nil {
+		t.Fatal(err)
+	}
+	var firstHalf, secondHalf int
+	link.Deliver = func(p Packet, qd float64) {
+		if sim.Now() < 1.0 {
+			firstHalf++
+		} else {
+			secondHalf++
+		}
+	}
+	for i := 0; i < 5000; i++ {
+		link.Send(Packet{Seq: int64(i), Size: 1500})
+	}
+	sim.Run(2.0)
+	if firstHalf < 950 || firstHalf > 1050 {
+		t.Fatalf("first half delivered %d, want ~1000", firstHalf)
+	}
+	if secondHalf < 80 || secondHalf > 120 {
+		t.Fatalf("second half delivered %d, want ~100", secondHalf)
+	}
+}
+
+func TestRateScheduleValidation(t *testing.T) {
+	sim := NewSimulator()
+	link, err := NewLink(sim, LinkConfig{RateMbps: 10, DelayMs: 1, QueuePackets: 10}, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := link.SetRateSchedule([]RateStep{{At: 0, RateMbps: -1}}); err == nil {
+		t.Fatal("negative rate accepted")
+	}
+	if err := link.SetRateSchedule([]RateStep{{At: 2, RateMbps: 1}, {At: 1, RateMbps: 1}}); err == nil {
+		t.Fatal("unsorted steps accepted")
+	}
+}
+
+func TestCurrentRate(t *testing.T) {
+	sim := NewSimulator()
+	link, _ := NewLink(sim, LinkConfig{RateMbps: 10, DelayMs: 1, QueuePackets: 10}, rng.New(1))
+	if err := link.SetRateSchedule([]RateStep{{At: 1, RateMbps: 20}, {At: 2, RateMbps: 5}}); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct{ t, want float64 }{{0, 10}, {0.99, 10}, {1, 20}, {1.5, 20}, {2, 5}, {99, 5}}
+	for _, c := range cases {
+		if got := link.currentRate(c.t); got != c.want {
+			t.Fatalf("currentRate(%v) = %v, want %v", c.t, got, c.want)
+		}
+	}
+}
+
+func TestJainIndex(t *testing.T) {
+	if got := JainIndex([]float64{1, 1, 1, 1}); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("equal allocation index %v", got)
+	}
+	if got := JainIndex([]float64{1, 0, 0, 0}); math.Abs(got-0.25) > 1e-12 {
+		t.Fatalf("hog allocation index %v", got)
+	}
+	if got := JainIndex(nil); got != 0 {
+		t.Fatalf("empty index %v", got)
+	}
+	if got := JainIndex([]float64{0, 0}); got != 0 {
+		t.Fatalf("all-zero index %v", got)
+	}
+}
+
+func TestMultiFlowFairnessReported(t *testing.T) {
+	res, err := Run(Config{
+		Link:     LinkConfig{RateMbps: 10, DelayMs: 10, QueuePackets: 100},
+		Flows:    4,
+		Protocol: func() cc.Protocol { return cc.NewReno() },
+		Duration: 3,
+		Seed:     5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FairnessIndex < 0.5 || res.FairnessIndex > 1 {
+		t.Fatalf("fairness index %v out of plausible range", res.FairnessIndex)
+	}
+}

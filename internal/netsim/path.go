@@ -1,0 +1,102 @@
+package netsim
+
+import (
+	"errors"
+
+	"github.com/netml/alefb/internal/rng"
+)
+
+// Path chains several links in series (a "parking-lot" topology): a packet
+// traverses every hop in order, accumulating queueing delay, and can be
+// dropped at any hop. The single-bottleneck experiments in this repository
+// do not need it, but multi-hop paths are where delay-based protocols'
+// base-RTT estimates get interesting, so the substrate supports them.
+type Path struct {
+	sim   *Simulator
+	links []*Link
+
+	// Deliver is invoked at the far end with the total queueing (+
+	// serialization) delay accumulated over all hops.
+	Deliver func(p Packet, totalQueueDelay float64)
+	// OnDrop is invoked when a packet dies at hop `hop` (0-based);
+	// random reports random loss vs queue overflow.
+	OnDrop func(p Packet, hop int, random bool)
+
+	// inTransit accumulates per-packet queue delay across hops, keyed by
+	// (FlowID, Seq).
+	inTransit map[pathKey]float64
+}
+
+type pathKey struct {
+	flow int
+	seq  int64
+}
+
+// NewPath builds a serial chain of links on the simulator. Each hop gets
+// an independent loss process split from r.
+func NewPath(sim *Simulator, cfgs []LinkConfig, r *rng.Rand) (*Path, error) {
+	if len(cfgs) == 0 {
+		return nil, errors.New("netsim: path needs at least one hop")
+	}
+	p := &Path{sim: sim, inTransit: make(map[pathKey]float64)}
+	for i, cfg := range cfgs {
+		link, err := NewLink(sim, cfg, r.Split())
+		if err != nil {
+			return nil, err
+		}
+		p.links = append(p.links, link)
+		hop := i
+		link.OnDrop = func(pkt Packet, random bool) {
+			delete(p.inTransit, pathKey{pkt.FlowID, pkt.Seq})
+			if p.OnDrop != nil {
+				p.OnDrop(pkt, hop, random)
+			}
+		}
+	}
+	for i, link := range p.links {
+		hop := i
+		link.Deliver = func(pkt Packet, qd float64) {
+			key := pathKey{pkt.FlowID, pkt.Seq}
+			p.inTransit[key] += qd
+			if hop+1 < len(p.links) {
+				p.links[hop+1].Send(pkt)
+				return
+			}
+			total := p.inTransit[key]
+			delete(p.inTransit, key)
+			if p.Deliver != nil {
+				p.Deliver(pkt, total)
+			}
+		}
+	}
+	return p, nil
+}
+
+// Send injects a packet at the first hop. It returns false if the packet
+// was dropped immediately at hop 0.
+func (p *Path) Send(pkt Packet) bool {
+	p.inTransit[pathKey{pkt.FlowID, pkt.Seq}] = 0
+	if !p.links[0].Send(pkt) {
+		return false
+	}
+	return true
+}
+
+// Hops returns the number of links in the path.
+func (p *Path) Hops() int { return len(p.links) }
+
+// Link returns hop i's link for inspection.
+func (p *Path) Link(i int) *Link { return p.links[i] }
+
+// TotalPropagationMs sums the hops' one-way propagation delays.
+func (p *Path) TotalPropagationMs() float64 {
+	total := 0.0
+	for _, l := range p.links {
+		total += l.Config().DelayMs
+	}
+	return total
+}
+
+// InTransit returns the number of packets currently traversing the path
+// (accepted at hop 0 and neither delivered nor dropped yet).
+func (p *Path) InTransit() int { return len(p.inTransit) }

@@ -1,0 +1,102 @@
+package netsim
+
+import (
+	"fmt"
+
+	"github.com/netml/alefb/internal/rng"
+)
+
+// TraceConfig parameterizes synthetic bandwidth traces in the style of the
+// cellular traces Pantheon/mahimahi replay: a mean-reverting random walk
+// sampled at a fixed interval.
+type TraceConfig struct {
+	// Duration of the trace in seconds.
+	Duration float64
+	// Interval between rate changes in seconds (default 0.1).
+	Interval float64
+	// MeanMbps is the long-run average rate.
+	MeanMbps float64
+	// Volatility is the per-step standard deviation as a fraction of the
+	// mean (default 0.25).
+	Volatility float64
+	// Reversion pulls the walk back toward the mean per step, in (0, 1]
+	// (default 0.2).
+	Reversion float64
+	// MinMbps floors the rate (default MeanMbps/20, at least 0.1).
+	MinMbps float64
+}
+
+func (c TraceConfig) withDefaults() TraceConfig {
+	if c.Interval <= 0 {
+		c.Interval = 0.1
+	}
+	if c.Volatility <= 0 {
+		c.Volatility = 0.25
+	}
+	if c.Reversion <= 0 || c.Reversion > 1 {
+		c.Reversion = 0.2
+	}
+	if c.MinMbps <= 0 {
+		c.MinMbps = c.MeanMbps / 20
+		if c.MinMbps < 0.1 {
+			c.MinMbps = 0.1
+		}
+	}
+	return c
+}
+
+// Validate reports configuration errors.
+func (c TraceConfig) Validate() error {
+	if c.Duration <= 0 {
+		return fmt.Errorf("netsim: trace duration %v <= 0", c.Duration)
+	}
+	if c.MeanMbps <= 0 {
+		return fmt.Errorf("netsim: trace mean rate %v <= 0", c.MeanMbps)
+	}
+	return nil
+}
+
+// GenerateCellularTrace produces a bandwidth schedule resembling a mobile
+// link: rate steps every Interval seconds following a mean-reverting
+// random walk (an AR(1)/Ornstein-Uhlenbeck discretization), floored at
+// MinMbps. The result can be installed with Link.SetRateSchedule.
+func GenerateCellularTrace(cfg TraceConfig, r *rng.Rand) ([]RateStep, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	steps := make([]RateStep, 0, int(cfg.Duration/cfg.Interval)+1)
+	rate := cfg.MeanMbps
+	for t := 0.0; t <= cfg.Duration; t += cfg.Interval {
+		rate += cfg.Reversion*(cfg.MeanMbps-rate) + r.Normal(0, cfg.Volatility*cfg.MeanMbps)
+		if rate < cfg.MinMbps {
+			rate = cfg.MinMbps
+		}
+		steps = append(steps, RateStep{At: t, RateMbps: rate})
+	}
+	return steps, nil
+}
+
+// TraceMeanMbps returns the time-weighted mean rate of a schedule over
+// [0, duration], assuming the last step's rate holds to the end.
+func TraceMeanMbps(steps []RateStep, duration float64) float64 {
+	if len(steps) == 0 || duration <= 0 {
+		return 0
+	}
+	total := 0.0
+	for i, st := range steps {
+		end := duration
+		if i+1 < len(steps) && steps[i+1].At < duration {
+			end = steps[i+1].At
+		}
+		if st.At >= duration {
+			break
+		}
+		total += st.RateMbps * (end - st.At)
+	}
+	// Account for time before the first step at the first step's rate.
+	if steps[0].At > 0 {
+		total += steps[0].RateMbps * steps[0].At
+	}
+	return total / duration
+}

@@ -1,0 +1,115 @@
+package netsim
+
+import (
+	"math"
+	"testing"
+
+	"github.com/netml/alefb/internal/netsim/cc"
+	"github.com/netml/alefb/internal/rng"
+)
+
+func TestGenerateCellularTraceShape(t *testing.T) {
+	r := rng.New(1)
+	steps, err := GenerateCellularTrace(TraceConfig{Duration: 10, MeanMbps: 20}, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(steps) < 90 {
+		t.Fatalf("trace has %d steps for 10 s at 0.1 s interval", len(steps))
+	}
+	for i, st := range steps {
+		if st.RateMbps <= 0 {
+			t.Fatalf("step %d rate %v", i, st.RateMbps)
+		}
+		if i > 0 && st.At <= steps[i-1].At {
+			t.Fatalf("steps not increasing at %d", i)
+		}
+	}
+	// The long-run mean should be near the configured mean.
+	mean := TraceMeanMbps(steps, 10)
+	if math.Abs(mean-20) > 5 {
+		t.Fatalf("trace mean %.2f, want ~20", mean)
+	}
+	// The trace must actually vary.
+	varies := false
+	for i := 1; i < len(steps); i++ {
+		if math.Abs(steps[i].RateMbps-steps[0].RateMbps) > 1 {
+			varies = true
+			break
+		}
+	}
+	if !varies {
+		t.Fatal("trace is flat")
+	}
+}
+
+func TestGenerateCellularTraceValidation(t *testing.T) {
+	r := rng.New(2)
+	if _, err := GenerateCellularTrace(TraceConfig{Duration: 0, MeanMbps: 10}, r); err == nil {
+		t.Fatal("zero duration accepted")
+	}
+	if _, err := GenerateCellularTrace(TraceConfig{Duration: 5, MeanMbps: 0}, r); err == nil {
+		t.Fatal("zero mean accepted")
+	}
+}
+
+func TestTraceFloor(t *testing.T) {
+	r := rng.New(3)
+	steps, err := GenerateCellularTrace(TraceConfig{
+		Duration: 20, MeanMbps: 5, Volatility: 2, MinMbps: 1,
+	}, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, st := range steps {
+		if st.RateMbps < 1 {
+			t.Fatalf("rate %v below floor", st.RateMbps)
+		}
+	}
+}
+
+func TestTraceMeanMbps(t *testing.T) {
+	steps := []RateStep{{At: 0, RateMbps: 10}, {At: 5, RateMbps: 20}}
+	if got := TraceMeanMbps(steps, 10); got != 15 {
+		t.Fatalf("mean = %v, want 15", got)
+	}
+	if got := TraceMeanMbps(nil, 10); got != 0 {
+		t.Fatalf("empty mean = %v", got)
+	}
+	// First step later than 0: its rate backfills the gap.
+	steps = []RateStep{{At: 5, RateMbps: 10}}
+	if got := TraceMeanMbps(steps, 10); got != 10 {
+		t.Fatalf("backfilled mean = %v", got)
+	}
+}
+
+func TestProtocolsSurviveVariableRate(t *testing.T) {
+	// End-to-end: every protocol must keep working over a fluctuating
+	// cellular-like link without crashing or stalling completely.
+	r := rng.New(4)
+	trace, err := GenerateCellularTrace(TraceConfig{Duration: 4, MeanMbps: 15}, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, factory := range cc.Registry(1500) {
+		sim := NewSimulator()
+		link, err := NewLink(sim, LinkConfig{RateMbps: 15, DelayMs: 20, QueuePackets: 150}, rng.New(5))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := link.SetRateSchedule(trace); err != nil {
+			t.Fatal(err)
+		}
+		f := &Flow{
+			id: 0, sim: sim, link: link, proto: factory(),
+			pktSize: 1500, stopAt: 4, warmup: 0.5, srtt: 0.04,
+		}
+		link.Deliver = func(p Packet, qd float64) { f.onDeliver(p, qd) }
+		link.OnDrop = func(p Packet, random bool) { f.onDrop(p) }
+		sim.Schedule(0, f.start)
+		sim.Run(4)
+		if f.acked == 0 {
+			t.Errorf("%s delivered nothing over a variable-rate link", name)
+		}
+	}
+}

@@ -1,0 +1,156 @@
+package plot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Heatmap renders a matrix (e.g. a second-order ALE surface) as a colour
+// grid. Values[i][j] is drawn at (X[i], Y[j]); the colour scale is a
+// symmetric blue-white-red diverging map centred at zero.
+type Heatmap struct {
+	Title  string
+	XLabel string
+	YLabel string
+	X, Y   []float64
+	Values [][]float64
+}
+
+// valueRange returns the symmetric colour-scale bound.
+func (h *Heatmap) valueRange() float64 {
+	bound := 0.0
+	for _, row := range h.Values {
+		for _, v := range row {
+			if a := math.Abs(v); a > bound {
+				bound = a
+			}
+		}
+	}
+	if bound == 0 {
+		bound = 1
+	}
+	return bound
+}
+
+// divergingColor maps t in [-1, 1] to a blue-white-red hex colour.
+func divergingColor(t float64) string {
+	if t < -1 {
+		t = -1
+	}
+	if t > 1 {
+		t = 1
+	}
+	var r, g, b int
+	if t < 0 {
+		// blue (0,0,255) -> white
+		f := 1 + t
+		r = int(255 * f)
+		g = int(255 * f)
+		b = 255
+	} else {
+		// white -> red (255,0,0)
+		f := 1 - t
+		r = 255
+		g = int(255 * f)
+		b = int(255 * f)
+	}
+	return fmt.Sprintf("#%02x%02x%02x", r, g, b)
+}
+
+// asciiShades maps |t| in [0,1] to a density glyph.
+var asciiShades = []byte{' ', '.', ':', '+', '*', '#'}
+
+// RenderASCII draws the heatmap with +/- glyph densities: '#' is a strong
+// effect, sign shown by the leading row legend.
+func (h *Heatmap) RenderASCII() string {
+	var sb strings.Builder
+	if h.Title != "" {
+		fmt.Fprintf(&sb, "%s\n", h.Title)
+	}
+	if len(h.Values) == 0 {
+		sb.WriteString("  (empty)\n")
+		return sb.String()
+	}
+	bound := h.valueRange()
+	// Render with Y on rows (descending) and X on columns.
+	cols := len(h.Values)
+	rows := len(h.Values[0])
+	for j := rows - 1; j >= 0; j-- {
+		sb.WriteString("  |")
+		for i := 0; i < cols; i++ {
+			v := h.Values[i][j] / bound
+			idx := int(math.Abs(v) * float64(len(asciiShades)-1))
+			if idx >= len(asciiShades) {
+				idx = len(asciiShades) - 1
+			}
+			ch := asciiShades[idx]
+			if v < -0.2 {
+				// Negative cells render as '-' flavoured shades.
+				switch {
+				case idx >= 4:
+					ch = 'N'
+				case idx >= 2:
+					ch = 'n'
+				default:
+					ch = '-'
+				}
+			}
+			sb.WriteByte(ch)
+		}
+		sb.WriteString("|\n")
+	}
+	fmt.Fprintf(&sb, "  +%s+\n", strings.Repeat("-", cols))
+	fmt.Fprintf(&sb, "  x: %s (%.4g..%.4g)  y: %s (%.4g..%.4g)  |max|=%.4g\n",
+		h.XLabel, first(h.X), last(h.X), h.YLabel, first(h.Y), last(h.Y), bound)
+	sb.WriteString("  legend: ' .:+*#' positive, '-nN' negative\n")
+	return sb.String()
+}
+
+// RenderSVG draws the heatmap as an SVG grid.
+func (h *Heatmap) RenderSVG(width, height int) string {
+	const margin = 50
+	var sb strings.Builder
+	fmt.Fprintf(&sb, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n", width, height, width, height)
+	fmt.Fprintf(&sb, `<rect width="%d" height="%d" fill="white"/>`+"\n", width, height)
+	if h.Title != "" {
+		fmt.Fprintf(&sb, `<text x="%d" y="20" text-anchor="middle" font-family="sans-serif" font-size="14">%s</text>`+"\n", width/2, xmlEscape(h.Title))
+	}
+	if len(h.Values) == 0 {
+		sb.WriteString("</svg>\n")
+		return sb.String()
+	}
+	bound := h.valueRange()
+	cols := len(h.Values)
+	rows := len(h.Values[0])
+	cw := float64(width-2*margin) / float64(cols)
+	ch := float64(height-2*margin) / float64(rows)
+	for i := 0; i < cols; i++ {
+		for j := 0; j < rows; j++ {
+			x := float64(margin) + float64(i)*cw
+			y := float64(height-margin) - float64(j+1)*ch
+			fmt.Fprintf(&sb, `<rect x="%.2f" y="%.2f" width="%.2f" height="%.2f" fill="%s"/>`+"\n",
+				x, y, cw+0.5, ch+0.5, divergingColor(h.Values[i][j]/bound))
+		}
+	}
+	fmt.Fprintf(&sb, `<text x="%d" y="%d" text-anchor="middle" font-family="sans-serif" font-size="12">%s</text>`+"\n", width/2, height-10, xmlEscape(h.XLabel))
+	fmt.Fprintf(&sb, `<text x="15" y="%d" text-anchor="middle" font-family="sans-serif" font-size="12" transform="rotate(-90 15 %d)">%s</text>`+"\n", height/2, height/2, xmlEscape(h.YLabel))
+	fmt.Fprintf(&sb, `<text x="%d" y="%d" font-family="sans-serif" font-size="10">%.4g</text>`+"\n", margin, height-margin+15, first(h.X))
+	fmt.Fprintf(&sb, `<text x="%d" y="%d" text-anchor="end" font-family="sans-serif" font-size="10">%.4g</text>`+"\n", width-margin, height-margin+15, last(h.X))
+	sb.WriteString("</svg>\n")
+	return sb.String()
+}
+
+func first(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	return xs[0]
+}
+
+func last(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	return xs[len(xs)-1]
+}

@@ -1,0 +1,82 @@
+package plot
+
+import (
+	"strings"
+	"testing"
+)
+
+func demoHeatmap() *Heatmap {
+	return &Heatmap{
+		Title:  "interaction surface",
+		XLabel: "x0",
+		YLabel: "x1",
+		X:      []float64{0, 0.5, 1},
+		Y:      []float64{0, 0.5, 1},
+		Values: [][]float64{
+			{0.5, 0, -0.5},
+			{0, 0, 0},
+			{-0.5, 0, 0.5},
+		},
+	}
+}
+
+func TestHeatmapASCII(t *testing.T) {
+	out := demoHeatmap().RenderASCII()
+	if !strings.Contains(out, "interaction surface") {
+		t.Fatal("missing title")
+	}
+	if !strings.Contains(out, "legend") {
+		t.Fatal("missing legend")
+	}
+	// Strong positive and negative cells must render distinctly.
+	if !strings.Contains(out, "#") || !strings.Contains(out, "N") {
+		t.Fatalf("shading missing:\n%s", out)
+	}
+}
+
+func TestHeatmapASCIIEmpty(t *testing.T) {
+	h := &Heatmap{Title: "empty"}
+	if out := h.RenderASCII(); !strings.Contains(out, "(empty)") {
+		t.Fatal("empty heatmap render broken")
+	}
+}
+
+func TestHeatmapSVG(t *testing.T) {
+	out := demoHeatmap().RenderSVG(400, 300)
+	if strings.Count(out, "<rect") < 9 {
+		t.Fatal("missing cells")
+	}
+	if !strings.Contains(out, "</svg>") {
+		t.Fatal("unterminated svg")
+	}
+	// Positive extreme red, negative extreme blue.
+	if !strings.Contains(out, "#ff0000") || !strings.Contains(out, "#0000ff") {
+		t.Fatal("diverging colour extremes missing")
+	}
+}
+
+func TestDivergingColor(t *testing.T) {
+	if got := divergingColor(0); got != "#ffffff" {
+		t.Fatalf("zero colour %s", got)
+	}
+	if got := divergingColor(1); got != "#ff0000" {
+		t.Fatalf("positive colour %s", got)
+	}
+	if got := divergingColor(-1); got != "#0000ff" {
+		t.Fatalf("negative colour %s", got)
+	}
+	// Out-of-range values clamp.
+	if divergingColor(5) != divergingColor(1) {
+		t.Fatal("clamp broken")
+	}
+}
+
+func TestHeatmapAllZeros(t *testing.T) {
+	h := &Heatmap{
+		X: []float64{0, 1}, Y: []float64{0, 1},
+		Values: [][]float64{{0, 0}, {0, 0}},
+	}
+	// Must not divide by zero.
+	_ = h.RenderASCII()
+	_ = h.RenderSVG(200, 200)
+}

@@ -1,0 +1,215 @@
+// Package plot renders the ALE plots the feedback solution shows its
+// users (paper Figures 1 and 2): line charts with error bars/bands, as
+// ASCII for terminals and SVG for reports. Only the standard library is
+// used; the SVG output is plain hand-assembled markup.
+package plot
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"strings"
+)
+
+// Series is one curve: Y over X with optional symmetric error YErr.
+type Series struct {
+	Label string
+	X, Y  []float64
+	YErr  []float64
+}
+
+// Plot is a single chart.
+type Plot struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+	// HLines draws horizontal reference lines (e.g. the threshold T).
+	HLines []float64
+}
+
+// bounds computes the data extent including error bars and HLines.
+func (p *Plot) bounds() (xmin, xmax, ymin, ymax float64) {
+	xmin, ymin = math.Inf(1), math.Inf(1)
+	xmax, ymax = math.Inf(-1), math.Inf(-1)
+	for _, s := range p.Series {
+		for i := range s.X {
+			e := 0.0
+			if i < len(s.YErr) {
+				e = s.YErr[i]
+			}
+			xmin = math.Min(xmin, s.X[i])
+			xmax = math.Max(xmax, s.X[i])
+			ymin = math.Min(ymin, s.Y[i]-e)
+			ymax = math.Max(ymax, s.Y[i]+e)
+		}
+	}
+	for _, h := range p.HLines {
+		ymin = math.Min(ymin, h)
+		ymax = math.Max(ymax, h)
+	}
+	if math.IsInf(xmin, 1) {
+		xmin, xmax, ymin, ymax = 0, 1, 0, 1
+	}
+	if xmin == xmax {
+		xmax = xmin + 1
+	}
+	if ymin == ymax {
+		ymax = ymin + 1
+	}
+	return xmin, xmax, ymin, ymax
+}
+
+// markers cycles through per-series ASCII glyphs.
+var markers = []byte{'*', 'o', '+', 'x', '#'}
+
+// RenderASCII draws the plot into a width x height character canvas
+// (excluding axis labels). Error bars render as vertical '|' spans.
+func (p *Plot) RenderASCII(width, height int) string {
+	if width < 16 {
+		width = 16
+	}
+	if height < 6 {
+		height = 6
+	}
+	xmin, xmax, ymin, ymax := p.bounds()
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	col := func(x float64) int {
+		c := int((x - xmin) / (xmax - xmin) * float64(width-1))
+		if c < 0 {
+			c = 0
+		}
+		if c >= width {
+			c = width - 1
+		}
+		return c
+	}
+	row := func(y float64) int {
+		rr := int((ymax - y) / (ymax - ymin) * float64(height-1))
+		if rr < 0 {
+			rr = 0
+		}
+		if rr >= height {
+			rr = height - 1
+		}
+		return rr
+	}
+	for _, h := range p.HLines {
+		rr := row(h)
+		for c := 0; c < width; c++ {
+			grid[rr][c] = '-'
+		}
+	}
+	for si, s := range p.Series {
+		mark := markers[si%len(markers)]
+		for i := range s.X {
+			c := col(s.X[i])
+			if i < len(s.YErr) && s.YErr[i] > 0 {
+				top, bot := row(s.Y[i]+s.YErr[i]), row(s.Y[i]-s.YErr[i])
+				for rr := top; rr <= bot; rr++ {
+					if grid[rr][c] == ' ' || grid[rr][c] == '-' {
+						grid[rr][c] = '|'
+					}
+				}
+			}
+			grid[row(s.Y[i])][c] = mark
+		}
+	}
+	var sb strings.Builder
+	if p.Title != "" {
+		fmt.Fprintf(&sb, "%s\n", p.Title)
+	}
+	for _, line := range grid {
+		fmt.Fprintf(&sb, "  |%s\n", string(line))
+	}
+	fmt.Fprintf(&sb, "  +%s\n", strings.Repeat("-", width))
+	fmt.Fprintf(&sb, "   %-*.4g%*.4g\n", width/2, xmin, width-width/2, xmax)
+	if p.XLabel != "" || p.YLabel != "" {
+		fmt.Fprintf(&sb, "   x: %s   y: %s (%.4g..%.4g)\n", p.XLabel, p.YLabel, ymin, ymax)
+	}
+	for si, s := range p.Series {
+		if s.Label != "" {
+			fmt.Fprintf(&sb, "   %c %s\n", markers[si%len(markers)], s.Label)
+		}
+	}
+	return sb.String()
+}
+
+// seriesColors cycles through SVG stroke colours.
+var seriesColors = []string{"#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e"}
+
+// RenderSVG draws the plot as a standalone SVG document. Error bars render
+// as a translucent band around each series.
+func (p *Plot) RenderSVG(width, height int) string {
+	const margin = 50
+	xmin, xmax, ymin, ymax := p.bounds()
+	px := func(x float64) float64 {
+		return margin + (x-xmin)/(xmax-xmin)*float64(width-2*margin)
+	}
+	py := func(y float64) float64 {
+		return float64(height-margin) - (y-ymin)/(ymax-ymin)*float64(height-2*margin)
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n", width, height, width, height)
+	fmt.Fprintf(&sb, `<rect width="%d" height="%d" fill="white"/>`+"\n", width, height)
+	if p.Title != "" {
+		fmt.Fprintf(&sb, `<text x="%d" y="20" text-anchor="middle" font-family="sans-serif" font-size="14">%s</text>`+"\n", width/2, xmlEscape(p.Title))
+	}
+	// Axes.
+	fmt.Fprintf(&sb, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`+"\n", margin, height-margin, width-margin, height-margin)
+	fmt.Fprintf(&sb, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`+"\n", margin, margin, margin, height-margin)
+	// Tick labels at the extremes.
+	fmt.Fprintf(&sb, `<text x="%d" y="%d" font-family="sans-serif" font-size="10">%.4g</text>`+"\n", margin, height-margin+15, xmin)
+	fmt.Fprintf(&sb, `<text x="%d" y="%d" text-anchor="end" font-family="sans-serif" font-size="10">%.4g</text>`+"\n", width-margin, height-margin+15, xmax)
+	fmt.Fprintf(&sb, `<text x="%d" y="%d" text-anchor="end" font-family="sans-serif" font-size="10">%.4g</text>`+"\n", margin-5, height-margin, ymin)
+	fmt.Fprintf(&sb, `<text x="%d" y="%d" text-anchor="end" font-family="sans-serif" font-size="10">%.4g</text>`+"\n", margin-5, margin+5, ymax)
+	if p.XLabel != "" {
+		fmt.Fprintf(&sb, `<text x="%d" y="%d" text-anchor="middle" font-family="sans-serif" font-size="12">%s</text>`+"\n", width/2, height-10, xmlEscape(p.XLabel))
+	}
+	if p.YLabel != "" {
+		fmt.Fprintf(&sb, `<text x="15" y="%d" text-anchor="middle" font-family="sans-serif" font-size="12" transform="rotate(-90 15 %d)">%s</text>`+"\n", height/2, height/2, xmlEscape(p.YLabel))
+	}
+	for _, h := range p.HLines {
+		fmt.Fprintf(&sb, `<line x1="%d" y1="%.2f" x2="%d" y2="%.2f" stroke="gray" stroke-dasharray="4 3"/>`+"\n", margin, py(h), width-margin, py(h))
+	}
+	for si, s := range p.Series {
+		color := seriesColors[si%len(seriesColors)]
+		if len(s.YErr) == len(s.Y) && len(s.Y) > 1 {
+			var pts []string
+			for i := range s.X {
+				pts = append(pts, fmt.Sprintf("%.2f,%.2f", px(s.X[i]), py(s.Y[i]+s.YErr[i])))
+			}
+			for i := len(s.X) - 1; i >= 0; i-- {
+				pts = append(pts, fmt.Sprintf("%.2f,%.2f", px(s.X[i]), py(s.Y[i]-s.YErr[i])))
+			}
+			fmt.Fprintf(&sb, `<polygon points="%s" fill="%s" fill-opacity="0.18" stroke="none"/>`+"\n", strings.Join(pts, " "), color)
+		}
+		var pts []string
+		for i := range s.X {
+			pts = append(pts, fmt.Sprintf("%.2f,%.2f", px(s.X[i]), py(s.Y[i])))
+		}
+		fmt.Fprintf(&sb, `<polyline points="%s" fill="none" stroke="%s" stroke-width="1.5"/>`+"\n", strings.Join(pts, " "), color)
+		if s.Label != "" {
+			fmt.Fprintf(&sb, `<text x="%d" y="%d" font-family="sans-serif" font-size="11" fill="%s">%s</text>`+"\n", width-margin-150, margin+15*(si+1), color, xmlEscape(s.Label))
+		}
+	}
+	sb.WriteString("</svg>\n")
+	return sb.String()
+}
+
+// WriteSVGFile renders the plot and writes it to path.
+func (p *Plot) WriteSVGFile(path string, width, height int) error {
+	if err := os.WriteFile(path, []byte(p.RenderSVG(width, height)), 0o644); err != nil {
+		return fmt.Errorf("plot: write %s: %w", path, err)
+	}
+	return nil
+}
+
+// xmlEscape escapes the five XML special characters.
+func xmlEscape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;", "'", "&apos;")
+	return r.Replace(s)
+}

@@ -1,0 +1,126 @@
+package plot
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func demoPlot() *Plot {
+	return &Plot{
+		Title:  "ALE for config.link_rate",
+		XLabel: "config.link_rate",
+		YLabel: "ALE",
+		Series: []Series{{
+			Label: "mean ALE",
+			X:     []float64{0, 25, 50, 75, 100, 125},
+			Y:     []float64{-0.2, -0.1, 0, 0.05, 0.1, 0.2},
+			YErr:  []float64{0.08, 0.02, 0.01, 0.01, 0.03, 0.09},
+		}},
+		HLines: []float64{0.02},
+	}
+}
+
+func TestRenderASCIIContainsStructure(t *testing.T) {
+	out := demoPlot().RenderASCII(60, 12)
+	if !strings.Contains(out, "ALE for config.link_rate") {
+		t.Fatal("missing title")
+	}
+	if !strings.Contains(out, "*") {
+		t.Fatal("missing data marker")
+	}
+	if !strings.Contains(out, "|") {
+		t.Fatal("missing error bars")
+	}
+	if !strings.Contains(out, "-") {
+		t.Fatal("missing threshold line")
+	}
+	if !strings.Contains(out, "mean ALE") {
+		t.Fatal("missing legend")
+	}
+	lines := strings.Split(out, "\n")
+	if len(lines) < 14 {
+		t.Fatalf("too few lines: %d", len(lines))
+	}
+}
+
+func TestRenderASCIITinyDimensionsClamped(t *testing.T) {
+	out := demoPlot().RenderASCII(1, 1)
+	if len(out) == 0 {
+		t.Fatal("empty render")
+	}
+}
+
+func TestRenderASCIIEmptyPlot(t *testing.T) {
+	p := &Plot{Title: "empty"}
+	out := p.RenderASCII(40, 8)
+	if !strings.Contains(out, "empty") {
+		t.Fatal("empty plot render broken")
+	}
+}
+
+func TestRenderSVGWellFormed(t *testing.T) {
+	out := demoPlot().RenderSVG(640, 400)
+	for _, want := range []string{"<svg", "</svg>", "<polyline", "<polygon", "stroke-dasharray"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("SVG missing %q", want)
+		}
+	}
+	if strings.Count(out, "<svg") != 1 {
+		t.Fatal("multiple svg roots")
+	}
+}
+
+func TestSVGEscapesLabels(t *testing.T) {
+	p := &Plot{
+		Title:  `a<b & "c"`,
+		Series: []Series{{X: []float64{0, 1}, Y: []float64{0, 1}}},
+	}
+	out := p.RenderSVG(200, 200)
+	if strings.Contains(out, `a<b`) {
+		t.Fatal("title not escaped")
+	}
+	if !strings.Contains(out, "a&lt;b &amp; &quot;c&quot;") {
+		t.Fatal("escape output wrong")
+	}
+}
+
+func TestWriteSVGFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "fig.svg")
+	if err := demoPlot().WriteSVGFile(path, 640, 400); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(b), "<svg") {
+		t.Fatal("file does not start with <svg")
+	}
+}
+
+func TestWriteSVGFileBadPath(t *testing.T) {
+	if err := demoPlot().WriteSVGFile("/nonexistent-dir/fig.svg", 100, 100); err == nil {
+		t.Fatal("expected error for bad path")
+	}
+}
+
+func TestDegenerateRanges(t *testing.T) {
+	p := &Plot{Series: []Series{{X: []float64{5, 5}, Y: []float64{3, 3}}}}
+	// Must not panic or divide by zero.
+	_ = p.RenderASCII(40, 8)
+	_ = p.RenderSVG(300, 200)
+}
+
+func TestMultipleSeriesMarkers(t *testing.T) {
+	p := &Plot{Series: []Series{
+		{Label: "a", X: []float64{0, 1}, Y: []float64{0, 1}},
+		{Label: "b", X: []float64{0, 1}, Y: []float64{1, 0}},
+	}}
+	out := p.RenderASCII(40, 8)
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Fatal("series markers not distinct")
+	}
+}

@@ -1,0 +1,279 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams diverged at step %d", i)
+		}
+	}
+}
+
+func TestSeedsDiffer(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("seeds 1 and 2 collided %d/100 times", same)
+	}
+}
+
+func TestZeroSeedIsValid(t *testing.T) {
+	r := New(0)
+	if r.Uint64() == 0 && r.Uint64() == 0 && r.Uint64() == 0 {
+		t.Fatal("zero seed produced a degenerate stream")
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(7)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of [0,1): %v", f)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	r := New(7)
+	sum := 0.0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		sum += r.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("Float64 mean = %v, want ~0.5", mean)
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	r := New(3)
+	counts := make([]int, 7)
+	for i := 0; i < 70000; i++ {
+		counts[r.Intn(7)]++
+	}
+	for v, c := range counts {
+		if c < 8000 || c > 12000 {
+			t.Fatalf("Intn(7) value %d appeared %d times in 70000 draws", v, c)
+		}
+	}
+}
+
+func TestIntnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestUniform(t *testing.T) {
+	r := New(11)
+	for i := 0; i < 1000; i++ {
+		v := r.Uniform(-3, 5)
+		if v < -3 || v >= 5 {
+			t.Fatalf("Uniform(-3,5) = %v", v)
+		}
+	}
+	if got := r.Uniform(2, 2); got != 2 {
+		t.Fatalf("degenerate Uniform(2,2) = %v, want 2", got)
+	}
+	if got := r.Uniform(5, 1); got != 5 {
+		t.Fatalf("inverted Uniform(5,1) = %v, want lo", got)
+	}
+}
+
+func TestNormalMoments(t *testing.T) {
+	r := New(13)
+	const n = 200000
+	sum, sumSq := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		v := r.Normal(2, 3)
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean-2) > 0.05 {
+		t.Fatalf("Normal mean = %v, want ~2", mean)
+	}
+	if math.Abs(math.Sqrt(variance)-3) > 0.05 {
+		t.Fatalf("Normal std = %v, want ~3", math.Sqrt(variance))
+	}
+}
+
+func TestExpMean(t *testing.T) {
+	r := New(17)
+	const n = 200000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		v := r.Exp(2)
+		if v < 0 {
+			t.Fatalf("Exp returned negative value %v", v)
+		}
+		sum += v
+	}
+	if mean := sum / n; math.Abs(mean-0.5) > 0.02 {
+		t.Fatalf("Exp(2) mean = %v, want ~0.5", mean)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := New(19)
+	p := r.Perm(100)
+	seen := make([]bool, 100)
+	for _, v := range p {
+		if v < 0 || v >= 100 || seen[v] {
+			t.Fatalf("Perm produced invalid/duplicate value %d", v)
+		}
+		seen[v] = true
+	}
+}
+
+func TestSampleDistinct(t *testing.T) {
+	r := New(23)
+	for trial := 0; trial < 100; trial++ {
+		s := r.Sample(50, 10)
+		if len(s) != 10 {
+			t.Fatalf("Sample(50,10) returned %d values", len(s))
+		}
+		seen := map[int]bool{}
+		for _, v := range s {
+			if v < 0 || v >= 50 || seen[v] {
+				t.Fatalf("Sample produced invalid/duplicate value %d", v)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestSampleAll(t *testing.T) {
+	r := New(29)
+	s := r.Sample(5, 10)
+	if len(s) != 5 {
+		t.Fatalf("Sample(5,10) returned %d values, want 5", len(s))
+	}
+}
+
+func TestSampleCoversRange(t *testing.T) {
+	// Every index must be reachable, including index n-1 via the j-collision
+	// branch of Floyd's algorithm.
+	r := New(31)
+	hit := make([]bool, 8)
+	for trial := 0; trial < 2000; trial++ {
+		for _, v := range r.Sample(8, 3) {
+			hit[v] = true
+		}
+	}
+	for i, h := range hit {
+		if !h {
+			t.Fatalf("Sample never produced index %d", i)
+		}
+	}
+}
+
+func TestWeighted(t *testing.T) {
+	r := New(37)
+	counts := [3]int{}
+	for i := 0; i < 30000; i++ {
+		counts[r.Weighted([]float64{1, 2, 7})]++
+	}
+	if counts[2] < counts[1] || counts[1] < counts[0] {
+		t.Fatalf("Weighted ordering wrong: %v", counts)
+	}
+	if counts[2] < 18000 || counts[2] > 24000 {
+		t.Fatalf("Weighted heavy index frequency %d, want ~21000", counts[2])
+	}
+}
+
+func TestWeightedDegenerate(t *testing.T) {
+	r := New(41)
+	// All-zero weights fall back to uniform and must stay in range.
+	for i := 0; i < 100; i++ {
+		if got := r.Weighted([]float64{0, 0, 0}); got < 0 || got > 2 {
+			t.Fatalf("Weighted zero-weights out of range: %d", got)
+		}
+	}
+	// Negative weights are ignored.
+	for i := 0; i < 100; i++ {
+		if got := r.Weighted([]float64{-5, 0, 1}); got != 2 {
+			t.Fatalf("Weighted with one positive weight = %d, want 2", got)
+		}
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	parent := New(99)
+	child := parent.Split()
+	// Child and parent streams should not be identical.
+	same := 0
+	for i := 0; i < 64; i++ {
+		if parent.Uint64() == child.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("Split stream overlaps parent %d/64 draws", same)
+	}
+}
+
+func TestQuickIntnInRange(t *testing.T) {
+	r := New(5)
+	f := func(n uint16) bool {
+		m := int(n%1000) + 1
+		v := r.Intn(m)
+		return v >= 0 && v < m
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickUniformInRange(t *testing.T) {
+	r := New(6)
+	f := func(a, b float64) bool {
+		if math.IsNaN(a) || math.IsNaN(b) || math.IsInf(a, 0) || math.IsInf(b, 0) {
+			return true
+		}
+		lo, hi := a, b
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		v := r.Uniform(lo, hi)
+		return v >= lo && (v < hi || hi == lo)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	r := New(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += r.Uint64()
+	}
+	_ = sink
+}
+
+func BenchmarkNormFloat64(b *testing.B) {
+	r := New(1)
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += r.NormFloat64()
+	}
+	_ = sink
+}
