@@ -1,0 +1,39 @@
+# Standard development entry points. All targets use only the Go
+# toolchain; there are no external dependencies.
+
+GO ?= go
+
+.PHONY: all build test race bench vet fmt fuzz
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+# test runs the full suite, including the Workers=1 vs Workers=N
+# equivalence suites and the golden-file loop regression.
+test:
+	$(GO) test ./...
+
+# race re-runs everything under the race detector; the worker pool and
+# every parallelized hot path must stay clean here.
+race:
+	$(GO) test -race ./...
+
+# bench reports the paper-reproduction metrics and the serial-vs-parallel
+# scaling of the three parallelized hot paths.
+bench:
+	$(GO) test -bench . -benchmem -benchtime 1x -run XXX .
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	gofmt -l .
+
+# fuzz gives each fuzz target a short budget; extend FUZZTIME for deeper
+# runs.
+FUZZTIME ?= 30s
+fuzz:
+	$(GO) test -fuzz FuzzMergeIntervals -fuzztime $(FUZZTIME) ./internal/core/
+	$(GO) test -fuzz FuzzIntervalRoundTrip -fuzztime $(FUZZTIME) ./internal/core/

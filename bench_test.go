@@ -11,9 +11,15 @@ package alefb
 // use cmd/experiments -scale paper.
 
 import (
+	"fmt"
+	"runtime"
 	"testing"
 
+	"github.com/netml/alefb/internal/automl"
+	"github.com/netml/alefb/internal/core"
+	"github.com/netml/alefb/internal/data"
 	"github.com/netml/alefb/internal/experiments"
+	"github.com/netml/alefb/internal/rng"
 )
 
 // BenchmarkTable1 regenerates Table 1 (Scream-vs-rest balanced accuracy
@@ -148,5 +154,108 @@ func BenchmarkFeedbackLoop(b *testing.B) {
 			b.Fatal(err)
 		}
 		b.ReportMetric(res.FinalAccuracy*100, "%bal-acc-final")
+	}
+}
+
+// --- Parallelism benchmarks -------------------------------------------
+//
+// The three hot paths below accept a Workers knob and guarantee
+// bit-identical results for any worker count (see DESIGN.md, "Parallel
+// execution & determinism"). Each benchmark runs the same workload
+// serially and with several worker counts so
+//
+//	go test -bench=Workers -benchtime=2x
+//
+// reports the scaling on the current machine. On a single-core host all
+// variants necessarily take the same time (modulo a small pool overhead);
+// speedup appears once GOMAXPROCS > 1.
+
+// benchWorkerCounts returns the deduplicated worker counts to sweep:
+// serial, a fixed mid-size pool, and every core the host has.
+func benchWorkerCounts() []int {
+	counts := []int{1, 4, runtime.GOMAXPROCS(0)}
+	seen := map[int]bool{}
+	out := counts[:0]
+	for _, c := range counts {
+		if !seen[c] {
+			seen[c] = true
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// benchDataset builds a deterministic 4-feature, 2-class sample.
+func benchDataset(n int, seed uint64) *data.Dataset {
+	schema := &data.Schema{
+		Features: []data.Feature{
+			{Name: "f0", Min: 0, Max: 1}, {Name: "f1", Min: 0, Max: 1},
+			{Name: "f2", Min: 0, Max: 1}, {Name: "f3", Min: 0, Max: 1},
+		},
+		Classes: []string{"a", "b"},
+	}
+	r := rng.New(seed)
+	d := data.New(schema)
+	for i := 0; i < n; i++ {
+		x := []float64{r.Float64(), r.Float64(), r.Float64(), r.Float64()}
+		y := 0
+		if x[0]+0.3*x[1] > 0.6 {
+			y = 1
+		}
+		d.Append(x, y)
+	}
+	return d
+}
+
+// BenchmarkAutoMLSearchWorkers measures hot path 1: candidate fitting and
+// scoring inside the AutoML search (internal/automl).
+func BenchmarkAutoMLSearchWorkers(b *testing.B) {
+	train := benchDataset(600, 3)
+	for _, w := range benchWorkerCounts() {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cfg := automl.Config{MaxCandidates: 24, Generations: 2, EnsembleSize: 5, Seed: 7, Workers: w}
+				if _, err := automl.Run(train, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkCommitteeALEWorkers measures hot path 2: per-model committee
+// curve computation (internal/interpret via internal/core).
+func BenchmarkCommitteeALEWorkers(b *testing.B) {
+	train := benchDataset(4000, 5)
+	ens, err := automl.Run(train, automl.Config{MaxCandidates: 10, EnsembleSize: 8, Seed: 11})
+	if err != nil {
+		b.Fatal(err)
+	}
+	committee := core.WithinCommittee(ens)
+	for _, w := range benchWorkerCounts() {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Compute(committee, train, core.Config{Bins: 64, Classes: []int{1}, Workers: w}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkCrossCommitteeWorkers measures hot path 3: the independent
+// AutoML runs behind Cross-ALE committees and experiment trials
+// (internal/core, internal/experiments).
+func BenchmarkCrossCommitteeWorkers(b *testing.B) {
+	train := benchDataset(400, 9)
+	for _, w := range benchWorkerCounts() {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cfg := automl.Config{MaxCandidates: 8, EnsembleSize: 4, Seed: 13, Workers: w}
+				if _, _, err := core.CrossCommittee(train, cfg, 4); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }

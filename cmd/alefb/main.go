@@ -36,6 +36,7 @@ func main() {
 		out        = flag.String("o", "", "CSV path for the suggestions (default stdout)")
 		seed       = flag.Uint64("seed", 1, "random seed")
 		candidates = flag.Int("budget", 24, "AutoML pipelines to evaluate")
+		workers    = flag.Int("workers", 0, "worker goroutines for AutoML search and ALE committees (0 = all cores, 1 = serial; results are identical either way)")
 		savePath   = flag.String("save", "", "save the trained ensemble description to this JSON file")
 		loadPath   = flag.String("load", "", "load an ensemble description instead of searching (refits on -train)")
 	)
@@ -51,8 +52,8 @@ func main() {
 	}
 	fmt.Printf("loaded %s:\n%s", *trainPath, train.Describe())
 
-	autoCfg := alefb.AutoMLConfig{MaxCandidates: *candidates, Seed: *seed}
-	fbCfg := alefb.FeedbackConfig{Bins: *bins, Threshold: *threshold}
+	autoCfg := alefb.AutoMLConfig{MaxCandidates: *candidates, Seed: *seed, Workers: *workers}
+	fbCfg := alefb.FeedbackConfig{Bins: *bins, Threshold: *threshold, Workers: *workers}
 
 	var fb *alefb.Feedback
 	var best *alefb.Ensemble

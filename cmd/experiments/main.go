@@ -23,14 +23,15 @@ import (
 
 func main() {
 	var (
-		run    = flag.String("run", "table1", "experiment: table1|ucl|figure1|figure2|threshold|loop|ablation-disagreement|ablation-crossruns|ablation-priors|all")
-		scale  = flag.String("scale", "reduced", "experiment scale: paper|reduced")
-		seed   = flag.Uint64("seed", 0, "override the experiment seed (0 keeps the preset)")
-		reps   = flag.Int("reps", 0, "override repetitions/splits (0 keeps the preset)")
-		budget = flag.Int("budget", 0, "override AutoML pipelines per run (0 keeps the preset)")
-		cross  = flag.Int("crossruns", 0, "override Cross-ALE committee size (0 keeps the preset)")
-		out    = flag.String("out", "", "directory for SVG figures and CSV dumps (optional)")
-		quiet  = flag.Bool("quiet", false, "suppress progress lines")
+		run     = flag.String("run", "table1", "experiment: table1|ucl|figure1|figure2|threshold|loop|ablation-disagreement|ablation-crossruns|ablation-priors|all")
+		scale   = flag.String("scale", "reduced", "experiment scale: paper|reduced")
+		seed    = flag.Uint64("seed", 0, "override the experiment seed (0 keeps the preset)")
+		reps    = flag.Int("reps", 0, "override repetitions/splits (0 keeps the preset)")
+		budget  = flag.Int("budget", 0, "override AutoML pipelines per run (0 keeps the preset)")
+		cross   = flag.Int("crossruns", 0, "override Cross-ALE committee size (0 keeps the preset)")
+		out     = flag.String("out", "", "directory for SVG figures and CSV dumps (optional)")
+		quiet   = flag.Bool("quiet", false, "suppress progress lines")
+		workers = flag.Int("workers", 0, "worker goroutines for trials, AutoML search and ALE committees (0 = all cores, 1 = serial; results are identical either way)")
 	)
 	flag.Parse()
 
@@ -54,6 +55,10 @@ func main() {
 		scream.CrossRuns = *cross
 		ucl.CrossRuns = *cross
 	}
+	scream.Workers = *workers
+	scream.AutoML.Workers = *workers
+	ucl.Workers = *workers
+	ucl.AutoML.Workers = *workers
 	if *out != "" {
 		if err := os.MkdirAll(*out, 0o755); err != nil {
 			fatal(fmt.Errorf("create output dir: %w", err))

@@ -9,6 +9,7 @@ import (
 	"github.com/netml/alefb/internal/data"
 	"github.com/netml/alefb/internal/metrics"
 	"github.com/netml/alefb/internal/ml"
+	"github.com/netml/alefb/internal/parallel"
 	"github.com/netml/alefb/internal/rng"
 )
 
@@ -49,6 +50,12 @@ type Config struct {
 	// Seed drives all stochastic choices of the run. Distinct seeds give
 	// the run-to-run diversity Cross-ALE feedback relies on.
 	Seed uint64
+	// Workers bounds the goroutines used for candidate evaluation,
+	// pre-screening and member refits. 0 selects runtime.GOMAXPROCS(0);
+	// 1 forces serial execution. Every value produces bit-identical
+	// results (when TimeBudget is 0): each evaluation draws from its own
+	// rng stream derived from the task index, never from a shared one.
+	Workers int
 }
 
 func (c Config) withDefaults() Config {
@@ -97,6 +104,10 @@ type Ensemble struct {
 	ValScore float64
 	// Evaluated is the number of candidate pipelines scored.
 	Evaluated int
+
+	// workers is the refit pool size inherited from Config.Workers
+	// (0 = GOMAXPROCS). It never affects results, only wall-clock.
+	workers int
 }
 
 // PredictProba returns the weighted average of member probabilities.
@@ -124,16 +135,23 @@ func (e *Ensemble) Predict(X [][]float64) []int {
 // single model can.
 func (e *Ensemble) Name() string { return fmt.Sprintf("ensemble(%d members)", len(e.Members)) }
 
-// Fit implements ml.Classifier by refitting every member on d.
+// Fit implements ml.Classifier by refitting every member on d. Refits run
+// on the worker pool of the Run that built the ensemble (GOMAXPROCS for
+// loaded ensembles); each member's rng is split off serially first, so the
+// result does not depend on the worker count.
 func (e *Ensemble) Fit(d *data.Dataset, r *rng.Rand) error {
-	for i := range e.Members {
+	rands := make([]*rng.Rand, len(e.Members))
+	for i := range rands {
+		rands[i] = r.Split()
+	}
+	return parallel.ForEach(len(e.Members), e.workers, func(i int) error {
 		fresh := Build(e.Members[i].Spec)
-		if err := fresh.Fit(d, r.Split()); err != nil {
+		if err := fresh.Fit(d, rands[i]); err != nil {
 			return fmt.Errorf("automl: refit member %d: %w", i, err)
 		}
 		e.Members[i].Model = fresh
-	}
-	return nil
+		return nil
+	})
 }
 
 // Models returns the distinct trained models of the ensemble — the
@@ -179,19 +197,23 @@ func Run(train *data.Dataset, cfg Config) (*Ensemble, error) {
 	}
 	expired := func() bool { return !deadline.IsZero() && time.Now().After(deadline) }
 
-	var evaluate func(spec Spec) (candidate, bool)
+	// evaluate fits and scores one spec using tr, the task's private rng
+	// stream. Task streams are derived from the batch seed and the task
+	// index (rng.Derive), never shared, so a batch of evaluations yields
+	// the same candidates no matter how many workers process it.
+	var evaluate func(spec Spec, tr *rng.Rand) (candidate, bool)
 	var valY []int
 	if cfg.CVFolds >= 2 {
 		folds := train.Folds(cfg.CVFolds, r)
 		for _, f := range folds {
 			valY = append(valY, f.Val.Y...)
 		}
-		evaluate = func(spec Spec) (candidate, bool) {
+		evaluate = func(spec Spec, tr *rng.Rand) (candidate, bool) {
 			var proba [][]float64
 			var model ml.Classifier
 			for _, f := range folds {
 				m := Build(spec)
-				if err := m.Fit(f.Train, r.Split()); err != nil {
+				if err := m.Fit(f.Train, tr.Split()); err != nil {
 					return candidate{}, false
 				}
 				proba = append(proba, ml.PredictProbaBatch(m, f.Val.X)...)
@@ -210,9 +232,9 @@ func Run(train *data.Dataset, cfg Config) (*Ensemble, error) {
 			return nil, errors.New("automl: degenerate train/validation split")
 		}
 		valY = valSet.Y
-		evaluate = func(spec Spec) (candidate, bool) {
+		evaluate = func(spec Spec, tr *rng.Rand) (candidate, bool) {
 			model := Build(spec)
-			if err := model.Fit(fitSet, r.Split()); err != nil {
+			if err := model.Fit(fitSet, tr.Split()); err != nil {
 				return candidate{}, false
 			}
 			proba := ml.PredictProbaBatch(model, valSet.X)
@@ -225,6 +247,35 @@ func Run(train *data.Dataset, cfg Config) (*Ensemble, error) {
 		}
 	}
 
+	// evalBatch evaluates a batch of specs on the worker pool and returns
+	// the successful candidates in spec order. The batch seed is drawn
+	// from r exactly once, so r's stream — and with it every later
+	// stochastic choice of the search — is independent of the pool size.
+	// Under a TimeBudget, tasks that start after the deadline are skipped
+	// (except task 0 of the first batch, so at least one candidate is
+	// always evaluated); that is the only worker-count-dependent behavior.
+	evalBatch := func(specs []Spec, first bool) []candidate {
+		batchSeed := r.Uint64()
+		type result struct {
+			c  candidate
+			ok bool
+		}
+		results, _ := parallel.Map(len(specs), cfg.Workers, func(i int) (result, error) {
+			if expired() && !(first && i == 0) {
+				return result{}, nil
+			}
+			c, ok := evaluate(specs[i], rng.Derive(batchSeed, uint64(i)))
+			return result{c: c, ok: ok}, nil
+		})
+		out := make([]candidate, 0, len(results))
+		for _, res := range results {
+			if res.ok {
+				out = append(out, res.c)
+			}
+		}
+		return out
+	}
+
 	// Phase 1: random search. Reserve a share of the budget for evolution.
 	evoBudget := 0
 	if cfg.Generations > 0 {
@@ -233,26 +284,21 @@ func Run(train *data.Dataset, cfg Config) (*Ensemble, error) {
 	randomBudget := cfg.MaxCandidates - evoBudget
 	specs := make([]Spec, 0, randomBudget)
 	if cfg.PreScreen > 1 {
-		specs = preScreen(train, cfg.PreScreen*randomBudget, randomBudget, k, r)
+		specs = preScreen(train, cfg.PreScreen*randomBudget, randomBudget, k, cfg.Workers, r)
 	} else {
 		for i := 0; i < randomBudget; i++ {
 			specs = append(specs, RandomSpec(r))
 		}
 	}
-	var cands []candidate
-	for _, spec := range specs {
-		if len(cands) > 0 && expired() {
-			break
-		}
-		if c, ok := evaluate(spec); ok {
-			cands = append(cands, c)
-		}
-	}
+	cands := evalBatch(specs, true)
 	if len(cands) == 0 {
 		return nil, errors.New("automl: no candidate pipeline trained successfully")
 	}
 
-	// Phase 2: evolutionary refinement of the best quartile.
+	// Phase 2: evolutionary refinement of the best quartile. Parent picks
+	// and mutations are drawn serially from r before the batch runs: the
+	// parent pool is fixed at generation start, so evaluation order within
+	// the batch cannot influence which specs the generation tries.
 	for gen := 0; gen < cfg.Generations && evoBudget > 0; gen++ {
 		sort.SliceStable(cands, func(i, j int) bool { return cands[i].score > cands[j].score })
 		parents := len(cands) / 4
@@ -263,22 +309,18 @@ func Run(train *data.Dataset, cfg Config) (*Ensemble, error) {
 		if perGen < 1 {
 			perGen = 1
 		}
+		mutated := make([]Spec, 0, perGen)
 		for i := 0; i < perGen; i++ {
-			if expired() {
-				break
-			}
-			parent := cands[r.Intn(parents)].spec
-			if c, ok := evaluate(Mutate(parent, r)); ok {
-				cands = append(cands, c)
-			}
+			mutated = append(mutated, Mutate(cands[r.Intn(parents)].spec, r))
 		}
+		cands = append(cands, evalBatch(mutated, false)...)
 	}
 
 	// Phase 3: Caruana greedy ensemble selection with replacement on the
 	// holdout predictions.
 	counts := greedySelect(cands, valY, k, cfg.EnsembleSize, cfg.MinDistinctMembers)
 
-	ens := &Ensemble{NumClasses: k, Evaluated: len(cands)}
+	ens := &Ensemble{NumClasses: k, Evaluated: len(cands), workers: cfg.Workers}
 	totalCount := 0
 	for _, c := range counts {
 		totalCount += c
@@ -306,8 +348,9 @@ func Run(train *data.Dataset, cfg Config) (*Ensemble, error) {
 // preScreen implements the cheap rung of successive halving: it draws
 // `total` random specs, scores each on a small stratified subsample of
 // train with a fast holdout, and returns the best `keep` specs for full
-// evaluation.
-func preScreen(train *data.Dataset, total, keep, k int, r *rng.Rand) []Spec {
+// evaluation. Screening fits run on the worker pool; every spec is drawn
+// serially from r first and scored with its own index-derived rng.
+func preScreen(train *data.Dataset, total, keep, k, workers int, r *rng.Rand) []Spec {
 	subN := 200
 	if subN > train.Len() {
 		subN = train.Len()
@@ -322,19 +365,29 @@ func preScreen(train *data.Dataset, total, keep, k int, r *rng.Rand) []Spec {
 		}
 		return out
 	}
+	specs := make([]Spec, total)
+	for i := range specs {
+		specs[i] = RandomSpec(r)
+	}
+	screenSeed := r.Uint64()
 	type scored struct {
 		spec  Spec
 		score float64
+		ok    bool
 	}
-	all := make([]scored, 0, total)
-	for i := 0; i < total; i++ {
-		spec := RandomSpec(r)
-		m := Build(spec)
-		if err := m.Fit(fitSet, r.Split()); err != nil {
-			continue
+	results, _ := parallel.Map(total, workers, func(i int) (scored, error) {
+		m := Build(specs[i])
+		if err := m.Fit(fitSet, rng.Derive(screenSeed, uint64(i))); err != nil {
+			return scored{}, nil
 		}
 		pred := ml.Predict(m, valSet.X)
-		all = append(all, scored{spec: spec, score: metrics.BalancedAccuracy(k, valSet.Y, pred)})
+		return scored{spec: specs[i], score: metrics.BalancedAccuracy(k, valSet.Y, pred), ok: true}, nil
+	})
+	all := make([]scored, 0, total)
+	for _, s := range results {
+		if s.ok {
+			all = append(all, s)
+		}
 	}
 	sort.SliceStable(all, func(i, j int) bool { return all[i].score > all[j].score })
 	if keep > len(all) {

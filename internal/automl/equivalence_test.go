@@ -1,0 +1,110 @@
+package automl
+
+import (
+	"fmt"
+	"math"
+	"reflect"
+	"testing"
+
+	"github.com/netml/alefb/internal/rng"
+)
+
+// TestWorkersEquivalence is the determinism contract for the parallel
+// search: Workers=1 and Workers=8 must produce bit-identical ensembles
+// because every task derives its rng from the task index, not from
+// claim order. It sweeps the three search modes that parallelize
+// (holdout, k-fold CV, successive-halving pre-screen) across 3 seeds.
+func TestWorkersEquivalence(t *testing.T) {
+	variants := []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{"holdout", func(c *Config) {}},
+		{"cv3", func(c *Config) { c.CVFolds = 3 }},
+		{"prescreen", func(c *Config) { c.PreScreen = 3 }},
+		{"cv3+evolve", func(c *Config) { c.CVFolds = 3; c.Generations = 2 }},
+	}
+	for _, v := range variants {
+		for _, seed := range []uint64{3, 11, 202} {
+			t.Run(fmt.Sprintf("%s/seed%d", v.name, seed), func(t *testing.T) {
+				train := blobs(240, 3, rng.New(seed*7+1))
+				cfg := smallCfg(seed)
+				v.mutate(&cfg)
+
+				cfg.Workers = 1
+				serial, err := Run(train, cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				cfg.Workers = 8
+				par, err := Run(train, cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				assertEnsemblesIdentical(t, serial, par, train.X[:5])
+			})
+		}
+	}
+}
+
+// assertEnsemblesIdentical compares two ensembles bit for bit: search
+// bookkeeping, member specs and weights, and predicted probabilities on
+// probe points.
+func assertEnsemblesIdentical(t *testing.T, a, b *Ensemble, probes [][]float64) {
+	t.Helper()
+	if a.Evaluated != b.Evaluated {
+		t.Errorf("Evaluated: %d vs %d", a.Evaluated, b.Evaluated)
+	}
+	if a.ValScore != b.ValScore {
+		t.Errorf("ValScore: %v vs %v (diff %g)", a.ValScore, b.ValScore, math.Abs(a.ValScore-b.ValScore))
+	}
+	if len(a.Members) != len(b.Members) {
+		t.Fatalf("member count: %d vs %d", len(a.Members), len(b.Members))
+	}
+	for i := range a.Members {
+		ma, mb := a.Members[i], b.Members[i]
+		if ma.Spec.Family != mb.Spec.Family || !reflect.DeepEqual(ma.Spec.Params, mb.Spec.Params) {
+			t.Errorf("member %d spec: %v vs %v", i, ma.Spec, mb.Spec)
+		}
+		if ma.Weight != mb.Weight {
+			t.Errorf("member %d weight: %v vs %v", i, ma.Weight, mb.Weight)
+		}
+		if ma.ValScore != mb.ValScore {
+			t.Errorf("member %d val score: %v vs %v", i, ma.ValScore, mb.ValScore)
+		}
+	}
+	for _, x := range probes {
+		pa, pb := a.PredictProba(x), b.PredictProba(x)
+		if !reflect.DeepEqual(pa, pb) {
+			t.Errorf("PredictProba(%v): %v vs %v", x, pa, pb)
+		}
+	}
+}
+
+// TestWorkersEquivalenceRefit checks the parallel Ensemble.Fit path:
+// refitting the same ensemble description with different worker counts
+// must give identical models.
+func TestWorkersEquivalenceRefit(t *testing.T) {
+	train := blobs(200, 2, rng.New(9))
+	cfg := smallCfg(5)
+	cfg.Workers = 1
+	ens, err := Run(train, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh := blobs(200, 2, rng.New(10))
+
+	serial := &Ensemble{Members: append([]Member(nil), ens.Members...), NumClasses: ens.NumClasses, workers: 1}
+	if err := serial.Fit(fresh, rng.New(77)); err != nil {
+		t.Fatal(err)
+	}
+	par := &Ensemble{Members: append([]Member(nil), ens.Members...), NumClasses: ens.NumClasses, workers: 8}
+	if err := par.Fit(fresh, rng.New(77)); err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range fresh.X[:8] {
+		if !reflect.DeepEqual(serial.PredictProba(x), par.PredictProba(x)) {
+			t.Fatalf("refit diverges at %v", x)
+		}
+	}
+}

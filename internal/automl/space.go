@@ -9,6 +9,7 @@ package automl
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"github.com/netml/alefb/internal/ml"
 	"github.com/netml/alefb/internal/rng"
@@ -107,7 +108,16 @@ func Mutate(s Spec, r *rng.Rand) Spec {
 		return RandomSpec(r)
 	}
 	m := s.clone()
-	for k, v := range m.Params {
+	// Visit hyperparameters in sorted order: ranging over the map directly
+	// would consume rng draws in Go's randomized iteration order, making
+	// mutation nondeterministic even under a fixed seed.
+	keys := make([]string, 0, len(m.Params))
+	for k := range m.Params {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		v := m.Params[k]
 		if !r.Bool(0.5) {
 			continue
 		}

@@ -6,6 +6,7 @@ import (
 	"github.com/netml/alefb/internal/automl"
 	"github.com/netml/alefb/internal/data"
 	"github.com/netml/alefb/internal/ml"
+	"github.com/netml/alefb/internal/parallel"
 	"github.com/netml/alefb/internal/rng"
 )
 
@@ -33,21 +34,36 @@ func WithinCommittee(e *automl.Ensemble) []ml.Classifier {
 // "Algorithm variants"): it runs AutoML `runs` times with distinct seeds
 // and returns each run's full ensemble as one committee member. It also
 // returns the ensembles so the caller can reuse the best one.
+//
+// The runs execute concurrently on base.Workers goroutines. Each run is
+// fully determined by its own derived seed and committed at its run index,
+// so the committee is bit-identical for any worker count. When more than
+// one run executes at a time the runs themselves are forced serial
+// (Workers=1) to keep total concurrency near base.Workers — a
+// pure scheduling choice that, by the same determinism guarantee, cannot
+// change any result.
 func CrossCommittee(train *data.Dataset, base automl.Config, runs int) ([]ml.Classifier, []*automl.Ensemble, error) {
 	if runs <= 0 {
 		runs = 10 // the paper's evaluation uses 10 AutoML runs
 	}
-	committee := make([]ml.Classifier, 0, runs)
-	ensembles := make([]*automl.Ensemble, 0, runs)
-	for i := 0; i < runs; i++ {
+	ensembles, err := parallel.Map(runs, base.Workers, func(i int) (*automl.Ensemble, error) {
 		cfg := base
 		cfg.Seed = base.Seed + uint64(i)*0x9e3779b97f4a7c15
+		if runs > 1 && parallel.Workers(base.Workers) > 1 {
+			cfg.Workers = 1
+		}
 		ens, err := automl.Run(train, cfg)
 		if err != nil {
-			return nil, nil, fmt.Errorf("core: AutoML run %d of %d: %w", i+1, runs, err)
+			return nil, fmt.Errorf("core: AutoML run %d of %d: %w", i+1, runs, err)
 		}
+		return ens, nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	committee := make([]ml.Classifier, 0, runs)
+	for _, ens := range ensembles {
 		committee = append(committee, ens)
-		ensembles = append(ensembles, ens)
 	}
 	return committee, ensembles, nil
 }

@@ -1,0 +1,97 @@
+package core
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"github.com/netml/alefb/internal/automl"
+	"github.com/netml/alefb/internal/rng"
+)
+
+// TestComputeWorkersEquivalence checks that the full feedback analysis
+// (committee curves, thresholds, flagged intervals) is bit-identical for
+// Workers=1 and Workers=8 across 3 dataset seeds.
+func TestComputeWorkersEquivalence(t *testing.T) {
+	for _, seed := range []uint64{1, 17, 333} {
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			d := twoFeatureData(1200, rng.New(seed))
+			committee := disagreeCommittee()
+			serial, err := Compute(committee, d, Config{Bins: 24, Threshold: 0.1, Classes: []int{1}, Workers: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			par, err := Compute(committee, d, Config{Bins: 24, Threshold: 0.1, Classes: []int{1}, Workers: 8})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(serial.Analyses) != len(par.Analyses) {
+				t.Fatalf("analysis count: %d vs %d", len(serial.Analyses), len(par.Analyses))
+			}
+			for i := range serial.Analyses {
+				sa, pa := serial.Analyses[i], par.Analyses[i]
+				if !reflect.DeepEqual(sa.Grid, pa.Grid) ||
+					!reflect.DeepEqual(sa.Mean, pa.Mean) ||
+					!reflect.DeepEqual(sa.Std, pa.Std) {
+					t.Errorf("feature %d curves differ between worker counts", i)
+				}
+				if sa.Threshold != pa.Threshold {
+					t.Errorf("feature %d threshold: %v vs %v", i, sa.Threshold, pa.Threshold)
+				}
+				if !reflect.DeepEqual(sa.Intervals, pa.Intervals) {
+					t.Errorf("feature %d intervals: %v vs %v", i, sa.Intervals, pa.Intervals)
+				}
+			}
+		})
+	}
+}
+
+// TestCrossCommitteeWorkersEquivalence checks that the ensembles of a
+// Cross-ALE committee come out identical whether the AutoML runs execute
+// serially or concurrently: same member specs, weights and scores at
+// every run index, across 3 seeds.
+func TestCrossCommitteeWorkersEquivalence(t *testing.T) {
+	for _, seed := range []uint64{2, 19, 404} {
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			d := twoFeatureData(300, rng.New(seed+5))
+			base := automl.Config{MaxCandidates: 6, Generations: 1, EnsembleSize: 3, Seed: seed}
+
+			base.Workers = 1
+			_, serial, err := CrossCommittee(d, base, 3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			base.Workers = 8
+			_, par, err := CrossCommittee(d, base, 3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(serial) != len(par) {
+				t.Fatalf("run count: %d vs %d", len(serial), len(par))
+			}
+			for i := range serial {
+				se, pe := serial[i], par[i]
+				if se.ValScore != pe.ValScore || se.Evaluated != pe.Evaluated {
+					t.Errorf("run %d: scores (%v, %d) vs (%v, %d)",
+						i, se.ValScore, se.Evaluated, pe.ValScore, pe.Evaluated)
+				}
+				if len(se.Members) != len(pe.Members) {
+					t.Fatalf("run %d member count: %d vs %d", i, len(se.Members), len(pe.Members))
+				}
+				for j := range se.Members {
+					sm, pm := se.Members[j], pe.Members[j]
+					if sm.Spec.Family != pm.Spec.Family ||
+						!reflect.DeepEqual(sm.Spec.Params, pm.Spec.Params) ||
+						sm.Weight != pm.Weight || sm.ValScore != pm.ValScore {
+						t.Errorf("run %d member %d differs: %+v vs %+v", i, j, sm.Spec, pm.Spec)
+					}
+				}
+				for _, x := range d.X[:4] {
+					if !reflect.DeepEqual(se.PredictProba(x), pe.PredictProba(x)) {
+						t.Errorf("run %d PredictProba differs at %v", i, x)
+					}
+				}
+			}
+		})
+	}
+}

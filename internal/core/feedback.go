@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"strconv"
 	"strings"
 
 	"github.com/netml/alefb/internal/data"
@@ -63,6 +64,10 @@ type Config struct {
 	// Features restricts the analysis to these feature indices; nil means
 	// every feature.
 	Features []int
+	// Workers bounds the goroutines used for the committee interpretation
+	// (one task per committee member). 0 selects runtime.GOMAXPROCS(0);
+	// 1 forces serial execution. Results are bit-identical either way.
+	Workers int
 }
 
 func (c Config) withDefaults(nClasses, nFeatures int) Config {
@@ -118,8 +123,81 @@ func (iv Interval) Contains(v float64) bool { return v >= iv.Lo && v <= iv.Hi }
 // Width returns the interval length.
 func (iv Interval) Width() float64 { return iv.Hi - iv.Lo }
 
-// String renders the interval like "[3.0, 7.5]".
+// String renders the interval like "[3.0, 7.5]" for display. The
+// rendering rounds to four significant digits; use MarshalText for an
+// exact round-trippable form.
 func (iv Interval) String() string { return fmt.Sprintf("[%.4g, %.4g]", iv.Lo, iv.Hi) }
+
+// MarshalText renders the interval as "[lo, hi]" with full float64
+// precision, so UnmarshalText recovers the exact bounds bit for bit.
+// Intervals with NaN bounds cannot round-trip and are rejected.
+func (iv Interval) MarshalText() ([]byte, error) {
+	if math.IsNaN(iv.Lo) || math.IsNaN(iv.Hi) {
+		return nil, errors.New("core: interval with NaN bound cannot be marshalled")
+	}
+	return []byte(fmt.Sprintf("[%s, %s]",
+		strconv.FormatFloat(iv.Lo, 'g', -1, 64),
+		strconv.FormatFloat(iv.Hi, 'g', -1, 64))), nil
+}
+
+// UnmarshalText parses the MarshalText form.
+func (iv *Interval) UnmarshalText(text []byte) error {
+	s := strings.TrimSpace(string(text))
+	if len(s) < 2 || s[0] != '[' || s[len(s)-1] != ']' {
+		return fmt.Errorf("core: interval %q is not of the form [lo, hi]", s)
+	}
+	lo, hi, ok := strings.Cut(s[1:len(s)-1], ",")
+	if !ok {
+		return fmt.Errorf("core: interval %q is not of the form [lo, hi]", s)
+	}
+	loV, err := strconv.ParseFloat(strings.TrimSpace(lo), 64)
+	if err != nil {
+		return fmt.Errorf("core: interval %q: %w", s, err)
+	}
+	hiV, err := strconv.ParseFloat(strings.TrimSpace(hi), 64)
+	if err != nil {
+		return fmt.Errorf("core: interval %q: %w", s, err)
+	}
+	iv.Lo, iv.Hi = loV, hiV
+	return nil
+}
+
+// MergeIntervals normalizes a set of intervals into the canonical form the
+// rest of the package assumes: sorted by lower bound, with overlapping and
+// touching ranges fused. Degenerate inputs (Lo == Hi) are kept as points
+// unless a wider range absorbs them; reversed inputs (Lo > Hi) are
+// repaired by swapping. Use it when pooling flagged regions from several
+// feedback computations or when taking interval lists from an operator.
+func MergeIntervals(ivs []Interval) []Interval {
+	if len(ivs) == 0 {
+		return nil
+	}
+	norm := make([]Interval, len(ivs))
+	for i, iv := range ivs {
+		if iv.Lo > iv.Hi {
+			iv.Lo, iv.Hi = iv.Hi, iv.Lo
+		}
+		norm[i] = iv
+	}
+	sort.SliceStable(norm, func(i, j int) bool {
+		if norm[i].Lo != norm[j].Lo {
+			return norm[i].Lo < norm[j].Lo
+		}
+		return norm[i].Hi < norm[j].Hi
+	})
+	out := norm[:1]
+	for _, iv := range norm[1:] {
+		last := &out[len(out)-1]
+		if iv.Lo <= last.Hi {
+			if iv.Hi > last.Hi {
+				last.Hi = iv.Hi
+			}
+			continue
+		}
+		out = append(out, iv)
+	}
+	return out
+}
 
 // FeatureAnalysis is the per-feature output of the algorithm.
 type FeatureAnalysis struct {
@@ -227,7 +305,7 @@ func Compute(models []ml.Classifier, d *data.Dataset, cfg Config) (*Feedback, er
 		var curves []interpret.CommitteeCurve
 		skip := false
 		for _, class := range cfg.Classes {
-			cc, err := interpret.Committee(models, d, j, cfg.Method, interpret.Options{Bins: cfg.Bins, Class: class})
+			cc, err := interpret.Committee(models, d, j, cfg.Method, interpret.Options{Bins: cfg.Bins, Class: class, Workers: cfg.Workers})
 			if err != nil {
 				if errors.Is(err, interpret.ErrConstantFeature) {
 					skip = true
@@ -329,7 +407,9 @@ func extractIntervals(grid, std []float64, threshold, featMin, featMax float64) 
 		out = append(out, Interval{Lo: lo, Hi: hi})
 		i = j + 1
 	}
-	return out
+	// Boundary extension can make a run touch its neighbour; normalize so
+	// downstream consumers always see disjoint, sorted intervals.
+	return MergeIntervals(out)
 }
 
 // Flagged returns the analyses with at least one high-disagreement region,

@@ -497,7 +497,7 @@ func TestFeedbackWithRealEnsemble(t *testing.T) {
 		}
 		train.Append([]float64{x0, x1}, y)
 	}
-	ens, err := automl.Run(train, automl.Config{MaxCandidates: 8, Generations: 1, EnsembleSize: 5, Seed: 21})
+	ens, err := automl.Run(train, automl.Config{MaxCandidates: 8, Generations: 1, EnsembleSize: 5, Seed: 22})
 	if err != nil {
 		t.Fatal(err)
 	}

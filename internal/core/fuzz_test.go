@@ -1,0 +1,114 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzMergeIntervals checks the invariants of the region merger under
+// arbitrary (including degenerate, adjacent, overlapping and reversed)
+// inputs of up to three intervals: output sorted and pairwise disjoint,
+// idempotent under re-merging, and membership-preserving — every point
+// covered before is covered after, and vice versa.
+func FuzzMergeIntervals(f *testing.F) {
+	// Degenerate point, adjacent (touching) ranges, overlap, reversed
+	// bounds, duplicates, infinities.
+	f.Add(0.5, 0.5, 0.2, 0.4, 0.4, 0.9)
+	f.Add(0.0, 1.0, 1.0, 2.0, 2.0, 3.0)
+	f.Add(0.0, 0.6, 0.4, 1.0, 0.5, 0.5)
+	f.Add(0.9, 0.1, 3.0, 2.0, -1.0, -5.0)
+	f.Add(0.3, 0.7, 0.3, 0.7, 0.3, 0.7)
+	f.Add(math.Inf(-1), 0.0, 0.0, math.Inf(1), 1.0, 2.0)
+
+	f.Fuzz(func(t *testing.T, lo1, hi1, lo2, hi2, lo3, hi3 float64) {
+		in := []Interval{{lo1, hi1}, {lo2, hi2}, {lo3, hi3}}
+		for _, iv := range in {
+			if math.IsNaN(iv.Lo) || math.IsNaN(iv.Hi) {
+				t.Skip("NaN bounds have no containment semantics")
+			}
+		}
+		out := MergeIntervals(in)
+		if len(out) == 0 {
+			t.Fatalf("merge of %d intervals returned none", len(in))
+		}
+		for i, iv := range out {
+			if iv.Lo > iv.Hi {
+				t.Fatalf("out[%d] = %v is reversed", i, iv)
+			}
+			if i > 0 && out[i-1].Hi >= iv.Lo {
+				t.Fatalf("out[%d-1]=%v and out[%d]=%v are not disjoint/sorted", i, out[i-1], i, iv)
+			}
+		}
+		again := MergeIntervals(out)
+		if len(again) != len(out) {
+			t.Fatalf("not idempotent: %v -> %v", out, again)
+		}
+		for i := range out {
+			if out[i] != again[i] {
+				t.Fatalf("not idempotent: %v -> %v", out, again)
+			}
+		}
+		// Membership: probe the bounds of every input and output interval
+		// plus nearby points; coverage must be identical before and after.
+		contains := func(ivs []Interval, v float64) bool {
+			for _, iv := range ivs {
+				lo, hi := iv.Lo, iv.Hi
+				if lo > hi {
+					lo, hi = hi, lo
+				}
+				if v >= lo && v <= hi {
+					return true
+				}
+			}
+			return false
+		}
+		var probes []float64
+		for _, iv := range append(append([]Interval{}, in...), out...) {
+			probes = append(probes, iv.Lo, iv.Hi, (iv.Lo+iv.Hi)/2,
+				math.Nextafter(iv.Lo, math.Inf(-1)), math.Nextafter(iv.Hi, math.Inf(1)))
+		}
+		for _, v := range probes {
+			if math.IsNaN(v) {
+				continue
+			}
+			if contains(in, v) != contains(out, v) {
+				t.Fatalf("coverage of %v changed: in=%v out=%v", v, contains(in, v), contains(out, v))
+			}
+		}
+	})
+}
+
+// FuzzIntervalRoundTrip checks that MarshalText/UnmarshalText recover any
+// non-NaN interval bit for bit, and that NaN bounds are rejected rather
+// than silently corrupted.
+func FuzzIntervalRoundTrip(f *testing.F) {
+	f.Add(0.0, 0.0)
+	f.Add(-0.0, 0.0)
+	f.Add(1e-308, 1e308)
+	f.Add(0.1, 0.30000000000000004)
+	f.Add(math.Inf(-1), math.Inf(1))
+	f.Add(math.NaN(), 1.0)
+
+	f.Fuzz(func(t *testing.T, lo, hi float64) {
+		iv := Interval{Lo: lo, Hi: hi}
+		text, err := iv.MarshalText()
+		if math.IsNaN(lo) || math.IsNaN(hi) {
+			if err == nil {
+				t.Fatalf("NaN interval marshalled to %q", text)
+			}
+			return
+		}
+		if err != nil {
+			t.Fatalf("marshal %v: %v", iv, err)
+		}
+		var back Interval
+		if err := back.UnmarshalText(text); err != nil {
+			t.Fatalf("unmarshal %q: %v", text, err)
+		}
+		// Compare bit patterns so -0 vs 0 drift would be caught too.
+		if math.Float64bits(back.Lo) != math.Float64bits(iv.Lo) ||
+			math.Float64bits(back.Hi) != math.Float64bits(iv.Hi) {
+			t.Fatalf("round trip %v -> %q -> %v is not bit-exact", iv, text, back)
+		}
+	})
+}

@@ -1,0 +1,130 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+
+	"github.com/netml/alefb/internal/metrics"
+	"github.com/netml/alefb/internal/ml"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files with current output")
+
+// goldenRound is the serialized trace of one feedback-loop round: the
+// flagged regions and the round model's held-out balanced accuracy.
+// Floats are encoded with strconv 'g'/-1 so the file is bit-exact and
+// diffs are meaningful.
+type goldenRound struct {
+	Round     int                 `json:"round"`
+	TrainSize int                 `json:"train_size"`
+	Added     int                 `json:"added"`
+	PeakStd   string              `json:"peak_std"`
+	Regions   map[string][]string `json:"regions"`
+	Accuracy  string              `json:"balanced_accuracy"`
+}
+
+// TestLoopGolden locks the end-to-end feedback loop to a recorded trace:
+// per-round flagged regions and balanced accuracy for a fixed seed. Any
+// change to the RNG streams, the search, the ALE analysis or the interval
+// extraction shows up here as a readable JSON diff. Regenerate the file
+// with `go test ./internal/core/ -run LoopGolden -update` after an
+// intentional behaviour change.
+func TestLoopGolden(t *testing.T) {
+	train, oracle := loopProblem(220, 5)
+	test, _ := loopProblem(800, 6)
+	res, err := RunLoop(train, LoopConfig{
+		Rounds:   3,
+		PerRound: 25,
+		AutoML:   loopAutoML(11),
+		Feedback: Config{Bins: 16, Classes: []int{1}},
+		Oracle:   oracle,
+		Seed:     99,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var got []goldenRound
+	for _, lr := range res.Rounds {
+		g := goldenRound{
+			Round:     lr.Round,
+			TrainSize: lr.TrainSize,
+			Added:     lr.Added,
+			PeakStd:   strconv.FormatFloat(lr.PeakStd, 'g', -1, 64),
+			Regions:   map[string][]string{},
+		}
+		for _, fa := range lr.Feedback.Analyses {
+			if !fa.Flagged() {
+				continue
+			}
+			var ivs []string
+			for _, iv := range fa.Intervals {
+				txt, err := iv.MarshalText()
+				if err != nil {
+					t.Fatalf("round %d: marshal interval: %v", lr.Round, err)
+				}
+				ivs = append(ivs, string(txt))
+			}
+			g.Regions[fa.Name] = ivs
+		}
+		pred := ml.Predict(lr.Ensemble, test.X)
+		acc := metrics.BalancedAccuracy(test.Schema.NumClasses(), test.Y, pred)
+		g.Accuracy = strconv.FormatFloat(acc, 'g', -1, 64)
+		got = append(got, g)
+	}
+
+	buf, err := json.MarshalIndent(got, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf = append(buf, '\n')
+
+	path := filepath.Join("testdata", "loop_golden.json")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, buf, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s (%d rounds)", path, len(got))
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update to record the trace)", err)
+	}
+	if !bytes.Equal(buf, want) {
+		t.Errorf("loop trace drifted from %s (rerun with -update if intended)\ngot:\n%s\nwant:\n%s", path, buf, want)
+	}
+
+	// The golden trace must not depend on the worker count: replay the
+	// identical campaign with parallel search and compare in memory.
+	cfgPar := LoopConfig{
+		Rounds:   3,
+		PerRound: 25,
+		AutoML:   loopAutoML(11),
+		Feedback: Config{Bins: 16, Classes: []int{1}, Workers: 8},
+		Oracle:   oracle,
+		Seed:     99,
+	}
+	cfgPar.AutoML.Workers = 8
+	train2, _ := loopProblem(220, 5)
+	res2, err := RunLoop(train2, cfgPar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res2.Rounds) != len(res.Rounds) {
+		t.Fatalf("parallel replay: %d rounds vs %d", len(res2.Rounds), len(res.Rounds))
+	}
+	for i, lr := range res2.Rounds {
+		if lr.PeakStd != res.Rounds[i].PeakStd || lr.TrainSize != res.Rounds[i].TrainSize || lr.Added != res.Rounds[i].Added {
+			t.Errorf("parallel replay round %d diverges: peak %v vs %v", lr.Round, lr.PeakStd, res.Rounds[i].PeakStd)
+		}
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"github.com/netml/alefb/internal/interpret"
 	"github.com/netml/alefb/internal/metrics"
 	"github.com/netml/alefb/internal/ml"
+	"github.com/netml/alefb/internal/parallel"
 	"github.com/netml/alefb/internal/priors"
 	"github.com/netml/alefb/internal/rng"
 	"github.com/netml/alefb/internal/screamset"
@@ -70,14 +71,14 @@ func RunAblationDisagreement(cfg ScreamConfig, progress io.Writer) (*AblationRes
 		}{
 			{"ALE-variance (this work)", func() (*data.Dataset, error) {
 				add, _, err := core.Suggest(committee, train, core.Config{
-					Bins: cfg.Bins, Classes: []int{screamset.LabelScream},
+					Bins: cfg.Bins, Classes: []int{screamset.LabelScream}, Workers: cfg.Workers,
 				}, cfg.FeedbackN, gen, repRand.Split())
 				return add, err
 			}},
 			{"PDP-variance", func() (*data.Dataset, error) {
 				add, _, err := core.Suggest(committee, train, core.Config{
 					Method: interpret.MethodPDP,
-					Bins:   cfg.Bins, Classes: []int{screamset.LabelScream},
+					Bins:   cfg.Bins, Classes: []int{screamset.LabelScream}, Workers: cfg.Workers,
 				}, cfg.FeedbackN, gen, repRand.Split())
 				return add, err
 			}},
@@ -90,20 +91,32 @@ func RunAblationDisagreement(cfg ScreamConfig, progress io.Writer) (*AblationRes
 				return add, nil
 			}},
 		}
+		// Suggestion building consumes repRand and the oracle serially;
+		// the three retrains are then independent concurrent trials.
+		adds := make([]*data.Dataset, len(variants))
 		for vi, v := range variants {
-			name, build := v.name, v.build
-			add, err := build()
+			add, err := v.build()
 			if err != nil {
-				return nil, fmt.Errorf("experiments: ablation %s: %w", name, err)
+				return nil, fmt.Errorf("experiments: ablation %s: %w", v.name, err)
 			}
-			ens, err := runAutoML(train.Concat(add), cfg.AutoML, seed+uint64(vi+1)*101)
+			adds[vi] = add
+		}
+		retrainCfg := innerAutoML(cfg.AutoML, cfg.Workers)
+		trials, err := parallel.Map(len(variants), cfg.Workers, func(vi int) ([]float64, error) {
+			ens, err := runAutoML(train.Concat(adds[vi]), retrainCfg, seed+uint64(vi+1)*101)
 			if err != nil {
 				return nil, err
 			}
-			acc[name] = append(acc[name], evalOnSets(ens, testSets)...)
-			added[name] = append(added[name], float64(add.Len()))
+			return evalOnSets(ens, testSets), nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		for vi, v := range variants {
+			acc[v.name] = append(acc[v.name], trials[vi]...)
+			added[v.name] = append(added[v.name], float64(adds[vi].Len()))
 			if progress != nil {
-				fmt.Fprintf(progress, "ablation rep %d: %s done\n", rep+1, name)
+				fmt.Fprintf(progress, "ablation rep %d: %s done\n", rep+1, v.name)
 			}
 		}
 	}
@@ -146,7 +159,7 @@ func RunAblationCrossRuns(cfg ScreamConfig, runCounts []int, progress io.Writer)
 				return nil, err
 			}
 			add, _, err := core.Suggest(committee, train, core.Config{
-				Bins: cfg.Bins, Classes: []int{screamset.LabelScream},
+				Bins: cfg.Bins, Classes: []int{screamset.LabelScream}, Workers: cfg.Workers,
 			}, cfg.FeedbackN, gen, repRand.Split())
 			if err != nil {
 				return nil, err
@@ -201,16 +214,26 @@ func RunAblationPriors(cfg ScreamConfig, progress io.Writer) (*AblationResult, e
 
 	res := &AblationResult{Title: fmt.Sprintf("Ablation AB3: domain priors (train n=%d)", trainN)}
 	for _, v := range variants {
-		var accs []float64
-		for rep := 0; rep < cfg.Reps*3; rep++ {
-			rr := r.Split()
+		// Each repetition's rng is split off serially before the batch
+		// runs, so the per-rep trials (dataset emulation + fit) can run
+		// concurrently without changing any result.
+		reps := cfg.Reps * 3
+		rands := make([]*rng.Rand, reps)
+		for rep := range rands {
+			rands[rep] = r.Split()
+		}
+		accs, err := parallel.Map(reps, cfg.Workers, func(rep int) (float64, error) {
+			rr := rands[rep]
 			train := gen.Generate(trainN, rr)
 			m := v.build()
 			if err := m.Fit(train, rr); err != nil {
-				return nil, err
+				return 0, err
 			}
 			pred := ml.Predict(m, test.X)
-			accs = append(accs, metrics.BalancedAccuracy(2, test.Y, pred))
+			return metrics.BalancedAccuracy(2, test.Y, pred), nil
+		})
+		if err != nil {
+			return nil, err
 		}
 		res.Rows = append(res.Rows, AblationRow{
 			Name: v.name,

@@ -18,6 +18,7 @@ import (
 	"github.com/netml/alefb/internal/automl"
 	"github.com/netml/alefb/internal/data"
 	"github.com/netml/alefb/internal/metrics"
+	"github.com/netml/alefb/internal/parallel"
 	"github.com/netml/alefb/internal/screamset"
 )
 
@@ -51,6 +52,11 @@ type ScreamConfig struct {
 	OracleDuration float64
 	// Seed drives everything.
 	Seed uint64
+	// Workers bounds the goroutines used for the independent trials of an
+	// experiment (per-algorithm retrains, committee runs, ALE curves).
+	// 0 selects runtime.GOMAXPROCS(0); 1 forces serial execution. Every
+	// value produces identical tables and figures.
+	Workers int
 }
 
 // PaperScreamConfig returns the paper's experiment sizes.
@@ -105,6 +111,9 @@ type UCLConfig struct {
 	AutoML automl.Config
 	// Seed drives everything.
 	Seed uint64
+	// Workers bounds the goroutines used for the independent trials of
+	// the experiment; see ScreamConfig.Workers.
+	Workers int
 }
 
 // PaperUCLConfig returns the UCL experiment at a size our AutoML engine
@@ -135,6 +144,18 @@ func ReducedUCLConfig() UCLConfig {
 		AutoML:    automl.Config{MaxCandidates: 8, Generations: 1, EnsembleSize: 5},
 		Seed:      2,
 	}
+}
+
+// innerAutoML returns base reconfigured for use inside a batch of
+// concurrent trials: when the batch itself parallelizes, the per-trial
+// searches run serially so total concurrency stays near the knob. By the
+// determinism guarantee (automl.Config.Workers) this is a pure scheduling
+// choice and cannot change any result.
+func innerAutoML(base automl.Config, batchWorkers int) automl.Config {
+	if parallel.Workers(batchWorkers) > 1 {
+		base.Workers = 1
+	}
+	return base
 }
 
 // runAutoML executes one AutoML run with a derived seed.

@@ -73,6 +73,7 @@ func RunFigure1(cfg ScreamConfig, progress io.Writer) (*FigureResult, error) {
 	fb, err := core.Compute(core.WithinCommittee(ens), train, core.Config{
 		Bins:    cfg.Bins,
 		Classes: []int{screamset.LabelScream},
+		Workers: cfg.Workers,
 	})
 	if err != nil {
 		return nil, err
@@ -115,6 +116,7 @@ func RunFigure2(cfg UCLConfig, progress io.Writer) (*Figure2Result, error) {
 	fb, err := core.Compute(committee, train, core.Config{
 		Bins:     cfg.Bins,
 		Features: []int{srcIdx, dstIdx},
+		Workers:  cfg.Workers,
 	})
 	if err != nil {
 		return nil, err
@@ -131,6 +133,7 @@ func RunFigure2(cfg UCLConfig, progress io.Writer) (*Figure2Result, error) {
 		Bins:      cfg.Bins,
 		Threshold: threshold,
 		Features:  []int{srcIdx, dstIdx},
+		Workers:   cfg.Workers,
 	})
 	if err != nil {
 		return nil, err

@@ -53,7 +53,7 @@ func RunLoopExperiment(cfg ScreamConfig, rounds int, progress io.Writer) (*LoopE
 		Rounds:   rounds,
 		PerRound: perRound,
 		AutoML:   mlCfg,
-		Feedback: core.Config{Bins: cfg.Bins, Classes: []int{screamset.LabelScream}},
+		Feedback: core.Config{Bins: cfg.Bins, Classes: []int{screamset.LabelScream}, Workers: cfg.Workers},
 		Oracle:   gen,
 		Seed:     cfg.Seed + 59,
 	})

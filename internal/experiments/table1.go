@@ -9,6 +9,7 @@ import (
 	"github.com/netml/alefb/internal/core"
 	"github.com/netml/alefb/internal/data"
 	"github.com/netml/alefb/internal/ml"
+	"github.com/netml/alefb/internal/parallel"
 	"github.com/netml/alefb/internal/rng"
 	"github.com/netml/alefb/internal/screamset"
 	"github.com/netml/alefb/internal/stats"
@@ -87,7 +88,7 @@ func RunTable1(cfg ScreamConfig, progress io.Writer) (*Table1Result, error) {
 	acc := make(map[string][]float64, len(algs))
 	added := make(map[string][]float64, len(algs))
 
-	fbCfg := core.Config{Bins: cfg.Bins, Classes: []int{screamset.LabelScream}}
+	fbCfg := core.Config{Bins: cfg.Bins, Classes: []int{screamset.LabelScream}, Workers: cfg.Workers}
 
 	for rep := 0; rep < cfg.Reps; rep++ {
 		repSeed := cfg.Seed + uint64(rep+1)*1_000_003
@@ -164,22 +165,40 @@ func RunTable1(cfg ScreamConfig, progress io.Writer) (*Table1Result, error) {
 		augment[AlgWithinALEPool] = suggestPool(within)
 		augment[AlgCrossALEPool] = suggestPool(cross)
 
+		// The eight retrains are independent trials: each is fully
+		// determined by its derived seed, so they run concurrently on the
+		// experiment's worker pool and are committed in algorithm order.
+		retrainCfg := innerAutoML(cfg.AutoML, cfg.Workers)
+		type trial struct {
+			accs  []float64
+			added float64
+		}
+		trials, err := parallel.Map(len(algs), cfg.Workers, func(ai int) (trial, error) {
+			alg := algs[ai]
+			if alg == AlgNoFeedback {
+				return trial{}, nil
+			}
+			res := augment[alg]
+			if res.err != nil {
+				return trial{}, fmt.Errorf("experiments: %s: %w", alg, res.err)
+			}
+			retrain := train.Concat(res.add)
+			ens, err := runAutoML(retrain, retrainCfg, repSeed+uint64(ai+1)*97)
+			if err != nil {
+				return trial{}, fmt.Errorf("experiments: retrain %s: %w", alg, err)
+			}
+			return trial{accs: evalOnSets(ens, testSets), added: float64(res.add.Len())}, nil
+		})
+		if err != nil {
+			return nil, err
+		}
 		for ai, alg := range algs {
 			if alg == AlgNoFeedback {
 				continue
 			}
-			res := augment[alg]
-			if res.err != nil {
-				return nil, fmt.Errorf("experiments: %s: %w", alg, res.err)
-			}
-			retrain := train.Concat(res.add)
-			ens, err := runAutoML(retrain, cfg.AutoML, repSeed+uint64(ai+1)*97)
-			if err != nil {
-				return nil, fmt.Errorf("experiments: retrain %s: %w", alg, err)
-			}
-			acc[alg] = append(acc[alg], evalOnSets(ens, testSets)...)
-			added[alg] = append(added[alg], float64(res.add.Len()))
-			logf("rep %d/%d: %s done (+%d points)", rep+1, cfg.Reps, alg, res.add.Len())
+			acc[alg] = append(acc[alg], trials[ai].accs...)
+			added[alg] = append(added[alg], trials[ai].added)
+			logf("rep %d/%d: %s done (+%.0f points)", rep+1, cfg.Reps, alg, trials[ai].added)
 		}
 	}
 

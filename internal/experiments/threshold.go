@@ -64,7 +64,7 @@ func RunThresholdSweep(cfg ScreamConfig, progress io.Writer) (*ThresholdResult, 
 	committee := core.WithinCommittee(ens)
 
 	// First pass with the median heuristic to learn the std distribution.
-	fb0, err := core.Compute(committee, train, core.Config{Bins: cfg.Bins, Classes: []int{screamset.LabelScream}})
+	fb0, err := core.Compute(committee, train, core.Config{Bins: cfg.Bins, Classes: []int{screamset.LabelScream}, Workers: cfg.Workers})
 	if err != nil {
 		return nil, err
 	}
@@ -83,6 +83,7 @@ func RunThresholdSweep(cfg ScreamConfig, progress io.Writer) (*ThresholdResult, 
 			Bins:      cfg.Bins,
 			Threshold: th,
 			Classes:   []int{screamset.LabelScream},
+			Workers:   cfg.Workers,
 		})
 		if err != nil {
 			return nil, err

@@ -10,6 +10,7 @@ import (
 	"github.com/netml/alefb/internal/data"
 	"github.com/netml/alefb/internal/firewall"
 	"github.com/netml/alefb/internal/ml"
+	"github.com/netml/alefb/internal/parallel"
 	"github.com/netml/alefb/internal/rng"
 	"github.com/netml/alefb/internal/stats"
 )
@@ -59,7 +60,7 @@ func RunUCL(cfg UCLConfig, progress io.Writer) (*UCLResult, error) {
 	algs := []string{AlgNoFeedback, AlgWithinALEPool, AlgCrossALEPool, AlgUniform, AlgConfidence, AlgQBC}
 	acc := make(map[string][]float64)
 	added := make(map[string][]float64)
-	fbCfg := core.Config{Bins: cfg.Bins}
+	fbCfg := core.Config{Bins: cfg.Bins, Workers: cfg.Workers}
 
 	for split := 0; split < cfg.Splits; split++ {
 		splitSeed := cfg.Seed + uint64(split+1)*2_000_003
@@ -111,16 +112,29 @@ func RunUCL(cfg UCLConfig, progress io.Writer) (*UCLResult, error) {
 		augment[AlgConfidence] = pool.Subset(active.LeastConfidence(base, pool.X, cfg.FeedbackN))
 		augment[AlgQBC] = pool.Subset(active.QBC(within, pool.X, cfg.FeedbackN, active.QBCVoteEntropy))
 
+		// Independent retrain trials, run concurrently and committed in
+		// algorithm order (see RunTable1).
+		retrainCfg := innerAutoML(cfg.AutoML, cfg.Workers)
+		trials, err := parallel.Map(len(algs), cfg.Workers, func(ai int) ([]float64, error) {
+			alg := algs[ai]
+			if alg == AlgNoFeedback {
+				return nil, nil
+			}
+			ens, err := runAutoML(train.Concat(augment[alg]), retrainCfg, splitSeed+uint64(ai+1)*89)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: ucl retrain %s: %w", alg, err)
+			}
+			return evalOnSets(ens, testSets), nil
+		})
+		if err != nil {
+			return nil, err
+		}
 		for ai, alg := range algs {
 			if alg == AlgNoFeedback {
 				continue
 			}
 			add := augment[alg]
-			ens, err := runAutoML(train.Concat(add), cfg.AutoML, splitSeed+uint64(ai+1)*89)
-			if err != nil {
-				return nil, fmt.Errorf("experiments: ucl retrain %s: %w", alg, err)
-			}
-			acc[alg] = append(acc[alg], evalOnSets(ens, testSets)...)
+			acc[alg] = append(acc[alg], trials[ai]...)
 			added[alg] = append(added[alg], float64(add.Len()))
 			logf("split %d/%d: %s done (+%d points)", split+1, cfg.Splits, alg, add.Len())
 		}

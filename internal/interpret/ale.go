@@ -17,6 +17,7 @@ import (
 
 	"github.com/netml/alefb/internal/data"
 	"github.com/netml/alefb/internal/ml"
+	"github.com/netml/alefb/internal/parallel"
 	"github.com/netml/alefb/internal/rng"
 	"github.com/netml/alefb/internal/stats"
 )
@@ -27,6 +28,11 @@ type Options struct {
 	Bins int
 	// Class selects the predicted-probability output explained.
 	Class int
+	// Workers bounds the goroutines used to evaluate committee members.
+	// 0 selects runtime.GOMAXPROCS(0); 1 forces serial execution. The
+	// computation has no stochastic component, and each member's curve is
+	// committed at its model index, so every value is bit-identical.
+	Workers int
 }
 
 func (o Options) withDefaults() Options {
@@ -143,6 +149,23 @@ func aleOnGrid(model ml.Classifier, d *data.Dataset, feature int, edges []float6
 	return Curve{Feature: feature, Grid: edges, Values: values}
 }
 
+// pdpOnGrid computes the partial-dependence curve for one model on a fixed
+// grid of bin edges.
+func pdpOnGrid(model ml.Classifier, d *data.Dataset, feature int, edges []float64, class int) Curve {
+	values := make([]float64, len(edges))
+	buf := make([]float64, d.Schema.NumFeatures())
+	for gi, z := range edges {
+		sum := 0.0
+		for _, row := range d.X {
+			copy(buf, row)
+			buf[feature] = z
+			sum += model.PredictProba(buf)[class]
+		}
+		values[gi] = sum / float64(d.Len())
+	}
+	return Curve{Feature: feature, Grid: edges, Values: values}
+}
+
 // ALE computes the first-order accumulated local effects of feature on the
 // model's predicted probability of opt.Class, using quantile bins over d.
 func ALE(model ml.Classifier, d *data.Dataset, feature int, opt Options) (Curve, error) {
@@ -168,18 +191,7 @@ func PDP(model ml.Classifier, d *data.Dataset, feature int, opt Options) (Curve,
 	if err != nil {
 		return Curve{}, err
 	}
-	values := make([]float64, len(edges))
-	buf := make([]float64, d.Schema.NumFeatures())
-	for gi, z := range edges {
-		sum := 0.0
-		for _, row := range d.X {
-			copy(buf, row)
-			buf[feature] = z
-			sum += model.PredictProba(buf)[opt.Class]
-		}
-		values[gi] = sum / float64(d.Len())
-	}
-	return Curve{Feature: feature, Grid: edges, Values: values}, nil
+	return pdpOnGrid(model, d, feature, edges, opt.Class), nil
 }
 
 // Method selects the interpretation algorithm for committee computations.
@@ -227,27 +239,23 @@ func Committee(models []ml.Classifier, d *data.Dataset, feature int, method Meth
 		return CommitteeCurve{}, err
 	}
 	cc := CommitteeCurve{Feature: feature, Grid: edges}
-	for _, m := range models {
+	// Every member evaluates the shared grid independently on the worker
+	// pool; curves are committed at the member's index, so PerModel (and
+	// everything derived from it) is identical for any worker count.
+	perModel, err := parallel.Map(len(models), opt.Workers, func(i int) ([]float64, error) {
 		var c Curve
 		switch method {
 		case MethodPDP:
-			values := make([]float64, len(edges))
-			buf := make([]float64, d.Schema.NumFeatures())
-			for gi, z := range edges {
-				sum := 0.0
-				for _, row := range d.X {
-					copy(buf, row)
-					buf[feature] = z
-					sum += m.PredictProba(buf)[opt.Class]
-				}
-				values[gi] = sum / float64(d.Len())
-			}
-			c = Curve{Feature: feature, Grid: edges, Values: values}
+			c = pdpOnGrid(models[i], d, feature, edges, opt.Class)
 		default:
-			c = aleOnGrid(m, d, feature, edges, opt.Class)
+			c = aleOnGrid(models[i], d, feature, edges, opt.Class)
 		}
-		cc.PerModel = append(cc.PerModel, c.Values)
+		return c.Values, nil
+	})
+	if err != nil {
+		return CommitteeCurve{}, err
 	}
+	cc.PerModel = perModel
 	n := len(edges)
 	cc.Mean = make([]float64, n)
 	cc.Std = make([]float64, n)

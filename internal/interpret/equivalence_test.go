@@ -1,0 +1,54 @@
+package interpret
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"github.com/netml/alefb/internal/ml"
+	"github.com/netml/alefb/internal/rng"
+)
+
+// TestCommitteeWorkersEquivalence checks the determinism contract for
+// the parallel committee: per-model curves are computed concurrently but
+// committed at the model's index, so Workers=1 and Workers=8 must agree
+// bit for bit on Grid, PerModel, Mean and Std, for both ALE and PDP.
+func TestCommitteeWorkersEquivalence(t *testing.T) {
+	models := []ml.Classifier{
+		&stepModel{cut: 0.3, lo: 0.1, hi: 0.9},
+		&stepModel{cut: 0.5, lo: 0.2, hi: 0.8},
+		&stepModel{cut: 0.7, lo: 0.05, hi: 0.95},
+		&linearModel{a: 0.1, b: 0.7},
+		&linearModel{a: 0.4, b: 0.2},
+	}
+	for _, method := range []Method{MethodALE, MethodPDP} {
+		for _, seed := range []uint64{1, 44, 901} {
+			t.Run(fmt.Sprintf("method%d/seed%d", method, seed), func(t *testing.T) {
+				d := uniformDataset(500, rng.New(seed))
+				serial, err := Committee(models, d, 0, method, Options{Bins: 16, Class: 1, Workers: 1})
+				if err != nil {
+					t.Fatal(err)
+				}
+				par, err := Committee(models, d, 0, method, Options{Bins: 16, Class: 1, Workers: 8})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(serial.Grid, par.Grid) {
+					t.Errorf("Grid differs: %v vs %v", serial.Grid, par.Grid)
+				}
+				if !reflect.DeepEqual(serial.PerModel, par.PerModel) {
+					t.Errorf("PerModel differs")
+				}
+				if !reflect.DeepEqual(serial.Mean, par.Mean) {
+					t.Errorf("Mean differs: %v vs %v", serial.Mean, par.Mean)
+				}
+				if !reflect.DeepEqual(serial.Std, par.Std) {
+					t.Errorf("Std differs: %v vs %v", serial.Std, par.Std)
+				}
+				if len(par.PerModel) != len(models) {
+					t.Errorf("PerModel rows = %d, want %d", len(par.PerModel), len(models))
+				}
+			})
+		}
+	}
+}

@@ -1,0 +1,135 @@
+// Package parallel is the repository's deterministic execution layer: a
+// small, stdlib-only worker pool used by the AutoML search, the committee
+// ALE computation and the experiment harness.
+//
+// Determinism is the design constraint that shapes the API. Every hot path
+// in this repository must produce bit-identical results whether it runs on
+// one worker or on N, so the pool never lets scheduling order leak into
+// results:
+//
+//   - tasks are identified by index, and results are committed in index
+//     order regardless of completion order;
+//   - when several tasks fail, the error of the lowest-indexed task is
+//     returned, which is also the error a serial run would have seen first;
+//   - callers must give each task its own rng.Rand derived from the task
+//     index (rng.Derive), never a generator shared across tasks.
+//
+// Workers <= 0 selects runtime.GOMAXPROCS(0); Workers == 1 runs the tasks
+// inline on the calling goroutine, so a serial run is genuinely serial.
+package parallel
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers normalizes a worker-count knob: values <= 0 select
+// runtime.GOMAXPROCS(0), everything else is returned unchanged.
+func Workers(n int) int {
+	if n <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// panicError carries a recovered panic from a worker goroutine to the
+// calling goroutine, preserving the worker's stack for the crash report.
+type panicError struct {
+	value any
+	stack []byte
+}
+
+func (p *panicError) Error() string {
+	return fmt.Sprintf("parallel: task panicked: %v\n%s", p.value, p.stack)
+}
+
+// Map runs fn(i) for every i in [0, n) on up to `workers` goroutines and
+// returns the results in index order. The first error cancels the tasks
+// that have not started yet and is returned; the result slice is only
+// meaningful when the error is nil. On the success path results are
+// bit-identical for every worker count. On the failure path the returned
+// error is the lowest-indexed error among the tasks that ran — with one
+// worker that is exactly the serial short-circuit error; with several
+// workers, cancellation means which tasks ran (and hence which error
+// surfaces when more than one task would fail) can depend on scheduling.
+// A panic in any task is re-raised on the calling goroutine with the
+// worker's stack attached.
+func Map[T any](n, workers int, fn func(i int) (T, error)) ([]T, error) {
+	if n <= 0 {
+		return nil, nil
+	}
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	out := make([]T, n)
+	if workers == 1 {
+		// Inline serial path: exact short-circuit semantics, native panics.
+		for i := 0; i < n; i++ {
+			v, err := fn(i)
+			if err != nil {
+				return out, err
+			}
+			out[i] = v
+		}
+		return out, nil
+	}
+
+	var (
+		next    atomic.Int64 // next task index to claim
+		stopped atomic.Bool  // set on first failure; unstarted tasks skip
+		errs    = make([]error, n)
+		wg      sync.WaitGroup
+	)
+	run := func(i int) {
+		defer func() {
+			if v := recover(); v != nil {
+				buf := make([]byte, 64<<10)
+				errs[i] = &panicError{value: v, stack: buf[:runtime.Stack(buf, false)]}
+				stopped.Store(true)
+			}
+		}()
+		v, err := fn(i)
+		if err != nil {
+			errs[i] = err
+			stopped.Store(true)
+			return
+		}
+		out[i] = v
+	}
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n || stopped.Load() {
+					return
+				}
+				run(i)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err == nil {
+			continue
+		}
+		if pe, ok := err.(*panicError); ok {
+			panic(pe.Error())
+		}
+		return out, err
+	}
+	return out, nil
+}
+
+// ForEach runs fn(i) for every i in [0, n) on up to `workers` goroutines.
+// Error and panic semantics match Map.
+func ForEach(n, workers int, fn func(i int) error) error {
+	_, err := Map(n, workers, func(i int) (struct{}, error) {
+		return struct{}{}, fn(i)
+	})
+	return err
+}

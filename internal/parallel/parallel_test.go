@@ -1,0 +1,161 @@
+package parallel
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkersNormalization(t *testing.T) {
+	if got := Workers(0); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers(0) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Workers(-3); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers(-3) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Workers(5); got != 5 {
+		t.Fatalf("Workers(5) = %d", got)
+	}
+}
+
+func TestMapOrderedResults(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 8, 100} {
+		got, err := Map(50, workers, func(i int) (int, error) { return i * i, nil })
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(got) != 50 {
+			t.Fatalf("workers=%d: %d results", workers, len(got))
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: got[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestMapEmpty(t *testing.T) {
+	got, err := Map(0, 4, func(i int) (int, error) { t.Fatal("fn called"); return 0, nil })
+	if err != nil || got != nil {
+		t.Fatalf("Map(0) = %v, %v", got, err)
+	}
+}
+
+func TestMapSerialShortCircuit(t *testing.T) {
+	boom := errors.New("boom")
+	var ran []int
+	_, err := Map(10, 1, func(i int) (int, error) {
+		ran = append(ran, i)
+		if i == 3 {
+			return 0, boom
+		}
+		return i, nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if len(ran) != 4 {
+		t.Fatalf("serial run executed tasks %v; want exactly 0..3", ran)
+	}
+}
+
+func TestMapParallelErrorCancels(t *testing.T) {
+	var started atomic.Int64
+	_, err := Map(10_000, 4, func(i int) (int, error) {
+		started.Add(1)
+		if i == 0 {
+			return 0, fmt.Errorf("task %d failed", i)
+		}
+		return i, nil
+	})
+	if err == nil || !strings.Contains(err.Error(), "failed") {
+		t.Fatalf("err = %v", err)
+	}
+	// Cancellation is cooperative: already-claimed tasks finish, but the
+	// failure must stop the pool well before all 10k tasks start.
+	if n := started.Load(); n == 10_000 {
+		t.Fatalf("all %d tasks started despite early error", n)
+	}
+}
+
+func TestMapReturnsLowestObservedError(t *testing.T) {
+	// With one worker per failing task and a barrier forcing both failures
+	// to run, the lowest-indexed error must win regardless of timing.
+	var gate sync.WaitGroup
+	gate.Add(2)
+	_, err := Map(2, 2, func(i int) (int, error) {
+		gate.Done()
+		gate.Wait() // both tasks are certainly running
+		return 0, fmt.Errorf("task %d", i)
+	})
+	if err == nil || err.Error() != "task 0" {
+		t.Fatalf("err = %v, want task 0", err)
+	}
+}
+
+func TestMapPanicPropagates(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		func() {
+			defer func() {
+				v := recover()
+				if v == nil {
+					t.Fatalf("workers=%d: no panic", workers)
+				}
+				if s := fmt.Sprint(v); !strings.Contains(s, "kaboom") {
+					t.Fatalf("workers=%d: panic %q does not mention the cause", workers, s)
+				}
+			}()
+			Map(8, workers, func(i int) (int, error) {
+				if i == 2 {
+					panic("kaboom")
+				}
+				return i, nil
+			})
+		}()
+	}
+}
+
+func TestForEach(t *testing.T) {
+	var sum atomic.Int64
+	if err := ForEach(100, 8, func(i int) error {
+		sum.Add(int64(i))
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if sum.Load() != 99*100/2 {
+		t.Fatalf("sum = %d", sum.Load())
+	}
+	boom := errors.New("boom")
+	if err := ForEach(4, 2, func(i int) error { return boom }); !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+// TestStress hammers the pool with many tiny tasks and shared-state
+// mutation through the result slice; designed to run under -race.
+func TestStress(t *testing.T) {
+	const n = 5000
+	for round := 0; round < 4; round++ {
+		got, err := Map(n, 16, func(i int) ([]int, error) {
+			out := make([]int, 3)
+			for j := range out {
+				out[j] = i + j
+			}
+			return out, nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range got {
+			if v[0] != i || v[2] != i+2 {
+				t.Fatalf("round %d: got[%d] = %v", round, i, v)
+			}
+		}
+	}
+}

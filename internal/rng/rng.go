@@ -44,6 +44,20 @@ func (r *Rand) Split() *Rand {
 	return New(r.Uint64() ^ (r.Uint64() << 1))
 }
 
+// Derive returns the generator for task i of a parallel computation keyed
+// by seed. Unlike a sequential Split chain, the result depends only on
+// (seed, i) — never on which worker runs the task or in what order — which
+// is the rule that makes Workers=1 and Workers=N runs bit-identical.
+// The index is folded into the seed through a SplitMix64 finalization
+// (on top of the one New applies) so that nearby indices and nearby seeds
+// still yield well-separated streams.
+func Derive(seed, i uint64) *Rand {
+	z := seed + (i+1)*0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return New(z ^ (z >> 31))
+}
+
 func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
 
 // Uint64 returns the next value in the xoshiro256** sequence.
