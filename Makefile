@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench vet fmt fuzz
+.PHONY: all build test race bench bench-ml bench-json ci fmt-check vet fmt fuzz
 
 all: build test
 
@@ -24,6 +24,29 @@ race:
 # scaling of the three parallelized hot paths.
 bench:
 	$(GO) test -bench . -benchmem -benchtime 1x -run XXX .
+
+# bench-ml sweeps the inference-engine benchmarks (batch predict paths,
+# ALE/PDP committee, feedback loop) into results/bench_current.txt.
+bench-ml:
+	$(GO) test -run '^$$' -bench . -benchmem \
+		./internal/ml/ ./internal/interpret/ ./internal/core/ \
+		| tee results/bench_current.txt
+
+# bench-json renders the baseline-vs-current sweep comparison to
+# BENCH_ML.json at the repo root (run bench-ml first to refresh the
+# current numbers).
+bench-json:
+	$(GO) run ./cmd/benchjson \
+		-baseline results/bench_baseline.txt \
+		-current results/bench_current.txt \
+		-out BENCH_ML.json
+
+# ci is the full gate: formatting, vet, tests, race detector.
+ci: fmt-check vet test race
+
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 vet:
 	$(GO) vet ./...

@@ -1,0 +1,139 @@
+// Command benchjson converts `go test -bench -benchmem` text output into
+// a machine-readable JSON comparison. It reads a baseline sweep and a
+// current sweep (results/bench_*.txt by default) and writes one JSON
+// document pairing every benchmark's ns/op, B/op and allocs/op across the
+// two, with derived speedup and allocation-reduction factors.
+//
+// Usage:
+//
+//	go run ./cmd/benchjson -baseline results/bench_baseline.txt \
+//	    -current results/bench_current.txt -out BENCH_ML.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// metrics holds one benchmark line's measurements.
+type metrics struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+// entry pairs a benchmark's baseline and current measurements. Speedup is
+// baseline ns/op over current ns/op; AllocReduction is the same ratio for
+// allocs/op, omitted when the current count is zero (JSON has no +Inf).
+type entry struct {
+	Name           string   `json:"name"`
+	Baseline       *metrics `json:"baseline,omitempty"`
+	Current        *metrics `json:"current,omitempty"`
+	Speedup        *float64 `json:"speedup,omitempty"`
+	AllocReduction *float64 `json:"alloc_reduction,omitempty"`
+}
+
+type report struct {
+	BaselineFile string  `json:"baseline_file"`
+	CurrentFile  string  `json:"current_file"`
+	Benchmarks   []entry `json:"benchmarks"`
+}
+
+// benchLine matches one -benchmem output row, e.g.
+//
+//	BenchmarkForestPredictBatch-8   2562   430741 ns/op   264288 B/op   10501 allocs/op
+//
+// The -N GOMAXPROCS suffix is optional and stripped from the name.
+var benchLine = regexp.MustCompile(
+	`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op\s+([0-9.]+) B/op\s+([0-9.]+) allocs/op`)
+
+func parseFile(path string) (map[string]metrics, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]metrics)
+	for _, line := range strings.Split(string(b), "\n") {
+		m := benchLine.FindStringSubmatch(strings.TrimSpace(line))
+		if m == nil {
+			continue
+		}
+		ns, _ := strconv.ParseFloat(m[2], 64)
+		bytes, _ := strconv.ParseFloat(m[3], 64)
+		allocs, _ := strconv.ParseFloat(m[4], 64)
+		out[m[1]] = metrics{NsPerOp: ns, BytesPerOp: bytes, AllocsPerOp: allocs}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no benchmark lines found in %s", path)
+	}
+	return out, nil
+}
+
+func main() {
+	baselinePath := flag.String("baseline", "results/bench_baseline.txt", "baseline sweep (go test -bench -benchmem output)")
+	currentPath := flag.String("current", "results/bench_current.txt", "current sweep")
+	outPath := flag.String("out", "BENCH_ML.json", "output JSON path")
+	flag.Parse()
+
+	base, err := parseFile(*baselinePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	cur, err := parseFile(*currentPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+
+	names := make(map[string]bool)
+	for n := range base {
+		names[n] = true
+	}
+	for n := range cur {
+		names[n] = true
+	}
+	rep := report{BaselineFile: *baselinePath, CurrentFile: *currentPath}
+	for n := range names {
+		e := entry{Name: n}
+		if m, ok := base[n]; ok {
+			mm := m
+			e.Baseline = &mm
+		}
+		if m, ok := cur[n]; ok {
+			mm := m
+			e.Current = &mm
+		}
+		if e.Baseline != nil && e.Current != nil && e.Current.NsPerOp > 0 {
+			s := round2(e.Baseline.NsPerOp / e.Current.NsPerOp)
+			e.Speedup = &s
+			if e.Current.AllocsPerOp > 0 {
+				a := round2(e.Baseline.AllocsPerOp / e.Current.AllocsPerOp)
+				e.AllocReduction = &a
+			}
+		}
+		rep.Benchmarks = append(rep.Benchmarks, e)
+	}
+	sort.Slice(rep.Benchmarks, func(i, j int) bool { return rep.Benchmarks[i].Name < rep.Benchmarks[j].Name })
+
+	j, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(*outPath, append(j, '\n'), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("benchjson: wrote %s (%d benchmarks)\n", *outPath, len(rep.Benchmarks))
+}
+
+func round2(v float64) float64 {
+	return float64(int(v*100+0.5)) / 100
+}

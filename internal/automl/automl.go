@@ -113,20 +113,47 @@ type Ensemble struct {
 // PredictProba returns the weighted average of member probabilities.
 func (e *Ensemble) PredictProba(x []float64) []float64 {
 	out := make([]float64, e.NumClasses)
+	e.predictInto(x, out, make([]float64, e.NumClasses))
+	return out
+}
+
+// PredictProbaInto implements ml.IntoPredictor. It allocates one member
+// probability buffer per call; the batch path shares it across rows.
+func (e *Ensemble) PredictProbaInto(x, out []float64) {
+	e.predictInto(x, out, make([]float64, e.NumClasses))
+}
+
+// PredictProbaBatchInto implements ml.BatchPredictor with one member
+// probability buffer shared across all rows of the batch.
+func (e *Ensemble) PredictProbaBatchInto(X, out [][]float64) {
+	buf := make([]float64, e.NumClasses)
+	for i, x := range X {
+		e.predictInto(x, out[i], buf)
+	}
+}
+
+// predictInto accumulates the weight-averaged member probabilities into
+// out, using buf as the per-member probability scratch.
+func (e *Ensemble) predictInto(x, out, buf []float64) {
+	for i := range out {
+		out[i] = 0
+	}
 	for _, m := range e.Members {
-		p := m.Model.PredictProba(x)
-		for i, v := range p {
+		ml.PredictProbaInto(m.Model, x, buf)
+		for i, v := range buf {
 			out[i] += m.Weight * v
 		}
 	}
-	return out
 }
 
 // Predict returns argmax labels for every row of X.
 func (e *Ensemble) Predict(X [][]float64) []int {
 	out := make([]int, len(X))
+	p := make([]float64, e.NumClasses)
+	buf := make([]float64, e.NumClasses)
 	for i, x := range X {
-		out[i] = metrics.Argmax(e.PredictProba(x))
+		e.predictInto(x, p, buf)
+		out[i] = metrics.Argmax(p)
 	}
 	return out
 }

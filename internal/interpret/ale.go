@@ -99,26 +99,49 @@ func binIndex(edges []float64, v float64) int {
 	return k
 }
 
+// gridScratch holds the preallocated buffers one model's grid evaluation
+// reuses across bins: the perturbed-row matrix, the hi/lo probability
+// matrices (each one contiguous backing array), and the per-row bin index.
+// With these in place the evaluation loop performs zero heap allocations
+// for models with allocation-free batch paths (see the AllocsPerRun test).
+type gridScratch struct {
+	rows   [][]float64
+	hi, lo [][]float64
+	bins   []int
+}
+
+func newGridScratch(n, nf, classes int) *gridScratch {
+	s := &gridScratch{
+		rows: make([][]float64, n),
+		hi:   make([][]float64, n),
+		lo:   make([][]float64, n),
+		bins: make([]int, n),
+	}
+	rowBack := make([]float64, n*nf)
+	hiBack := make([]float64, n*classes)
+	loBack := make([]float64, n*classes)
+	for i := 0; i < n; i++ {
+		s.rows[i] = rowBack[i*nf : (i+1)*nf : (i+1)*nf]
+		s.hi[i] = hiBack[i*classes : (i+1)*classes : (i+1)*classes]
+		s.lo[i] = loBack[i*classes : (i+1)*classes : (i+1)*classes]
+	}
+	return s
+}
+
+// probe learns the model's class count from one (allocating) prediction so
+// the scratch probability matrices can be sized up front.
+func probeClasses(model ml.Classifier, x []float64) int {
+	return len(model.PredictProba(x))
+}
+
 // aleOnGrid computes the first-order ALE curve for one model on a fixed
 // grid of bin edges.
 func aleOnGrid(model ml.Classifier, d *data.Dataset, feature int, edges []float64, class int) Curve {
 	K := len(edges) - 1
 	sumDelta := make([]float64, K+1) // index k: effects of bin k (1-based)
 	counts := make([]float64, K+1)
-
-	// Buffer row reused across predictions.
-	buf := make([]float64, d.Schema.NumFeatures())
-	for i, row := range d.X {
-		k := binIndex(edges, row[feature])
-		copy(buf, row)
-		buf[feature] = edges[k]
-		hi := model.PredictProba(buf)[class]
-		buf[feature] = edges[k-1]
-		lo := model.PredictProba(buf)[class]
-		sumDelta[k] += hi - lo
-		counts[k]++
-		_ = i
-	}
+	s := newGridScratch(d.Len(), d.Schema.NumFeatures(), probeClasses(model, d.X[0]))
+	aleAccumulate(model, d.X, feature, edges, class, s, sumDelta, counts)
 
 	values := make([]float64, K+1)
 	acc := 0.0
@@ -149,17 +172,48 @@ func aleOnGrid(model ml.Classifier, d *data.Dataset, feature int, edges []float6
 	return Curve{Feature: feature, Grid: edges, Values: values}
 }
 
+// aleAccumulate is the steady-state ALE loop: it fills the perturbed-row
+// matrix with every row snapped to its bin's upper edge, batch-predicts,
+// flips the feature column to the lower edges, batch-predicts again, and
+// accumulates the per-bin probability deltas. Accumulation runs in original
+// row order — the same float addition order as row-at-a-time evaluation —
+// so results are bit-identical to the pre-batch implementation.
+func aleAccumulate(model ml.Classifier, X [][]float64, feature int, edges []float64, class int, s *gridScratch, sumDelta, counts []float64) {
+	for i, row := range X {
+		k := binIndex(edges, row[feature])
+		s.bins[i] = k
+		copy(s.rows[i], row)
+		s.rows[i][feature] = edges[k]
+	}
+	ml.PredictProbaBatchInto(model, s.rows, s.hi)
+	for i := range X {
+		s.rows[i][feature] = edges[s.bins[i]-1]
+	}
+	ml.PredictProbaBatchInto(model, s.rows, s.lo)
+	for i := range X {
+		k := s.bins[i]
+		sumDelta[k] += s.hi[i][class] - s.lo[i][class]
+		counts[k]++
+	}
+}
+
 // pdpOnGrid computes the partial-dependence curve for one model on a fixed
-// grid of bin edges.
+// grid of bin edges. Rows are copied into the scratch matrix once; each
+// grid point only rewrites the feature column before a batch predict.
 func pdpOnGrid(model ml.Classifier, d *data.Dataset, feature int, edges []float64, class int) Curve {
 	values := make([]float64, len(edges))
-	buf := make([]float64, d.Schema.NumFeatures())
+	s := newGridScratch(d.Len(), d.Schema.NumFeatures(), probeClasses(model, d.X[0]))
+	for i, row := range d.X {
+		copy(s.rows[i], row)
+	}
 	for gi, z := range edges {
+		for i := range s.rows {
+			s.rows[i][feature] = z
+		}
+		ml.PredictProbaBatchInto(model, s.rows, s.hi)
 		sum := 0.0
-		for _, row := range d.X {
-			copy(buf, row)
-			buf[feature] = z
-			sum += model.PredictProba(buf)[class]
+		for i := range s.rows {
+			sum += s.hi[i][class]
 		}
 		values[gi] = sum / float64(d.Len())
 	}
@@ -320,15 +374,8 @@ func PermutationImportance(model ml.Classifier, d *data.Dataset, repeats int, r 
 
 func accuracyOf(model ml.Classifier, X [][]float64, y []int) float64 {
 	correct := 0
-	for i, x := range X {
-		p := model.PredictProba(x)
-		best, bestV := 0, p[0]
-		for c := 1; c < len(p); c++ {
-			if p[c] > bestV {
-				best, bestV = c, p[c]
-			}
-		}
-		if best == y[i] {
+	for i, yi := range ml.Predict(model, X) {
+		if yi == y[i] {
 			correct++
 		}
 	}

@@ -1,0 +1,59 @@
+package interpret
+
+import (
+	"testing"
+
+	"github.com/netml/alefb/internal/data"
+	"github.com/netml/alefb/internal/ml"
+	"github.com/netml/alefb/internal/rng"
+)
+
+// treeCommittee trains a small committee of tree-family models — the model
+// mix real AutoML ensembles are dominated by — on d.
+func treeCommittee(b *testing.B, d *data.Dataset) []ml.Classifier {
+	b.Helper()
+	models := []ml.Classifier{
+		ml.NewRandomForest(15, 8),
+		ml.NewExtraTrees(15, 8),
+		ml.NewGBDT(ml.GBDTConfig{NumRounds: 15}),
+		ml.NewTree(ml.TreeConfig{MaxDepth: 8}),
+		ml.NewAdaBoost(ml.AdaBoostConfig{Rounds: 15, MaxDepth: 2}),
+	}
+	for i, m := range models {
+		if err := m.Fit(d, rng.New(uint64(40+i))); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return models
+}
+
+// BenchmarkALECommittee measures a full committee ALE sweep of one feature
+// — the inner loop of the paper's feedback algorithm. Workers is pinned to
+// 1 so the benchmark tracks per-model cost, not pool scaling.
+func BenchmarkALECommittee(b *testing.B) {
+	r := rng.New(51)
+	d := uniformDataset(1500, r)
+	models := treeCommittee(b, d)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Committee(models, d, 0, MethodALE, Options{Bins: 32, Class: 1, Workers: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPDPCommittee is the PDP twin of BenchmarkALECommittee (PDP
+// evaluates every row at every edge, so it is the heavier sweep).
+func BenchmarkPDPCommittee(b *testing.B) {
+	r := rng.New(52)
+	d := uniformDataset(500, r)
+	models := treeCommittee(b, d)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Committee(models, d, 0, MethodPDP, Options{Bins: 32, Class: 1, Workers: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"github.com/netml/alefb/internal/data"
+	"github.com/netml/alefb/internal/metrics"
 	"github.com/netml/alefb/internal/rng"
 )
 
@@ -131,21 +132,72 @@ func (a *AdaBoost) Fit(d *data.Dataset, r *rng.Rand) error {
 
 // PredictProba implements Classifier: softmax over the staged votes.
 func (a *AdaBoost) PredictProba(x []float64) []float64 {
-	votes := make([]float64, a.classes)
+	out := make([]float64, a.classes)
+	a.PredictProbaInto(x, out)
+	return out
+}
+
+// PredictProbaInto implements IntoPredictor: votes accumulate in out, each
+// weak learner's class read straight off its flattened leaf vector.
+func (a *AdaBoost) PredictProbaInto(x, out []float64) {
+	for i := range out {
+		out[i] = 0
+	}
 	for t, tree := range a.trees {
-		votes[PredictOne(tree, x)] += a.alphas[t]
+		out[metrics.Argmax(tree.flat.leafFor(x))] += a.alphas[t]
 	}
 	// Scale votes into a temperatured softmax so probabilities are smooth.
 	total := 0.0
-	for _, v := range votes {
+	for _, v := range out {
 		total += v
 	}
 	if total > 0 {
-		for i := range votes {
-			votes[i] = 3 * votes[i] / total
+		for i := range out {
+			out[i] = 3 * out[i] / total
 		}
 	}
-	out := make([]float64, a.classes)
-	softmaxInto(votes, out)
-	return out
+	softmaxInto(out, out)
+}
+
+// PredictProbaBatchInto implements BatchPredictor, staging each weak
+// learner across the whole batch: the depth-2 stumps are too short for
+// per-row cross-tree pipelining to pay off (unlike Forest/GBDT), so the
+// tree-outer sweep with four rows walked in lockstep wins here. Per-row
+// vote order is unchanged, so results are bit-identical to the single-row
+// path.
+func (a *AdaBoost) PredictProbaBatchInto(X, out [][]float64) {
+	for _, o := range out {
+		for i := range o {
+			o[i] = 0
+		}
+	}
+	for t, tree := range a.trees {
+		ft := &tree.flat
+		proba := ft.leafProba
+		k := ft.k
+		alpha := a.alphas[t]
+		r := 0
+		for ; r+4 <= len(X); r += 4 {
+			o0, o1, o2, o3 := ft.leafOff4(X[r], X[r+1], X[r+2], X[r+3])
+			out[r][metrics.Argmax(proba[o0:int(o0)+k])] += alpha
+			out[r+1][metrics.Argmax(proba[o1:int(o1)+k])] += alpha
+			out[r+2][metrics.Argmax(proba[o2:int(o2)+k])] += alpha
+			out[r+3][metrics.Argmax(proba[o3:int(o3)+k])] += alpha
+		}
+		for ; r < len(X); r++ {
+			out[r][metrics.Argmax(ft.leafFor(X[r]))] += alpha
+		}
+	}
+	for _, o := range out {
+		total := 0.0
+		for _, v := range o {
+			total += v
+		}
+		if total > 0 {
+			for i := range o {
+				o[i] = 3 * o[i] / total
+			}
+		}
+		softmaxInto(o, o)
+	}
 }

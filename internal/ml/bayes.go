@@ -103,20 +103,24 @@ func (g *GaussianNB) Fit(d *data.Dataset, r *rng.Rand) error {
 
 // PredictProba implements Classifier.
 func (g *GaussianNB) PredictProba(x []float64) []float64 {
-	k := g.classes
-	logP := make([]float64, k)
-	for c := 0; c < k; c++ {
+	out := make([]float64, g.classes)
+	g.PredictProbaInto(x, out)
+	return out
+}
+
+// PredictProbaInto implements IntoPredictor; out doubles as the
+// log-likelihood buffer before the in-place softmax.
+func (g *GaussianNB) PredictProbaInto(x, out []float64) {
+	for c := 0; c < g.classes; c++ {
 		lp := g.logPrior[0][c]
 		for j, v := range x {
 			variance := g.variance[c][j]
 			dlt := v - g.mean[c][j]
 			lp += -0.5*math.Log(2*math.Pi*variance) - dlt*dlt/(2*variance)
 		}
-		logP[c] = lp
+		out[c] = lp
 	}
-	out := make([]float64, k)
-	softmaxInto(logP, out)
-	return out
+	softmaxInto(out, out)
 }
 
 // Mean returns the fitted per-class feature means (for priors extension).
@@ -258,9 +262,30 @@ func (m *MLP) Fit(d *data.Dataset, r *rng.Rand) error {
 
 // PredictProba implements Classifier.
 func (m *MLP) PredictProba(x []float64) []float64 {
+	out := make([]float64, len(m.w2))
+	m.PredictProbaInto(x, out)
+	return out
+}
+
+// PredictProbaInto implements IntoPredictor. The forward pass needs a
+// hidden-layer buffer, which this path allocates per call; the batch path
+// shares it across rows.
+func (m *MLP) PredictProbaInto(x, out []float64) {
+	m.predictInto(x, out, make([]float64, len(m.w1)))
+}
+
+// PredictProbaBatchInto implements BatchPredictor with one hidden-layer
+// buffer shared across all rows of the batch.
+func (m *MLP) PredictProbaBatchInto(X, out [][]float64) {
+	hidden := make([]float64, len(m.w1))
+	for i, x := range X {
+		m.predictInto(x, out[i], hidden)
+	}
+}
+
+func (m *MLP) predictInto(x, out, hidden []float64) {
 	h := len(m.w1)
-	out := len(m.w2)
-	hidden := make([]float64, h)
+	no := len(m.w2)
 	for hi := 0; hi < h; hi++ {
 		s := m.b1[hi]
 		for j, v := range x {
@@ -271,15 +296,12 @@ func (m *MLP) PredictProba(x []float64) []float64 {
 		}
 		hidden[hi] = s
 	}
-	scores := make([]float64, out)
-	for o := 0; o < out; o++ {
+	for o := 0; o < no; o++ {
 		s := m.b2[o]
 		for hi := 0; hi < h; hi++ {
 			s += m.w2[o][hi] * hidden[hi]
 		}
-		scores[o] = s
+		out[o] = s
 	}
-	proba := make([]float64, out)
-	softmaxInto(scores, proba)
-	return proba
+	softmaxInto(out, out)
 }

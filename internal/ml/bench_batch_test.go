@@ -1,0 +1,80 @@
+package ml
+
+import (
+	"testing"
+
+	"github.com/netml/alefb/internal/rng"
+)
+
+// batchProbes draws n probe rows from the blob feature range so batch
+// benchmarks exercise realistic leaf diversity.
+func batchProbes(n int, r *rng.Rand) [][]float64 {
+	X := make([][]float64, n)
+	for i := range X {
+		X[i] = []float64{r.Uniform(-6, 6), r.Uniform(-6, 6)}
+	}
+	return X
+}
+
+// BenchmarkTreePredictBatch measures batch inference through a single
+// decision tree (the unit the flattened engine compiles).
+func BenchmarkTreePredictBatch(b *testing.B) {
+	train := blobs(500, 3, rng.New(21))
+	m := NewTree(TreeConfig{MaxDepth: 8})
+	if err := m.Fit(train, rng.New(1)); err != nil {
+		b.Fatal(err)
+	}
+	X := batchProbes(500, rng.New(22))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		PredictProbaBatch(m, X)
+	}
+}
+
+// BenchmarkForestPredictBatch measures batch inference through a random
+// forest — the dominant cost of ALE/PDP committee sweeps.
+func BenchmarkForestPredictBatch(b *testing.B) {
+	train := blobs(500, 3, rng.New(23))
+	m := NewRandomForest(20, 8)
+	if err := m.Fit(train, rng.New(1)); err != nil {
+		b.Fatal(err)
+	}
+	X := batchProbes(500, rng.New(24))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		PredictProbaBatch(m, X)
+	}
+}
+
+// BenchmarkGBDTPredictBatch measures batch inference through boosted trees.
+func BenchmarkGBDTPredictBatch(b *testing.B) {
+	train := blobs(500, 3, rng.New(25))
+	m := NewGBDT(GBDTConfig{NumRounds: 20})
+	if err := m.Fit(train, rng.New(1)); err != nil {
+		b.Fatal(err)
+	}
+	X := batchProbes(500, rng.New(26))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		PredictProbaBatch(m, X)
+	}
+}
+
+// BenchmarkAdaBoostPredictBatch measures batch inference through the SAMME
+// ensemble of weak trees.
+func BenchmarkAdaBoostPredictBatch(b *testing.B) {
+	train := blobs(500, 3, rng.New(27))
+	m := NewAdaBoost(AdaBoostConfig{Rounds: 30, MaxDepth: 2})
+	if err := m.Fit(train, rng.New(1)); err != nil {
+		b.Fatal(err)
+	}
+	X := batchProbes(500, rng.New(28))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		PredictProbaBatch(m, X)
+	}
+}

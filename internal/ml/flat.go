@@ -1,0 +1,303 @@
+package ml
+
+// This file implements the flattened, structure-of-arrays (SoA) form of
+// the fitted decision trees and the scratch buffers that make tree
+// *training* allocation-free per node.
+//
+// A fitted tree is compiled once, at the end of Fit, from its *treeNode /
+// *regNode pointer graph into parallel arrays laid out in preorder:
+//
+//	feature[i]   split feature of node i, or -1 when node i is a leaf
+//	threshold[i] split threshold (classification/regression nodes), or
+//	             the predicted value (regression leaves)
+//	left[i]      left-child index, or the leaf-payload offset into
+//	             leafProba (classification leaves)
+//	right[i]     right-child index
+//
+// All leaf probability vectors of one tree share a single contiguous
+// backing array (leafProba), so an ensemble of T trees holds T+4 slices
+// instead of one allocation per node. Predict paths walk the arrays with
+// integer indices — no pointer chasing, no per-call allocation — and visit
+// exactly the same nodes in the same order as the pointer traversal with
+// unchanged float comparisons, so every probability is bit-identical to
+// the pointer implementation (which predictProbaPointer retains as the
+// reference for the equivalence tests).
+
+// flatTree is the SoA-compiled form of a fitted classification tree.
+type flatTree struct {
+	feature   []int32
+	threshold []float64
+	left      []int32
+	right     []int32
+	leafProba []float64 // contiguous k-float payloads, indexed via left[i]
+	k         int
+}
+
+// compileTree flattens a fitted pointer tree with k classes. Sibling nodes
+// are reserved adjacently (right child index == left child index + 1), so
+// traversal can select the child arithmetically — i = left[i] + b — with a
+// conditional move instead of an unpredictable branch. The right array is
+// still materialized for layout introspection and equivalence checks.
+func compileTree(root *treeNode, k int) flatTree {
+	f := flatTree{k: k}
+	reserve := func() int32 {
+		id := int32(len(f.feature))
+		f.feature = append(f.feature, 0)
+		f.threshold = append(f.threshold, 0)
+		f.left = append(f.left, 0)
+		f.right = append(f.right, 0)
+		return id
+	}
+	var fill func(n *treeNode, id int32)
+	fill = func(n *treeNode, id int32) {
+		if n.proba != nil {
+			f.feature[id] = -1
+			f.left[id] = int32(len(f.leafProba))
+			f.leafProba = append(f.leafProba, n.proba...)
+			return
+		}
+		l := reserve()
+		r := reserve() // always l+1: siblings are adjacent
+		f.feature[id] = int32(n.feature)
+		f.threshold[id] = n.threshold
+		f.left[id] = l
+		f.right[id] = r
+		fill(n.left, l)
+		fill(n.right, r)
+	}
+	fill(root, reserve())
+	return f
+}
+
+// leafFor walks the flattened tree and returns the leaf's probability
+// vector as a subslice of the shared backing array. Callers must not
+// mutate the result. The slice headers are hoisted into locals and each
+// node's feature is loaded once, which the compiler turns into a tight
+// register loop.
+func (f *flatTree) leafFor(x []float64) []float64 {
+	feature, threshold, left := f.feature, f.threshold, f.left
+	i := int32(0)
+	for {
+		ft := feature[i]
+		if ft < 0 {
+			break
+		}
+		// Branchless child select: b compiles to a conditional move, so the
+		// data-dependent 50/50 split direction never mispredicts. The
+		// predicate is the exact x <= threshold test of the pointer walk.
+		b := int32(1)
+		if x[ft] <= threshold[i] {
+			b = 0
+		}
+		i = left[i] + b
+	}
+	off := int(left[i])
+	return f.leafProba[off : off+f.k]
+}
+
+// leafOff4 walks four rows through the tree simultaneously and returns
+// their leaf payload offsets into leafProba. A single walk is a chain of
+// dependent loads (node -> feature -> child index), so its speed is bound
+// by load latency; interleaving four independent walks lets the CPU
+// overlap those chains. Cursors that reach a leaf early just re-test the
+// leaf sentinel until all four are done.
+func (f *flatTree) leafOff4(x0, x1, x2, x3 []float64) (o0, o1, o2, o3 int32) {
+	feature, threshold, left := f.feature, f.threshold, f.left
+	var i0, i1, i2, i3 int32
+	for {
+		done := true
+		if ft := feature[i0]; ft >= 0 {
+			b := int32(1)
+			if x0[ft] <= threshold[i0] {
+				b = 0
+			}
+			i0 = left[i0] + b
+			done = false
+		}
+		if ft := feature[i1]; ft >= 0 {
+			b := int32(1)
+			if x1[ft] <= threshold[i1] {
+				b = 0
+			}
+			i1 = left[i1] + b
+			done = false
+		}
+		if ft := feature[i2]; ft >= 0 {
+			b := int32(1)
+			if x2[ft] <= threshold[i2] {
+				b = 0
+			}
+			i2 = left[i2] + b
+			done = false
+		}
+		if ft := feature[i3]; ft >= 0 {
+			b := int32(1)
+			if x3[ft] <= threshold[i3] {
+				b = 0
+			}
+			i3 = left[i3] + b
+			done = false
+		}
+		if done {
+			return left[i0], left[i1], left[i2], left[i3]
+		}
+	}
+}
+
+// flatRegTree is the SoA-compiled form of a fitted regression tree; leaves
+// store their predicted value in threshold.
+type flatRegTree struct {
+	feature   []int32
+	threshold []float64
+	left      []int32
+	right     []int32
+}
+
+// compileRegTree flattens a fitted pointer regression tree with the same
+// adjacent-sibling layout as compileTree (right child == left child + 1).
+func compileRegTree(root *regNode) flatRegTree {
+	var f flatRegTree
+	reserve := func() int32 {
+		id := int32(len(f.feature))
+		f.feature = append(f.feature, 0)
+		f.threshold = append(f.threshold, 0)
+		f.left = append(f.left, 0)
+		f.right = append(f.right, 0)
+		return id
+	}
+	var fill func(n *regNode, id int32)
+	fill = func(n *regNode, id int32) {
+		if n.isLeaf {
+			f.feature[id] = -1
+			f.threshold[id] = n.value
+			return
+		}
+		l := reserve()
+		r := reserve() // always l+1: siblings are adjacent
+		f.feature[id] = int32(n.feature)
+		f.threshold[id] = n.threshold
+		f.left[id] = l
+		f.right[id] = r
+		fill(n.left, l)
+		fill(n.right, r)
+	}
+	fill(root, reserve())
+	return f
+}
+
+// predict4 walks four rows through the regression tree in lockstep (same
+// rationale as flatTree.leafOff4) and returns their leaf values.
+func (f *flatRegTree) predict4(x0, x1, x2, x3 []float64) (v0, v1, v2, v3 float64) {
+	feature, threshold, left := f.feature, f.threshold, f.left
+	var i0, i1, i2, i3 int32
+	for {
+		done := true
+		if ft := feature[i0]; ft >= 0 {
+			b := int32(1)
+			if x0[ft] <= threshold[i0] {
+				b = 0
+			}
+			i0 = left[i0] + b
+			done = false
+		}
+		if ft := feature[i1]; ft >= 0 {
+			b := int32(1)
+			if x1[ft] <= threshold[i1] {
+				b = 0
+			}
+			i1 = left[i1] + b
+			done = false
+		}
+		if ft := feature[i2]; ft >= 0 {
+			b := int32(1)
+			if x2[ft] <= threshold[i2] {
+				b = 0
+			}
+			i2 = left[i2] + b
+			done = false
+		}
+		if ft := feature[i3]; ft >= 0 {
+			b := int32(1)
+			if x3[ft] <= threshold[i3] {
+				b = 0
+			}
+			i3 = left[i3] + b
+			done = false
+		}
+		if done {
+			return threshold[i0], threshold[i1], threshold[i2], threshold[i3]
+		}
+	}
+}
+
+// predict walks the flattened regression tree to its leaf value with the
+// same branchless child select as flatTree.leafFor.
+func (f *flatRegTree) predict(x []float64) float64 {
+	feature, threshold, left := f.feature, f.threshold, f.left
+	i := int32(0)
+	for {
+		ft := feature[i]
+		if ft < 0 {
+			break
+		}
+		b := int32(1)
+		if x[ft] <= threshold[i] {
+			b = 0
+		}
+		i = left[i] + b
+	}
+	return threshold[i]
+}
+
+// splitScratch holds the buffers one tree fit reuses across nodes and
+// candidate features, so training no longer allocates per node per
+// feature. An ensemble shares one scratch across all of its trees.
+type splitScratch struct {
+	pairs       []valueLabel
+	leftCounts  []float64
+	rightCounts []float64
+	part        []int // transient storage for the stable in-place partition
+	regPairs    []regPair
+}
+
+// newSplitScratch sizes a scratch for n training rows and k classes.
+func newSplitScratch(n, k int) *splitScratch {
+	return &splitScratch{
+		pairs:       make([]valueLabel, n),
+		leftCounts:  make([]float64, k),
+		rightCounts: make([]float64, k),
+		part:        make([]int, 0, n),
+	}
+}
+
+// regScratch lazily sizes the regression-pair buffer (GBDT shares one
+// scratch across every round and class).
+func (s *splitScratch) regScratch(n int) []regPair {
+	if cap(s.regPairs) < n {
+		s.regPairs = make([]regPair, n)
+	}
+	return s.regPairs[:n]
+}
+
+// partitionStable splits idx in place into the rows with
+// rows[i][feat] <= thr followed by the rest, preserving relative order on
+// both sides (exactly the order the old append-based partition produced).
+// The returned slices alias idx; part is transient storage with cap >=
+// len(idx).
+func partitionStable(rows [][]float64, idx []int, feat int, thr float64, part []int) (left, right []int) {
+	tmp := part[:0]
+	nl := 0
+	for _, i := range idx {
+		if rows[i][feat] <= thr {
+			idx[nl] = i
+			nl++
+		} else {
+			tmp = append(tmp, i)
+		}
+	}
+	copy(idx[nl:], tmp)
+	return idx[:nl], idx[nl:]
+}
+
+// regPair pairs one feature value with its row's regression target.
+type regPair struct{ v, y float64 }

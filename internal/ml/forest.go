@@ -38,8 +38,9 @@ func (c ForestConfig) withDefaults() ForestConfig {
 // Forest is a bagged ensemble of decision trees (random forest or
 // extra-trees depending on configuration).
 type Forest struct {
-	Config ForestConfig
-	trees  []*Tree
+	Config   ForestConfig
+	trees    []*Tree
+	nClasses int
 }
 
 // NewForest returns a forest with the given configuration.
@@ -77,7 +78,9 @@ func (f *Forest) Fit(d *data.Dataset, r *rng.Rand) error {
 			maxFeatures = 1
 		}
 	}
+	f.nClasses = d.Schema.NumClasses()
 	f.trees = make([]*Tree, cfg.NumTrees)
+	scratch := newSplitScratch(d.Len(), f.nClasses)
 	for t := range f.trees {
 		tree := NewTree(TreeConfig{
 			MaxDepth:         cfg.MaxDepth,
@@ -93,7 +96,7 @@ func (f *Forest) Fit(d *data.Dataset, r *rng.Rand) error {
 			}
 			train = d.Subset(idx)
 		}
-		if err := tree.Fit(train, r); err != nil {
+		if err := tree.fit(train, r, scratch); err != nil {
 			return fmt.Errorf("ml: forest tree %d: %w", t, err)
 		}
 		f.trees[t] = tree
@@ -103,16 +106,55 @@ func (f *Forest) Fit(d *data.Dataset, r *rng.Rand) error {
 
 // PredictProba implements Classifier by averaging tree probabilities.
 func (f *Forest) PredictProba(x []float64) []float64 {
-	var sum []float64
+	out := make([]float64, f.nClasses)
+	f.PredictProbaInto(x, out)
+	return out
+}
+
+// PredictProbaInto implements IntoPredictor: the flattened leaf vectors of
+// every tree are accumulated directly into out, with no per-tree copy.
+func (f *Forest) PredictProbaInto(x, out []float64) {
+	for i := range out {
+		out[i] = 0
+	}
 	for _, t := range f.trees {
-		p := t.PredictProba(x)
-		if sum == nil {
-			sum = make([]float64, len(p))
-		}
-		for i, v := range p {
-			sum[i] += v
+		leaf := t.flat.leafFor(x)
+		for i, v := range leaf {
+			out[i] += v
 		}
 	}
-	normalize(sum)
-	return sum
+	normalize(out)
+}
+
+// PredictProbaBatchInto implements BatchPredictor. Rows are processed in
+// blocks of four: within a block each tree walks all four rows in lockstep
+// (leafOff4), so four independent load chains are in flight while the
+// block's output rows stay hot in cache. Per-row accumulation remains in
+// tree order, so results are bit-identical to the single-row path.
+func (f *Forest) PredictProbaBatchInto(X, out [][]float64) {
+	r := 0
+	for ; r+4 <= len(X); r += 4 {
+		o0, o1, o2, o3 := out[r], out[r+1], out[r+2], out[r+3]
+		for i := range o0 {
+			o0[i], o1[i], o2[i], o3[i] = 0, 0, 0, 0
+		}
+		for _, t := range f.trees {
+			ft := &t.flat
+			proba := ft.leafProba
+			p0, p1, p2, p3 := ft.leafOff4(X[r], X[r+1], X[r+2], X[r+3])
+			for i := range o0 {
+				o0[i] += proba[int(p0)+i]
+				o1[i] += proba[int(p1)+i]
+				o2[i] += proba[int(p2)+i]
+				o3[i] += proba[int(p3)+i]
+			}
+		}
+		normalize(o0)
+		normalize(o1)
+		normalize(o2)
+		normalize(o3)
+	}
+	for ; r < len(X); r++ {
+		f.PredictProbaInto(X[r], out[r])
+	}
 }

@@ -85,6 +85,9 @@ func (g *GBDT) Fit(d *data.Dataset, r *rng.Rand) error {
 	g.rounds = make([][]*regTree, 0, cfg.NumRounds)
 	residual := make([]float64, n)
 	proba := make([]float64, g.nClasses)
+	// One scratch shared across every round and class keeps regression-tree
+	// training allocation-free per node.
+	scratch := newSplitScratch(n, g.nClasses)
 	for round := 0; round < cfg.NumRounds; round++ {
 		// Optional stochastic row subsample for this round.
 		rows := d.X
@@ -113,7 +116,7 @@ func (g *GBDT) Fit(d *data.Dataset, r *rng.Rand) error {
 				subY[si] = residual[i]
 			}
 			t := &regTree{maxDepth: cfg.MaxDepth, minSamplesLeaf: cfg.MinSamplesLeaf}
-			t.fit(subX, subY, r)
+			t.fit(subX, subY, r, scratch)
 			trees[k] = t
 		}
 		// Update all scores (not only the subsample) so residuals stay
@@ -130,15 +133,55 @@ func (g *GBDT) Fit(d *data.Dataset, r *rng.Rand) error {
 
 // PredictProba implements Classifier.
 func (g *GBDT) PredictProba(x []float64) []float64 {
-	scores := append([]float64(nil), g.base...)
+	out := make([]float64, g.nClasses)
+	g.PredictProbaInto(x, out)
+	return out
+}
+
+// PredictProbaInto implements IntoPredictor: out doubles as the raw-score
+// accumulator, and the in-place softmax (safe: softmaxInto reads index i
+// before writing it) turns the scores into probabilities with no scratch.
+func (g *GBDT) PredictProbaInto(x, out []float64) {
+	copy(out, g.base)
 	for _, trees := range g.rounds {
 		for k, t := range trees {
-			scores[k] += g.Config.LearningRate * t.predict(x)
+			out[k] += g.Config.LearningRate * t.flat.predict(x)
 		}
 	}
-	out := make([]float64, g.nClasses)
-	softmaxInto(scores, out)
-	return out
+	softmaxInto(out, out)
+}
+
+// PredictProbaBatchInto implements BatchPredictor with the same 4-row
+// blocking as Forest.PredictProbaBatchInto: each regression tree walks four
+// rows in lockstep, keeping four independent load chains in flight. Per-row
+// accumulation stays in (round, class) order, so results are bit-identical
+// to the single-row path.
+func (g *GBDT) PredictProbaBatchInto(X, out [][]float64) {
+	lr := g.Config.LearningRate
+	r := 0
+	for ; r+4 <= len(X); r += 4 {
+		o0, o1, o2, o3 := out[r], out[r+1], out[r+2], out[r+3]
+		copy(o0, g.base)
+		copy(o1, g.base)
+		copy(o2, g.base)
+		copy(o3, g.base)
+		for _, trees := range g.rounds {
+			for k, t := range trees {
+				v0, v1, v2, v3 := t.flat.predict4(X[r], X[r+1], X[r+2], X[r+3])
+				o0[k] += lr * v0
+				o1[k] += lr * v1
+				o2[k] += lr * v2
+				o3[k] += lr * v3
+			}
+		}
+		softmaxInto(o0, o0)
+		softmaxInto(o1, o1)
+		softmaxInto(o2, o2)
+		softmaxInto(o3, o3)
+	}
+	for ; r < len(X); r++ {
+		g.PredictProbaInto(X[r], out[r])
+	}
 }
 
 // softmaxInto writes softmax(scores) into out (same length).

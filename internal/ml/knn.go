@@ -56,35 +56,68 @@ func (k *KNN) Fit(d *data.Dataset, r *rng.Rand) error {
 	return nil
 }
 
+// neigh is one candidate neighbour: squared distance, label, and the
+// training-row index used to break distance ties deterministically.
+type neigh struct {
+	d2 float64
+	y  int
+	i  int
+}
+
 // PredictProba implements Classifier.
 func (k *KNN) PredictProba(x []float64) []float64 {
-	type neigh struct {
-		d2 float64
-		y  int
+	out := make([]float64, k.nClasses)
+	k.PredictProbaInto(x, out)
+	return out
+}
+
+// PredictProbaInto implements IntoPredictor. k-NN keeps the whole training
+// set, so it still allocates its O(n) neighbour scratch per call; use the
+// batch path to share that scratch across rows.
+func (k *KNN) PredictProbaInto(x, out []float64) {
+	k.predictInto(x, out, make([]neigh, len(k.X)))
+}
+
+// PredictProbaBatchInto implements BatchPredictor with one neighbour
+// scratch shared across all rows of the batch.
+func (k *KNN) PredictProbaBatchInto(X, out [][]float64) {
+	scratch := make([]neigh, len(k.X))
+	for i, x := range X {
+		k.predictInto(x, out[i], scratch)
 	}
-	neighbours := make([]neigh, len(k.X))
+}
+
+func (k *KNN) predictInto(x, out []float64, neighbours []neigh) {
 	for i, row := range k.X {
 		d2 := 0.0
 		for j, v := range row {
 			diff := v - x[j]
 			d2 += diff * diff
 		}
-		neighbours[i] = neigh{d2, k.Y[i]}
+		neighbours[i] = neigh{d2, k.Y[i], i}
 	}
 	kk := k.Config.K
 	if kk > len(neighbours) {
 		kk = len(neighbours)
 	}
-	// Partial selection of the kk nearest.
-	sort.Slice(neighbours, func(a, b int) bool { return neighbours[a].d2 < neighbours[b].d2 })
-	proba := make([]float64, k.nClasses)
+	// Partial selection of the kk nearest. Equal distances (common on
+	// integer-valued features) tie-break on the training-row index, so the
+	// neighbour set never depends on sort internals.
+	sort.Slice(neighbours, func(a, b int) bool {
+		if neighbours[a].d2 != neighbours[b].d2 {
+			return neighbours[a].d2 < neighbours[b].d2
+		}
+		return neighbours[a].i < neighbours[b].i
+	})
+	for i := range out {
+		out[i] = 0
+	}
 	for _, n := range neighbours[:kk] {
 		w := 1.0
 		if k.Config.DistanceWeighted {
 			w = 1 / (n.d2 + 1e-9)
 		}
-		proba[n.y] += w
+		out[n.y] += w
 	}
-	normalize(proba)
-	return proba
+	normalize(out)
 }

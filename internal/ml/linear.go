@@ -132,11 +132,16 @@ func (l *LogReg) rawScores(x []float64, out []float64) {
 
 // PredictProba implements Classifier.
 func (l *LogReg) PredictProba(x []float64) []float64 {
-	scores := make([]float64, len(l.W))
-	l.rawScores(x, scores)
 	out := make([]float64, len(l.W))
-	softmaxInto(scores, out)
+	l.PredictProbaInto(x, out)
 	return out
+}
+
+// PredictProbaInto implements IntoPredictor; out doubles as the raw-score
+// buffer before the in-place softmax.
+func (l *LogReg) PredictProbaInto(x, out []float64) {
+	l.rawScores(x, out)
+	softmaxInto(out, out)
 }
 
 // SVMConfig configures a linear one-vs-rest SVM trained with Pegasos-style
@@ -250,13 +255,17 @@ func (s *SVM) margins(x []float64, out []float64) {
 
 // PredictProba implements Classifier.
 func (s *SVM) PredictProba(x []float64) []float64 {
-	k := len(s.W)
-	scores := make([]float64, k)
-	s.margins(x, scores)
-	for i := range scores {
-		scores[i] *= s.temperature
-	}
-	out := make([]float64, k)
-	softmaxInto(scores, out)
+	out := make([]float64, len(s.W))
+	s.PredictProbaInto(x, out)
 	return out
+}
+
+// PredictProbaInto implements IntoPredictor; out doubles as the margin
+// buffer before the in-place temperature softmax.
+func (s *SVM) PredictProbaInto(x, out []float64) {
+	s.margins(x, out)
+	for i := range out {
+		out[i] *= s.temperature
+	}
+	softmaxInto(out, out)
 }

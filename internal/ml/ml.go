@@ -33,25 +33,97 @@ type Classifier interface {
 	PredictProba(x []float64) []float64
 }
 
+// IntoPredictor is implemented by classifiers that can write their
+// probability vector into a caller-owned buffer, avoiding PredictProba's
+// per-call allocation. out must have one entry per class. Every classifier
+// in this package (and Pipeline) implements it; the tree family is fully
+// allocation-free on this path.
+type IntoPredictor interface {
+	Classifier
+	PredictProbaInto(x, out []float64)
+}
+
+// BatchPredictor is implemented by classifiers with an optimized
+// whole-matrix predict path that can share scratch buffers across rows.
+// out[i] receives the probabilities of X[i]; every out row must be
+// pre-sized to the class count.
+type BatchPredictor interface {
+	Classifier
+	PredictProbaBatchInto(X, out [][]float64)
+}
+
 // ErrEmptyDataset is returned by Fit when given no rows.
 var ErrEmptyDataset = errors.New("ml: empty training set")
 
 // Predict returns argmax-probability class labels for every row of X.
 func Predict(c Classifier, X [][]float64) []int {
 	out := make([]int, len(X))
-	for i, x := range X {
-		out[i] = metrics.Argmax(c.PredictProba(x))
+	if len(X) == 0 {
+		return out
+	}
+	// The first row's (allocating) prediction reveals the class count; its
+	// buffer is then reused for the remaining rows on the Into path.
+	p := c.PredictProba(X[0])
+	out[0] = metrics.Argmax(p)
+	if ip, ok := c.(IntoPredictor); ok {
+		for i := 1; i < len(X); i++ {
+			ip.PredictProbaInto(X[i], p)
+			out[i] = metrics.Argmax(p)
+		}
+		return out
+	}
+	for i := 1; i < len(X); i++ {
+		out[i] = metrics.Argmax(c.PredictProba(X[i]))
 	}
 	return out
 }
 
-// PredictProbaBatch returns the probability matrix for every row of X.
+// PredictProbaBatch returns the probability matrix for every row of X,
+// backed by one contiguous allocation and filled through the classifier's
+// batch path when it has one.
 func PredictProbaBatch(c Classifier, X [][]float64) [][]float64 {
 	out := make([][]float64, len(X))
-	for i, x := range X {
-		out[i] = c.PredictProba(x)
+	if len(X) == 0 {
+		return out
 	}
+	first := c.PredictProba(X[0])
+	k := len(first)
+	backing := make([]float64, len(X)*k)
+	for i := range out {
+		out[i] = backing[i*k : (i+1)*k : (i+1)*k]
+	}
+	copy(out[0], first)
+	PredictProbaBatchInto(c, X[1:], out[1:])
 	return out
+}
+
+// PredictProbaInto writes c's probability vector for x into out, using the
+// classifier's allocation-free path when it has one.
+func PredictProbaInto(c Classifier, x, out []float64) {
+	if ip, ok := c.(IntoPredictor); ok {
+		ip.PredictProbaInto(x, out)
+		return
+	}
+	copy(out, c.PredictProba(x))
+}
+
+// PredictProbaBatchInto writes the probability matrix of X into out,
+// dispatching to the classifier's batch path when it has one and falling
+// back to row-at-a-time prediction otherwise.
+func PredictProbaBatchInto(c Classifier, X, out [][]float64) {
+	if bp, ok := c.(BatchPredictor); ok {
+		bp.PredictProbaBatchInto(X, out)
+		return
+	}
+	if ip, ok := c.(IntoPredictor); ok {
+		for i, x := range X {
+			ip.PredictProbaInto(x, out[i])
+		}
+		return
+	}
+	for i, x := range X {
+		copy(out[i], c.PredictProba(x))
+	}
 }
 
 // PredictOne returns the argmax class for a single row.
@@ -96,6 +168,48 @@ func (p *Pipeline) PredictProba(x []float64) []float64 {
 		return p.Model.PredictProba(x)
 	}
 	return p.Model.PredictProba(p.Scaler.Transform(x))
+}
+
+// PredictProbaInto implements IntoPredictor. With a scaler present it
+// allocates one row buffer per call; the batch path shares that buffer
+// across rows.
+func (p *Pipeline) PredictProbaInto(x, out []float64) {
+	if p.Scaler == nil {
+		PredictProbaInto(p.Model, x, out)
+		return
+	}
+	buf := make([]float64, len(x))
+	p.Scaler.TransformInto(x, buf)
+	PredictProbaInto(p.Model, buf, out)
+}
+
+// PredictProbaBatchInto implements BatchPredictor: rows are scaled through
+// one shared buffer and the model's own batch path is used when it exists.
+func (p *Pipeline) PredictProbaBatchInto(X, out [][]float64) {
+	if p.Scaler == nil {
+		PredictProbaBatchInto(p.Model, X, out)
+		return
+	}
+	if len(X) == 0 {
+		return
+	}
+	if bp, ok := p.Model.(BatchPredictor); ok {
+		// The model's batch path wants the whole scaled matrix at once.
+		backing := make([]float64, len(X)*len(X[0]))
+		scaled := make([][]float64, len(X))
+		for i, x := range X {
+			row := backing[i*len(x) : (i+1)*len(x) : (i+1)*len(x)]
+			p.Scaler.TransformInto(x, row)
+			scaled[i] = row
+		}
+		bp.PredictProbaBatchInto(scaled, out)
+		return
+	}
+	buf := make([]float64, len(X[0]))
+	for i, x := range X {
+		p.Scaler.TransformInto(x, buf)
+		PredictProbaInto(p.Model, buf, out[i])
+	}
 }
 
 // classPriors returns smoothed class frequencies; useful as a fallback

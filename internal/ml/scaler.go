@@ -10,6 +10,9 @@ type Scaler interface {
 	FitScaler(X [][]float64)
 	// Transform returns a scaled copy of x; it never mutates x.
 	Transform(x []float64) []float64
+	// TransformInto writes the scaled row into out (len(out) == len(x))
+	// without allocating; it never mutates x.
+	TransformInto(x, out []float64)
 }
 
 // StandardScaler centres each feature to zero mean and unit variance.
@@ -54,14 +57,20 @@ func (s *StandardScaler) FitScaler(X [][]float64) {
 
 // Transform implements Scaler.
 func (s *StandardScaler) Transform(x []float64) []float64 {
-	if s.mean == nil {
-		return append([]float64(nil), x...)
-	}
 	out := make([]float64, len(x))
+	s.TransformInto(x, out)
+	return out
+}
+
+// TransformInto implements Scaler.
+func (s *StandardScaler) TransformInto(x, out []float64) {
+	if s.mean == nil {
+		copy(out, x)
+		return
+	}
 	for j, v := range x {
 		out[j] = (v - s.mean[j]) / s.scale[j]
 	}
-	return out
 }
 
 // MinMaxScaler maps each feature to [0, 1] based on the fitted range.
@@ -101,12 +110,18 @@ func (s *MinMaxScaler) FitScaler(X [][]float64) {
 
 // Transform implements Scaler.
 func (s *MinMaxScaler) Transform(x []float64) []float64 {
-	if s.min == nil {
-		return append([]float64(nil), x...)
-	}
 	out := make([]float64, len(x))
+	s.TransformInto(x, out)
+	return out
+}
+
+// TransformInto implements Scaler.
+func (s *MinMaxScaler) TransformInto(x, out []float64) {
+	if s.min == nil {
+		copy(out, x)
+		return
+	}
 	for j, v := range x {
 		out[j] = (v - s.min[j]) / s.span[j]
 	}
-	return out
 }

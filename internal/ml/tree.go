@@ -35,11 +35,14 @@ func (c TreeConfig) withDefaults() TreeConfig {
 	return c
 }
 
-// Tree is a CART decision-tree classifier.
+// Tree is a CART decision-tree classifier. Fit builds the usual pointer
+// tree and then compiles it into a flattened structure-of-arrays form
+// (see flat.go) that every predict path traverses.
 type Tree struct {
 	Config TreeConfig
 
 	root      *treeNode
+	flat      flatTree
 	nClasses  int
 	nFeatures int
 }
@@ -70,18 +73,48 @@ func (t *Tree) Fit(d *data.Dataset, r *rng.Rand) error {
 	if d.Len() == 0 {
 		return ErrEmptyDataset
 	}
+	return t.fit(d, r, newSplitScratch(d.Len(), d.Schema.NumClasses()))
+}
+
+// fit trains the tree with caller-provided scratch, so ensembles can share
+// one scratch across all of their trees.
+func (t *Tree) fit(d *data.Dataset, r *rng.Rand, s *splitScratch) error {
+	if d.Len() == 0 {
+		return ErrEmptyDataset
+	}
 	t.nClasses = d.Schema.NumClasses()
 	t.nFeatures = d.Schema.NumFeatures()
 	idx := make([]int, d.Len())
 	for i := range idx {
 		idx[i] = i
 	}
-	t.root = t.build(d, idx, 0, r)
+	t.root = t.build(d, idx, 0, r, s)
+	t.flat = compileTree(t.root, t.nClasses)
 	return nil
 }
 
 // PredictProba implements Classifier.
 func (t *Tree) PredictProba(x []float64) []float64 {
+	out := make([]float64, t.nClasses)
+	t.PredictProbaInto(x, out)
+	return out
+}
+
+// PredictProbaInto implements IntoPredictor via the flattened traversal.
+func (t *Tree) PredictProbaInto(x, out []float64) {
+	copy(out, t.flat.leafFor(x))
+}
+
+// PredictProbaBatchInto implements BatchPredictor.
+func (t *Tree) PredictProbaBatchInto(X, out [][]float64) {
+	for i, x := range X {
+		copy(out[i], t.flat.leafFor(x))
+	}
+}
+
+// predictProbaPointer is the original pointer-graph traversal, retained as
+// the reference implementation for the flat-vs-pointer equivalence tests.
+func (t *Tree) predictProbaPointer(x []float64) []float64 {
 	n := t.root
 	for n.proba == nil {
 		if x[n.feature] <= n.threshold {
@@ -102,31 +135,24 @@ func (t *Tree) leaf(d *data.Dataset, idx []int) *treeNode {
 	return &treeNode{proba: proba}
 }
 
-func (t *Tree) build(d *data.Dataset, idx []int, depth int, r *rng.Rand) *treeNode {
+func (t *Tree) build(d *data.Dataset, idx []int, depth int, r *rng.Rand, s *splitScratch) *treeNode {
 	cfg := t.Config
 	if len(idx) < cfg.MinSamplesSplit || (cfg.MaxDepth > 0 && depth >= cfg.MaxDepth) || pure(d, idx) {
 		return t.leaf(d, idx)
 	}
-	feat, thr, ok := t.bestSplit(d, idx, r)
+	feat, thr, ok := t.bestSplit(d, idx, r, s)
 	if !ok {
 		return t.leaf(d, idx)
 	}
-	var left, right []int
-	for _, i := range idx {
-		if d.X[i][feat] <= thr {
-			left = append(left, i)
-		} else {
-			right = append(right, i)
-		}
-	}
+	left, right := partitionStable(d.X, idx, feat, thr, s.part)
 	if len(left) < cfg.MinSamplesLeaf || len(right) < cfg.MinSamplesLeaf {
 		return t.leaf(d, idx)
 	}
 	return &treeNode{
 		feature:   feat,
 		threshold: thr,
-		left:      t.build(d, left, depth+1, r),
-		right:     t.build(d, right, depth+1, r),
+		left:      t.build(d, left, depth+1, r, s),
+		right:     t.build(d, right, depth+1, r, s),
 	}
 }
 
@@ -142,7 +168,7 @@ func pure(d *data.Dataset, idx []int) bool {
 
 // bestSplit finds the (feature, threshold) pair with lowest weighted Gini
 // impurity among a random subset of features.
-func (t *Tree) bestSplit(d *data.Dataset, idx []int, r *rng.Rand) (feat int, thr float64, ok bool) {
+func (t *Tree) bestSplit(d *data.Dataset, idx []int, r *rng.Rand, s *splitScratch) (feat int, thr float64, ok bool) {
 	nf := t.nFeatures
 	candidates := nf
 	if t.Config.MaxFeatures > 0 && t.Config.MaxFeatures < nf {
@@ -151,7 +177,7 @@ func (t *Tree) bestSplit(d *data.Dataset, idx []int, r *rng.Rand) (feat int, thr
 	feats := r.Sample(nf, candidates)
 
 	bestGini := math.Inf(1)
-	pairs := make([]valueLabel, len(idx))
+	pairs := s.pairs[:len(idx)]
 	for _, f := range feats {
 		for pi, i := range idx {
 			pairs[pi] = valueLabel{d.X[i][f], d.Y[i]}
@@ -162,15 +188,17 @@ func (t *Tree) bestSplit(d *data.Dataset, idx []int, r *rng.Rand) (feat int, thr
 		}
 		if t.Config.RandomThresholds {
 			cut := r.Uniform(pairs[0].v, pairs[len(pairs)-1].v)
-			g, valid := giniAt(pairs, cut, t.nClasses, t.Config.MinSamplesLeaf)
+			g, valid := giniAt(pairs, cut, t.Config.MinSamplesLeaf, s.leftCounts, s.rightCounts)
 			if valid && g < bestGini {
 				bestGini, feat, thr, ok = g, f, cut, true
 			}
 			continue
 		}
 		// Exhaustive scan: sweep sorted values maintaining class counts.
-		leftCounts := make([]float64, t.nClasses)
-		rightCounts := make([]float64, t.nClasses)
+		leftCounts, rightCounts := s.leftCounts, s.rightCounts
+		for i := range leftCounts {
+			leftCounts[i], rightCounts[i] = 0, 0
+		}
 		for _, p := range pairs {
 			rightCounts[p.y]++
 		}
@@ -213,10 +241,12 @@ type valueLabel struct {
 	y int
 }
 
-// giniAt evaluates a single threshold over pre-sorted pairs.
-func giniAt(pairs []valueLabel, cut float64, k, minLeaf int) (float64, bool) {
-	leftCounts := make([]float64, k)
-	rightCounts := make([]float64, k)
+// giniAt evaluates a single threshold over pre-sorted pairs, using the
+// caller's count buffers as scratch.
+func giniAt(pairs []valueLabel, cut float64, minLeaf int, leftCounts, rightCounts []float64) (float64, bool) {
+	for i := range leftCounts {
+		leftCounts[i], rightCounts[i] = 0, 0
+	}
 	nl, nr := 0.0, 0.0
 	for _, p := range pairs {
 		if p.v <= cut {
@@ -255,6 +285,7 @@ type regTree struct {
 	maxDepth       int
 	minSamplesLeaf int
 	root           *regNode
+	flat           flatRegTree
 }
 
 type regNode struct {
@@ -265,16 +296,17 @@ type regNode struct {
 	left, right *regNode
 }
 
-func (t *regTree) fit(X [][]float64, y []float64, r *rng.Rand) {
+func (t *regTree) fit(X [][]float64, y []float64, r *rng.Rand, s *splitScratch) {
 	idx := make([]int, len(X))
 	for i := range idx {
 		idx[i] = i
 	}
-	t.root = t.build(X, y, idx, 0)
+	t.root = t.build(X, y, idx, 0, s)
+	t.flat = compileRegTree(t.root)
 	_ = r
 }
 
-func (t *regTree) build(X [][]float64, y []float64, idx []int, depth int) *regNode {
+func (t *regTree) build(X [][]float64, y []float64, idx []int, depth int, s *splitScratch) *regNode {
 	mean := 0.0
 	for _, i := range idx {
 		mean += y[i]
@@ -283,37 +315,29 @@ func (t *regTree) build(X [][]float64, y []float64, idx []int, depth int) *regNo
 	if depth >= t.maxDepth || len(idx) < 2*t.minSamplesLeaf {
 		return &regNode{isLeaf: true, value: mean}
 	}
-	feat, thr, ok := t.bestSplit(X, y, idx)
+	feat, thr, ok := t.bestSplit(X, y, idx, s)
 	if !ok {
 		return &regNode{isLeaf: true, value: mean}
 	}
-	var left, right []int
-	for _, i := range idx {
-		if X[i][feat] <= thr {
-			left = append(left, i)
-		} else {
-			right = append(right, i)
-		}
-	}
+	left, right := partitionStable(X, idx, feat, thr, s.part)
 	if len(left) < t.minSamplesLeaf || len(right) < t.minSamplesLeaf {
 		return &regNode{isLeaf: true, value: mean}
 	}
 	return &regNode{
 		feature:   feat,
 		threshold: thr,
-		left:      t.build(X, y, left, depth+1),
-		right:     t.build(X, y, right, depth+1),
+		left:      t.build(X, y, left, depth+1, s),
+		right:     t.build(X, y, right, depth+1, s),
 	}
 }
 
-func (t *regTree) bestSplit(X [][]float64, y []float64, idx []int) (feat int, thr float64, ok bool) {
+func (t *regTree) bestSplit(X [][]float64, y []float64, idx []int, s *splitScratch) (feat int, thr float64, ok bool) {
 	nf := len(X[idx[0]])
-	type pair struct{ v, y float64 }
-	pairs := make([]pair, len(idx))
+	pairs := s.regScratch(len(idx))
 	bestScore := math.Inf(1)
 	for f := 0; f < nf; f++ {
 		for pi, i := range idx {
-			pairs[pi] = pair{X[i][f], y[i]}
+			pairs[pi] = regPair{X[i][f], y[i]}
 		}
 		sort.Slice(pairs, func(a, b int) bool { return pairs[a].v < pairs[b].v })
 		if pairs[0].v == pairs[len(pairs)-1].v {
@@ -351,7 +375,15 @@ func (t *regTree) bestSplit(X [][]float64, y []float64, idx []int) (feat int, th
 	return feat, thr, ok
 }
 
+// predict walks the flattened form (identical nodes, identical order, so
+// identical values to the pointer walk below).
 func (t *regTree) predict(x []float64) float64 {
+	return t.flat.predict(x)
+}
+
+// predictPointer is the original pointer traversal, retained as the
+// reference for the flat-vs-pointer equivalence tests.
+func (t *regTree) predictPointer(x []float64) float64 {
 	n := t.root
 	for !n.isLeaf {
 		if x[n.feature] <= n.threshold {
