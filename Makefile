@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-ml bench-json ci fmt-check vet fmt fuzz
+.PHONY: all build test race bench bench-ml bench-json ci fmt-check vet fmt fuzz test-fault
 
 all: build test
 
@@ -41,8 +41,23 @@ bench-json:
 		-current results/bench_current.txt \
 		-out BENCH_ML.json
 
-# ci is the full gate: formatting, vet, tests, race detector.
-ci: fmt-check vet test race
+# test-fault runs the robustness suites under the race detector: the
+# fault-injection drop-equivalence tests (a panicking/erroring/NaN
+# candidate must leave a search bit-identical to one without it), the
+# loop degradation tests, the deadline/cancellation tests with their
+# goroutine-leak checks, the kill-and-resume golden tests (resumed
+# experiment bytes must equal an uninterrupted run's), and the CSV
+# loader's structured-error tests.
+test-fault:
+	$(GO) test -race \
+		-run 'Fault|Drop|Committee|Refit|RunCtx|Ctx|Degrade|Fatal|Resume|Checkpoint|Deadline|ReadCSV|Panic|MapCtx|ForEachCtx|ZeroValue|Injector' \
+		./internal/parallel/ ./internal/automl/ ./internal/core/ \
+		./internal/experiments/ ./internal/data/ ./internal/faultinject/
+
+# ci is the full gate: formatting, vet, tests, race detector, fault
+# suite (test-fault overlaps with race but pins the robustness
+# contracts by name, so a renamed-away test is noticed).
+ci: fmt-check vet test race test-fault
 
 fmt-check:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
@@ -60,3 +75,4 @@ FUZZTIME ?= 30s
 fuzz:
 	$(GO) test -fuzz FuzzMergeIntervals -fuzztime $(FUZZTIME) ./internal/core/
 	$(GO) test -fuzz FuzzIntervalRoundTrip -fuzztime $(FUZZTIME) ./internal/core/
+	$(GO) test -fuzz FuzzReadCSV -fuzztime $(FUZZTIME) ./internal/data/

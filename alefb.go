@@ -31,6 +31,7 @@
 package alefb
 
 import (
+	"context"
 	"io"
 
 	"github.com/netml/alefb/internal/automl"
@@ -124,6 +125,18 @@ func Train(train *Dataset, cfg AutoMLConfig) (*Ensemble, error) {
 	return automl.Run(train, cfg)
 }
 
+// TrainCtx is Train under a hard deadline or cancellation: when ctx
+// expires the search stops at the next candidate boundary and returns
+// ctx.Err(). Use AutoMLConfig.TimeBudget instead for a soft budget that
+// completes with whatever was evaluated in time.
+func TrainCtx(ctx context.Context, train *Dataset, cfg AutoMLConfig) (*Ensemble, error) {
+	return automl.RunCtx(ctx, train, cfg)
+}
+
+// ErrCommitteeTooSmall is returned (wrapped) by training when candidate
+// failures leave fewer ensemble members than AutoMLConfig.MinCommittee.
+var ErrCommitteeTooSmall = automl.ErrCommitteeTooSmall
+
 // WithinFeedback computes feedback from the committee of models inside a
 // single trained ensemble (the paper's Within-ALE algorithm).
 func WithinFeedback(ens *Ensemble, train *Dataset, cfg FeedbackConfig) (*Feedback, error) {
@@ -184,7 +197,11 @@ func Improve(train *Dataset, automlCfg AutoMLConfig, fbCfg FeedbackConfig, n int
 	}
 	retrainCfg := automlCfg
 	retrainCfg.Seed = automlCfg.Seed + 1
-	after, err := automl.Run(train.Concat(added), retrainCfg)
+	augmented, err := train.Concat(added)
+	if err != nil {
+		return nil, err
+	}
+	after, err := automl.Run(augmented, retrainCfg)
 	if err != nil {
 		return nil, err
 	}

@@ -4,6 +4,9 @@
 //
 //	experiments -run table1 -scale reduced
 //	experiments -run all -scale paper -out results/
+//	experiments -run table1 -checkpoint ckpt/            # snapshot each rep
+//	experiments -run table1 -checkpoint ckpt/ -resume    # continue after a kill
+//	experiments -run ucl -timeout 30m                    # hard deadline
 //
 // Experiments: table1, ucl, figure1, figure2, threshold, ablation-
 // disagreement, ablation-crossruns, ablation-priors, all. Scale "paper"
@@ -12,6 +15,8 @@
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -32,8 +37,14 @@ func main() {
 		out     = flag.String("out", "", "directory for SVG figures and CSV dumps (optional)")
 		quiet   = flag.Bool("quiet", false, "suppress progress lines")
 		workers = flag.Int("workers", 0, "worker goroutines for trials, AutoML search and ALE committees (0 = all cores, 1 = serial; results are identical either way)")
+		timeout = flag.Duration("timeout", 0, "hard wall-clock deadline for table1/ucl; on expiry the run aborts with context.DeadlineExceeded (0 = none)")
+		ckpt    = flag.String("checkpoint", "", "directory for per-trial snapshots of table1/ucl; a snapshot is written after every completed repetition/split")
+		resume  = flag.Bool("resume", false, "restore completed trials from -checkpoint instead of recomputing them (requires -checkpoint); the resumed result is bit-identical to an uninterrupted run")
 	)
 	flag.Parse()
+	if *resume && *ckpt == "" {
+		fatal(fmt.Errorf("-resume requires -checkpoint"))
+	}
 
 	scream, ucl, err := configs(*scale)
 	if err != nil {
@@ -68,6 +79,21 @@ func main() {
 	if *quiet {
 		progress = nil
 	}
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	var opts experiments.RunOptions
+	opts.Resume = *resume
+	if *ckpt != "" {
+		cp, err := experiments.OpenCheckpoint(*ckpt)
+		if err != nil {
+			fatal(err)
+		}
+		opts.Checkpoint = cp
+	}
 
 	wanted := map[string]bool{}
 	for _, name := range strings.Split(*run, ",") {
@@ -77,19 +103,21 @@ func main() {
 	ran := 0
 
 	if all || wanted["table1"] {
-		res, err := experiments.RunTable1(scream, progress)
+		res, err := experiments.RunTable1Ctx(ctx, scream, opts, progress)
 		if err != nil {
 			fatal(err)
 		}
 		fmt.Println(res)
+		saveJSON(*out, "table1.json", res)
 		ran++
 	}
 	if all || wanted["ucl"] {
-		res, err := experiments.RunUCL(ucl, progress)
+		res, err := experiments.RunUCLCtx(ctx, ucl, opts, progress)
 		if err != nil {
 			fatal(err)
 		}
 		fmt.Println(res)
+		saveJSON(*out, "ucl.json", res)
 		ran++
 	}
 	if all || wanted["figure1"] {
@@ -179,6 +207,26 @@ func saveSVG(dir, name string, fig *experiments.FigureResult) {
 	}
 	path := filepath.Join(dir, name)
 	if err := fig.Plot.WriteSVGFile(path, 720, 420); err != nil {
+		fmt.Fprintf(os.Stderr, "warning: %v\n", err)
+		return
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+}
+
+// saveJSON writes a result as JSON if an output directory was given; the
+// bytes are stable across resumes, worker counts and reruns, so they can
+// be diffed directly.
+func saveJSON(dir, name string, v interface{}) {
+	if dir == "" {
+		return
+	}
+	blob, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "warning: %v\n", err)
+		return
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, append(blob, '\n'), 0o644); err != nil {
 		fmt.Fprintf(os.Stderr, "warning: %v\n", err)
 		return
 	}

@@ -80,7 +80,11 @@ func main() {
 	add := pool.Subset(idx)
 	fmt.Printf("pulled %d pool rows from the flagged destination-port regions\n", add.Len())
 
-	after, err := alefb.Train(train.Concat(add), alefb.AutoMLConfig{MaxCandidates: 12, Seed: 4})
+	augmented, err := train.Concat(add)
+	if err != nil {
+		log.Fatal(err)
+	}
+	after, err := alefb.Train(augmented, alefb.AutoMLConfig{MaxCandidates: 12, Seed: 4})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,17 +1,30 @@
 package automl
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"io"
+	"math"
+	"runtime"
 	"sort"
 	"time"
 
 	"github.com/netml/alefb/internal/data"
+	"github.com/netml/alefb/internal/faultinject"
 	"github.com/netml/alefb/internal/metrics"
 	"github.com/netml/alefb/internal/ml"
 	"github.com/netml/alefb/internal/parallel"
 	"github.com/netml/alefb/internal/rng"
 )
+
+// ErrCommitteeTooSmall is returned (wrapped, with counts) when fewer
+// committee members survive search and refit than Config.MinCommittee
+// demands. The feedback algorithms need a committee to measure
+// disagreement on; below the floor the caller must fall back — retry with
+// a different seed, reuse a previous ensemble — rather than silently run
+// feedback over a degenerate committee.
+var ErrCommitteeTooSmall = errors.New("automl: committee below minimum size")
 
 // Config controls one AutoML run.
 type Config struct {
@@ -45,8 +58,31 @@ type Config struct {
 	// only the best survive to full evaluation. Values <= 1 disable it.
 	PreScreen int
 	// TimeBudget optionally bounds wall-clock search time; 0 means no
-	// bound. At least one candidate is always evaluated.
+	// bound. At least one candidate is always evaluated. TimeBudget is a
+	// soft budget: the search completes with whatever it evaluated in
+	// time. A hard deadline — abort with context.DeadlineExceeded — is a
+	// context passed to RunCtx instead.
 	TimeBudget time.Duration
+	// CandidateBudget optionally bounds the wall-clock cost of a single
+	// candidate evaluation; a candidate whose fits exceed it is dropped
+	// (counted in Ensemble.Dropped.Timeouts) instead of stalling the
+	// search. 0 means no bound. Like TimeBudget this trades determinism
+	// for liveness: only fault-free runs without budgets are guaranteed
+	// bit-identical across worker counts.
+	CandidateBudget time.Duration
+	// MinCommittee is the minimum number of ensemble members that must
+	// survive selection and refit (default 1). When degradation — dropped
+	// candidates, failed refits — leaves fewer, the run fails with an
+	// error wrapping ErrCommitteeTooSmall instead of returning a
+	// committee too degenerate for disagreement-based feedback.
+	MinCommittee int
+	// Log, when non-nil, receives one line per degradation event (dropped
+	// candidate, dropped member) in deterministic candidate order.
+	Log io.Writer
+	// Fault is the test-only fault injector; nil (the default) injects
+	// nothing. Fit faults are keyed by the global candidate-evaluation
+	// index; member refits use negative keys (-1 is member 0's refit).
+	Fault *faultinject.Injector
 	// Seed drives all stochastic choices of the run. Distinct seeds give
 	// the run-to-run diversity Cross-ALE feedback relies on.
 	Seed uint64
@@ -79,8 +115,29 @@ func (c Config) withDefaults() Config {
 	if c.ValFraction <= 0 || c.ValFraction >= 1 {
 		c.ValFraction = 0.25
 	}
+	if c.MinCommittee <= 0 {
+		c.MinCommittee = 1
+	}
 	return c
 }
+
+// DropCounts tallies candidates and members discarded during one search,
+// by reason. The counts are diagnostics: they do not enter the persisted
+// Description, so a degraded run and its fault-free twin reconstruct the
+// same ensemble.
+type DropCounts struct {
+	// Panics counts fits that panicked (recovered and isolated).
+	Panics int
+	// Errors counts fits that returned an error.
+	Errors int
+	// NaNs counts candidates whose validation score was NaN.
+	NaNs int
+	// Timeouts counts candidates that exceeded CandidateBudget.
+	Timeouts int
+}
+
+// Total returns the number of dropped candidates and members.
+func (d DropCounts) Total() int { return d.Panics + d.Errors + d.NaNs + d.Timeouts }
 
 // Member is one ensemble component.
 type Member struct {
@@ -104,6 +161,10 @@ type Ensemble struct {
 	ValScore float64
 	// Evaluated is the number of candidate pipelines scored.
 	Evaluated int
+	// Dropped tallies candidates and members the search discarded instead
+	// of aborting on: panicking fits, failing fits, NaN scores, budget
+	// overruns.
+	Dropped DropCounts
 
 	// workers is the refit pool size inherited from Config.Workers
 	// (0 = GOMAXPROCS). It never affects results, only wall-clock.
@@ -207,16 +268,110 @@ type candidate struct {
 	score    float64
 }
 
+// dropReason classifies why a candidate evaluation produced no candidate.
+type dropReason int
+
+const (
+	dropNone dropReason = iota
+	// dropError: the fit returned an error.
+	dropError
+	// dropPanic: the fit panicked; the panic was recovered and isolated.
+	dropPanic
+	// dropNaN: the validation score was NaN (degenerate confusion rows).
+	dropNaN
+	// dropTimeout: the evaluation exceeded CandidateBudget.
+	dropTimeout
+	// dropSkipped: the task never ran (soft TimeBudget expiry, injected
+	// control drop); not counted as a failure.
+	dropSkipped
+)
+
+// String names the reason for degradation logs.
+func (d dropReason) String() string {
+	switch d {
+	case dropError:
+		return "fit error"
+	case dropPanic:
+		return "fit panic"
+	case dropNaN:
+		return "NaN score"
+	case dropTimeout:
+		return "candidate budget exceeded"
+	case dropSkipped:
+		return "skipped"
+	default:
+		return "ok"
+	}
+}
+
+// fitOne fits m on d with panic isolation, applying any injected fault
+// registered under fault index gi. A recovered panic is returned as a
+// *parallel.PanicError with the fitting goroutine's stack preserved, so
+// one misbehaving candidate can never take down the whole search.
+func fitOne(m ml.Classifier, d *data.Dataset, r *rng.Rand, fault *faultinject.Injector, gi int) (err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			buf := make([]byte, 64<<10)
+			err = &parallel.PanicError{Value: v, Stack: buf[:runtime.Stack(buf, false)]}
+		}
+	}()
+	if delay := fault.Slow(gi); delay > 0 {
+		time.Sleep(delay)
+	}
+	switch fault.Fit(gi) {
+	case faultinject.Panic:
+		panic(faultinject.ErrInjected)
+	case faultinject.Error:
+		return faultinject.ErrInjected
+	}
+	return m.Fit(d, r)
+}
+
+// dropOf maps a fit failure to its drop reason.
+func dropOf(err error) dropReason {
+	var pe *parallel.PanicError
+	if errors.As(err, &pe) {
+		return dropPanic
+	}
+	return dropError
+}
+
 // Run executes one AutoML search on train and returns the ensemble.
 // All members of the returned ensemble are refit on the complete training
 // set; the holdout is only used for selection.
 func Run(train *data.Dataset, cfg Config) (*Ensemble, error) {
+	return RunCtx(context.Background(), train, cfg)
+}
+
+// RunCtx is Run under a hard deadline: when ctx expires or is cancelled
+// the search stops issuing work at the next candidate boundary and
+// returns ctx.Err() (context.DeadlineExceeded / context.Canceled). This
+// is distinct from the soft Config.TimeBudget, which completes the search
+// with whatever was evaluated in time.
+//
+// Failure semantics within a run: a candidate whose fit panics, errors,
+// scores NaN, or exceeds CandidateBudget is dropped deterministically
+// (same candidate, every worker count), counted in Ensemble.Dropped and
+// logged to Config.Log. The search aborts only when no candidate trains
+// at all, when fewer than MinCommittee members survive, or when ctx
+// expires.
+func RunCtx(ctx context.Context, train *data.Dataset, cfg Config) (*Ensemble, error) {
 	cfg = cfg.withDefaults()
 	if train.Len() < 10 {
 		return nil, errors.New("automl: need at least 10 training rows")
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	r := rng.New(cfg.Seed)
 	k := train.Schema.NumClasses()
+
+	logf := func(format string, args ...interface{}) {
+		if cfg.Log != nil {
+			fmt.Fprintf(cfg.Log, format+"\n", args...)
+		}
+	}
+	var drops DropCounts
 
 	deadline := time.Time{}
 	if cfg.TimeBudget > 0 {
@@ -227,21 +382,30 @@ func Run(train *data.Dataset, cfg Config) (*Ensemble, error) {
 	// evaluate fits and scores one spec using tr, the task's private rng
 	// stream. Task streams are derived from the batch seed and the task
 	// index (rng.Derive), never shared, so a batch of evaluations yields
-	// the same candidates no matter how many workers process it.
-	var evaluate func(spec Spec, tr *rng.Rand) (candidate, bool)
+	// the same candidates no matter how many workers process it. gi is
+	// the global candidate-evaluation index, the deterministic key for
+	// fault injection and degradation logs.
+	var evaluate func(gi int, spec Spec, tr *rng.Rand) (candidate, dropReason)
 	var valY []int
 	if cfg.CVFolds >= 2 {
-		folds := train.Folds(cfg.CVFolds, r)
+		folds, err := train.Folds(cfg.CVFolds, r)
+		if err != nil {
+			return nil, fmt.Errorf("automl: cross-validation: %w", err)
+		}
 		for _, f := range folds {
 			valY = append(valY, f.Val.Y...)
 		}
-		evaluate = func(spec Spec, tr *rng.Rand) (candidate, bool) {
+		evaluate = func(gi int, spec Spec, tr *rng.Rand) (candidate, dropReason) {
+			if cfg.Fault.Fit(gi) == faultinject.Drop {
+				return candidate{}, dropSkipped
+			}
+			start := time.Now()
 			var proba [][]float64
 			var model ml.Classifier
 			for _, f := range folds {
 				m := Build(spec)
-				if err := m.Fit(f.Train, tr.Split()); err != nil {
-					return candidate{}, false
+				if err := fitOne(m, f.Train, tr.Split(), cfg.Fault, gi); err != nil {
+					return candidate{}, dropOf(err)
 				}
 				proba = append(proba, ml.PredictProbaBatch(m, f.Val.X)...)
 				model = m // keep the last fold's model; refit replaces it
@@ -251,7 +415,16 @@ func Run(train *data.Dataset, cfg Config) (*Ensemble, error) {
 				pred[i] = metrics.Argmax(p)
 			}
 			score := metrics.BalancedAccuracy(k, valY, pred)
-			return candidate{spec: spec, model: model, valProba: proba, score: score}, true
+			if cfg.Fault.Fit(gi) == faultinject.NaN {
+				score = math.NaN()
+			}
+			if cfg.CandidateBudget > 0 && time.Since(start) > cfg.CandidateBudget {
+				return candidate{}, dropTimeout
+			}
+			if math.IsNaN(score) {
+				return candidate{}, dropNaN
+			}
+			return candidate{spec: spec, model: model, valProba: proba, score: score}, dropNone
 		}
 	} else {
 		fitSet, valSet := train.StratifiedSplit(1-cfg.ValFraction, r)
@@ -259,10 +432,14 @@ func Run(train *data.Dataset, cfg Config) (*Ensemble, error) {
 			return nil, errors.New("automl: degenerate train/validation split")
 		}
 		valY = valSet.Y
-		evaluate = func(spec Spec, tr *rng.Rand) (candidate, bool) {
+		evaluate = func(gi int, spec Spec, tr *rng.Rand) (candidate, dropReason) {
+			if cfg.Fault.Fit(gi) == faultinject.Drop {
+				return candidate{}, dropSkipped
+			}
+			start := time.Now()
 			model := Build(spec)
-			if err := model.Fit(fitSet, tr.Split()); err != nil {
-				return candidate{}, false
+			if err := fitOne(model, fitSet, tr.Split(), cfg.Fault, gi); err != nil {
+				return candidate{}, dropOf(err)
 			}
 			proba := ml.PredictProbaBatch(model, valSet.X)
 			pred := make([]int, len(proba))
@@ -270,7 +447,16 @@ func Run(train *data.Dataset, cfg Config) (*Ensemble, error) {
 				pred[i] = metrics.Argmax(p)
 			}
 			score := metrics.BalancedAccuracy(k, valSet.Y, pred)
-			return candidate{spec: spec, model: model, valProba: proba, score: score}, true
+			if cfg.Fault.Fit(gi) == faultinject.NaN {
+				score = math.NaN()
+			}
+			if cfg.CandidateBudget > 0 && time.Since(start) > cfg.CandidateBudget {
+				return candidate{}, dropTimeout
+			}
+			if math.IsNaN(score) {
+				return candidate{}, dropNaN
+			}
+			return candidate{spec: spec, model: model, valProba: proba, score: score}, dropNone
 		}
 	}
 
@@ -278,29 +464,50 @@ func Run(train *data.Dataset, cfg Config) (*Ensemble, error) {
 	// the successful candidates in spec order. The batch seed is drawn
 	// from r exactly once, so r's stream — and with it every later
 	// stochastic choice of the search — is independent of the pool size.
-	// Under a TimeBudget, tasks that start after the deadline are skipped
-	// (except task 0 of the first batch, so at least one candidate is
-	// always evaluated); that is the only worker-count-dependent behavior.
-	evalBatch := func(specs []Spec, first bool) []candidate {
+	// Under a soft TimeBudget, tasks that start after the deadline are
+	// skipped (except task 0 of the first batch, so at least one candidate
+	// is always evaluated); that is the only worker-count-dependent
+	// behavior. Dropped candidates are counted and logged in index order
+	// after the batch completes, so logs are deterministic too.
+	evalCount := 0
+	evalBatch := func(specs []Spec, first bool) ([]candidate, error) {
 		batchSeed := r.Uint64()
+		base := evalCount
+		evalCount += len(specs)
 		type result struct {
-			c  candidate
-			ok bool
+			c      candidate
+			reason dropReason
 		}
-		results, _ := parallel.Map(len(specs), cfg.Workers, func(i int) (result, error) {
+		results, err := parallel.MapCtx(ctx, len(specs), cfg.Workers, func(i int) (result, error) {
 			if expired() && !(first && i == 0) {
-				return result{}, nil
+				return result{reason: dropSkipped}, nil
 			}
-			c, ok := evaluate(specs[i], rng.Derive(batchSeed, uint64(i)))
-			return result{c: c, ok: ok}, nil
+			c, reason := evaluate(base+i, specs[i], rng.Derive(batchSeed, uint64(i)))
+			return result{c: c, reason: reason}, nil
 		})
-		out := make([]candidate, 0, len(results))
-		for _, res := range results {
-			if res.ok {
-				out = append(out, res.c)
-			}
+		if err != nil {
+			return nil, err
 		}
-		return out
+		out := make([]candidate, 0, len(results))
+		for i, res := range results {
+			switch res.reason {
+			case dropNone:
+				out = append(out, res.c)
+				continue
+			case dropPanic:
+				drops.Panics++
+			case dropError:
+				drops.Errors++
+			case dropNaN:
+				drops.NaNs++
+			case dropTimeout:
+				drops.Timeouts++
+			case dropSkipped:
+				continue
+			}
+			logf("automl: dropped candidate %d (%s): %s", base+i, res.reason, specs[i])
+		}
+		return out, nil
 	}
 
 	// Phase 1: random search. Reserve a share of the budget for evolution.
@@ -311,15 +518,23 @@ func Run(train *data.Dataset, cfg Config) (*Ensemble, error) {
 	randomBudget := cfg.MaxCandidates - evoBudget
 	specs := make([]Spec, 0, randomBudget)
 	if cfg.PreScreen > 1 {
-		specs = preScreen(train, cfg.PreScreen*randomBudget, randomBudget, k, cfg.Workers, r)
+		var err error
+		specs, err = preScreen(ctx, train, cfg.PreScreen*randomBudget, randomBudget, k, cfg.Workers, r)
+		if err != nil {
+			return nil, err
+		}
 	} else {
 		for i := 0; i < randomBudget; i++ {
 			specs = append(specs, RandomSpec(r))
 		}
 	}
-	cands := evalBatch(specs, true)
+	cands, err := evalBatch(specs, true)
+	if err != nil {
+		return nil, err
+	}
 	if len(cands) == 0 {
-		return nil, errors.New("automl: no candidate pipeline trained successfully")
+		return nil, fmt.Errorf("automl: no candidate pipeline trained successfully (%d dropped: %d panics, %d errors, %d NaN, %d timeouts): %w",
+			drops.Total(), drops.Panics, drops.Errors, drops.NaNs, drops.Timeouts, ErrCommitteeTooSmall)
 	}
 
 	// Phase 2: evolutionary refinement of the best quartile. Parent picks
@@ -340,7 +555,11 @@ func Run(train *data.Dataset, cfg Config) (*Ensemble, error) {
 		for i := 0; i < perGen; i++ {
 			mutated = append(mutated, Mutate(cands[r.Intn(parents)].spec, r))
 		}
-		cands = append(cands, evalBatch(mutated, false)...)
+		more, err := evalBatch(mutated, false)
+		if err != nil {
+			return nil, err
+		}
+		cands = append(cands, more...)
 	}
 
 	// Phase 3: Caruana greedy ensemble selection with replacement on the
@@ -364,11 +583,66 @@ func Run(train *data.Dataset, cfg Config) (*Ensemble, error) {
 		})
 	}
 	ens.ValScore = ensembleScore(cands, counts, valY, k)
+	if len(ens.Members) < cfg.MinCommittee {
+		return nil, fmt.Errorf("automl: selection kept %d members, need %d: %w",
+			len(ens.Members), cfg.MinCommittee, ErrCommitteeTooSmall)
+	}
 
-	// Refit members on the full training set so no data is wasted.
-	if err := ens.Fit(train, r); err != nil {
+	// Refit members on the full training set so no data is wasted. The
+	// per-member rng streams are split from r serially first, so the refit
+	// is bit-identical for any worker count. A member whose refit fails is
+	// dropped and the surviving weights renormalized — degradation, not
+	// abort — unless that leaves fewer than MinCommittee members. Refit
+	// fault-injection keys are negative: -(i+1) targets member i.
+	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	rands := make([]*rng.Rand, len(ens.Members))
+	for i := range rands {
+		rands[i] = r.Split()
+	}
+	type refit struct {
+		model ml.Classifier
+		err   error
+	}
+	refits, err := parallel.MapCtx(ctx, len(ens.Members), cfg.Workers, func(i int) (refit, error) {
+		fresh := Build(ens.Members[i].Spec)
+		if err := fitOne(fresh, train, rands[i], cfg.Fault, -(i + 1)); err != nil {
+			return refit{err: err}, nil
+		}
+		return refit{model: fresh}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	kept := make([]Member, 0, len(ens.Members))
+	for i, rf := range refits {
+		if rf.err != nil {
+			if dropOf(rf.err) == dropPanic {
+				drops.Panics++
+			} else {
+				drops.Errors++
+			}
+			logf("automl: dropped member %d on refit (%s)", i, dropOf(rf.err))
+			continue
+		}
+		m := ens.Members[i]
+		m.Model = rf.model
+		kept = append(kept, m)
+	}
+	if len(kept) < cfg.MinCommittee {
+		return nil, fmt.Errorf("automl: %d of %d members survived refit, need %d: %w",
+			len(kept), len(ens.Members), cfg.MinCommittee, ErrCommitteeTooSmall)
+	}
+	totalW := 0.0
+	for _, m := range kept {
+		totalW += m.Weight
+	}
+	for i := range kept {
+		kept[i].Weight /= totalW
+	}
+	ens.Members = kept
+	ens.Dropped = drops
 	return ens, nil
 }
 
@@ -376,8 +650,10 @@ func Run(train *data.Dataset, cfg Config) (*Ensemble, error) {
 // `total` random specs, scores each on a small stratified subsample of
 // train with a fast holdout, and returns the best `keep` specs for full
 // evaluation. Screening fits run on the worker pool; every spec is drawn
-// serially from r first and scored with its own index-derived rng.
-func preScreen(train *data.Dataset, total, keep, k, workers int, r *rng.Rand) []Spec {
+// serially from r first and scored with its own index-derived rng. A
+// screening fit that fails or panics, or a NaN screening score, silently
+// disqualifies the spec — screening is best-effort by construction.
+func preScreen(ctx context.Context, train *data.Dataset, total, keep, k, workers int, r *rng.Rand) ([]Spec, error) {
 	subN := 200
 	if subN > train.Len() {
 		subN = train.Len()
@@ -390,7 +666,7 @@ func preScreen(train *data.Dataset, total, keep, k, workers int, r *rng.Rand) []
 		for i := range out {
 			out[i] = RandomSpec(r)
 		}
-		return out
+		return out, nil
 	}
 	specs := make([]Spec, total)
 	for i := range specs {
@@ -402,14 +678,21 @@ func preScreen(train *data.Dataset, total, keep, k, workers int, r *rng.Rand) []
 		score float64
 		ok    bool
 	}
-	results, _ := parallel.Map(total, workers, func(i int) (scored, error) {
+	results, err := parallel.MapCtx(ctx, total, workers, func(i int) (scored, error) {
 		m := Build(specs[i])
-		if err := m.Fit(fitSet, rng.Derive(screenSeed, uint64(i))); err != nil {
+		if err := fitOne(m, fitSet, rng.Derive(screenSeed, uint64(i)), nil, 0); err != nil {
 			return scored{}, nil
 		}
 		pred := ml.Predict(m, valSet.X)
-		return scored{spec: specs[i], score: metrics.BalancedAccuracy(k, valSet.Y, pred), ok: true}, nil
+		score := metrics.BalancedAccuracy(k, valSet.Y, pred)
+		if math.IsNaN(score) {
+			return scored{}, nil
+		}
+		return scored{spec: specs[i], score: score, ok: true}, nil
 	})
+	if err != nil {
+		return nil, err
+	}
 	all := make([]scored, 0, total)
 	for _, s := range results {
 		if s.ok {
@@ -424,7 +707,7 @@ func preScreen(train *data.Dataset, total, keep, k, workers int, r *rng.Rand) []
 	for i := 0; i < keep; i++ {
 		out[i] = all[i].spec
 	}
-	return out
+	return out, nil
 }
 
 // greedySelect returns per-candidate selection counts after rounds of

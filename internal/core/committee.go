@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"github.com/netml/alefb/internal/automl"
@@ -43,16 +44,23 @@ func WithinCommittee(e *automl.Ensemble) []ml.Classifier {
 // pure scheduling choice that, by the same determinism guarantee, cannot
 // change any result.
 func CrossCommittee(train *data.Dataset, base automl.Config, runs int) ([]ml.Classifier, []*automl.Ensemble, error) {
+	return CrossCommitteeCtx(context.Background(), train, base, runs)
+}
+
+// CrossCommitteeCtx is CrossCommittee under a hard deadline: when ctx
+// expires or is cancelled, in-flight AutoML runs stop at their next
+// candidate boundary and the call returns ctx.Err().
+func CrossCommitteeCtx(ctx context.Context, train *data.Dataset, base automl.Config, runs int) ([]ml.Classifier, []*automl.Ensemble, error) {
 	if runs <= 0 {
 		runs = 10 // the paper's evaluation uses 10 AutoML runs
 	}
-	ensembles, err := parallel.Map(runs, base.Workers, func(i int) (*automl.Ensemble, error) {
+	ensembles, err := parallel.MapCtx(ctx, runs, base.Workers, func(i int) (*automl.Ensemble, error) {
 		cfg := base
 		cfg.Seed = base.Seed + uint64(i)*0x9e3779b97f4a7c15
 		if runs > 1 && parallel.Workers(base.Workers) > 1 {
 			cfg.Workers = 1
 		}
-		ens, err := automl.Run(train, cfg)
+		ens, err := automl.RunCtx(ctx, train, cfg)
 		if err != nil {
 			return nil, fmt.Errorf("core: AutoML run %d of %d: %w", i+1, runs, err)
 		}

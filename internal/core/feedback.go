@@ -19,6 +19,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -278,6 +279,14 @@ var ErrNoCommittee = errors.New("core: empty committee")
 // Compute runs the feedback algorithm (§3 of the paper) for the committee
 // of models over the background dataset d.
 func Compute(models []ml.Classifier, d *data.Dataset, cfg Config) (*Feedback, error) {
+	return ComputeCtx(context.Background(), models, d, cfg)
+}
+
+// ComputeCtx is Compute under a hard deadline: when ctx expires or is
+// cancelled the computation stops at the next per-member interpretation
+// boundary and returns ctx.Err(). Results are unchanged by the context
+// otherwise.
+func ComputeCtx(ctx context.Context, models []ml.Classifier, d *data.Dataset, cfg Config) (*Feedback, error) {
 	if len(models) == 0 {
 		return nil, ErrNoCommittee
 	}
@@ -305,7 +314,7 @@ func Compute(models []ml.Classifier, d *data.Dataset, cfg Config) (*Feedback, er
 		var curves []interpret.CommitteeCurve
 		skip := false
 		for _, class := range cfg.Classes {
-			cc, err := interpret.Committee(models, d, j, cfg.Method, interpret.Options{Bins: cfg.Bins, Class: class, Workers: cfg.Workers})
+			cc, err := interpret.CommitteeCtx(ctx, models, d, j, cfg.Method, interpret.Options{Bins: cfg.Bins, Class: class, Workers: cfg.Workers})
 			if err != nil {
 				if errors.Is(err, interpret.ErrConstantFeature) {
 					skip = true

@@ -1,11 +1,14 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"io"
 
 	"github.com/netml/alefb/internal/automl"
 	"github.com/netml/alefb/internal/data"
+	"github.com/netml/alefb/internal/faultinject"
 	"github.com/netml/alefb/internal/rng"
 )
 
@@ -27,6 +30,12 @@ type LoopConfig struct {
 	// StopStd ends the campaign early once the largest committee
 	// disagreement falls below this value; 0 disables early stopping.
 	StopStd float64
+	// Log, when non-nil, receives one line per degradation event.
+	Log io.Writer
+	// Fault is the test-only fault injector; nil injects nothing. Unit n
+	// of the loop is round n's retrain (rounds count from 1); unit 0 is
+	// the final refit.
+	Fault *faultinject.Injector
 	// Seed drives sampling.
 	Seed uint64
 }
@@ -50,17 +59,36 @@ type LoopRound struct {
 // LoopResult is the campaign outcome.
 type LoopResult struct {
 	Rounds []LoopRound
-	// Final is the ensemble trained on all accumulated data.
+	// Final is the ensemble trained on all accumulated data — or, on a
+	// degraded campaign, the last round's ensemble.
 	Final *automl.Ensemble
 	// Train is the augmented training set after all rounds.
 	Train *data.Dataset
 	// Converged reports whether StopStd ended the campaign early.
 	Converged bool
+	// Degraded reports that a retrain or feedback computation failed after
+	// the first round and the campaign fell back to its last good state
+	// instead of aborting. Final then holds the last successful ensemble
+	// and Rounds the cycles that completed.
+	Degraded bool
+	// DegradedReason describes the failure that triggered degradation.
+	DegradedReason string
 }
 
 // RunLoop runs up to cfg.Rounds suggest-label-retrain cycles of Within
 // feedback, accumulating the suggested points into the training set.
 func RunLoop(train *data.Dataset, cfg LoopConfig) (*LoopResult, error) {
+	return RunLoopCtx(context.Background(), train, cfg)
+}
+
+// RunLoopCtx is RunLoop under a hard deadline (ctx expiry aborts with
+// ctx.Err()) and with graceful degradation: a failure in round 1 is fatal
+// — there is no previous state to fall back to — but a retrain or
+// feedback failure in a later round, or in the final refit, ends the
+// campaign with the previous round's ensemble, Degraded set, and a nil
+// error. An operator halfway through a labelling campaign keeps the
+// rounds already paid for.
+func RunLoopCtx(ctx context.Context, train *data.Dataset, cfg LoopConfig) (*LoopResult, error) {
 	if cfg.Oracle == nil {
 		return nil, errors.New("core: RunLoop needs an oracle")
 	}
@@ -70,6 +98,16 @@ func RunLoop(train *data.Dataset, cfg LoopConfig) (*LoopResult, error) {
 	if cfg.PerRound <= 0 {
 		return nil, errors.New("core: RunLoop needs PerRound > 0")
 	}
+	logf := func(format string, args ...interface{}) {
+		if cfg.Log != nil {
+			fmt.Fprintf(cfg.Log, format+"\n", args...)
+		}
+	}
+	// abortive reports failures that must not degrade: context expiry is
+	// the caller's deadline, not a model failure.
+	abortive := func(err error) bool {
+		return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+	}
 	r := rng.New(cfg.Seed ^ 0x100b)
 	cur := train.Clone()
 	res := &LoopResult{}
@@ -77,13 +115,29 @@ func RunLoop(train *data.Dataset, cfg LoopConfig) (*LoopResult, error) {
 	for round := 1; round <= cfg.Rounds; round++ {
 		mlCfg := cfg.AutoML
 		mlCfg.Seed = cfg.AutoML.Seed + uint64(round)*131
-		ens, err := automl.Run(cur, mlCfg)
-		if err != nil {
-			return nil, fmt.Errorf("core: loop round %d: %w", round, err)
+		var ens *automl.Ensemble
+		var err error
+		if cfg.Fault.UnitFails(round) {
+			err = faultinject.ErrInjected
+		} else {
+			ens, err = automl.RunCtx(ctx, cur, mlCfg)
 		}
-		fb, err := Compute(WithinCommittee(ens), cur, cfg.Feedback)
+		var fb *Feedback
+		if err == nil {
+			fb, err = ComputeCtx(ctx, WithinCommittee(ens), cur, cfg.Feedback)
+		}
 		if err != nil {
-			return nil, fmt.Errorf("core: loop round %d feedback: %w", round, err)
+			if abortive(err) {
+				return nil, err
+			}
+			if round == 1 {
+				return nil, fmt.Errorf("core: loop round %d: %w", round, err)
+			}
+			res.Degraded = true
+			res.DegradedReason = fmt.Sprintf("round %d failed: %v", round, err)
+			res.Train = cur
+			logf("core: loop degraded, keeping round %d ensemble: %v", round-1, err)
+			return res, nil
 		}
 		peak := 0.0
 		for _, fa := range fb.Analyses {
@@ -115,14 +169,28 @@ func RunLoop(train *data.Dataset, cfg LoopConfig) (*LoopResult, error) {
 			break
 		}
 	}
-	// Final refit on everything collected.
+	// Final refit on everything collected. A failure here degrades to the
+	// last round's ensemble: the suggestions are already labelled, and a
+	// committee trained on most of the data beats no committee at all.
 	mlCfg := cfg.AutoML
 	mlCfg.Seed = cfg.AutoML.Seed + 997
-	final, err := automl.Run(cur, mlCfg)
-	if err != nil {
-		return nil, fmt.Errorf("core: loop final fit: %w", err)
+	var final *automl.Ensemble
+	var err error
+	if cfg.Fault.UnitFails(0) {
+		err = faultinject.ErrInjected
+	} else {
+		final, err = automl.RunCtx(ctx, cur, mlCfg)
 	}
-	res.Final = final
+	if err != nil {
+		if abortive(err) {
+			return nil, err
+		}
+		res.Degraded = true
+		res.DegradedReason = fmt.Sprintf("final refit failed: %v", err)
+		logf("core: loop degraded, final refit failed, keeping last round ensemble: %v", err)
+	} else {
+		res.Final = final
+	}
 	res.Train = cur
 	return res, nil
 }

@@ -1,0 +1,136 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/netml/alefb/internal/automl"
+	"github.com/netml/alefb/internal/faultinject"
+)
+
+// TestRunLoopDegradesOnLaterRoundFailure checks the campaign fallback: a
+// retrain failure after round 1 keeps the rounds already paid for instead
+// of aborting, with Final pointing at the last successful ensemble.
+func TestRunLoopDegradesOnLaterRoundFailure(t *testing.T) {
+	train, oracle := loopProblem(250, 1)
+	cfg := LoopConfig{
+		Rounds:   3,
+		PerRound: 40,
+		AutoML:   loopAutoML(7),
+		Feedback: Config{Bins: 16, Classes: []int{1}},
+		Oracle:   oracle,
+		Fault:    faultinject.New().WithFailUnit(2),
+		Seed:     9,
+	}
+	res, err := RunLoop(train, cfg)
+	if err != nil {
+		t.Fatalf("round-2 failure should degrade, not abort: %v", err)
+	}
+	if !res.Degraded {
+		t.Fatal("Degraded not set")
+	}
+	if !strings.Contains(res.DegradedReason, "round 2") {
+		t.Fatalf("DegradedReason = %q", res.DegradedReason)
+	}
+	if len(res.Rounds) != 1 {
+		t.Fatalf("kept %d rounds, want 1", len(res.Rounds))
+	}
+	if res.Final != res.Rounds[0].Ensemble {
+		t.Fatal("Final is not the last successful round's ensemble")
+	}
+	if res.Train == nil || res.Train.Len() <= train.Len() {
+		t.Fatal("degraded result lost the labelled points")
+	}
+}
+
+// TestRunLoopFirstRoundFailureIsFatal: with no previous state there is
+// nothing to degrade to, so round 1 failures abort.
+func TestRunLoopFirstRoundFailureIsFatal(t *testing.T) {
+	train, oracle := loopProblem(250, 1)
+	cfg := LoopConfig{
+		Rounds:   2,
+		PerRound: 40,
+		AutoML:   loopAutoML(7),
+		Feedback: Config{Bins: 16, Classes: []int{1}},
+		Oracle:   oracle,
+		Fault:    faultinject.New().WithFailUnit(1),
+		Seed:     9,
+	}
+	if _, err := RunLoop(train, cfg); !errors.Is(err, faultinject.ErrInjected) {
+		t.Fatalf("round-1 failure: err = %v, want ErrInjected", err)
+	}
+}
+
+// TestRunLoopDegradesOnFinalRefitFailure: the final all-data refit is a
+// bonus on top of the last round's ensemble; losing it degrades.
+func TestRunLoopDegradesOnFinalRefitFailure(t *testing.T) {
+	train, oracle := loopProblem(250, 1)
+	cfg := LoopConfig{
+		Rounds:   2,
+		PerRound: 40,
+		AutoML:   loopAutoML(7),
+		Feedback: Config{Bins: 16, Classes: []int{1}},
+		Oracle:   oracle,
+		Fault:    faultinject.New().WithFailUnit(0), // unit 0 = final refit
+		Seed:     9,
+	}
+	res, err := RunLoop(train, cfg)
+	if err != nil {
+		t.Fatalf("final-refit failure should degrade, not abort: %v", err)
+	}
+	if !res.Degraded || !strings.Contains(res.DegradedReason, "final refit") {
+		t.Fatalf("Degraded=%v reason=%q", res.Degraded, res.DegradedReason)
+	}
+	last := res.Rounds[len(res.Rounds)-1]
+	if res.Final != last.Ensemble {
+		t.Fatal("Final is not the last round's ensemble")
+	}
+}
+
+// TestRunLoopCtxDeadlineAborts: a caller deadline is not a model failure
+// — it aborts with the context error even when degradation is possible.
+func TestRunLoopCtxDeadlineAborts(t *testing.T) {
+	train, oracle := loopProblem(250, 1)
+	cfg := LoopConfig{
+		Rounds:   3,
+		PerRound: 40,
+		AutoML:   loopAutoML(7),
+		Feedback: Config{Bins: 16, Classes: []int{1}},
+		Oracle:   oracle,
+		Seed:     9,
+	}
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	if _, err := RunLoopCtx(ctx, train, cfg); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+}
+
+// TestComputeCtxCancelled checks the feedback computation honours
+// cancellation at member boundaries.
+func TestComputeCtxCancelled(t *testing.T) {
+	train, _ := loopProblem(250, 1)
+	ens, err := automl.Run(train, loopAutoML(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := ComputeCtx(ctx, WithinCommittee(ens), train, Config{Bins: 16}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestCrossCommitteeCtxCancelled checks the cross-run committee stops on
+// a cancelled context instead of launching all runs.
+func TestCrossCommitteeCtxCancelled(t *testing.T) {
+	train, _ := loopProblem(250, 1)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := CrossCommitteeCtx(ctx, train, loopAutoML(7), 3); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}

@@ -83,8 +83,27 @@ func New(schema *Schema) *Dataset {
 // Len returns the number of rows.
 func (d *Dataset) Len() int { return len(d.X) }
 
-// Append adds a row. It panics if the row width does not match the schema;
-// that is always a programming error, not an input error.
+// AppendRow adds a row, rejecting width mismatches and labels outside
+// [0, NumClasses) with an error. This is the checked boundary for rows
+// that originate outside the process (parsed files, network input); the
+// CSV loader and every other external-input path use it.
+func (d *Dataset) AppendRow(x []float64, y int) error {
+	if len(x) != d.Schema.NumFeatures() {
+		return fmt.Errorf("data: row has %d features, schema has %d", len(x), d.Schema.NumFeatures())
+	}
+	if y < 0 || y >= d.Schema.NumClasses() {
+		return fmt.Errorf("data: label %d out of range [0, %d)", y, d.Schema.NumClasses())
+	}
+	d.X = append(d.X, x)
+	d.Y = append(d.Y, y)
+	return nil
+}
+
+// Append adds a row built by trusted in-process code (generators, tests,
+// the feedback sampler — all of which construct rows from the same schema
+// they append to). It panics on arity mismatch: at such call sites that
+// is always a programming error the caller cannot recover from. Rows from
+// external input go through AppendRow instead.
 func (d *Dataset) Append(x []float64, y int) {
 	if len(x) != d.Schema.NumFeatures() {
 		panic(fmt.Sprintf("data: row has %d features, schema has %d", len(x), d.Schema.NumFeatures()))
@@ -114,17 +133,21 @@ func (d *Dataset) Subset(idx []int) *Dataset {
 }
 
 // Concat returns a new dataset with the rows of d followed by the rows of
-// other. Both must share a compatible schema (same feature count).
-func (d *Dataset) Concat(other *Dataset) *Dataset {
+// other. Both must share a compatible schema (same feature count); an
+// incompatible schema is reported as an error, since the second dataset
+// routinely comes from outside the caller's control (a loaded file, a
+// feedback round).
+func (d *Dataset) Concat(other *Dataset) (*Dataset, error) {
 	if other.Schema.NumFeatures() != d.Schema.NumFeatures() {
-		panic("data: Concat with incompatible schema")
+		return nil, fmt.Errorf("data: Concat with incompatible schema: %d features vs %d",
+			d.Schema.NumFeatures(), other.Schema.NumFeatures())
 	}
 	c := &Dataset{
 		Schema: d.Schema,
 		X:      append(append([][]float64{}, d.X...), other.X...),
 		Y:      append(append([]int{}, d.Y...), other.Y...),
 	}
-	return c
+	return c, nil
 }
 
 // Shuffle permutes rows in place.
@@ -213,10 +236,12 @@ func (d *Dataset) StratifiedSplit(frac float64, r *rng.Rand) (a, b *Dataset) {
 }
 
 // KChunks splits the dataset into k near-equal random chunks, as the paper
-// does to build its 20 test sets for statistical significance.
-func (d *Dataset) KChunks(k int, r *rng.Rand) []*Dataset {
+// does to build its 20 test sets for statistical significance. k typically
+// arrives from experiment configuration (a flag, a config file), so an
+// invalid value is an input error, not a programming error.
+func (d *Dataset) KChunks(k int, r *rng.Rand) ([]*Dataset, error) {
 	if k <= 0 {
-		panic("data: KChunks needs k > 0")
+		return nil, fmt.Errorf("data: KChunks needs k > 0, got %d", k)
 	}
 	idx := r.Perm(d.Len())
 	out := make([]*Dataset, 0, k)
@@ -225,13 +250,14 @@ func (d *Dataset) KChunks(k int, r *rng.Rand) []*Dataset {
 		hi := (i + 1) * d.Len() / k
 		out = append(out, d.Subset(idx[lo:hi]))
 	}
-	return out
+	return out, nil
 }
 
 // Folds returns k cross-validation folds as (train, validation) pairs.
-func (d *Dataset) Folds(k int, r *rng.Rand) []Fold {
+// Like KChunks, k is configuration input and is validated, not asserted.
+func (d *Dataset) Folds(k int, r *rng.Rand) ([]Fold, error) {
 	if k < 2 {
-		panic("data: Folds needs k >= 2")
+		return nil, fmt.Errorf("data: Folds needs k >= 2, got %d", k)
 	}
 	idx := r.Perm(d.Len())
 	folds := make([]Fold, 0, k)
@@ -244,7 +270,7 @@ func (d *Dataset) Folds(k int, r *rng.Rand) []Fold {
 		train = append(train, idx[hi:]...)
 		folds = append(folds, Fold{Train: d.Subset(train), Val: d.Subset(val)})
 	}
-	return folds
+	return folds, nil
 }
 
 // Fold is one cross-validation split.
@@ -308,10 +334,44 @@ func (d *Dataset) WriteCSV(w io.Writer) error {
 	return cw.Error()
 }
 
+// RowError is the structured error ReadCSV reports for a malformed cell
+// or row: it pinpoints the 1-based line and the offending column so an
+// operator can fix the input, and unwraps to the underlying cause.
+type RowError struct {
+	// Line is the 1-based line number in the input (the header is line 1).
+	Line int
+	// Column is the column name from the header, or "" for whole-row
+	// problems (wrong field count).
+	Column string
+	// Err is the underlying cause.
+	Err error
+}
+
+// Error renders the location and cause.
+func (e *RowError) Error() string {
+	if e.Column == "" {
+		return fmt.Sprintf("data: line %d: %v", e.Line, e.Err)
+	}
+	return fmt.Sprintf("data: line %d column %q: %v", e.Line, e.Column, e.Err)
+}
+
+// Unwrap returns the underlying cause.
+func (e *RowError) Unwrap() error { return e.Err }
+
+// ErrNonFinite is wrapped by RowError when a cell parses as NaN or ±Inf.
+// Non-finite feature values would silently poison every downstream fit
+// (distances, split gains and probabilities all become NaN), so the
+// loader rejects them at the boundary.
+var ErrNonFinite = errors.New("non-finite value")
+
 // ReadCSV reads a dataset written by WriteCSV. The schema is reconstructed
 // from the header and observed data: ranges become the observed min/max.
+// Malformed input — truncated rows, non-numeric cells, NaN/Inf literals —
+// is reported as a *RowError naming the line and column; the loader never
+// panics on hostile input (fuzz-tested).
 func ReadCSV(r io.Reader) (*Dataset, error) {
 	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1 // row width is checked below, with a RowError
 	header, err := cr.Read()
 	if err != nil {
 		return nil, fmt.Errorf("data: read header: %w", err)
@@ -332,16 +392,19 @@ func ReadCSV(r io.Reader) (*Dataset, error) {
 			break
 		}
 		if err != nil {
-			return nil, fmt.Errorf("data: read line %d: %w", line, err)
+			return nil, &RowError{Line: line, Err: err}
 		}
 		if len(rec) != nf+1 {
-			return nil, fmt.Errorf("data: line %d has %d fields, want %d", line, len(rec), nf+1)
+			return nil, &RowError{Line: line, Err: fmt.Errorf("has %d fields, want %d", len(rec), nf+1)}
 		}
 		row := make([]float64, nf)
 		for j := 0; j < nf; j++ {
 			v, err := strconv.ParseFloat(rec[j], 64)
 			if err != nil {
-				return nil, fmt.Errorf("data: line %d field %q: %w", line, header[j], err)
+				return nil, &RowError{Line: line, Column: header[j], Err: err}
+			}
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return nil, &RowError{Line: line, Column: header[j], Err: fmt.Errorf("%w %q", ErrNonFinite, rec[j])}
 			}
 			row[j] = v
 			if v < schema.Features[j].Min {
@@ -358,7 +421,9 @@ func ReadCSV(r io.Reader) (*Dataset, error) {
 			classIdx[label] = k
 			schema.Classes = append(schema.Classes, label)
 		}
-		d.Append(row, k)
+		if err := d.AppendRow(row, k); err != nil {
+			return nil, &RowError{Line: line, Err: err}
+		}
 	}
 	return d, nil
 }

@@ -79,7 +79,10 @@ func TestSubsetAndClone(t *testing.T) {
 func TestConcat(t *testing.T) {
 	r := rng.New(2)
 	a, b := makeDataset(4, r), makeDataset(6, r)
-	c := a.Concat(b)
+	c, err := a.Concat(b)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if c.Len() != 10 {
 		t.Fatalf("Concat len = %d", c.Len())
 	}
@@ -149,7 +152,10 @@ func TestStratifiedSplitPreservesProportions(t *testing.T) {
 
 func TestKChunksPartition(t *testing.T) {
 	d := makeDataset(103, rng.New(6))
-	chunks := d.KChunks(20, rng.New(7))
+	chunks, err := d.KChunks(20, rng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(chunks) != 20 {
 		t.Fatalf("got %d chunks", len(chunks))
 	}
@@ -167,7 +173,10 @@ func TestKChunksPartition(t *testing.T) {
 
 func TestFoldsCoverEachRowOnce(t *testing.T) {
 	d := makeDataset(50, rng.New(8))
-	folds := d.Folds(5, rng.New(9))
+	folds, err := d.Folds(5, rng.New(9))
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(folds) != 5 {
 		t.Fatalf("got %d folds", len(folds))
 	}

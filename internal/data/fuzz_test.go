@@ -1,0 +1,124 @@
+package data
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+)
+
+// FuzzReadCSV is the robustness contract for the only external-input
+// boundary of the package: whatever bytes arrive, ReadCSV either returns
+// a well-formed finite dataset or a structured error — it never panics,
+// and malformed rows are reported as *RowError with the offending line
+// (and column, for cell-level failures).
+func FuzzReadCSV(f *testing.F) {
+	f.Add("a,b,label\n1,2,p\n3,4,n\n")
+	f.Add("a,b,label\n1,2\n")         // truncated row
+	f.Add("a,b,label\n1,xyz,p\n")     // non-numeric cell
+	f.Add("a,b,label\nNaN,2,p\n")     // NaN literal
+	f.Add("a,b,label\n1,+Inf,p\n")    // Inf literal
+	f.Add("a,b,label\n-Inf,2,p\n")    // negative Inf literal
+	f.Add("a,b,label\n\n1,2,p\n")     // empty line mid-file
+	f.Add("a,b,label\n1,2,p,extra\n") // overlong row
+	f.Add("")                         // no header
+	f.Add("onlylabel\n1\n")           // too few columns
+	f.Add("a,b,label\n\"1,2,p\n")     // unbalanced quote
+	f.Add("a,b,label\r\n1,2,p\r\n")   // CRLF endings
+	f.Add("a,b,label\n1e308,2,p\n")   // near-overflow float
+	f.Add("a,b,label\n1e400,2,p\n")   // parses to +Inf
+	f.Add("a,b,label\n 1 ,2,p\n")     // padded cell
+	f.Add("a,,label\n1,2,p\n")        // empty header name
+
+	f.Fuzz(func(t *testing.T, in string) {
+		d, err := ReadCSV(strings.NewReader(in))
+		if err != nil {
+			// A cell- or row-level failure must carry its position.
+			var re *RowError
+			if errors.As(err, &re) {
+				if re.Line < 2 {
+					t.Fatalf("RowError on line %d (data starts at line 2): %v", re.Line, err)
+				}
+				if re.Error() == "" {
+					t.Fatal("RowError with empty message")
+				}
+			}
+			return
+		}
+		// Success: the dataset must be internally consistent and finite.
+		if len(d.X) != len(d.Y) {
+			t.Fatalf("rows/labels misaligned: %d vs %d", len(d.X), len(d.Y))
+		}
+		nf := d.Schema.NumFeatures()
+		if nf < 1 || d.Schema.NumClasses() < 0 {
+			t.Fatalf("degenerate schema: %d features, %d classes", nf, d.Schema.NumClasses())
+		}
+		for i, row := range d.X {
+			if len(row) != nf {
+				t.Fatalf("row %d width %d, want %d", i, len(row), nf)
+			}
+			for j, v := range row {
+				if math.IsNaN(v) || math.IsInf(v, 0) {
+					t.Fatalf("row %d col %d: non-finite %v leaked through", i, j, v)
+				}
+			}
+			if d.Y[i] < 0 || d.Y[i] >= d.Schema.NumClasses() {
+				t.Fatalf("row %d label %d out of range [0,%d)", i, d.Y[i], d.Schema.NumClasses())
+			}
+		}
+	})
+}
+
+// TestReadCSVStructuredErrors pins the error shapes the fuzz target
+// relies on: each malformed input yields a *RowError pointing at the
+// right line, and non-finite literals unwrap to ErrNonFinite.
+func TestReadCSVStructuredErrors(t *testing.T) {
+	cases := []struct {
+		name      string
+		in        string
+		line      int
+		column    string
+		nonFinite bool
+	}{
+		{"truncated row", "a,b,label\n1,2,p\n3,4\n", 3, "", false},
+		{"overlong row", "a,b,label\n1,2,p,q\n", 2, "", false},
+		{"non-numeric cell", "a,b,label\n1,xyz,p\n", 2, "b", false},
+		{"nan literal", "a,b,label\nNaN,2,p\n", 2, "a", true},
+		{"inf literal", "a,b,label\n1,Inf,p\n", 2, "b", true},
+		{"neg inf literal", "a,b,label\n1,-inf,p\n", 2, "b", true},
+		// 1e400 overflows inside ParseFloat, so it is a parse error (with
+		// the column attached), not an ErrNonFinite — either way it cannot
+		// reach the dataset.
+		{"overflow to inf", "a,b,label\n1e400,2,p\n", 2, "a", false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ReadCSV(strings.NewReader(tc.in))
+			var re *RowError
+			if !errors.As(err, &re) {
+				t.Fatalf("err = %v, want *RowError", err)
+			}
+			if re.Line != tc.line {
+				t.Errorf("Line = %d, want %d", re.Line, tc.line)
+			}
+			if re.Column != tc.column {
+				t.Errorf("Column = %q, want %q", re.Column, tc.column)
+			}
+			if got := errors.Is(err, ErrNonFinite); got != tc.nonFinite {
+				t.Errorf("errors.Is(err, ErrNonFinite) = %v, want %v", got, tc.nonFinite)
+			}
+		})
+	}
+}
+
+// TestReadCSVSkipsBlankLines documents encoding/csv's blank-line
+// behavior at our boundary: fully empty lines are skipped, not errors.
+func TestReadCSVSkipsBlankLines(t *testing.T) {
+	d, err := ReadCSV(strings.NewReader("a,b,label\n\n1,2,p\n\n3,4,n\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 2 {
+		t.Fatalf("got %d rows, want 2", d.Len())
+	}
+}

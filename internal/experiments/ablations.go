@@ -51,7 +51,10 @@ func RunAblationDisagreement(cfg ScreamConfig, progress io.Writer) (*AblationRes
 	r := rng.New(cfg.Seed + 23)
 	train := gen.GenerateProduction(cfg.TrainN, r.Split())
 	testAll := gen.GenerateProduction(cfg.TestN, r.Split())
-	testSets := testAll.KChunks(cfg.TestSets, r.Split())
+	testSets, err := testAll.KChunks(cfg.TestSets, r.Split())
+	if err != nil {
+		return nil, err
+	}
 	pool := active.UniformPoints(screamset.Schema(), cfg.PoolN, r.Split())
 
 	acc := map[string][]float64{}
@@ -103,7 +106,11 @@ func RunAblationDisagreement(cfg ScreamConfig, progress io.Writer) (*AblationRes
 		}
 		retrainCfg := innerAutoML(cfg.AutoML, cfg.Workers)
 		trials, err := parallel.Map(len(variants), cfg.Workers, func(vi int) ([]float64, error) {
-			ens, err := runAutoML(train.Concat(adds[vi]), retrainCfg, seed+uint64(vi+1)*101)
+			retrain, err := train.Concat(adds[vi])
+			if err != nil {
+				return nil, err
+			}
+			ens, err := runAutoML(retrain, retrainCfg, seed+uint64(vi+1)*101)
 			if err != nil {
 				return nil, err
 			}
@@ -144,7 +151,10 @@ func RunAblationCrossRuns(cfg ScreamConfig, runCounts []int, progress io.Writer)
 	r := rng.New(cfg.Seed + 29)
 	train := gen.GenerateProduction(cfg.TrainN, r.Split())
 	testAll := gen.GenerateProduction(cfg.TestN, r.Split())
-	testSets := testAll.KChunks(cfg.TestSets, r.Split())
+	testSets, err := testAll.KChunks(cfg.TestSets, r.Split())
+	if err != nil {
+		return nil, err
+	}
 
 	res := &AblationResult{Title: "Ablation AB2: AutoML runs in the Cross-ALE committee"}
 	for _, runs := range runCounts {
@@ -164,7 +174,11 @@ func RunAblationCrossRuns(cfg ScreamConfig, runCounts []int, progress io.Writer)
 			if err != nil {
 				return nil, err
 			}
-			ens, err := runAutoML(train.Concat(add), cfg.AutoML, seed+7)
+			retrain, err := train.Concat(add)
+			if err != nil {
+				return nil, err
+			}
+			ens, err := runAutoML(retrain, cfg.AutoML, seed+7)
 			if err != nil {
 				return nil, err
 			}

@@ -1,0 +1,93 @@
+package experiments
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+)
+
+// Checkpoint is a directory of per-trial JSON snapshots. An experiment
+// saves one snapshot after each completed trial (a Table-1 repetition, a
+// UCL re-split); on resume, trials whose snapshot exists are restored
+// instead of recomputed.
+//
+// Restoring is bit-identical by construction: each trial draws all of its
+// randomness from an rng freshly seeded by the trial index (never from a
+// stream shared across trials), so skipping a completed trial leaves every
+// later trial's inputs untouched, and the snapshot holds the trial's full
+// contribution to the result.
+//
+// The nil *Checkpoint is a no-op store: Save discards, Load always misses.
+type Checkpoint struct {
+	dir string
+}
+
+// OpenCheckpoint creates (if needed) and opens a snapshot directory.
+func OpenCheckpoint(dir string) (*Checkpoint, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("experiments: checkpoint dir: %w", err)
+	}
+	return &Checkpoint{dir: dir}, nil
+}
+
+// Save writes v as the snapshot for key, atomically: the JSON is written
+// to a temp file and renamed into place, so a crash mid-save can never
+// leave a truncated snapshot for a later resume to trust.
+func (c *Checkpoint) Save(key string, v interface{}) error {
+	if c == nil {
+		return nil
+	}
+	blob, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("experiments: checkpoint %s: %w", key, err)
+	}
+	final := filepath.Join(c.dir, key+".json")
+	tmp, err := os.CreateTemp(c.dir, key+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("experiments: checkpoint %s: %w", key, err)
+	}
+	if _, err := tmp.Write(blob); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("experiments: checkpoint %s: %w", key, err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("experiments: checkpoint %s: %w", key, err)
+	}
+	if err := os.Rename(tmp.Name(), final); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("experiments: checkpoint %s: %w", key, err)
+	}
+	return nil
+}
+
+// Load reads the snapshot for key into v. It returns (false, nil) when no
+// snapshot exists — including on the nil store — and an error only for a
+// present-but-unreadable snapshot, which a resume must not silently skip.
+func (c *Checkpoint) Load(key string, v interface{}) (bool, error) {
+	if c == nil {
+		return false, nil
+	}
+	blob, err := os.ReadFile(filepath.Join(c.dir, key+".json"))
+	if errors.Is(err, fs.ErrNotExist) {
+		return false, nil
+	}
+	if err != nil {
+		return false, fmt.Errorf("experiments: checkpoint %s: %w", key, err)
+	}
+	if err := json.Unmarshal(blob, v); err != nil {
+		return false, fmt.Errorf("experiments: checkpoint %s corrupt: %w", key, err)
+	}
+	return true, nil
+}
+
+// trialSnapshot is one trial's full contribution to an experiment result:
+// the per-algorithm accuracies and added-point counts it appended.
+type trialSnapshot struct {
+	Acc   map[string][]float64 `json:"acc"`
+	Added map[string]float64   `json:"added"`
+}

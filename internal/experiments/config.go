@@ -13,6 +13,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"github.com/netml/alefb/internal/automl"
@@ -160,9 +161,14 @@ func innerAutoML(base automl.Config, batchWorkers int) automl.Config {
 
 // runAutoML executes one AutoML run with a derived seed.
 func runAutoML(train *data.Dataset, base automl.Config, seed uint64) (*automl.Ensemble, error) {
+	return runAutoMLCtx(context.Background(), train, base, seed)
+}
+
+// runAutoMLCtx is runAutoML under the experiment's hard deadline.
+func runAutoMLCtx(ctx context.Context, train *data.Dataset, base automl.Config, seed uint64) (*automl.Ensemble, error) {
 	cfg := base
 	cfg.Seed = seed
-	ens, err := automl.Run(train, cfg)
+	ens, err := automl.RunCtx(ctx, train, cfg)
 	if err != nil {
 		return nil, fmt.Errorf("experiments: automl: %w", err)
 	}

@@ -41,7 +41,10 @@ func RunLoopExperiment(cfg ScreamConfig, rounds int, progress io.Writer) (*LoopE
 	r := rng.New(cfg.Seed + 53)
 	train := gen.GenerateProduction(cfg.TrainN, r.Split())
 	testAll := gen.GenerateProduction(cfg.TestN, r.Split())
-	testSets := testAll.KChunks(cfg.TestSets, r.Split())
+	testSets, err := testAll.KChunks(cfg.TestSets, r.Split())
+	if err != nil {
+		return nil, err
+	}
 
 	perRound := cfg.FeedbackN / rounds
 	if perRound < 1 {

@@ -1,0 +1,169 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"github.com/netml/alefb/internal/faultinject"
+)
+
+// corruptFile truncates a snapshot mid-JSON.
+func corruptFile(dir, name string) error {
+	return os.WriteFile(filepath.Join(dir, name), []byte(`{"acc":{`), 0o644)
+}
+
+// marshal reduces a result to the bytes the CLI would persist; the
+// resume contract is stated over exactly these bytes.
+func marshal(t *testing.T, v interface{}) []byte {
+	t.Helper()
+	blob, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return blob
+}
+
+// TestTable1KillAndResume is the crash-recovery golden test: a run killed
+// (via injected crash) before its second repetition, then resumed from
+// its checkpoints, must serialize byte-identically to an uninterrupted
+// run. Repetition 0 is restored from disk, repetition 1 is computed live
+// — any nondeterminism in the snapshot round-trip would show up here.
+func TestTable1KillAndResume(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration experiment")
+	}
+	cfg := tinyScream()
+	cfg.Reps = 2
+
+	uninterrupted, err := RunTable1(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := marshal(t, uninterrupted)
+
+	ckpt, err := OpenCheckpoint(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	crash := RunOptions{Checkpoint: ckpt, Fault: faultinject.New().WithCrashBefore(1)}
+	if _, err := RunTable1Ctx(context.Background(), cfg, crash, nil); !errors.Is(err, faultinject.ErrSimulatedCrash) {
+		t.Fatalf("crash run: err = %v, want ErrSimulatedCrash", err)
+	}
+
+	resumed, err := RunTable1Ctx(context.Background(), cfg, RunOptions{Checkpoint: ckpt, Resume: true}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := marshal(t, resumed); !bytes.Equal(got, want) {
+		t.Fatalf("resumed result differs from uninterrupted run:\n got: %s\nwant: %s", got, want)
+	}
+}
+
+// TestUCLKillAndResume is the same contract for the UCL experiment's
+// per-split snapshots.
+func TestUCLKillAndResume(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration experiment")
+	}
+	cfg := tinyUCL()
+	cfg.Splits = 2
+
+	uninterrupted, err := RunUCL(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := marshal(t, uninterrupted)
+
+	ckpt, err := OpenCheckpoint(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	crash := RunOptions{Checkpoint: ckpt, Fault: faultinject.New().WithCrashBefore(1)}
+	if _, err := RunUCLCtx(context.Background(), cfg, crash, nil); !errors.Is(err, faultinject.ErrSimulatedCrash) {
+		t.Fatalf("crash run: err = %v, want ErrSimulatedCrash", err)
+	}
+
+	resumed, err := RunUCLCtx(context.Background(), cfg, RunOptions{Checkpoint: ckpt, Resume: true}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := marshal(t, resumed); !bytes.Equal(got, want) {
+		t.Fatalf("resumed result differs from uninterrupted run:\n got: %s\nwant: %s", got, want)
+	}
+}
+
+// TestTable1CtxDeadline: an expired deadline aborts the experiment with
+// the context error instead of producing a partial table.
+func TestTable1CtxDeadline(t *testing.T) {
+	cfg := tinyScream()
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	if _, err := RunTable1Ctx(ctx, cfg, RunOptions{}, nil); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	if _, err := RunUCLCtx(ctx, tinyUCL(), RunOptions{}, nil); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("ucl: err = %v, want context.DeadlineExceeded", err)
+	}
+}
+
+// TestCheckpointStore covers the store's contract directly: miss on
+// absent keys, round-trip on present ones, corrupt snapshots reported
+// rather than skipped, nil store inert.
+func TestCheckpointStore(t *testing.T) {
+	ckpt, err := OpenCheckpoint(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out trialSnapshot
+	if ok, err := ckpt.Load("missing", &out); ok || err != nil {
+		t.Fatalf("absent key: ok=%v err=%v", ok, err)
+	}
+	in := trialSnapshot{
+		Acc:   map[string][]float64{"a": {0.5, 0.75}},
+		Added: map[string]float64{"a": 3},
+	}
+	if err := ckpt.Save("trial-000", in); err != nil {
+		t.Fatal(err)
+	}
+	if ok, err := ckpt.Load("trial-000", &out); !ok || err != nil {
+		t.Fatalf("present key: ok=%v err=%v", ok, err)
+	}
+	if out.Acc["a"][1] != 0.75 || out.Added["a"] != 3 {
+		t.Fatalf("round trip lost data: %+v", out)
+	}
+
+	var nilStore *Checkpoint
+	if err := nilStore.Save("x", in); err != nil {
+		t.Fatalf("nil store Save: %v", err)
+	}
+	if ok, err := nilStore.Load("x", &out); ok || err != nil {
+		t.Fatalf("nil store Load: ok=%v err=%v", ok, err)
+	}
+}
+
+// TestCheckpointCorruptSnapshot: a truncated snapshot must fail the
+// resume loudly — silently recomputing would mask the corruption, and
+// silently skipping would produce a wrong table.
+func TestCheckpointCorruptSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	ckpt, err := OpenCheckpoint(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ckpt.Save("trial-000", trialSnapshot{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := corruptFile(dir, "trial-000.json"); err != nil {
+		t.Fatal(err)
+	}
+	var out trialSnapshot
+	if _, err := ckpt.Load("trial-000", &out); err == nil {
+		t.Fatal("corrupt snapshot loaded without error")
+	}
+}

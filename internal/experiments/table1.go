@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"strings"
@@ -8,12 +9,28 @@ import (
 	"github.com/netml/alefb/internal/active"
 	"github.com/netml/alefb/internal/core"
 	"github.com/netml/alefb/internal/data"
+	"github.com/netml/alefb/internal/faultinject"
 	"github.com/netml/alefb/internal/ml"
 	"github.com/netml/alefb/internal/parallel"
 	"github.com/netml/alefb/internal/rng"
 	"github.com/netml/alefb/internal/screamset"
 	"github.com/netml/alefb/internal/stats"
 )
+
+// RunOptions carries the robustness knobs of an experiment run. They live
+// outside ScreamConfig/UCLConfig on purpose: the config is embedded in
+// the persisted result, and a resumed run must serialize byte-identically
+// to an uninterrupted one.
+type RunOptions struct {
+	// Checkpoint, when non-nil, saves one snapshot per completed trial.
+	Checkpoint *Checkpoint
+	// Resume additionally restores already-completed trials from
+	// Checkpoint instead of recomputing them.
+	Resume bool
+	// Fault is the test-only injector; Crash(trial) simulates a process
+	// kill before that trial.
+	Fault *faultinject.Injector
+}
 
 // Table-1 algorithm names, in the paper's row order.
 const (
@@ -67,6 +84,14 @@ func (t *Table1Result) Row(name string) *Table1Row {
 // reports balanced accuracy with Wilcoxon significance. progress, if
 // non-nil, receives one line per completed step.
 func RunTable1(cfg ScreamConfig, progress io.Writer) (*Table1Result, error) {
+	return RunTable1Ctx(context.Background(), cfg, RunOptions{}, progress)
+}
+
+// RunTable1Ctx is RunTable1 under a hard deadline and with trial-level
+// checkpointing: each repetition is snapshotted on completion, and a
+// resumed run restores completed repetitions bit-identically (every rep
+// seeds its own rng from the rep index, so skipping one perturbs nothing).
+func RunTable1Ctx(ctx context.Context, cfg ScreamConfig, opts RunOptions, progress io.Writer) (*Table1Result, error) {
 	logf := func(format string, args ...interface{}) {
 		if progress != nil {
 			fmt.Fprintf(progress, format+"\n", args...)
@@ -78,7 +103,10 @@ func RunTable1(cfg ScreamConfig, progress io.Writer) (*Table1Result, error) {
 	logf("generating datasets: train=%d test=%d pool=%d", cfg.TrainN, cfg.TestN, cfg.PoolN)
 	train := gen.GenerateProduction(cfg.TrainN, r.Split())
 	testAll := gen.GenerateProduction(cfg.TestN, r.Split())
-	testSets := testAll.KChunks(cfg.TestSets, r.Split())
+	testSets, err := testAll.KChunks(cfg.TestSets, r.Split())
+	if err != nil {
+		return nil, err
+	}
 	pool := active.UniformPoints(screamset.Schema(), cfg.PoolN, r.Split())
 
 	algs := []string{
@@ -90,23 +118,54 @@ func RunTable1(cfg ScreamConfig, progress io.Writer) (*Table1Result, error) {
 
 	fbCfg := core.Config{Bins: cfg.Bins, Classes: []int{screamset.LabelScream}, Workers: cfg.Workers}
 
+	// commit folds one repetition's contribution into the accumulators, in
+	// fixed algorithm order, whether the rep was computed or restored.
+	commit := func(snap trialSnapshot) {
+		for _, alg := range algs {
+			acc[alg] = append(acc[alg], snap.Acc[alg]...)
+			added[alg] = append(added[alg], snap.Added[alg])
+		}
+	}
+
 	for rep := 0; rep < cfg.Reps; rep++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		key := fmt.Sprintf("table1-rep-%03d", rep)
+		if opts.Resume {
+			var snap trialSnapshot
+			if ok, err := opts.Checkpoint.Load(key, &snap); err != nil {
+				return nil, err
+			} else if ok {
+				commit(snap)
+				logf("rep %d/%d: restored from checkpoint", rep+1, cfg.Reps)
+				continue
+			}
+		}
+		if opts.Fault.Crash(rep) {
+			return nil, fmt.Errorf("experiments: before rep %d: %w", rep, faultinject.ErrSimulatedCrash)
+		}
+		snap := trialSnapshot{Acc: map[string][]float64{}, Added: map[string]float64{}}
 		repSeed := cfg.Seed + uint64(rep+1)*1_000_003
 		repRand := rng.New(repSeed)
+		// Each rep labels through its own oracle fork so its measurement
+		// noise depends only on the rep index — the checkpoint/resume
+		// bit-identity hinges on it (see Generator.Fork).
+		repGen := gen.Fork(uint64(rep))
 
-		base, err := runAutoML(train, cfg.AutoML, repSeed)
+		base, err := runAutoMLCtx(ctx, train, cfg.AutoML, repSeed)
 		if err != nil {
 			return nil, err
 		}
-		acc[AlgNoFeedback] = append(acc[AlgNoFeedback], evalOnSets(base, testSets)...)
-		added[AlgNoFeedback] = append(added[AlgNoFeedback], 0)
+		snap.Acc[AlgNoFeedback] = evalOnSets(base, testSets)
+		snap.Added[AlgNoFeedback] = 0
 		logf("rep %d/%d: baseline done (val %.3f)", rep+1, cfg.Reps, base.ValScore)
 
 		// Committees.
 		within := core.WithinCommittee(base)
 		crossCfg := cfg.AutoML
 		crossCfg.Seed = repSeed
-		cross, _, err := core.CrossCommittee(train, crossCfg, cfg.CrossRuns)
+		cross, _, err := core.CrossCommitteeCtx(ctx, train, crossCfg, cfg.CrossRuns)
 		if err != nil {
 			return nil, err
 		}
@@ -121,7 +180,7 @@ func RunTable1(cfg ScreamConfig, progress io.Writer) (*Table1Result, error) {
 		augment := map[string]algResult{}
 
 		suggest := func(committee []ml.Classifier) algResult {
-			add, _, err := core.Suggest(committee, train, fbCfg, cfg.FeedbackN, gen, repRand.Split())
+			add, _, err := core.Suggest(committee, train, fbCfg, cfg.FeedbackN, repGen, repRand.Split())
 			return algResult{add: add, err: err}
 		}
 		suggestPool := func(committee []ml.Classifier) algResult {
@@ -144,21 +203,21 @@ func RunTable1(cfg ScreamConfig, progress io.Writer) (*Table1Result, error) {
 			}
 			add := data.New(train.Schema)
 			for _, i := range idx {
-				add.Append(pool[i], gen.Label(pool[i]))
+				add.Append(pool[i], repGen.Label(pool[i]))
 			}
 			return algResult{add: add}
 		}
 		labelled := func(idx []int) algResult {
 			add := data.New(train.Schema)
 			for _, i := range idx {
-				add.Append(pool[i], gen.Label(pool[i]))
+				add.Append(pool[i], repGen.Label(pool[i]))
 			}
 			return algResult{add: add}
 		}
 
 		augment[AlgWithinALE] = suggest(within)
 		augment[AlgCrossALE] = suggest(cross)
-		augment[AlgUniform] = algResult{add: active.Uniform(train.Schema, cfg.FeedbackN, gen, repRand.Split())}
+		augment[AlgUniform] = algResult{add: active.Uniform(train.Schema, cfg.FeedbackN, repGen, repRand.Split())}
 		augment[AlgConfidence] = labelled(active.LeastConfidence(base, pool, cfg.FeedbackN))
 		augment[AlgQBC] = labelled(active.QBC(within, pool, cfg.FeedbackN, active.QBCVoteEntropy))
 		augment[AlgUpsampling] = algResult{add: active.SMOTE(train, cfg.FeedbackN, 5, repRand.Split())}
@@ -173,7 +232,7 @@ func RunTable1(cfg ScreamConfig, progress io.Writer) (*Table1Result, error) {
 			accs  []float64
 			added float64
 		}
-		trials, err := parallel.Map(len(algs), cfg.Workers, func(ai int) (trial, error) {
+		trials, err := parallel.MapCtx(ctx, len(algs), cfg.Workers, func(ai int) (trial, error) {
 			alg := algs[ai]
 			if alg == AlgNoFeedback {
 				return trial{}, nil
@@ -182,8 +241,11 @@ func RunTable1(cfg ScreamConfig, progress io.Writer) (*Table1Result, error) {
 			if res.err != nil {
 				return trial{}, fmt.Errorf("experiments: %s: %w", alg, res.err)
 			}
-			retrain := train.Concat(res.add)
-			ens, err := runAutoML(retrain, retrainCfg, repSeed+uint64(ai+1)*97)
+			retrain, err := train.Concat(res.add)
+			if err != nil {
+				return trial{}, fmt.Errorf("experiments: %s: %w", alg, err)
+			}
+			ens, err := runAutoMLCtx(ctx, retrain, retrainCfg, repSeed+uint64(ai+1)*97)
 			if err != nil {
 				return trial{}, fmt.Errorf("experiments: retrain %s: %w", alg, err)
 			}
@@ -196,9 +258,13 @@ func RunTable1(cfg ScreamConfig, progress io.Writer) (*Table1Result, error) {
 			if alg == AlgNoFeedback {
 				continue
 			}
-			acc[alg] = append(acc[alg], trials[ai].accs...)
-			added[alg] = append(added[alg], trials[ai].added)
+			snap.Acc[alg] = trials[ai].accs
+			snap.Added[alg] = trials[ai].added
 			logf("rep %d/%d: %s done (+%.0f points)", rep+1, cfg.Reps, alg, trials[ai].added)
+		}
+		commit(snap)
+		if err := opts.Checkpoint.Save(key, snap); err != nil {
+			return nil, err
 		}
 	}
 

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"strings"
@@ -8,6 +9,7 @@ import (
 	"github.com/netml/alefb/internal/active"
 	"github.com/netml/alefb/internal/core"
 	"github.com/netml/alefb/internal/data"
+	"github.com/netml/alefb/internal/faultinject"
 	"github.com/netml/alefb/internal/firewall"
 	"github.com/netml/alefb/internal/ml"
 	"github.com/netml/alefb/internal/parallel"
@@ -48,6 +50,14 @@ func (u *UCLResult) Row(name string) *UCLRow {
 // re-split cfg.Splits times. All feedback here is pool-based — there is
 // no oracle for firewall logs — matching the paper's fixed-pool setting.
 func RunUCL(cfg UCLConfig, progress io.Writer) (*UCLResult, error) {
+	return RunUCLCtx(context.Background(), cfg, RunOptions{}, progress)
+}
+
+// RunUCLCtx is RunUCL under a hard deadline and with per-split
+// checkpointing; see RunTable1Ctx for the resume contract (each split
+// seeds its own rng from the split index, so restoring completed splits
+// is bit-identical).
+func RunUCLCtx(ctx context.Context, cfg UCLConfig, opts RunOptions, progress io.Writer) (*UCLResult, error) {
 	logf := func(format string, args ...interface{}) {
 		if progress != nil {
 			fmt.Fprintf(progress, format+"\n", args...)
@@ -62,7 +72,32 @@ func RunUCL(cfg UCLConfig, progress io.Writer) (*UCLResult, error) {
 	added := make(map[string][]float64)
 	fbCfg := core.Config{Bins: cfg.Bins, Workers: cfg.Workers}
 
+	commit := func(snap trialSnapshot) {
+		for _, alg := range algs {
+			acc[alg] = append(acc[alg], snap.Acc[alg]...)
+			added[alg] = append(added[alg], snap.Added[alg])
+		}
+	}
+
 	for split := 0; split < cfg.Splits; split++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		key := fmt.Sprintf("ucl-split-%03d", split)
+		if opts.Resume {
+			var snap trialSnapshot
+			if ok, err := opts.Checkpoint.Load(key, &snap); err != nil {
+				return nil, err
+			} else if ok {
+				commit(snap)
+				logf("split %d/%d: restored from checkpoint", split+1, cfg.Splits)
+				continue
+			}
+		}
+		if opts.Fault.Crash(split) {
+			return nil, fmt.Errorf("experiments: before split %d: %w", split, faultinject.ErrSimulatedCrash)
+		}
+		snap := trialSnapshot{Acc: map[string][]float64{}, Added: map[string]float64{}}
 		splitSeed := cfg.Seed + uint64(split+1)*2_000_003
 		splitRand := rng.New(splitSeed)
 		shuffled := full.Clone()
@@ -71,20 +106,23 @@ func RunUCL(cfg UCLConfig, progress io.Writer) (*UCLResult, error) {
 		train := shuffled.Subset(seq(0, 2*n/5))
 		test := shuffled.Subset(seq(2*n/5, 3*n/5))
 		pool := shuffled.Subset(seq(3*n/5, n))
-		testSets := test.KChunks(cfg.TestSets, splitRand)
-
-		base, err := runAutoML(train, cfg.AutoML, splitSeed)
+		testSets, err := test.KChunks(cfg.TestSets, splitRand)
 		if err != nil {
 			return nil, err
 		}
-		acc[AlgNoFeedback] = append(acc[AlgNoFeedback], evalOnSets(base, testSets)...)
-		added[AlgNoFeedback] = append(added[AlgNoFeedback], 0)
+
+		base, err := runAutoMLCtx(ctx, train, cfg.AutoML, splitSeed)
+		if err != nil {
+			return nil, err
+		}
+		snap.Acc[AlgNoFeedback] = evalOnSets(base, testSets)
+		snap.Added[AlgNoFeedback] = 0
 		logf("split %d/%d: baseline done (val %.3f)", split+1, cfg.Splits, base.ValScore)
 
 		within := core.WithinCommittee(base)
 		crossCfg := cfg.AutoML
 		crossCfg.Seed = splitSeed
-		cross, _, err := core.CrossCommittee(train, crossCfg, cfg.CrossRuns)
+		cross, _, err := core.CrossCommitteeCtx(ctx, train, crossCfg, cfg.CrossRuns)
 		if err != nil {
 			return nil, err
 		}
@@ -115,12 +153,16 @@ func RunUCL(cfg UCLConfig, progress io.Writer) (*UCLResult, error) {
 		// Independent retrain trials, run concurrently and committed in
 		// algorithm order (see RunTable1).
 		retrainCfg := innerAutoML(cfg.AutoML, cfg.Workers)
-		trials, err := parallel.Map(len(algs), cfg.Workers, func(ai int) ([]float64, error) {
+		trials, err := parallel.MapCtx(ctx, len(algs), cfg.Workers, func(ai int) ([]float64, error) {
 			alg := algs[ai]
 			if alg == AlgNoFeedback {
 				return nil, nil
 			}
-			ens, err := runAutoML(train.Concat(augment[alg]), retrainCfg, splitSeed+uint64(ai+1)*89)
+			retrain, err := train.Concat(augment[alg])
+			if err != nil {
+				return nil, fmt.Errorf("experiments: ucl retrain %s: %w", alg, err)
+			}
+			ens, err := runAutoMLCtx(ctx, retrain, retrainCfg, splitSeed+uint64(ai+1)*89)
 			if err != nil {
 				return nil, fmt.Errorf("experiments: ucl retrain %s: %w", alg, err)
 			}
@@ -134,9 +176,13 @@ func RunUCL(cfg UCLConfig, progress io.Writer) (*UCLResult, error) {
 				continue
 			}
 			add := augment[alg]
-			acc[alg] = append(acc[alg], trials[ai]...)
-			added[alg] = append(added[alg], float64(add.Len()))
+			snap.Acc[alg] = trials[ai]
+			snap.Added[alg] = float64(add.Len())
 			logf("split %d/%d: %s done (+%d points)", split+1, cfg.Splits, alg, add.Len())
+		}
+		commit(snap)
+		if err := opts.Checkpoint.Save(key, snap); err != nil {
+			return nil, err
 		}
 	}
 

@@ -1,0 +1,146 @@
+// Package faultinject provides deterministic fault injection for the
+// robustness test suite. An *Injector is threaded into the AutoML search,
+// the feedback loop and the experiment harness behind a nil no-op
+// default: production code paths carry a nil injector and pay one nil
+// check per injection point.
+//
+// Every injection point is keyed by a deterministic integer — the global
+// candidate-evaluation index inside one AutoML search, the loop round, or
+// the experiment trial index — never by wall clock or scheduling order,
+// so an injected fault hits the exact same unit of work on every run and
+// for every worker count. That is what lets the test suite make
+// bit-identical claims about degraded runs.
+//
+// Injectors are configured once (the With* builders) and then only read,
+// possibly from many worker goroutines at once; mutating an injector
+// while a run uses it is a data race by design, as a mutex on the hot
+// path would be pure overhead for the nil production case.
+package faultinject
+
+import (
+	"errors"
+	"time"
+)
+
+// ErrInjected is the error surfaced by Error-kind fit faults.
+var ErrInjected = errors.New("faultinject: injected fault")
+
+// ErrSimulatedCrash is returned by harness code when a crash-before-trial
+// injection fires, standing in for the process dying mid-run. Tests treat
+// it exactly like a kill: re-run with resume and compare outputs.
+var ErrSimulatedCrash = errors.New("faultinject: simulated crash")
+
+// Kind selects what happens to a faulted candidate fit.
+type Kind int
+
+const (
+	// None leaves the fit untouched.
+	None Kind = iota
+	// Panic makes the fit panic, exercising panic isolation.
+	Panic
+	// Error makes the fit return ErrInjected.
+	Error
+	// NaN lets the fit succeed but forces the candidate's score to NaN,
+	// exercising the NaN-drop path.
+	NaN
+	// Drop silently skips the candidate as if it had never been proposed.
+	// It is the control arm of the degradation equivalence tests: a run
+	// with Panic at index i must be bit-identical to a run with Drop at i.
+	Drop
+)
+
+// String names the kind for logs.
+func (k Kind) String() string {
+	switch k {
+	case Panic:
+		return "panic"
+	case Error:
+		return "error"
+	case NaN:
+		return "nan"
+	case Drop:
+		return "drop"
+	default:
+		return "none"
+	}
+}
+
+// Injector holds the configured faults. The zero value and the nil
+// pointer both inject nothing.
+type Injector struct {
+	fit      map[int]Kind
+	slow     map[int]time.Duration
+	failUnit map[int]bool
+	// crashBefore holds the crash trial index + 1, so the zero value
+	// (and the nil pointer) means "never crash".
+	crashBefore int
+}
+
+// New returns an empty injector.
+func New() *Injector {
+	return &Injector{}
+}
+
+// WithFit arranges for candidate-evaluation index idx to suffer fault k.
+func (in *Injector) WithFit(idx int, k Kind) *Injector {
+	if in.fit == nil {
+		in.fit = map[int]Kind{}
+	}
+	in.fit[idx] = k
+	return in
+}
+
+// WithSlowFit makes candidate idx's fit sleep for d before running,
+// deterministically simulating a straggler for per-candidate budgets.
+func (in *Injector) WithSlowFit(idx int, d time.Duration) *Injector {
+	if in.slow == nil {
+		in.slow = map[int]time.Duration{}
+	}
+	in.slow[idx] = d
+	return in
+}
+
+// WithFailUnit makes coarse unit n (a feedback-loop round, a retrain) fail
+// with ErrInjected, exercising unit-level degradation.
+func (in *Injector) WithFailUnit(n int) *Injector {
+	if in.failUnit == nil {
+		in.failUnit = map[int]bool{}
+	}
+	in.failUnit[n] = true
+	return in
+}
+
+// WithCrashBefore makes the experiment harness return ErrSimulatedCrash
+// before executing trial n (0-based), simulating a process kill between
+// checkpoints.
+func (in *Injector) WithCrashBefore(trial int) *Injector {
+	in.crashBefore = trial + 1
+	return in
+}
+
+// Fit reports the fault for candidate-evaluation index idx. Nil-safe.
+func (in *Injector) Fit(idx int) Kind {
+	if in == nil {
+		return None
+	}
+	return in.fit[idx]
+}
+
+// Slow reports the injected fit delay for candidate idx (0 none). Nil-safe.
+func (in *Injector) Slow(idx int) time.Duration {
+	if in == nil {
+		return 0
+	}
+	return in.slow[idx]
+}
+
+// UnitFails reports whether coarse unit n should fail. Nil-safe.
+func (in *Injector) UnitFails(n int) bool {
+	return in != nil && in.failUnit[n]
+}
+
+// Crash reports whether the harness should simulate a crash before trial
+// n. Nil-safe.
+func (in *Injector) Crash(trial int) bool {
+	return in != nil && in.crashBefore > 0 && trial == in.crashBefore-1
+}

@@ -1,0 +1,49 @@
+package faultinject
+
+import (
+	"testing"
+	"time"
+)
+
+func TestNilInjectorIsNoOp(t *testing.T) {
+	var in *Injector
+	if in.Fit(0) != None || in.Slow(3) != 0 || in.UnitFails(1) || in.Crash(0) {
+		t.Fatal("nil injector injected something")
+	}
+}
+
+func TestZeroValueIsNoOp(t *testing.T) {
+	var in Injector
+	if in.Fit(0) != None || in.Slow(0) != 0 || in.UnitFails(0) || in.Crash(0) {
+		t.Fatal("zero-value injector injected something")
+	}
+}
+
+func TestConfiguredFaults(t *testing.T) {
+	in := New().
+		WithFit(2, Panic).
+		WithFit(5, NaN).
+		WithSlowFit(3, 40*time.Millisecond).
+		WithFailUnit(2).
+		WithCrashBefore(1)
+	if in.Fit(2) != Panic || in.Fit(5) != NaN || in.Fit(0) != None {
+		t.Fatal("fit faults misrouted")
+	}
+	if in.Slow(3) != 40*time.Millisecond || in.Slow(2) != 0 {
+		t.Fatal("slow faults misrouted")
+	}
+	if !in.UnitFails(2) || in.UnitFails(1) {
+		t.Fatal("unit faults misrouted")
+	}
+	if !in.Crash(1) || in.Crash(0) || in.Crash(2) {
+		t.Fatal("crash trigger misrouted")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	for k, want := range map[Kind]string{None: "none", Panic: "panic", Error: "error", NaN: "nan", Drop: "drop"} {
+		if k.String() != want {
+			t.Fatalf("%d.String() = %q, want %q", k, k.String(), want)
+		}
+	}
+}

@@ -11,6 +11,7 @@
 package interpret
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -281,6 +282,13 @@ type CommitteeCurve struct {
 // Committee computes the shared-grid interpretation of one feature for
 // every model and aggregates mean and cross-model standard deviation.
 func Committee(models []ml.Classifier, d *data.Dataset, feature int, method Method, opt Options) (CommitteeCurve, error) {
+	return CommitteeCtx(context.Background(), models, d, feature, method, opt)
+}
+
+// CommitteeCtx is Committee under a hard deadline: when ctx expires or is
+// cancelled the computation stops at the next member boundary and returns
+// ctx.Err(). Results are unchanged by the context otherwise.
+func CommitteeCtx(ctx context.Context, models []ml.Classifier, d *data.Dataset, feature int, method Method, opt Options) (CommitteeCurve, error) {
 	opt = opt.withDefaults()
 	if len(models) == 0 {
 		return CommitteeCurve{}, errors.New("interpret: empty committee")
@@ -296,7 +304,7 @@ func Committee(models []ml.Classifier, d *data.Dataset, feature int, method Meth
 	// Every member evaluates the shared grid independently on the worker
 	// pool; curves are committed at the member's index, so PerModel (and
 	// everything derived from it) is identical for any worker count.
-	perModel, err := parallel.Map(len(models), opt.Workers, func(i int) ([]float64, error) {
+	perModel, err := parallel.MapCtx(ctx, len(models), opt.Workers, func(i int) ([]float64, error) {
 		var c Curve
 		switch method {
 		case MethodPDP:

@@ -1,0 +1,120 @@
+package parallel
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestMapCtxDeadline(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+		var started atomic.Int64
+		_, err := MapCtx(ctx, 1_000_000, workers, func(i int) (int, error) {
+			started.Add(1)
+			time.Sleep(200 * time.Microsecond)
+			return i, nil
+		})
+		cancel()
+		if !errors.Is(err, context.DeadlineExceeded) {
+			t.Fatalf("workers=%d: err = %v, want DeadlineExceeded", workers, err)
+		}
+		if n := started.Load(); n == 1_000_000 {
+			t.Fatalf("workers=%d: all tasks ran despite expired deadline", workers)
+		}
+	}
+}
+
+func TestMapCtxCancelBeforeStart(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, workers := range []int{1, 4} {
+		var started atomic.Int64
+		_, err := MapCtx(ctx, 100, workers, func(i int) (int, error) {
+			started.Add(1)
+			return i, nil
+		})
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: err = %v, want Canceled", workers, err)
+		}
+		// With several workers a task may be claimed before the first ctx
+		// check, but a pre-cancelled context must stop the pool almost
+		// immediately.
+		if n := started.Load(); n > int64(Workers(workers)) {
+			t.Fatalf("workers=%d: %d tasks ran on a cancelled context", workers, n)
+		}
+	}
+}
+
+// TestMapCtxTaskErrorBeatsCancellation: a task error at a lower index wins
+// over the context error, keeping error selection deterministic.
+func TestMapCtxTaskErrorBeatsCancellation(t *testing.T) {
+	boom := errors.New("boom")
+	ctx, cancel := context.WithCancel(context.Background())
+	_, err := MapCtx(ctx, 10, 1, func(i int) (int, error) {
+		if i == 0 {
+			cancel()
+			return 0, boom
+		}
+		return i, nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want task error to win", err)
+	}
+}
+
+func TestMapCtxSuccessMatchesMap(t *testing.T) {
+	want, err := Map(100, 1, func(i int) (int, error) { return 3 * i, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 8} {
+		got, err := MapCtx(context.Background(), 100, workers, func(i int) (int, error) { return 3 * i, nil })
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: got[%d]=%d want %d", workers, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestMapCtxNoGoroutineLeak checks the pool drains its workers after a
+// deadline expiry — the acceptance criterion for deadline handling.
+func TestMapCtxNoGoroutineLeak(t *testing.T) {
+	before := runtime.NumGoroutine()
+	for round := 0; round < 10; round++ {
+		ctx, cancel := context.WithTimeout(context.Background(), 500*time.Microsecond)
+		_, _ = MapCtx(ctx, 10_000, 8, func(i int) (int, error) {
+			time.Sleep(50 * time.Microsecond)
+			return i, nil
+		})
+		cancel()
+	}
+	// Allow the runtime a moment to retire exiting goroutines.
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before+2 {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("goroutines: before=%d after=%d", before, runtime.NumGoroutine())
+}
+
+func TestForEachCtx(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := ForEachCtx(ctx, 100, 4, func(i int) error { return nil })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v", err)
+	}
+	if err := ForEachCtx(context.Background(), 100, 4, func(i int) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+}

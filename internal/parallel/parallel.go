@@ -14,11 +14,20 @@
 //   - callers must give each task its own rng.Rand derived from the task
 //     index (rng.Derive), never a generator shared across tasks.
 //
+// Failure is part of the contract, not an afterthought. A panic in a task
+// never crashes the process: it is recovered, wrapped in a *PanicError
+// that preserves the worker's stack, and returned like any other task
+// error (lowest index wins). The context-aware variants MapCtx/ForEachCtx
+// additionally honor cancellation at task boundaries: once the context is
+// done no new task starts, and ctx.Err() is returned unless a task that
+// did run failed at a lower index.
+//
 // Workers <= 0 selects runtime.GOMAXPROCS(0); Workers == 1 runs the tasks
 // inline on the calling goroutine, so a serial run is genuinely serial.
 package parallel
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -34,45 +43,86 @@ func Workers(n int) int {
 	return n
 }
 
-// panicError carries a recovered panic from a worker goroutine to the
-// calling goroutine, preserving the worker's stack for the crash report.
-type panicError struct {
-	value any
-	stack []byte
+// PanicError is the typed error a recovered task panic surfaces as. It
+// preserves the panicking goroutine's stack so crash reports stay as
+// useful as the raw panic would have been, while letting the caller
+// decide whether the failure is fatal (most callers degrade instead).
+type PanicError struct {
+	// Value is the value the task passed to panic().
+	Value any
+	// Stack is the panicking goroutine's stack trace.
+	Stack []byte
 }
 
-func (p *panicError) Error() string {
-	return fmt.Sprintf("parallel: task panicked: %v\n%s", p.value, p.stack)
+// Error renders the panic value and the preserved stack.
+func (p *PanicError) Error() string {
+	return fmt.Sprintf("parallel: task panicked: %v\n%s", p.Value, p.Stack)
+}
+
+// recoverAsError converts a recovered panic value into a *PanicError with
+// the current goroutine's stack attached.
+func recoverAsError(v any) *PanicError {
+	buf := make([]byte, 64<<10)
+	return &PanicError{Value: v, Stack: buf[:runtime.Stack(buf, false)]}
 }
 
 // Map runs fn(i) for every i in [0, n) on up to `workers` goroutines and
 // returns the results in index order. The first error cancels the tasks
-// that have not started yet and is returned; the result slice is only
-// meaningful when the error is nil. On the success path results are
-// bit-identical for every worker count. On the failure path the returned
-// error is the lowest-indexed error among the tasks that ran — with one
-// worker that is exactly the serial short-circuit error; with several
-// workers, cancellation means which tasks ran (and hence which error
-// surfaces when more than one task would fail) can depend on scheduling.
-// A panic in any task is re-raised on the calling goroutine with the
-// worker's stack attached.
+// that have not started yet and is returned; on the failure path only the
+// results of tasks that completed without error are meaningful. On the
+// success path results are bit-identical for every worker count. On the
+// failure path the returned error is the lowest-indexed error among the
+// tasks that ran — with one worker that is exactly the serial
+// short-circuit error; with several workers, cancellation means which
+// tasks ran (and hence which error surfaces when more than one task would
+// fail) can depend on scheduling. A panic in any task is recovered and
+// returned as a *PanicError; it never propagates to the calling
+// goroutine.
 func Map[T any](n, workers int, fn func(i int) (T, error)) ([]T, error) {
+	return MapCtx(context.Background(), n, workers, fn)
+}
+
+// MapCtx is Map with cooperative cancellation: once ctx is done, no new
+// task starts. Tasks already running are not interrupted — fits and
+// predictions in this repository are pure CPU loops — so cancellation
+// latency is one task, not one batch. When the context expires the
+// returned error is ctx.Err() (context.Canceled or
+// context.DeadlineExceeded), unless a task that did run failed at some
+// index, in which case the lowest-indexed task error wins as usual.
+func MapCtx[T any](ctx context.Context, n, workers int, fn func(i int) (T, error)) ([]T, error) {
 	if n <= 0 {
-		return nil, nil
+		return nil, ctx.Err()
 	}
 	workers = Workers(workers)
 	if workers > n {
 		workers = n
 	}
 	out := make([]T, n)
+	errs := make([]error, n)
+	run := func(i int) {
+		defer func() {
+			if v := recover(); v != nil {
+				errs[i] = recoverAsError(v)
+			}
+		}()
+		v, err := fn(i)
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		out[i] = v
+	}
+
 	if workers == 1 {
-		// Inline serial path: exact short-circuit semantics, native panics.
+		// Inline serial path: exact short-circuit semantics.
 		for i := 0; i < n; i++ {
-			v, err := fn(i)
-			if err != nil {
+			if err := ctx.Err(); err != nil {
 				return out, err
 			}
-			out[i] = v
+			run(i)
+			if errs[i] != nil {
+				return out, errs[i]
+			}
 		}
 		return out, nil
 	}
@@ -80,55 +130,43 @@ func Map[T any](n, workers int, fn func(i int) (T, error)) ([]T, error) {
 	var (
 		next    atomic.Int64 // next task index to claim
 		stopped atomic.Bool  // set on first failure; unstarted tasks skip
-		errs    = make([]error, n)
 		wg      sync.WaitGroup
 	)
-	run := func(i int) {
-		defer func() {
-			if v := recover(); v != nil {
-				buf := make([]byte, 64<<10)
-				errs[i] = &panicError{value: v, stack: buf[:runtime.Stack(buf, false)]}
-				stopped.Store(true)
-			}
-		}()
-		v, err := fn(i)
-		if err != nil {
-			errs[i] = err
-			stopped.Store(true)
-			return
-		}
-		out[i] = v
-	}
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
 			for {
 				i := int(next.Add(1)) - 1
-				if i >= n || stopped.Load() {
+				if i >= n || stopped.Load() || ctx.Err() != nil {
 					return
 				}
 				run(i)
+				if errs[i] != nil {
+					stopped.Store(true)
+				}
 			}
 		}()
 	}
 	wg.Wait()
 	for _, err := range errs {
-		if err == nil {
-			continue
+		if err != nil {
+			return out, err
 		}
-		if pe, ok := err.(*panicError); ok {
-			panic(pe.Error())
-		}
-		return out, err
 	}
-	return out, nil
+	return out, ctx.Err()
 }
 
 // ForEach runs fn(i) for every i in [0, n) on up to `workers` goroutines.
 // Error and panic semantics match Map.
 func ForEach(n, workers int, fn func(i int) error) error {
-	_, err := Map(n, workers, func(i int) (struct{}, error) {
+	return ForEachCtx(context.Background(), n, workers, fn)
+}
+
+// ForEachCtx runs fn(i) for every i in [0, n) with cooperative
+// cancellation. Error, panic and cancellation semantics match MapCtx.
+func ForEachCtx(ctx context.Context, n, workers int, fn func(i int) error) error {
+	_, err := MapCtx(ctx, n, workers, func(i int) (struct{}, error) {
 		return struct{}{}, fn(i)
 	})
 	return err

@@ -98,25 +98,50 @@ func TestMapReturnsLowestObservedError(t *testing.T) {
 	}
 }
 
-func TestMapPanicPropagates(t *testing.T) {
+// TestMapPanicIsError is the regression test for the old behavior of
+// re-raising worker panics on the caller's goroutine: a panicking task
+// must not crash the process, it must surface as a typed *PanicError
+// carrying the panic value and the worker's stack.
+func TestMapPanicIsError(t *testing.T) {
 	for _, workers := range []int{1, 4} {
-		func() {
-			defer func() {
-				v := recover()
-				if v == nil {
-					t.Fatalf("workers=%d: no panic", workers)
-				}
-				if s := fmt.Sprint(v); !strings.Contains(s, "kaboom") {
-					t.Fatalf("workers=%d: panic %q does not mention the cause", workers, s)
-				}
-			}()
-			Map(8, workers, func(i int) (int, error) {
-				if i == 2 {
-					panic("kaboom")
-				}
-				return i, nil
-			})
-		}()
+		_, err := Map(8, workers, func(i int) (int, error) {
+			if i == 2 {
+				panic("kaboom")
+			}
+			return i, nil
+		})
+		if err == nil {
+			t.Fatalf("workers=%d: panic did not surface as an error", workers)
+		}
+		var pe *PanicError
+		if !errors.As(err, &pe) {
+			t.Fatalf("workers=%d: err = %T %v, want *PanicError", workers, err, err)
+		}
+		if fmt.Sprint(pe.Value) != "kaboom" {
+			t.Fatalf("workers=%d: panic value = %v", workers, pe.Value)
+		}
+		if !strings.Contains(string(pe.Stack), "parallel") {
+			t.Fatalf("workers=%d: stack not preserved: %q", workers, pe.Stack)
+		}
+	}
+}
+
+// TestMapPanicLowestIndexWins forces a panic and a plain error to both run
+// and checks the deterministic lowest-index selection treats them alike.
+func TestMapPanicLowestIndexWins(t *testing.T) {
+	var gate sync.WaitGroup
+	gate.Add(2)
+	_, err := Map(2, 2, func(i int) (int, error) {
+		gate.Done()
+		gate.Wait()
+		if i == 0 {
+			panic("first")
+		}
+		return 0, errors.New("second")
+	})
+	var pe *PanicError
+	if !errors.As(err, &pe) || fmt.Sprint(pe.Value) != "first" {
+		t.Fatalf("err = %v, want panic of task 0", err)
 	}
 }
 

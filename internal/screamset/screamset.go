@@ -98,6 +98,19 @@ func NewGenerator(baseSeed uint64) *Generator {
 	}
 }
 
+// Fork returns a copy of g with its own measurement stream, a pure
+// function of (g.BaseSeed, stream) rather than of how many measurements g
+// has performed so far. Trial-level checkpointing depends on this: a
+// resumed experiment skips completed trials' Label calls, so each trial
+// must label through a forked generator or the later trials would see a
+// shifted noise stream.
+func (g *Generator) Fork(stream uint64) *Generator {
+	c := *g
+	c.nonce = 0
+	c.BaseSeed = g.BaseSeed ^ (stream+1)*0x9e3779b97f4a7c15
+	return &c
+}
+
 // durationFor returns the emulated seconds for a path: the configured
 // Duration if set, else 25 RTTs clamped to [1.5 s, 4 s].
 func (g *Generator) durationFor(delayMs float64) float64 {
