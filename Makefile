@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-ml bench-json ci fmt-check vet fmt fuzz test-fault
+.PHONY: all build test race bench bench-ml bench-json ci fmt-check vet fmt fuzz test-fault test-serve
 
 all: build test
 
@@ -54,10 +54,20 @@ test-fault:
 		./internal/parallel/ ./internal/automl/ ./internal/core/ \
 		./internal/experiments/ ./internal/data/ ./internal/faultinject/
 
+# test-serve runs the serving-layer chaos and soak suites under the race
+# detector: overload shedding (429 + Retry-After, shed-don't-queue),
+# injected handler panics/5xx rendered as structured errors, failed
+# retrains degrading to last-good snapshots, the retrain circuit breaker
+# state machine, torn-snapshot-read detection, graceful-drain shutdown
+# with goroutine-leak checks, and the deterministic load generator.
+test-serve:
+	$(GO) test -race -count=1 ./internal/serve/
+
 # ci is the full gate: formatting, vet, tests, race detector, fault
-# suite (test-fault overlaps with race but pins the robustness
-# contracts by name, so a renamed-away test is noticed).
-ci: fmt-check vet test race test-fault
+# suite, serving chaos suite (test-fault/test-serve overlap with race
+# but pin the robustness contracts by name, so a renamed-away test is
+# noticed).
+ci: fmt-check vet test race test-fault test-serve
 
 fmt-check:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \

@@ -1,0 +1,124 @@
+// Command serve runs the hardened HTTP inference/feedback service: it
+// trains an AutoML ensemble on a CSV dataset and serves batch prediction,
+// ALE curves, disagreement regions and operator-triggered retraining with
+// load shedding, panic isolation, a retrain circuit breaker and last-good
+// snapshot serving.
+//
+// Usage:
+//
+//	serve -train data.csv                    # bootstrap + listen on :8080
+//	serve -train data.csv -addr :9090 -budget 24
+//	serve -version
+//
+// Endpoints: GET /healthz, GET /readyz, GET /v1/schema,
+// POST /v1/predict, /v1/ale, /v1/regions, /v1/retrain.
+//
+// SIGINT/SIGTERM trigger a graceful shutdown that drains in-flight
+// requests before exiting.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"github.com/netml/alefb/internal/automl"
+	"github.com/netml/alefb/internal/core"
+	"github.com/netml/alefb/internal/data"
+	"github.com/netml/alefb/internal/serve"
+)
+
+// version identifies the serving layer build; bump alongside API changes.
+const version = "alefb-serve 0.4.0"
+
+func main() {
+	var (
+		addr         = flag.String("addr", ":8080", "listen address")
+		trainPath    = flag.String("train", "", "training CSV (required)")
+		budget       = flag.Int("budget", 24, "AutoML pipelines to evaluate at bootstrap and retrain")
+		bins         = flag.Int("bins", 32, "ALE grid resolution for /v1/ale and /v1/regions")
+		workers      = flag.Int("workers", 0, "worker goroutines for search and committees (0 = all cores)")
+		seed         = flag.Uint64("seed", 1, "random seed")
+		maxInFlight  = flag.Int("max-inflight", 64, "concurrently executing /v1 requests before queueing")
+		maxQueue     = flag.Int("max-queue", 0, "queued requests before shedding with 429 (0 = 2*max-inflight)")
+		reqTimeout   = flag.Duration("request-timeout", 10*time.Second, "per-request deadline for read endpoints")
+		retrainTO    = flag.Duration("retrain-timeout", 5*time.Minute, "per-attempt retrain deadline")
+		brkThreshold = flag.Int("breaker-threshold", 3, "consecutive retrain failures that open the circuit breaker")
+		brkCooldown  = flag.Duration("breaker-cooldown", 30*time.Second, "how long the open breaker sheds retrains before probing")
+		showVersion  = flag.Bool("version", false, "print the version and exit")
+	)
+	flag.Parse()
+	if *showVersion {
+		fmt.Println(version)
+		return
+	}
+	if *trainPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	f, err := os.Open(*trainPath)
+	if err != nil {
+		fatal(err)
+	}
+	train, err := data.ReadCSV(f)
+	f.Close()
+	if err != nil {
+		fatal(fmt.Errorf("read %s: %w", *trainPath, err))
+	}
+	fmt.Printf("loaded %s: %d rows, %d features, %d classes\n",
+		*trainPath, train.Len(), train.Schema.NumFeatures(), train.Schema.NumClasses())
+
+	s := serve.New(serve.Config{
+		AutoML:           automl.Config{MaxCandidates: *budget, Seed: *seed, Workers: *workers},
+		Feedback:         core.Config{Bins: *bins, Workers: *workers},
+		MaxInFlight:      *maxInFlight,
+		MaxQueue:         *maxQueue,
+		RequestTimeout:   *reqTimeout,
+		RetrainTimeout:   *retrainTO,
+		BreakerThreshold: *brkThreshold,
+		BreakerCooldown:  *brkCooldown,
+		Log:              os.Stderr,
+	})
+
+	fmt.Printf("bootstrapping ensemble (budget %d, seed %d)...\n", *budget, *seed)
+	start := time.Now()
+	if err := s.Bootstrap(context.Background(), train); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("bootstrap done in %s\n", time.Since(start).Round(time.Millisecond))
+
+	// Serve until a termination signal, then drain gracefully.
+	errCh := make(chan error, 1)
+	go func() { errCh <- s.ListenAndServe(*addr) }()
+	fmt.Printf("listening on %s\n", *addr)
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
+		if err != nil {
+			fatal(err)
+		}
+	case sig := <-sigCh:
+		fmt.Printf("received %s, draining...\n", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := s.Shutdown(ctx); err != nil {
+			fatal(fmt.Errorf("shutdown: %w", err))
+		}
+		if err := <-errCh; err != nil {
+			fatal(err)
+		}
+		fmt.Println("drained, bye")
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "serve:", err)
+	os.Exit(1)
+}

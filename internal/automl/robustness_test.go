@@ -5,13 +5,13 @@ import (
 	"context"
 	"errors"
 	"math"
-	"runtime"
 	"strings"
 	"testing"
 	"time"
 
 	"github.com/netml/alefb/internal/faultinject"
 	"github.com/netml/alefb/internal/rng"
+	"github.com/netml/alefb/internal/testutil"
 )
 
 // TestFaultedCandidateEqualsDrop is the degradation-equivalence contract:
@@ -157,7 +157,7 @@ func TestRunCtxDeadline(t *testing.T) {
 	cfg := smallCfg(17)
 	cfg.Workers = 4
 
-	before := runtime.NumGoroutine()
+	defer testutil.LeakCheck(t)()
 
 	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
 	defer cancel()
@@ -180,14 +180,6 @@ func TestRunCtxDeadline(t *testing.T) {
 	midCfg.Fault = faultinject.New().WithSlowFit(0, 300*time.Millisecond)
 	if _, err := RunCtx(ctx3, train, midCfg); !errors.Is(err, context.DeadlineExceeded) {
 		t.Fatalf("mid-search deadline: err = %v, want context.DeadlineExceeded", err)
-	}
-
-	deadline := time.Now().Add(2 * time.Second)
-	for runtime.NumGoroutine() > before+2 {
-		if time.Now().After(deadline) {
-			t.Fatalf("goroutines leaked: %d before, %d after", before, runtime.NumGoroutine())
-		}
-		time.Sleep(5 * time.Millisecond)
 	}
 }
 

@@ -9,6 +9,7 @@ import (
 
 	"github.com/netml/alefb/internal/automl"
 	"github.com/netml/alefb/internal/faultinject"
+	"github.com/netml/alefb/internal/testutil"
 )
 
 // TestRunLoopDegradesOnLaterRoundFailure checks the campaign fallback: a
@@ -93,6 +94,7 @@ func TestRunLoopDegradesOnFinalRefitFailure(t *testing.T) {
 // TestRunLoopCtxDeadlineAborts: a caller deadline is not a model failure
 // — it aborts with the context error even when degradation is possible.
 func TestRunLoopCtxDeadlineAborts(t *testing.T) {
+	defer testutil.LeakCheck(t)()
 	train, oracle := loopProblem(250, 1)
 	cfg := LoopConfig{
 		Rounds:   3,

@@ -74,6 +74,16 @@ type Injector struct {
 	// crashBefore holds the crash trial index + 1, so the zero value
 	// (and the nil pointer) means "never crash".
 	crashBefore int
+
+	// HTTP-layer fault points for the serving chaos suite. They are keyed
+	// by the server's request sequence number — the order requests were
+	// admitted to the handler chain — which is deterministic whenever the
+	// test drives requests sequentially, and by the retrain attempt index
+	// for retrain failures. Same contract as the fit faults: nil/zero
+	// injects nothing, configure-then-read only.
+	httpFault   map[int]Kind
+	httpSlow    map[int]time.Duration
+	retrainFail map[int]bool
 }
 
 // New returns an empty injector.
@@ -118,6 +128,41 @@ func (in *Injector) WithCrashBefore(trial int) *Injector {
 	return in
 }
 
+// WithHTTPFault arranges for the HTTP request with sequence number seq to
+// suffer fault k inside the handler chain: Panic makes the handler panic
+// (exercising panic isolation into a structured error response), Error
+// forces a 5xx before the real handler runs. NaN and Drop have no
+// HTTP meaning and are ignored by the server.
+func (in *Injector) WithHTTPFault(seq int, k Kind) *Injector {
+	if in.httpFault == nil {
+		in.httpFault = map[int]Kind{}
+	}
+	in.httpFault[seq] = k
+	return in
+}
+
+// WithHTTPLatency makes the HTTP request with sequence number seq stall
+// for d before its handler runs, deterministically simulating a slow
+// handler for overload and drain tests.
+func (in *Injector) WithHTTPLatency(seq int, d time.Duration) *Injector {
+	if in.httpSlow == nil {
+		in.httpSlow = map[int]time.Duration{}
+	}
+	in.httpSlow[seq] = d
+	return in
+}
+
+// WithRetrainFail makes the serving layer's retrain attempt n (1-based)
+// fail with ErrInjected instead of running the AutoML search, exercising
+// last-good snapshot serving and the retrain circuit breaker.
+func (in *Injector) WithRetrainFail(n int) *Injector {
+	if in.retrainFail == nil {
+		in.retrainFail = map[int]bool{}
+	}
+	in.retrainFail[n] = true
+	return in
+}
+
 // Fit reports the fault for candidate-evaluation index idx. Nil-safe.
 func (in *Injector) Fit(idx int) Kind {
 	if in == nil {
@@ -143,4 +188,28 @@ func (in *Injector) UnitFails(n int) bool {
 // n. Nil-safe.
 func (in *Injector) Crash(trial int) bool {
 	return in != nil && in.crashBefore > 0 && trial == in.crashBefore-1
+}
+
+// HTTPFault reports the handler fault for request sequence number seq.
+// Nil-safe.
+func (in *Injector) HTTPFault(seq int) Kind {
+	if in == nil {
+		return None
+	}
+	return in.httpFault[seq]
+}
+
+// HTTPLatency reports the injected handler delay for request sequence
+// number seq (0 none). Nil-safe.
+func (in *Injector) HTTPLatency(seq int) time.Duration {
+	if in == nil {
+		return 0
+	}
+	return in.httpSlow[seq]
+}
+
+// RetrainFails reports whether retrain attempt n (1-based) should fail.
+// Nil-safe.
+func (in *Injector) RetrainFails(n int) bool {
+	return in != nil && in.retrainFail[n]
 }

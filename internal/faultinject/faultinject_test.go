@@ -10,12 +10,36 @@ func TestNilInjectorIsNoOp(t *testing.T) {
 	if in.Fit(0) != None || in.Slow(3) != 0 || in.UnitFails(1) || in.Crash(0) {
 		t.Fatal("nil injector injected something")
 	}
+	if in.HTTPFault(0) != None || in.HTTPLatency(0) != 0 || in.RetrainFails(1) {
+		t.Fatal("nil injector injected an HTTP fault")
+	}
 }
 
 func TestZeroValueIsNoOp(t *testing.T) {
 	var in Injector
 	if in.Fit(0) != None || in.Slow(0) != 0 || in.UnitFails(0) || in.Crash(0) {
 		t.Fatal("zero-value injector injected something")
+	}
+	if in.HTTPFault(0) != None || in.HTTPLatency(0) != 0 || in.RetrainFails(0) {
+		t.Fatal("zero-value injector injected an HTTP fault")
+	}
+}
+
+func TestConfiguredHTTPFaults(t *testing.T) {
+	in := New().
+		WithHTTPFault(4, Panic).
+		WithHTTPFault(7, Error).
+		WithHTTPLatency(2, 150*time.Millisecond).
+		WithRetrainFail(1).
+		WithRetrainFail(3)
+	if in.HTTPFault(4) != Panic || in.HTTPFault(7) != Error || in.HTTPFault(0) != None {
+		t.Fatal("HTTP faults misrouted")
+	}
+	if in.HTTPLatency(2) != 150*time.Millisecond || in.HTTPLatency(4) != 0 {
+		t.Fatal("HTTP latency misrouted")
+	}
+	if !in.RetrainFails(1) || in.RetrainFails(2) || !in.RetrainFails(3) {
+		t.Fatal("retrain failures misrouted")
 	}
 }
 

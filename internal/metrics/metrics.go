@@ -2,6 +2,25 @@
 // evaluation uses. The paper reports balanced accuracy everywhere "to avoid
 // biases due to label imbalance" (§4); the remaining metrics support the
 // wider test suite and the AutoML engine's internal model selection.
+//
+// # Zero-support convention
+//
+// A class with no true samples ("zero support") never poisons an otherwise
+// well-defined score with NaN:
+//
+//   - BalancedAccuracy and MacroF1 average only over classes that appear
+//     in yTrue; absent classes are excluded from the mean, so a holdout
+//     that happens to contain a single class still scores that class's
+//     recall rather than NaN.
+//   - Per-class recall, precision and F1 report 0 for undefined ratios
+//     (no true / no predicted instances), matching sklearn's
+//     zero_division=0.
+//
+// NaN is reserved for inputs that carry no information at all: empty label
+// slices, mismatched lengths, out-of-range labels, or (for AUC) a missing
+// class. The AutoML engine relies on that boundary — a NaN score marks a
+// candidate as undefined and drops it, so a merely imbalanced holdout must
+// never produce one.
 package metrics
 
 import (
@@ -53,6 +72,10 @@ func Accuracy(yTrue, yPred []int) float64 {
 // BalancedAccuracy returns the unweighted mean of per-class recalls over
 // the classes that appear in yTrue. This is sklearn's balanced_accuracy and
 // the headline metric of Table 1.
+//
+// Classes with zero support are excluded from the mean (see the package
+// convention): a single-class yTrue scores that class's recall, never NaN.
+// NaN is returned only for empty input or labels outside [0, k).
 func BalancedAccuracy(k int, yTrue, yPred []int) float64 {
 	cm, err := NewConfusion(k, yTrue, yPred)
 	if err != nil || len(yTrue) == 0 {
@@ -78,7 +101,9 @@ func BalancedAccuracy(k int, yTrue, yPred []int) float64 {
 
 // PrecisionRecallF1 returns per-class precision, recall and F1.
 // Undefined ratios (no predicted / no true instances) are reported as 0,
-// matching sklearn's zero_division=0 behaviour.
+// matching sklearn's zero_division=0 behaviour: a zero-support class has
+// recall 0, a never-predicted class has precision 0, and F1 is 0 whenever
+// precision+recall is — the slices never contain NaN.
 func PrecisionRecallF1(k int, yTrue, yPred []int) (precision, recall, f1 []float64, err error) {
 	cm, err := NewConfusion(k, yTrue, yPred)
 	if err != nil {
@@ -108,6 +133,8 @@ func PrecisionRecallF1(k int, yTrue, yPred []int) (precision, recall, f1 []float
 }
 
 // MacroF1 returns the unweighted mean F1 over classes present in yTrue.
+// Like BalancedAccuracy it excludes zero-support classes from the mean and
+// returns NaN only for empty or invalid input.
 func MacroF1(k int, yTrue, yPred []int) float64 {
 	_, _, f1, err := PrecisionRecallF1(k, yTrue, yPred)
 	if err != nil {

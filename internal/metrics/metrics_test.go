@@ -77,6 +77,80 @@ func TestPrecisionRecallF1(t *testing.T) {
 	}
 }
 
+// TestBalancedAccuracySingleClass pins the zero-support convention for
+// the degenerate holdout the AutoML engine can produce on tiny stratified
+// splits: every true label is the same class. The score must be that
+// class's recall — a defined value — never NaN, or the engine would drop
+// a perfectly healthy candidate.
+func TestBalancedAccuracySingleClass(t *testing.T) {
+	yTrue := []int{1, 1, 1, 1}
+	yPred := []int{1, 0, 1, 2}
+	got := BalancedAccuracy(3, yTrue, yPred)
+	if math.IsNaN(got) {
+		t.Fatal("single-class BalancedAccuracy must be defined, got NaN")
+	}
+	if !almost(got, 0.5) {
+		t.Fatalf("single-class BalancedAccuracy = %v, want 0.5 (class 1 recall)", got)
+	}
+}
+
+// TestBalancedAccuracyZeroSupportClass: a class absent from yTrue is
+// excluded from the mean instead of contributing an undefined recall.
+func TestBalancedAccuracyZeroSupportClass(t *testing.T) {
+	// k=3 but class 2 never occurs; recalls are 1.0 (class 0) and 0.5
+	// (class 1), so the mean over supported classes is 0.75.
+	yTrue := []int{0, 0, 1, 1}
+	yPred := []int{0, 0, 1, 2}
+	got := BalancedAccuracy(3, yTrue, yPred)
+	if math.IsNaN(got) {
+		t.Fatal("zero-support class must not make BalancedAccuracy NaN")
+	}
+	if !almost(got, 0.75) {
+		t.Fatalf("BalancedAccuracy = %v, want 0.75", got)
+	}
+}
+
+// TestMacroF1ZeroSupportClass mirrors the balanced-accuracy convention
+// for the macro-F1 aggregate.
+func TestMacroF1ZeroSupportClass(t *testing.T) {
+	yTrue := []int{0, 0, 1, 1}
+	yPred := []int{0, 0, 1, 1}
+	if got := MacroF1(3, yTrue, yPred); math.IsNaN(got) || got != 1 {
+		t.Fatalf("MacroF1 with absent class = %v, want 1", got)
+	}
+	if got := MacroF1(3, []int{1, 1}, []int{1, 0}); math.IsNaN(got) {
+		t.Fatal("single-class MacroF1 must be defined, got NaN")
+	}
+}
+
+// TestRecallZeroSupport: per-class slices never contain NaN, even for a
+// class with no true samples and no predictions.
+func TestRecallZeroSupport(t *testing.T) {
+	p, r, f1, err := PrecisionRecallF1(3, []int{0, 1, 1}, []int{0, 1, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c := 0; c < 3; c++ {
+		if math.IsNaN(p[c]) || math.IsNaN(r[c]) || math.IsNaN(f1[c]) {
+			t.Fatalf("class %d: p=%v r=%v f1=%v contain NaN", c, p[c], r[c], f1[c])
+		}
+	}
+	if r[2] != 0 || p[2] != 0 || f1[2] != 0 {
+		t.Fatalf("zero-support class 2: p=%v r=%v f1=%v, want all 0", p[2], r[2], f1[2])
+	}
+}
+
+// TestBalancedAccuracyNaNOnlyForEmptyOrInvalid pins the reserved NaN
+// cases: no information (empty input) or malformed labels.
+func TestBalancedAccuracyNaNOnlyForEmptyOrInvalid(t *testing.T) {
+	if got := BalancedAccuracy(2, nil, nil); !math.IsNaN(got) {
+		t.Fatalf("empty input = %v, want NaN", got)
+	}
+	if got := BalancedAccuracy(2, []int{5}, []int{0}); !math.IsNaN(got) {
+		t.Fatalf("out-of-range label = %v, want NaN", got)
+	}
+}
+
 func TestPrecisionZeroDivision(t *testing.T) {
 	// Class 1 never predicted and never true: everything should be 0, not NaN.
 	p, r, f1, err := PrecisionRecallF1(2, []int{0, 0}, []int{0, 0})

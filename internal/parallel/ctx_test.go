@@ -3,10 +3,11 @@ package parallel
 import (
 	"context"
 	"errors"
-	"runtime"
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"github.com/netml/alefb/internal/testutil"
 )
 
 func TestMapCtxDeadline(t *testing.T) {
@@ -87,7 +88,7 @@ func TestMapCtxSuccessMatchesMap(t *testing.T) {
 // TestMapCtxNoGoroutineLeak checks the pool drains its workers after a
 // deadline expiry — the acceptance criterion for deadline handling.
 func TestMapCtxNoGoroutineLeak(t *testing.T) {
-	before := runtime.NumGoroutine()
+	defer testutil.LeakCheck(t)()
 	for round := 0; round < 10; round++ {
 		ctx, cancel := context.WithTimeout(context.Background(), 500*time.Microsecond)
 		_, _ = MapCtx(ctx, 10_000, 8, func(i int) (int, error) {
@@ -96,15 +97,6 @@ func TestMapCtxNoGoroutineLeak(t *testing.T) {
 		})
 		cancel()
 	}
-	// Allow the runtime a moment to retire exiting goroutines.
-	deadline := time.Now().Add(2 * time.Second)
-	for time.Now().Before(deadline) {
-		if runtime.NumGoroutine() <= before+2 {
-			return
-		}
-		time.Sleep(10 * time.Millisecond)
-	}
-	t.Fatalf("goroutines: before=%d after=%d", before, runtime.NumGoroutine())
 }
 
 func TestForEachCtx(t *testing.T) {

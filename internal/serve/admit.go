@@ -1,0 +1,59 @@
+package serve
+
+import (
+	"context"
+	"sync/atomic"
+)
+
+// admission is the bounded admission queue in front of every /v1 handler.
+// At most maxInFlight requests execute concurrently; at most maxQueue
+// more wait for a slot. Anything beyond that is shed immediately with
+// 429 — the server never queues unboundedly, so a load spike degrades
+// into fast rejections instead of ballooning latency and memory for
+// every caller (shed-don't-queue).
+type admission struct {
+	tokens   chan struct{}
+	waiting  atomic.Int64
+	maxQueue int64
+}
+
+func newAdmission(maxInFlight, maxQueue int) *admission {
+	return &admission{
+		tokens:   make(chan struct{}, maxInFlight),
+		maxQueue: int64(maxQueue),
+	}
+}
+
+// acquire claims an execution slot. It returns (true, false) once a slot
+// is held, (false, true) when the wait queue is full and the request must
+// be shed, and (false, false) when ctx ended while waiting. The waiter
+// count is bounded: it can transiently overshoot maxQueue by concurrent
+// arrivals but every overshooting arrival sheds itself immediately, so no
+// request ever waits beyond the configured bound.
+func (a *admission) acquire(ctx context.Context) (ok, shed bool) {
+	select {
+	case a.tokens <- struct{}{}:
+		return true, false
+	default:
+	}
+	if a.waiting.Add(1) > a.maxQueue {
+		a.waiting.Add(-1)
+		return false, true
+	}
+	defer a.waiting.Add(-1)
+	select {
+	case a.tokens <- struct{}{}:
+		return true, false
+	case <-ctx.Done():
+		return false, false
+	}
+}
+
+// release returns an execution slot.
+func (a *admission) release() { <-a.tokens }
+
+// inFlight reports the number of requests currently executing.
+func (a *admission) inFlight() int { return len(a.tokens) }
+
+// queued reports the number of requests waiting for a slot.
+func (a *admission) queued() int { return int(a.waiting.Load()) }

@@ -1,0 +1,129 @@
+package serve
+
+import (
+	"sync"
+	"time"
+)
+
+// BreakerState names the three classic circuit-breaker states.
+type BreakerState int
+
+const (
+	// BreakerClosed lets requests through and counts consecutive failures.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen rejects requests until the cooldown elapses.
+	BreakerOpen
+	// BreakerHalfOpen admits a single probe; its outcome decides whether
+	// the breaker closes again or re-opens for another cooldown.
+	BreakerHalfOpen
+)
+
+// String names the state for /readyz and logs.
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}
+
+// Breaker is the circuit breaker guarding the retrain path. Retrains are
+// expensive and mutate shared state; when they fail repeatedly (bad new
+// labels, an injected fault, a search that cannot meet MinCommittee) the
+// breaker stops burning CPU on doomed attempts and sheds retrain requests
+// with a Retry-After instead, while the read path keeps serving the
+// last-good snapshot untouched.
+//
+// The breaker trips open after `threshold` consecutive failures. After
+// `cooldown` it half-opens: exactly one probe attempt is admitted, and its
+// outcome either closes the breaker or re-opens it for another cooldown.
+// The clock is injected so tests drive state transitions deterministically.
+type Breaker struct {
+	mu        sync.Mutex
+	threshold int
+	cooldown  time.Duration
+	now       func() time.Time
+
+	state    BreakerState
+	failures int
+	openedAt time.Time
+	probing  bool
+}
+
+// NewBreaker returns a closed breaker tripping after threshold consecutive
+// failures and half-opening cooldown after the trip. A nil now uses
+// time.Now.
+func NewBreaker(threshold int, cooldown time.Duration, now func() time.Time) *Breaker {
+	if threshold <= 0 {
+		threshold = 3
+	}
+	if cooldown <= 0 {
+		cooldown = 30 * time.Second
+	}
+	if now == nil {
+		now = time.Now
+	}
+	return &Breaker{threshold: threshold, cooldown: cooldown, now: now}
+}
+
+// Allow reports whether a request may proceed. When it returns false,
+// retryAfter is the time until the breaker will next admit a probe —
+// the value the server surfaces in the Retry-After header. A true return
+// from the half-open state reserves the single probe slot; the caller
+// must follow up with Success or Failure to release it.
+func (b *Breaker) Allow() (ok bool, retryAfter time.Duration) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return true, 0
+	case BreakerOpen:
+		remaining := b.cooldown - b.now().Sub(b.openedAt)
+		if remaining > 0 {
+			return false, remaining
+		}
+		b.state = BreakerHalfOpen
+		b.probing = true
+		return true, 0
+	default: // BreakerHalfOpen
+		if b.probing {
+			return false, b.cooldown
+		}
+		b.probing = true
+		return true, 0
+	}
+}
+
+// Success records a successful attempt: the breaker closes and the
+// consecutive-failure count resets.
+func (b *Breaker) Success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.state = BreakerClosed
+	b.failures = 0
+	b.probing = false
+}
+
+// Failure records a failed attempt. In the half-open state any failure
+// re-opens immediately; in the closed state the breaker opens once the
+// consecutive-failure count reaches the threshold.
+func (b *Breaker) Failure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.failures++
+	b.probing = false
+	if b.state == BreakerHalfOpen || b.failures >= b.threshold {
+		b.state = BreakerOpen
+		b.openedAt = b.now()
+	}
+}
+
+// State returns the current state for status reporting.
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}

@@ -1,0 +1,132 @@
+package serve
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock is a mutex-guarded manual clock for driving breaker
+// transitions deterministically.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newFakeClock() *fakeClock { return &fakeClock{t: time.Unix(1000, 0)} }
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.t = c.t.Add(d)
+}
+
+func TestBreakerTripsAfterThreshold(t *testing.T) {
+	clk := newFakeClock()
+	b := NewBreaker(3, 30*time.Second, clk.Now)
+	for i := 0; i < 2; i++ {
+		if ok, _ := b.Allow(); !ok {
+			t.Fatalf("closed breaker rejected attempt %d", i)
+		}
+		b.Failure()
+	}
+	if b.State() != BreakerClosed {
+		t.Fatalf("state after 2 failures = %v, want closed", b.State())
+	}
+	if ok, _ := b.Allow(); !ok {
+		t.Fatal("closed breaker rejected third attempt")
+	}
+	b.Failure()
+	if b.State() != BreakerOpen {
+		t.Fatalf("state after 3 failures = %v, want open", b.State())
+	}
+	ok, retryAfter := b.Allow()
+	if ok {
+		t.Fatal("open breaker admitted a request")
+	}
+	if retryAfter <= 0 || retryAfter > 30*time.Second {
+		t.Fatalf("retryAfter = %v", retryAfter)
+	}
+}
+
+func TestBreakerHalfOpenProbe(t *testing.T) {
+	clk := newFakeClock()
+	b := NewBreaker(1, 10*time.Second, clk.Now)
+	b.Failure() // threshold 1: trips immediately
+	if b.State() != BreakerOpen {
+		t.Fatalf("state = %v, want open", b.State())
+	}
+	clk.Advance(9 * time.Second)
+	if ok, _ := b.Allow(); ok {
+		t.Fatal("breaker half-opened before cooldown elapsed")
+	}
+	clk.Advance(2 * time.Second)
+	ok, _ := b.Allow()
+	if !ok || b.State() != BreakerHalfOpen {
+		t.Fatalf("expected half-open probe admission, got ok=%v state=%v", ok, b.State())
+	}
+	// Only one probe at a time.
+	if ok, _ := b.Allow(); ok {
+		t.Fatal("half-open breaker admitted a second probe")
+	}
+	b.Success()
+	if b.State() != BreakerClosed {
+		t.Fatalf("state after probe success = %v, want closed", b.State())
+	}
+	if ok, _ := b.Allow(); !ok {
+		t.Fatal("closed breaker rejected")
+	}
+}
+
+func TestBreakerHalfOpenFailureReopens(t *testing.T) {
+	clk := newFakeClock()
+	b := NewBreaker(1, 10*time.Second, clk.Now)
+	b.Failure()
+	clk.Advance(11 * time.Second)
+	if ok, _ := b.Allow(); !ok {
+		t.Fatal("no probe admitted after cooldown")
+	}
+	b.Failure()
+	if b.State() != BreakerOpen {
+		t.Fatalf("state after probe failure = %v, want open", b.State())
+	}
+	// The new cooldown starts at the probe failure.
+	if ok, _ := b.Allow(); ok {
+		t.Fatal("re-opened breaker admitted immediately")
+	}
+	clk.Advance(11 * time.Second)
+	if ok, _ := b.Allow(); !ok {
+		t.Fatal("no probe after second cooldown")
+	}
+	b.Success()
+	if b.State() != BreakerClosed {
+		t.Fatalf("state = %v, want closed", b.State())
+	}
+}
+
+func TestBreakerSuccessResetsFailureCount(t *testing.T) {
+	clk := newFakeClock()
+	b := NewBreaker(2, time.Second, clk.Now)
+	b.Failure()
+	b.Success()
+	b.Failure()
+	if b.State() != BreakerClosed {
+		t.Fatal("success did not reset the consecutive-failure count")
+	}
+}
+
+func TestBreakerStateString(t *testing.T) {
+	for s, want := range map[BreakerState]string{
+		BreakerClosed: "closed", BreakerOpen: "open", BreakerHalfOpen: "half-open",
+	} {
+		if s.String() != want {
+			t.Fatalf("%d.String() = %q, want %q", s, s.String(), want)
+		}
+	}
+}

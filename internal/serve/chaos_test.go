@@ -1,0 +1,358 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/netml/alefb/internal/faultinject"
+	"github.com/netml/alefb/internal/testutil"
+)
+
+// TestOverloadShedsDontQueue drives more concurrency than the admission
+// queue admits and checks the shed-don't-queue invariant: every request
+// is answered, the overflow gets 429 + Retry-After + a structured body,
+// and nothing waits beyond the configured bound.
+func TestOverloadShedsDontQueue(t *testing.T) {
+	defer testutil.LeakCheck(t)()
+	const n = 8
+	fault := faultinject.New()
+	for i := 0; i < n; i++ {
+		fault = fault.WithHTTPLatency(i, 300*time.Millisecond)
+	}
+	s := newTestServer(t, func(c *Config) {
+		c.MaxInFlight = 1
+		c.MaxQueue = 1
+		c.Fault = fault
+	})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	type result struct {
+		status     int
+		retryAfter string
+		body       []byte
+	}
+	results := make([]result, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			status, hdr, raw := doReq(t, http.MethodPost, ts.URL+"/v1/predict",
+				PredictRequest{Rows: [][]float64{{0.1, 0.2}}})
+			results[i] = result{status, hdr.Get("Retry-After"), raw}
+		}(i)
+	}
+	wg.Wait()
+
+	var ok200, shed429 int
+	for i, r := range results {
+		switch r.status {
+		case http.StatusOK:
+			ok200++
+		case http.StatusTooManyRequests:
+			shed429++
+			if r.retryAfter == "" {
+				t.Fatalf("request %d: 429 without Retry-After", i)
+			}
+			var eb ErrorBody
+			if err := json.Unmarshal(r.body, &eb); err != nil || eb.Error.Code != "overloaded" {
+				t.Fatalf("request %d: 429 body %s (err %v)", i, r.body, err)
+			}
+		default:
+			t.Fatalf("request %d: unexpected status %d: %s", i, r.status, r.body)
+		}
+	}
+	// 1 in flight + 1 queued can succeed (later arrivals may also slip in
+	// after a release); the bulk of the burst must shed.
+	if ok200 < 1 || shed429 < n-4 {
+		t.Fatalf("got %d OK / %d shed of %d", ok200, shed429, n)
+	}
+	if ok200+shed429 != n {
+		t.Fatalf("unaccounted responses: %d + %d != %d", ok200, shed429, n)
+	}
+}
+
+// TestRetrainFailureDegradesAndRecovers is the last-good-snapshot chaos
+// scenario: a failed retrain must keep serving the previous snapshot
+// byte-for-byte, flag /readyz degraded with the reason, and a subsequent
+// successful retrain must clear the degradation and bump the version.
+func TestRetrainFailureDegradesAndRecovers(t *testing.T) {
+	s := newTestServer(t, func(c *Config) {
+		c.Fault = faultinject.New().WithRetrainFail(1)
+	})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	probe := PredictRequest{Rows: [][]float64{{0.3, 0.7}, {0.62, 0.4}}}
+
+	// Baseline prediction from snapshot v1.
+	status, _, before := doReq(t, http.MethodPost, ts.URL+"/v1/predict", probe)
+	if status != http.StatusOK {
+		t.Fatalf("baseline predict = %d", status)
+	}
+
+	// Attempt 1 is injected to fail.
+	status, _, raw := doReq(t, http.MethodPost, ts.URL+"/v1/retrain", RetrainRequest{})
+	eb := wantError(t, status, raw, http.StatusInternalServerError, "retrain_failed")
+	if !strings.Contains(eb.Error.Message, "still serving snapshot v1") {
+		t.Fatalf("failure message %q does not state last-good serving", eb.Error.Message)
+	}
+
+	// Readiness reports degraded with the reason.
+	status, _, raw = doReq(t, http.MethodGet, ts.URL+"/readyz", nil)
+	if status != http.StatusOK {
+		t.Fatalf("readyz after failed retrain = %d (degraded is still serving)", status)
+	}
+	var rr ReadyResponse
+	if err := json.Unmarshal(raw, &rr); err != nil {
+		t.Fatal(err)
+	}
+	if rr.Status != "degraded" || !strings.Contains(rr.DegradedReason, "retrain 1 failed") || rr.Version != 1 {
+		t.Fatalf("readyz = %+v", rr)
+	}
+
+	// Reads still serve the identical v1 snapshot.
+	status, _, after := doReq(t, http.MethodPost, ts.URL+"/v1/predict", probe)
+	if status != http.StatusOK || string(after) != string(before) {
+		t.Fatalf("prediction changed across failed retrain:\n before %s\n after  %s", before, after)
+	}
+
+	// Attempt 2 is healthy: version bumps, degradation clears.
+	status, _, raw = doReq(t, http.MethodPost, ts.URL+"/v1/retrain", RetrainRequest{})
+	if status != http.StatusOK {
+		t.Fatalf("recovery retrain = %d: %s", status, raw)
+	}
+	var rt RetrainResponse
+	if err := json.Unmarshal(raw, &rt); err != nil || rt.Version != 2 || rt.Attempt != 2 {
+		t.Fatalf("recovery retrain = %+v (err %v)", rt, err)
+	}
+	status, _, raw = doReq(t, http.MethodGet, ts.URL+"/readyz", nil)
+	var recovered ReadyResponse
+	if err := json.Unmarshal(raw, &recovered); err != nil || status != http.StatusOK {
+		t.Fatal(status, err)
+	}
+	if recovered.Status != "ready" || recovered.DegradedReason != "" || recovered.Version != 2 {
+		t.Fatalf("readyz after recovery = %+v", recovered)
+	}
+}
+
+// TestBreakerShedsRetrains trips the retrain breaker over HTTP with a
+// deterministic clock: two injected failures open it, further retrains
+// are shed with 503 + Retry-After without consuming attempts, and after
+// the cooldown a half-open probe succeeds and closes it.
+func TestBreakerShedsRetrains(t *testing.T) {
+	clk := newFakeClock()
+	s := newTestServer(t, func(c *Config) {
+		c.BreakerThreshold = 2
+		c.BreakerCooldown = 30 * time.Second
+		c.Fault = faultinject.New().WithRetrainFail(1).WithRetrainFail(2)
+		c.now = clk.Now
+	})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	for i := 1; i <= 2; i++ {
+		status, _, raw := doReq(t, http.MethodPost, ts.URL+"/v1/retrain", RetrainRequest{})
+		wantError(t, status, raw, http.StatusInternalServerError, "retrain_failed")
+	}
+	if st := s.breaker.State(); st != BreakerOpen {
+		t.Fatalf("breaker = %v after 2 failures, want open", st)
+	}
+
+	// Open breaker sheds without running the search or consuming attempts.
+	status, hdr, raw := doReq(t, http.MethodPost, ts.URL+"/v1/retrain", RetrainRequest{})
+	wantError(t, status, raw, http.StatusServiceUnavailable, "breaker_open")
+	if hdr.Get("Retry-After") == "" {
+		t.Fatal("breaker 503 without Retry-After")
+	}
+	if got := s.retrains.Load(); got != 2 {
+		t.Fatalf("shed retrain consumed an attempt: %d", got)
+	}
+	status, _, raw = doReq(t, http.MethodGet, ts.URL+"/readyz", nil)
+	var rr ReadyResponse
+	if err := json.Unmarshal(raw, &rr); err != nil || status != http.StatusOK {
+		t.Fatal(status, err)
+	}
+	if rr.Breaker != "open" {
+		t.Fatalf("readyz breaker = %q, want open", rr.Breaker)
+	}
+
+	// After the cooldown, the probe retrain (attempt 3, not injected)
+	// succeeds and closes the breaker.
+	clk.Advance(31 * time.Second)
+	status, _, raw = doReq(t, http.MethodPost, ts.URL+"/v1/retrain", RetrainRequest{})
+	if status != http.StatusOK {
+		t.Fatalf("probe retrain = %d: %s", status, raw)
+	}
+	if st := s.breaker.State(); st != BreakerClosed {
+		t.Fatalf("breaker = %v after probe success, want closed", st)
+	}
+}
+
+// TestNoTornSnapshotReads hammers /v1/predict while a writer flips the
+// published snapshot between two different ensembles. Every response must
+// be internally consistent: the proba it carries must exactly match the
+// ensemble of the version it claims (float64 JSON round-trips are exact,
+// so equality is byte-level meaningful).
+func TestNoTornSnapshotReads(t *testing.T) {
+	defer testutil.LeakCheck(t)()
+	train, ensA, ensB := fixture(t)
+	probe := [][]float64{{0.42, 0.3}, {0.58, 0.8}, {0.5, 0.5}}
+
+	expect := func(e [2]*Snapshot, rows [][]float64) map[int64][][]float64 {
+		out := map[int64][][]float64{}
+		for _, snap := range e {
+			k := snap.Ensemble.NumClasses
+			proba := make([][]float64, len(rows))
+			backing := make([]float64, len(rows)*k)
+			for i := range proba {
+				proba[i] = backing[i*k : (i+1)*k]
+			}
+			snap.Ensemble.PredictProbaBatchInto(rows, proba)
+			out[snap.Version] = proba
+		}
+		return out
+	}
+	snapA := &Snapshot{Ensemble: ensA, Train: train, Version: 1, ValScore: ensA.ValScore}
+	snapB := &Snapshot{Ensemble: ensB, Train: train, Version: 2, ValScore: ensB.ValScore}
+	want := expect([2]*Snapshot{snapA, snapB}, probe)
+	if same := func(a, b [][]float64) bool {
+		for i := range a {
+			for j := range a[i] {
+				if a[i][j] != b[i][j] {
+					return false
+				}
+			}
+		}
+		return true
+	}(want[1], want[2]); same {
+		t.Fatal("fixture ensembles predict identically; torn reads would be undetectable")
+	}
+
+	s := newTestServer(t, nil)
+	s.reg.Publish(snapA)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	stop := make(chan struct{})
+	var writerWG sync.WaitGroup
+	writerWG.Add(1)
+	go func() {
+		defer writerWG.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if i%2 == 0 {
+				s.reg.Publish(snapB)
+			} else {
+				s.reg.Publish(snapA)
+			}
+		}
+	}()
+
+	var readerWG sync.WaitGroup
+	errCh := make(chan string, 64)
+	for w := 0; w < 4; w++ {
+		readerWG.Add(1)
+		go func() {
+			defer readerWG.Done()
+			for i := 0; i < 50; i++ {
+				status, _, raw := doReq(t, http.MethodPost, ts.URL+"/v1/predict", PredictRequest{Rows: probe})
+				if status != http.StatusOK {
+					errCh <- string(raw)
+					return
+				}
+				var pr PredictResponse
+				if err := json.Unmarshal(raw, &pr); err != nil {
+					errCh <- err.Error()
+					return
+				}
+				exp, ok := want[pr.Version]
+				if !ok {
+					errCh <- "impossible version"
+					return
+				}
+				for r := range exp {
+					for c := range exp[r] {
+						if pr.Proba[r][c] != exp[r][c] {
+							errCh <- "torn read: proba does not match claimed version"
+							return
+						}
+					}
+				}
+			}
+		}()
+	}
+	readerWG.Wait()
+	close(stop)
+	writerWG.Wait()
+	select {
+	case msg := <-errCh:
+		t.Fatal(msg)
+	default:
+	}
+}
+
+// TestGracefulShutdownDrains starts a real listener, parks one request in
+// a slow handler, shuts the server down mid-request and checks the
+// request still completes, new connections are refused, and no goroutines
+// leak.
+func TestGracefulShutdownDrains(t *testing.T) {
+	defer testutil.LeakCheck(t)()
+	s := newTestServer(t, func(c *Config) {
+		c.Fault = faultinject.New().WithHTTPLatency(0, 300*time.Millisecond)
+	})
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- s.Serve(l) }()
+	base := "http://" + l.Addr().String()
+
+	cli := &http.Client{}
+	defer cli.CloseIdleConnections()
+	type reply struct {
+		status int
+		err    error
+	}
+	got := make(chan reply, 1)
+	go func() {
+		resp, err := cli.Post(base+"/v1/predict", "application/json",
+			strings.NewReader(`{"rows":[[0.1,0.2]]}`))
+		if err != nil {
+			got <- reply{0, err}
+			return
+		}
+		resp.Body.Close()
+		got <- reply{resp.StatusCode, nil}
+	}()
+
+	time.Sleep(50 * time.Millisecond) // let the slow request enter the handler
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	r := <-got
+	if r.err != nil || r.status != http.StatusOK {
+		t.Fatalf("in-flight request during shutdown: status %d err %v", r.status, r.err)
+	}
+	if err := <-serveErr; err != nil {
+		t.Fatalf("Serve returned %v after graceful shutdown", err)
+	}
+	// The listener is closed: new requests must fail to connect.
+	if _, err := cli.Get(base + "/healthz"); err == nil {
+		t.Fatal("server still accepting connections after shutdown")
+	}
+}

@@ -1,0 +1,222 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"github.com/netml/alefb/internal/rng"
+)
+
+// APIError is a non-2xx response decoded from the server's structured
+// error envelope.
+type APIError struct {
+	Status     int
+	Code       string
+	Message    string
+	RetryAfter time.Duration
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("serve: %d %s: %s", e.Status, e.Code, e.Message)
+}
+
+// Client is a deterministic retrying client for the serve API. Transient
+// failures (429, 5xx, transport errors) are retried with exponential
+// backoff and jitter drawn from the repo's seeded generator, so a test or
+// replay with the same seed observes the identical retry schedule. A
+// Retry-After header from the server overrides the computed delay when it
+// asks for a longer wait.
+type Client struct {
+	// Base is the server root, e.g. "http://127.0.0.1:8080".
+	Base string
+	// HTTP is the transport; defaults to a fresh http.Client.
+	HTTP *http.Client
+	// MaxRetries bounds retry attempts after the first try (default 4).
+	MaxRetries int
+	// BaseDelay is the first backoff delay (default 50ms); attempt n waits
+	// BaseDelay<<n, capped at MaxDelay (default 2s), with jitter in
+	// [d/2, d).
+	BaseDelay time.Duration
+	MaxDelay  time.Duration
+	// Sleep is the wait function; tests substitute a recorder.
+	Sleep func(time.Duration)
+
+	mu sync.Mutex
+	r  *rng.Rand
+}
+
+// NewClient returns a Client with the default retry policy and the jitter
+// stream seeded from seed.
+func NewClient(base string, seed uint64) *Client {
+	return &Client{
+		Base:       base,
+		HTTP:       &http.Client{},
+		MaxRetries: 4,
+		BaseDelay:  50 * time.Millisecond,
+		MaxDelay:   2 * time.Second,
+		Sleep:      time.Sleep,
+		r:          rng.New(seed),
+	}
+}
+
+// backoff returns the jittered delay before retry attempt (0-based).
+func (c *Client) backoff(attempt int) time.Duration {
+	d := c.BaseDelay << uint(attempt)
+	if d > c.MaxDelay || d <= 0 {
+		d = c.MaxDelay
+	}
+	c.mu.Lock()
+	f := c.r.Float64()
+	c.mu.Unlock()
+	return d/2 + time.Duration(f*float64(d/2))
+}
+
+// retryable reports whether a response status warrants another attempt.
+func retryable(status int) bool {
+	return status == http.StatusTooManyRequests || status >= 500
+}
+
+// do runs one request with retries, decoding a 2xx JSON body into out.
+func (c *Client) do(ctx context.Context, method, path string, in, out interface{}) error {
+	var body []byte
+	if in != nil {
+		var err error
+		if body, err = json.Marshal(in); err != nil {
+			return fmt.Errorf("serve: encode request: %w", err)
+		}
+	}
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		req, err := http.NewRequestWithContext(ctx, method, c.Base+path, bytes.NewReader(body))
+		if err != nil {
+			return err
+		}
+		if in != nil {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		resp, err := c.HTTP.Do(req)
+		switch {
+		case err != nil:
+			lastErr = err
+		default:
+			if resp.StatusCode < 300 {
+				err := json.NewDecoder(resp.Body).Decode(out)
+				resp.Body.Close()
+				if err != nil {
+					return fmt.Errorf("serve: decode response: %w", err)
+				}
+				return nil
+			}
+			apiErr := decodeAPIError(resp)
+			resp.Body.Close()
+			if !retryable(resp.StatusCode) {
+				return apiErr
+			}
+			lastErr = apiErr
+		}
+		if attempt >= c.MaxRetries {
+			return fmt.Errorf("serve: giving up after %d attempts: %w", attempt+1, lastErr)
+		}
+		d := c.backoff(attempt)
+		if ae, ok := lastErr.(*APIError); ok && ae.RetryAfter > d {
+			d = ae.RetryAfter
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		default:
+		}
+		c.Sleep(d)
+	}
+}
+
+// decodeAPIError turns a non-2xx response into an *APIError, tolerating
+// bodies that are not the structured envelope.
+func decodeAPIError(resp *http.Response) *APIError {
+	ae := &APIError{Status: resp.StatusCode, Code: "unknown"}
+	if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil {
+		ae.RetryAfter = time.Duration(secs) * time.Second
+	}
+	raw, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	var eb ErrorBody
+	if json.Unmarshal(raw, &eb) == nil && eb.Error.Code != "" {
+		ae.Code = eb.Error.Code
+		ae.Message = eb.Error.Message
+	} else {
+		ae.Message = string(raw)
+	}
+	return ae
+}
+
+// Predict submits a batch of rows for classification.
+func (c *Client) Predict(ctx context.Context, rows [][]float64) (*PredictResponse, error) {
+	var out PredictResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/predict", PredictRequest{Rows: rows}, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// ALE fetches the committee effect curve for one feature.
+func (c *Client) ALE(ctx context.Context, req ALERequest) (*ALEResponse, error) {
+	var out ALEResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/ale", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Regions fetches the disagreement-region analysis.
+func (c *Client) Regions(ctx context.Context, req RegionsRequest) (*RegionsResponse, error) {
+	var out RegionsResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/regions", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Retrain triggers a retrain, optionally appending newly labelled rows.
+// Retrain conflicts (409) are not retried — the caller decides whether to
+// wait for the in-flight retrain.
+func (c *Client) Retrain(ctx context.Context, req RetrainRequest) (*RetrainResponse, error) {
+	var out RetrainResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/retrain", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Schema fetches the feature schema of the served snapshot.
+func (c *Client) Schema(ctx context.Context) (*SchemaResponse, error) {
+	var out SchemaResponse
+	if err := c.do(ctx, http.MethodGet, "/v1/schema", nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Ready fetches /readyz without retries, decoding the body regardless of
+// status so callers can observe the degraded state directly.
+func (c *Client) Ready(ctx context.Context) (*ReadyResponse, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.Base+"/readyz", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.HTTP.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	var out ReadyResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, fmt.Errorf("serve: decode readyz: %w", err)
+	}
+	return &out, nil
+}

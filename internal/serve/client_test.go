@@ -1,0 +1,148 @@
+package serve
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// newRecordingClient returns a client whose sleeps are recorded instead
+// of slept, with retry jitter seeded deterministically.
+func newRecordingClient(base string, seed uint64) (*Client, *[]time.Duration) {
+	c := NewClient(base, seed)
+	sleeps := &[]time.Duration{}
+	c.Sleep = func(d time.Duration) { *sleeps = append(*sleeps, d) }
+	return c, sleeps
+}
+
+func TestClientRetriesThenSucceeds(t *testing.T) {
+	var calls int
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls++
+		if calls <= 2 {
+			writeError(w, http.StatusInternalServerError, "flaky", "try again")
+			return
+		}
+		writeJSON(w, http.StatusOK, PredictResponse{Version: 7, Labels: []int{0}})
+	}))
+	defer ts.Close()
+	c, sleeps := newRecordingClient(ts.URL, 42)
+	resp, err := c.Predict(context.Background(), [][]float64{{0.1, 0.2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Version != 7 || calls != 3 || len(*sleeps) != 2 {
+		t.Fatalf("version %d calls %d sleeps %d", resp.Version, calls, len(*sleeps))
+	}
+}
+
+func TestClientBackoffDeterministicAndBounded(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		writeError(w, http.StatusInternalServerError, "down", "always failing")
+	}))
+	defer ts.Close()
+
+	run := func(seed uint64) []time.Duration {
+		c, sleeps := newRecordingClient(ts.URL, seed)
+		_, err := c.Predict(context.Background(), [][]float64{{0.1, 0.2}})
+		if err == nil {
+			t.Fatal("expected terminal error")
+		}
+		return *sleeps
+	}
+	a, b := run(42), run(42)
+	if len(a) != 4 {
+		t.Fatalf("sleeps = %d, want MaxRetries=4", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at retry %d: %v vs %v", i, a[i], b[i])
+		}
+		// Attempt i backs off within [d/2, d) for d = BaseDelay<<i.
+		d := 50 * time.Millisecond << uint(i)
+		if a[i] < d/2 || a[i] >= d {
+			t.Fatalf("retry %d slept %v, want [%v, %v)", i, a[i], d/2, d)
+		}
+	}
+	c := run(43)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced the identical jitter schedule")
+	}
+}
+
+func TestClientHonorsRetryAfter(t *testing.T) {
+	var calls int
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls++
+		if calls == 1 {
+			w.Header().Set("Retry-After", "3")
+			writeError(w, http.StatusTooManyRequests, "overloaded", "shed")
+			return
+		}
+		writeJSON(w, http.StatusOK, ReadyResponse{})
+	}))
+	defer ts.Close()
+	c, sleeps := newRecordingClient(ts.URL, 1)
+	var out ReadyResponse
+	if err := c.do(context.Background(), http.MethodGet, "/", nil, &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(*sleeps) != 1 || (*sleeps)[0] != 3*time.Second {
+		t.Fatalf("sleeps = %v, want the server's Retry-After of 3s", *sleeps)
+	}
+}
+
+func TestClientDoesNotRetryClientErrors(t *testing.T) {
+	var calls int
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls++
+		writeError(w, http.StatusBadRequest, "bad_request", "no")
+	}))
+	defer ts.Close()
+	c, sleeps := newRecordingClient(ts.URL, 1)
+	_, err := c.Predict(context.Background(), nil)
+	ae, ok := err.(*APIError)
+	if !ok || ae.Status != http.StatusBadRequest || ae.Code != "bad_request" {
+		t.Fatalf("err = %v", err)
+	}
+	if calls != 1 || len(*sleeps) != 0 {
+		t.Fatalf("client retried a 400: calls %d sleeps %d", calls, len(*sleeps))
+	}
+}
+
+func TestClientEndToEnd(t *testing.T) {
+	s := newTestServer(t, nil)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	c := NewClient(ts.URL, 9)
+	ctx := context.Background()
+
+	sch, err := c.Schema(ctx)
+	if err != nil || len(sch.Features) != 2 {
+		t.Fatalf("schema: %+v err %v", sch, err)
+	}
+	pr, err := c.Predict(ctx, [][]float64{{0.2, 0.5}})
+	if err != nil || len(pr.Labels) != 1 {
+		t.Fatalf("predict: %+v err %v", pr, err)
+	}
+	ar, err := c.ALE(ctx, ALERequest{Name: "x0", Class: 1})
+	if err != nil || len(ar.Grid) == 0 {
+		t.Fatalf("ale: err %v", err)
+	}
+	rg, err := c.Regions(ctx, RegionsRequest{})
+	if err != nil || len(rg.Features) != 2 {
+		t.Fatalf("regions: err %v", err)
+	}
+	rd, err := c.Ready(ctx)
+	if err != nil || rd.Status != "ready" {
+		t.Fatalf("ready: %+v err %v", rd, err)
+	}
+}

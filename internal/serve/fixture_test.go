@@ -1,0 +1,92 @@
+package serve
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/netml/alefb/internal/automl"
+	"github.com/netml/alefb/internal/core"
+	"github.com/netml/alefb/internal/data"
+	"github.com/netml/alefb/internal/rng"
+)
+
+// serveProblem is the confusable-band dataset the rest of the repo tests
+// on: x0 decides the class, with a noisy band in the middle where models
+// legitimately disagree.
+func serveProblem(n int, seed uint64) *data.Dataset {
+	schema := &data.Schema{
+		Features: []data.Feature{
+			{Name: "x0", Min: 0, Max: 1},
+			{Name: "x1", Min: 0, Max: 1},
+		},
+		Classes: []string{"no", "yes"},
+	}
+	r := rng.New(seed)
+	d := data.New(schema)
+	for i := 0; i < n; i++ {
+		x0, x1 := r.Float64(), r.Float64()
+		var y int
+		switch {
+		case x0 < 0.4:
+			y = 0
+		case x0 > 0.6:
+			y = 1
+		default:
+			y = r.Intn(2)
+		}
+		d.Append([]float64{x0, x1}, y)
+	}
+	return d
+}
+
+func serveAutoML(seed uint64) automl.Config {
+	return automl.Config{MaxCandidates: 5, Generations: 1, EnsembleSize: 4, Seed: seed}
+}
+
+var (
+	fixOnce  sync.Once
+	fixTrain *data.Dataset
+	fixEnsA  *automl.Ensemble
+	fixEnsB  *automl.Ensemble
+	fixErr   error
+)
+
+// fixture trains the shared test models exactly once per test binary: a
+// training set and two ensembles from different seeds (so snapshot-swap
+// tests can tell the two apart by their predictions).
+func fixture(t *testing.T) (*data.Dataset, *automl.Ensemble, *automl.Ensemble) {
+	t.Helper()
+	fixOnce.Do(func() {
+		fixTrain = serveProblem(200, 1)
+		ctx := context.Background()
+		if fixEnsA, fixErr = automl.RunCtx(ctx, fixTrain, serveAutoML(11)); fixErr != nil {
+			return
+		}
+		fixEnsB, fixErr = automl.RunCtx(ctx, fixTrain, serveAutoML(77))
+	})
+	if fixErr != nil {
+		t.Fatalf("fixture training failed: %v", fixErr)
+	}
+	return fixTrain, fixEnsA, fixEnsB
+}
+
+// newTestServer builds a Server with the fixture model installed and fast
+// test-friendly defaults; mutate returns the final config.
+func newTestServer(t *testing.T, mutate func(*Config)) *Server {
+	t.Helper()
+	train, ens, _ := fixture(t)
+	cfg := Config{
+		AutoML:         serveAutoML(11),
+		Feedback:       core.Config{Bins: 16},
+		RequestTimeout: 5 * time.Second,
+		RetrainTimeout: 30 * time.Second,
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	s := New(cfg)
+	s.Install(ens, train)
+	return s
+}

@@ -1,0 +1,258 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/netml/alefb/internal/rng"
+)
+
+// Mix is the relative weight of each request kind in generated load.
+// Weights need not sum to one; zero weights drop the kind.
+type Mix struct {
+	Predict float64
+	ALE     float64
+	Regions float64
+	Health  float64
+}
+
+// DefaultMix is a read-heavy production-like blend.
+func DefaultMix() Mix { return Mix{Predict: 8, ALE: 1, Regions: 0.5, Health: 0.5} }
+
+// LoadConfig configures one closed-loop load run. Each of Concurrency
+// workers issues requests back-to-back (no pacing) until the shared
+// request budget is exhausted; worker w draws its request kinds and row
+// values from rng.Derive(Seed, w), so a run is reproducible for a fixed
+// config regardless of scheduling.
+type LoadConfig struct {
+	Base        string
+	Concurrency int
+	Requests    int
+	Rows        int // rows per predict batch (default 16)
+	Seed        uint64
+	Mix         Mix
+	Timeout     time.Duration // per-request (default 10s)
+}
+
+// LoadReport aggregates a load run. Requests counts issued requests;
+// ByStatus maps HTTP status to count (0 for transport errors); latencies
+// are in milliseconds over successful transports.
+type LoadReport struct {
+	Requests        int
+	ByStatus        map[int]int
+	ByKind          map[string]int
+	TransportErrors int
+	P50, P95, P99   float64
+	MaxMS           float64
+	Elapsed         time.Duration
+}
+
+// String renders the report for terminal output.
+func (r *LoadReport) String() string {
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "requests=%d elapsed=%s transport_errors=%d\n", r.Requests, r.Elapsed.Round(time.Millisecond), r.TransportErrors)
+	statuses := make([]int, 0, len(r.ByStatus))
+	for s := range r.ByStatus {
+		statuses = append(statuses, s)
+	}
+	sort.Ints(statuses)
+	for _, s := range statuses {
+		fmt.Fprintf(&b, "  status %3d: %d\n", s, r.ByStatus[s])
+	}
+	kinds := make([]string, 0, len(r.ByKind))
+	for k := range r.ByKind {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	for _, k := range kinds {
+		fmt.Fprintf(&b, "  kind %-8s %d\n", k+":", r.ByKind[k])
+	}
+	fmt.Fprintf(&b, "  latency ms: p50=%.1f p95=%.1f p99=%.1f max=%.1f\n", r.P50, r.P95, r.P99, r.MaxMS)
+	return b.String()
+}
+
+// RunLoad drives a deterministic closed-loop load against a serve
+// instance. It deliberately uses a plain non-retrying http.Client so shed
+// responses (429) surface in the report instead of being smoothed over —
+// the soak test asserts on exactly that visibility.
+func RunLoad(ctx context.Context, cfg LoadConfig) (*LoadReport, error) {
+	if cfg.Concurrency <= 0 {
+		cfg.Concurrency = 4
+	}
+	if cfg.Requests <= 0 {
+		cfg.Requests = 200
+	}
+	if cfg.Rows <= 0 {
+		cfg.Rows = 16
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 10 * time.Second
+	}
+	if cfg.Mix == (Mix{}) {
+		cfg.Mix = DefaultMix()
+	}
+	schema, err := fetchSchema(ctx, cfg.Base, cfg.Timeout)
+	if err != nil {
+		return nil, fmt.Errorf("serve: loadgen: fetch schema: %w", err)
+	}
+
+	weights := []float64{cfg.Mix.Predict, cfg.Mix.ALE, cfg.Mix.Regions, cfg.Mix.Health}
+	kinds := []string{"predict", "ale", "regions", "health"}
+
+	var (
+		mu      sync.Mutex
+		report  = &LoadReport{ByStatus: map[int]int{}, ByKind: map[string]int{}}
+		lats    []float64
+		issued  int
+		wg      sync.WaitGroup
+		httpCli = &http.Client{Timeout: cfg.Timeout}
+	)
+	start := time.Now()
+	for w := 0; w < cfg.Concurrency; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			r := rng.Derive(cfg.Seed, uint64(w))
+			for {
+				if ctx.Err() != nil {
+					return
+				}
+				mu.Lock()
+				if issued >= cfg.Requests {
+					mu.Unlock()
+					return
+				}
+				issued++
+				mu.Unlock()
+
+				kind := kinds[r.Weighted(weights)]
+				status, lat, err := issueRequest(ctx, httpCli, cfg, schema, kind, r)
+				mu.Lock()
+				report.Requests++
+				report.ByKind[kind]++
+				if err != nil {
+					report.TransportErrors++
+					report.ByStatus[0]++
+				} else {
+					report.ByStatus[status]++
+					lats = append(lats, lat)
+				}
+				mu.Unlock()
+			}
+		}(w)
+	}
+	wg.Wait()
+	report.Elapsed = time.Since(start)
+	if len(lats) > 0 {
+		sort.Float64s(lats)
+		report.P50 = percentile(lats, 0.50)
+		report.P95 = percentile(lats, 0.95)
+		report.P99 = percentile(lats, 0.99)
+		report.MaxMS = lats[len(lats)-1]
+	}
+	return report, nil
+}
+
+func percentile(sorted []float64, p float64) float64 {
+	i := int(math.Ceil(p*float64(len(sorted)))) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+func fetchSchema(ctx context.Context, base string, timeout time.Duration) (*SchemaResponse, error) {
+	cli := &http.Client{Timeout: timeout}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/v1/schema", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := cli.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		raw, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return nil, fmt.Errorf("schema returned %d: %s", resp.StatusCode, raw)
+	}
+	var s SchemaResponse
+	if err := json.NewDecoder(resp.Body).Decode(&s); err != nil {
+		return nil, err
+	}
+	if len(s.Features) == 0 {
+		return nil, fmt.Errorf("schema has no features")
+	}
+	return &s, nil
+}
+
+// sampleRow draws one feature row uniformly within the schema ranges,
+// rounding integer-typed features.
+func sampleRow(schema *SchemaResponse, r *rng.Rand) []float64 {
+	row := make([]float64, len(schema.Features))
+	for j, f := range schema.Features {
+		v := r.Uniform(f.Min, f.Max)
+		if f.Integer {
+			v = math.Round(v)
+		}
+		row[j] = v
+	}
+	return row
+}
+
+func issueRequest(ctx context.Context, cli *http.Client, cfg LoadConfig, schema *SchemaResponse, kind string, r *rng.Rand) (status int, latMS float64, err error) {
+	var method, path string
+	var payload interface{}
+	switch kind {
+	case "predict":
+		rows := make([][]float64, cfg.Rows)
+		for i := range rows {
+			rows[i] = sampleRow(schema, r)
+		}
+		method, path, payload = http.MethodPost, "/v1/predict", PredictRequest{Rows: rows}
+	case "ale":
+		method, path = http.MethodPost, "/v1/ale"
+		payload = ALERequest{
+			Feature: r.Intn(len(schema.Features)),
+			Class:   r.Intn(max(1, len(schema.Classes))),
+		}
+	case "regions":
+		method, path, payload = http.MethodPost, "/v1/regions", RegionsRequest{}
+	default:
+		method, path = http.MethodGet, "/healthz"
+	}
+	var body io.Reader
+	if payload != nil {
+		raw, merr := json.Marshal(payload)
+		if merr != nil {
+			return 0, 0, merr
+		}
+		body = bytes.NewReader(raw)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, cfg.Base+path, body)
+	if err != nil {
+		return 0, 0, err
+	}
+	if payload != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	start := time.Now()
+	resp, err := cli.Do(req)
+	if err != nil {
+		return 0, 0, err
+	}
+	_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<20))
+	resp.Body.Close()
+	return resp.StatusCode, float64(time.Since(start).Microseconds()) / 1000, nil
+}

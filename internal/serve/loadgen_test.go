@@ -1,0 +1,95 @@
+package serve
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"github.com/netml/alefb/internal/testutil"
+)
+
+// TestSoakUnderLoad is the soak half of the chaos suite: a deterministic
+// closed-loop load (mixed predict/ALE/regions/health) against a live
+// server with a small admission queue. Every request must be answered
+// with either success or a clean shed — no transport errors, no stray
+// statuses — and tearing the server down afterwards must leak nothing.
+func TestSoakUnderLoad(t *testing.T) {
+	defer testutil.LeakCheck(t)()
+	s := newTestServer(t, func(c *Config) {
+		c.MaxInFlight = 4
+		c.MaxQueue = 4
+	})
+	ts := httptest.NewServer(s.Handler())
+
+	report, err := RunLoad(context.Background(), LoadConfig{
+		Base:        ts.URL,
+		Concurrency: 8,
+		Requests:    200,
+		Rows:        8,
+		Seed:        42,
+		Timeout:     30 * time.Second,
+	})
+	ts.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Requests != 200 {
+		t.Fatalf("issued %d requests, want 200", report.Requests)
+	}
+	if report.TransportErrors != 0 {
+		t.Fatalf("%d transport errors under soak", report.TransportErrors)
+	}
+	total := 0
+	for status, n := range report.ByStatus {
+		total += n
+		switch status {
+		case http.StatusOK, http.StatusTooManyRequests:
+		default:
+			t.Fatalf("unexpected status %d (%d times) under soak:\n%s", status, n, report)
+		}
+	}
+	if total != 200 {
+		t.Fatalf("statuses account for %d of 200:\n%s", total, report)
+	}
+	if report.ByStatus[http.StatusOK] == 0 {
+		t.Fatalf("no successes under soak:\n%s", report)
+	}
+	if report.ByKind["predict"] == 0 || report.ByKind["health"] == 0 {
+		t.Fatalf("mix did not exercise all kinds:\n%s", report)
+	}
+}
+
+// TestLoadMixDeterministic checks the generator side: with a fixed seed
+// the per-worker request-kind sequence is reproducible.
+func TestLoadMixDeterministic(t *testing.T) {
+	s := newTestServer(t, nil)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	run := func() map[string]int {
+		report, err := RunLoad(context.Background(), LoadConfig{
+			Base: ts.URL, Concurrency: 1, Requests: 40, Seed: 7,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return report.ByKind
+	}
+	a, b := run(), run()
+	for k, n := range a {
+		if b[k] != n {
+			t.Fatalf("kind mix diverged for seed 7: %v vs %v", a, b)
+		}
+	}
+}
+
+func TestLoadFailsFastWithoutServer(t *testing.T) {
+	_, err := RunLoad(context.Background(), LoadConfig{
+		Base: "http://127.0.0.1:1", Requests: 5, Timeout: time.Second,
+	})
+	if err == nil {
+		t.Fatal("expected schema fetch failure against a dead server")
+	}
+}

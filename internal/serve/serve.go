@@ -1,0 +1,827 @@
+// Package serve is the network-facing front end of the interpretable
+// feedback system: a stdlib-only HTTP service exposing batch prediction,
+// ALE interpretation, disagreement regions and operator-triggered
+// retraining over the hardened execution layer.
+//
+// Robustness is the design headline, mirroring the degradation policy of
+// core.RunLoopCtx one layer up:
+//
+//   - Reads always hit the last-good snapshot. The served ensemble, its
+//     training data and a version live in one immutable Snapshot behind an
+//     atomic pointer; a retrain builds a complete replacement off to the
+//     side and publishes it with a single store, so a failed or in-flight
+//     retrain can never tear or taint what /v1/predict sees.
+//   - Load is shed, not queued. A bounded admission queue fronts every
+//     /v1 endpoint; once it is full the server answers 429 with
+//     Retry-After instead of stacking goroutines.
+//   - Failures are isolated and structured. Handler panics are recovered
+//     into *parallel.PanicError and rendered as JSON error envelopes; a
+//     5xx without a machine-readable body is a bug the chaos suite hunts.
+//   - Retrains degrade, never corrupt. A failed retrain keeps the previous
+//     snapshot, marks the service degraded (surfaced in /readyz exactly
+//     like LoopResult.Degraded/DegradedReason), and feeds a circuit
+//     breaker that sheds further retrains while the model search is
+//     evidently unhealthy, half-opening on a timer to probe recovery.
+//   - Shutdown drains. The server stops accepting connections and waits
+//     for in-flight requests; the chaos suite checks zero goroutines leak.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net"
+	"net/http"
+	"runtime/debug"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"github.com/netml/alefb/internal/automl"
+	"github.com/netml/alefb/internal/core"
+	"github.com/netml/alefb/internal/data"
+	"github.com/netml/alefb/internal/faultinject"
+	"github.com/netml/alefb/internal/interpret"
+	"github.com/netml/alefb/internal/metrics"
+	"github.com/netml/alefb/internal/parallel"
+)
+
+// Config controls one Server.
+type Config struct {
+	// AutoML is the search configuration used by Bootstrap and every
+	// retrain. Retrain requests may override Seed and MaxCandidates.
+	AutoML automl.Config
+	// Feedback is the base configuration for /v1/ale and /v1/regions
+	// (method, grid resolution, workers). Requests may override Bins and
+	// Threshold.
+	Feedback core.Config
+	// MaxInFlight bounds concurrently executing /v1 requests (default 64).
+	MaxInFlight int
+	// MaxQueue bounds requests waiting for an execution slot; arrivals
+	// beyond it are shed with 429 (default 2*MaxInFlight).
+	MaxQueue int
+	// RequestTimeout is the per-request deadline for read endpoints
+	// (default 10s).
+	RequestTimeout time.Duration
+	// RetrainTimeout is the per-attempt deadline for /v1/retrain
+	// (default 5m). A retrain that exceeds it fails like any other
+	// retrain failure: last-good keeps serving, the breaker counts it.
+	RetrainTimeout time.Duration
+	// MaxBodyBytes bounds request bodies (default 8 MiB).
+	MaxBodyBytes int64
+	// MaxBatchRows bounds the rows of one predict/retrain request
+	// (default 4096).
+	MaxBatchRows int
+	// BreakerThreshold is the consecutive retrain failures that trip the
+	// circuit breaker (default 3).
+	BreakerThreshold int
+	// BreakerCooldown is how long the tripped breaker sheds retrains
+	// before half-opening a probe (default 30s).
+	BreakerCooldown time.Duration
+	// Log, when non-nil, receives one line per notable server event
+	// (publishes, degradations, recovered panics).
+	Log io.Writer
+	// Fault is the test-only fault injector; nil injects nothing.
+	Fault *faultinject.Injector
+
+	// now is the clock used by the breaker and uptime reporting;
+	// tests override it. nil means time.Now.
+	now func() time.Time
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = 64
+	}
+	if c.MaxQueue <= 0 {
+		c.MaxQueue = 2 * c.MaxInFlight
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 10 * time.Second
+	}
+	if c.RetrainTimeout <= 0 {
+		c.RetrainTimeout = 5 * time.Minute
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 8 << 20
+	}
+	if c.MaxBatchRows <= 0 {
+		c.MaxBatchRows = 4096
+	}
+	if c.BreakerThreshold <= 0 {
+		c.BreakerThreshold = 3
+	}
+	if c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = 30 * time.Second
+	}
+	if c.now == nil {
+		c.now = time.Now
+	}
+	return c
+}
+
+// Server is the HTTP inference/feedback service.
+type Server struct {
+	cfg     Config
+	reg     registry
+	breaker *Breaker
+	admit   *admission
+
+	// degraded holds the reason the service is serving a stale snapshot,
+	// nil while healthy. It is set by failed retrains and cleared by the
+	// next successful publish — the serving-layer twin of
+	// core.LoopResult.Degraded/DegradedReason.
+	degraded atomic.Pointer[string]
+
+	// seq numbers /v1 requests in admission order; it keys the HTTP
+	// fault-injection points.
+	seq atomic.Int64
+	// retrains counts retrain attempts that actually ran (1-based); it
+	// keys retrain fault injection. Breaker-shed and conflicting requests
+	// do not consume attempt numbers, keeping the keying deterministic.
+	retrains atomic.Int64
+	// retrainBusy single-flights retrains: concurrent triggers get 409.
+	retrainBusy atomic.Bool
+
+	started time.Time
+	handler http.Handler
+	httpSrv *http.Server
+}
+
+// New builds a Server. The service starts without a snapshot: /healthz
+// answers immediately, /readyz and the /v1 endpoints report unavailable
+// until Bootstrap or Install publishes a model.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:     cfg,
+		breaker: NewBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown, cfg.now),
+		admit:   newAdmission(cfg.MaxInFlight, cfg.MaxQueue),
+		started: cfg.now(),
+	}
+	mux := http.NewServeMux()
+	mux.Handle("GET /healthz", s.guard(false, s.handleHealthz))
+	mux.Handle("GET /readyz", s.guard(false, s.handleReadyz))
+	mux.Handle("GET /v1/schema", s.guard(true, s.handleSchema))
+	mux.Handle("POST /v1/predict", s.guard(true, s.handlePredict))
+	mux.Handle("POST /v1/ale", s.guard(true, s.handleALE))
+	mux.Handle("POST /v1/regions", s.guard(true, s.handleRegions))
+	mux.Handle("POST /v1/retrain", s.guard(true, s.handleRetrain))
+	s.handler = mux
+	s.httpSrv = &http.Server{Handler: mux, ReadHeaderTimeout: 10 * time.Second}
+	return s
+}
+
+// Bootstrap trains the initial ensemble on train and publishes snapshot
+// version 1. Like round 1 of core.RunLoopCtx, a bootstrap failure is
+// fatal — there is no previous state to degrade to.
+func (s *Server) Bootstrap(ctx context.Context, train *data.Dataset) error {
+	ens, err := automl.RunCtx(ctx, train, s.cfg.AutoML)
+	if err != nil {
+		return fmt.Errorf("serve: bootstrap: %w", err)
+	}
+	s.Install(ens, train)
+	return nil
+}
+
+// Install publishes a ready-made ensemble and its training data as the
+// next snapshot, clearing any degraded state, and returns the new
+// version. It is the programmatic publish path for tools and tests that
+// train out-of-process.
+func (s *Server) Install(ens *automl.Ensemble, train *data.Dataset) int64 {
+	next := &Snapshot{
+		Ensemble: ens,
+		Train:    train,
+		Version:  s.reg.NextVersion(),
+		ValScore: ens.ValScore,
+	}
+	s.reg.Publish(next)
+	s.degraded.Store(nil)
+	s.logf("serve: published snapshot v%d (%d members, val %.3f, %d rows)",
+		next.Version, len(ens.Members), ens.ValScore, train.Len())
+	return next.Version
+}
+
+// Handler returns the root handler (for tests and embedding).
+func (s *Server) Handler() http.Handler { return s.handler }
+
+// Serve accepts connections on l until Shutdown. It returns nil after a
+// clean shutdown.
+func (s *Server) Serve(l net.Listener) error {
+	err := s.httpSrv.Serve(l)
+	if errors.Is(err, http.ErrServerClosed) {
+		return nil
+	}
+	return err
+}
+
+// ListenAndServe listens on addr and calls Serve.
+func (s *Server) ListenAndServe(addr string) error {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(l)
+}
+
+// Shutdown gracefully stops the server: no new connections are accepted
+// and in-flight requests are drained until ctx expires.
+func (s *Server) Shutdown(ctx context.Context) error {
+	return s.httpSrv.Shutdown(ctx)
+}
+
+func (s *Server) logf(format string, args ...interface{}) {
+	if s.cfg.Log != nil {
+		fmt.Fprintf(s.cfg.Log, format+"\n", args...)
+	}
+}
+
+// --- error envelope -------------------------------------------------------
+
+// ErrorDetail is the machine-readable error payload. Code is a stable
+// short string clients can switch on; Message is human-readable.
+type ErrorDetail struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+	Status  int    `json:"status"`
+}
+
+// ErrorBody is the JSON envelope of every non-2xx /v1 response: the
+// structured-error invariant the chaos suite enforces.
+type ErrorBody struct {
+	Error ErrorDetail `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, code, msg string) {
+	writeJSON(w, status, ErrorBody{Error: ErrorDetail{Code: code, Message: msg, Status: status}})
+}
+
+// statusWriter records whether a handler already wrote, so the panic
+// middleware knows whether a structured 500 can still be sent.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	wrote  bool
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if !w.wrote {
+		w.wrote, w.status = true, code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if !w.wrote {
+		w.wrote, w.status = true, http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+// --- middleware -----------------------------------------------------------
+
+// guard wraps a handler with the protection chain. Every handler gets
+// panic isolation and a body-size limit; admitted (/v1) handlers
+// additionally get a sequence number, fault-injection points, bounded
+// admission with load shedding, and a per-request deadline. Health
+// endpoints bypass admission so readiness stays observable under
+// overload — exactly when an operator needs it.
+func (s *Server) guard(admitted bool, h func(http.ResponseWriter, *http.Request)) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		sw := &statusWriter{ResponseWriter: w}
+		defer func() {
+			if v := recover(); v != nil {
+				perr := &parallel.PanicError{Value: v, Stack: debug.Stack()}
+				s.logf("serve: panic in %s %s: %v", r.Method, r.URL.Path, perr.Value)
+				if !sw.wrote {
+					writeError(sw, http.StatusInternalServerError, "panic",
+						fmt.Sprintf("handler panicked: %v", perr.Value))
+				}
+			}
+		}()
+		r.Body = http.MaxBytesReader(sw, r.Body, s.cfg.MaxBodyBytes)
+		if admitted {
+			seq := int(s.seq.Add(1) - 1)
+			switch s.cfg.Fault.HTTPFault(seq) {
+			case faultinject.Panic:
+				panic(fmt.Sprintf("faultinject: injected handler panic (seq %d)", seq))
+			case faultinject.Error:
+				writeError(sw, http.StatusInternalServerError, "injected",
+					fmt.Sprintf("faultinject: injected 5xx (seq %d)", seq))
+				return
+			}
+			ok, shed := s.admit.acquire(r.Context())
+			if shed {
+				sw.Header().Set("Retry-After", "1")
+				writeError(sw, http.StatusTooManyRequests, "overloaded",
+					fmt.Sprintf("admission queue full (%d in flight, %d queued)",
+						s.admit.inFlight(), s.admit.queued()))
+				return
+			}
+			if !ok {
+				// Client went away while queued; nothing useful to write.
+				return
+			}
+			defer s.admit.release()
+			// Injected latency models slow handler work, so it runs while
+			// holding the admission slot — that's what lets the chaos suite
+			// fill the queue deterministically.
+			if d := s.cfg.Fault.HTTPLatency(seq); d > 0 {
+				time.Sleep(d)
+			}
+			ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+			defer cancel()
+			r = r.WithContext(ctx)
+		}
+		h(sw, r)
+	})
+}
+
+// decodeJSON reads and decodes the request body, writing the appropriate
+// structured error (413 for oversized bodies, 400 otherwise) on failure.
+func decodeJSON(w http.ResponseWriter, r *http.Request, v interface{}) bool {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		var maxErr *http.MaxBytesError
+		if errors.As(err, &maxErr) {
+			writeError(w, http.StatusRequestEntityTooLarge, "body_too_large",
+				fmt.Sprintf("request body exceeds %d bytes", maxErr.Limit))
+		} else {
+			writeError(w, http.StatusBadRequest, "bad_request", err.Error())
+		}
+		return false
+	}
+	return true
+}
+
+// currentSnapshot loads the published snapshot or writes the 503
+// unavailable envelope (with Retry-After: the model may just be
+// bootstrapping).
+func (s *Server) currentSnapshot(w http.ResponseWriter) (*Snapshot, bool) {
+	snap := s.reg.Current()
+	if snap == nil {
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, "unavailable", "no model snapshot published yet")
+		return nil, false
+	}
+	return snap, true
+}
+
+// --- health ---------------------------------------------------------------
+
+// HealthResponse is the /healthz payload: process liveness only.
+type HealthResponse struct {
+	Status   string `json:"status"`
+	UptimeMS int64  `json:"uptime_ms"`
+	Requests int64  `json:"requests"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, HealthResponse{
+		Status:   "ok",
+		UptimeMS: s.cfg.now().Sub(s.started).Milliseconds(),
+		Requests: s.seq.Load(),
+	})
+}
+
+// ReadyResponse is the /readyz payload. Status is "ready" when serving a
+// current snapshot, "degraded" when serving a stale last-good snapshot
+// after a failed retrain (DegradedReason says why), and "unavailable"
+// (with HTTP 503) before any snapshot exists.
+type ReadyResponse struct {
+	Status         string  `json:"status"`
+	Version        int64   `json:"version"`
+	Members        int     `json:"members"`
+	ValScore       float64 `json:"val_score"`
+	TrainRows      int     `json:"train_rows"`
+	Breaker        string  `json:"breaker"`
+	DegradedReason string  `json:"degraded_reason,omitempty"`
+	InFlight       int     `json:"in_flight"`
+	Queued         int     `json:"queued"`
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	resp := ReadyResponse{
+		Breaker:  s.breaker.State().String(),
+		InFlight: s.admit.inFlight(),
+		Queued:   s.admit.queued(),
+	}
+	snap := s.reg.Current()
+	if snap == nil {
+		resp.Status = "unavailable"
+		writeJSON(w, http.StatusServiceUnavailable, resp)
+		return
+	}
+	resp.Status = "ready"
+	if reason := s.degraded.Load(); reason != nil {
+		resp.Status = "degraded"
+		resp.DegradedReason = *reason
+	}
+	resp.Version = snap.Version
+	resp.Members = len(snap.Ensemble.Members)
+	resp.ValScore = snap.ValScore
+	resp.TrainRows = snap.Train.Len()
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// --- schema ---------------------------------------------------------------
+
+// SchemaFeature describes one input feature to clients (loadgen samples
+// rows from these ranges).
+type SchemaFeature struct {
+	Name    string  `json:"name"`
+	Min     float64 `json:"min"`
+	Max     float64 `json:"max"`
+	Integer bool    `json:"integer"`
+}
+
+// SchemaResponse is the /v1/schema payload.
+type SchemaResponse struct {
+	Version  int64           `json:"version"`
+	Features []SchemaFeature `json:"features"`
+	Classes  []string        `json:"classes"`
+}
+
+func (s *Server) handleSchema(w http.ResponseWriter, _ *http.Request) {
+	snap, ok := s.currentSnapshot(w)
+	if !ok {
+		return
+	}
+	resp := SchemaResponse{Version: snap.Version, Classes: snap.Train.Schema.Classes}
+	for _, f := range snap.Train.Schema.Features {
+		resp.Features = append(resp.Features, SchemaFeature{Name: f.Name, Min: f.Min, Max: f.Max, Integer: f.Integer})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// --- predict --------------------------------------------------------------
+
+// PredictRequest is the /v1/predict payload: a batch of feature rows.
+type PredictRequest struct {
+	Rows [][]float64 `json:"rows"`
+}
+
+// PredictResponse returns per-row class probabilities and argmax labels,
+// plus the snapshot version that produced them so clients can correlate
+// predictions across a retrain.
+type PredictResponse struct {
+	Version int64       `json:"version"`
+	Classes []string    `json:"classes"`
+	Labels  []int       `json:"labels"`
+	Proba   [][]float64 `json:"proba"`
+}
+
+// validateRows checks a batch of rows against the snapshot schema: row
+// count bound, width, and finiteness (the same boundary data.ReadCSV
+// enforces — a NaN row would silently poison every distance and split
+// downstream).
+func (s *Server) validateRows(w http.ResponseWriter, snap *Snapshot, rows [][]float64) bool {
+	if len(rows) == 0 {
+		writeError(w, http.StatusBadRequest, "bad_request", "rows must not be empty")
+		return false
+	}
+	if len(rows) > s.cfg.MaxBatchRows {
+		writeError(w, http.StatusBadRequest, "batch_too_large",
+			fmt.Sprintf("%d rows exceed the %d-row batch limit", len(rows), s.cfg.MaxBatchRows))
+		return false
+	}
+	nf := snap.Train.Schema.NumFeatures()
+	for i, row := range rows {
+		if len(row) != nf {
+			writeError(w, http.StatusBadRequest, "bad_request",
+				fmt.Sprintf("row %d has %d features, schema has %d", i, len(row), nf))
+			return false
+		}
+		for j, v := range row {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				writeError(w, http.StatusBadRequest, "non_finite",
+					fmt.Sprintf("row %d column %d is not finite", i, j))
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	var req PredictRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	snap, ok := s.currentSnapshot(w)
+	if !ok {
+		return
+	}
+	if !s.validateRows(w, snap, req.Rows) {
+		return
+	}
+	k := snap.Ensemble.NumClasses
+	backing := make([]float64, len(req.Rows)*k)
+	proba := make([][]float64, len(req.Rows))
+	for i := range proba {
+		proba[i] = backing[i*k : (i+1)*k : (i+1)*k]
+	}
+	snap.Ensemble.PredictProbaBatchInto(req.Rows, proba)
+	labels := make([]int, len(req.Rows))
+	for i := range labels {
+		labels[i] = metrics.Argmax(proba[i])
+	}
+	writeJSON(w, http.StatusOK, PredictResponse{
+		Version: snap.Version,
+		Classes: snap.Train.Schema.Classes,
+		Labels:  labels,
+		Proba:   proba,
+	})
+}
+
+// --- ale ------------------------------------------------------------------
+
+// ALERequest selects a feature (by index, or by name when Name is set),
+// a class probability output, and an optional grid resolution.
+type ALERequest struct {
+	Feature int    `json:"feature"`
+	Name    string `json:"name,omitempty"`
+	Class   int    `json:"class"`
+	Bins    int    `json:"bins,omitempty"`
+}
+
+// ALEResponse is the committee interpretation of one feature: the shared
+// grid, the cross-model mean effect, and the per-point disagreement (the
+// paper's feedback signal).
+type ALEResponse struct {
+	Version int64     `json:"version"`
+	Feature int       `json:"feature"`
+	Name    string    `json:"name"`
+	Class   int       `json:"class"`
+	Method  string    `json:"method"`
+	Grid    []float64 `json:"grid"`
+	Mean    []float64 `json:"mean"`
+	Std     []float64 `json:"std"`
+}
+
+func (s *Server) handleALE(w http.ResponseWriter, r *http.Request) {
+	var req ALERequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	snap, ok := s.currentSnapshot(w)
+	if !ok {
+		return
+	}
+	schema := snap.Train.Schema
+	j := req.Feature
+	if req.Name != "" {
+		if j = schema.FeatureIndex(req.Name); j < 0 {
+			writeError(w, http.StatusBadRequest, "unknown_feature",
+				fmt.Sprintf("no feature named %q", req.Name))
+			return
+		}
+	}
+	if j < 0 || j >= schema.NumFeatures() {
+		writeError(w, http.StatusBadRequest, "bad_request",
+			fmt.Sprintf("feature %d out of range [0, %d)", j, schema.NumFeatures()))
+		return
+	}
+	if req.Class < 0 || req.Class >= schema.NumClasses() {
+		writeError(w, http.StatusBadRequest, "bad_request",
+			fmt.Sprintf("class %d out of range [0, %d)", req.Class, schema.NumClasses()))
+		return
+	}
+	opts := interpret.Options{Bins: req.Bins, Class: req.Class, Workers: s.cfg.Feedback.Workers}
+	if opts.Bins <= 0 {
+		opts.Bins = s.cfg.Feedback.Bins
+	}
+	cc, err := interpret.CommitteeCtx(r.Context(), snap.Ensemble.Models(), snap.Train, j, s.cfg.Feedback.Method, opts)
+	if err != nil {
+		s.writeComputeError(w, err, "ale")
+		return
+	}
+	writeJSON(w, http.StatusOK, ALEResponse{
+		Version: snap.Version,
+		Feature: j,
+		Name:    schema.Features[j].Name,
+		Class:   req.Class,
+		Method:  s.cfg.Feedback.Method.String(),
+		Grid:    cc.Grid,
+		Mean:    cc.Mean,
+		Std:     cc.Std,
+	})
+}
+
+// writeComputeError maps interpretation/feedback errors to structured
+// responses: deadline expiry is 504, a constant feature is a client-side
+// 422, everything else a 500.
+func (s *Server) writeComputeError(w http.ResponseWriter, err error, what string) {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled):
+		writeError(w, http.StatusGatewayTimeout, "deadline",
+			fmt.Sprintf("%s computation exceeded the request deadline", what))
+	case errors.Is(err, interpret.ErrConstantFeature):
+		writeError(w, http.StatusUnprocessableEntity, "constant_feature", err.Error())
+	default:
+		writeError(w, http.StatusInternalServerError, what+"_failed", err.Error())
+	}
+}
+
+// --- regions --------------------------------------------------------------
+
+// RegionsRequest configures a disagreement-region query. Zero values keep
+// the server's feedback defaults (median-heuristic threshold).
+type RegionsRequest struct {
+	Bins      int     `json:"bins,omitempty"`
+	Threshold float64 `json:"threshold,omitempty"`
+}
+
+// RegionInterval is one flagged range of one feature.
+type RegionInterval struct {
+	Lo float64 `json:"lo"`
+	Hi float64 `json:"hi"`
+}
+
+// RegionFeature is the per-feature analysis: where the committee
+// disagrees and how much.
+type RegionFeature struct {
+	Feature   int              `json:"feature"`
+	Name      string           `json:"name"`
+	PeakStd   float64          `json:"peak_std"`
+	Threshold float64          `json:"threshold"`
+	Flagged   bool             `json:"flagged"`
+	Intervals []RegionInterval `json:"intervals,omitempty"`
+}
+
+// RegionsResponse is the full disagreement analysis plus the paper's
+// operator-facing explanation text.
+type RegionsResponse struct {
+	Version   int64           `json:"version"`
+	Method    string          `json:"method"`
+	Threshold float64         `json:"threshold"`
+	Features  []RegionFeature `json:"features"`
+	Explain   string          `json:"explain"`
+}
+
+func (s *Server) handleRegions(w http.ResponseWriter, r *http.Request) {
+	var req RegionsRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	snap, ok := s.currentSnapshot(w)
+	if !ok {
+		return
+	}
+	cfg := s.cfg.Feedback
+	if req.Bins > 0 {
+		cfg.Bins = req.Bins
+	}
+	if req.Threshold > 0 {
+		cfg.Threshold = req.Threshold
+	}
+	fb, err := core.ComputeCtx(r.Context(), core.WithinCommittee(snap.Ensemble), snap.Train, cfg)
+	if err != nil {
+		s.writeComputeError(w, err, "regions")
+		return
+	}
+	resp := RegionsResponse{
+		Version:   snap.Version,
+		Method:    fb.Method.String(),
+		Threshold: fb.Threshold,
+		Explain:   fb.Explain(),
+	}
+	for _, fa := range fb.Analyses {
+		rf := RegionFeature{
+			Feature:   fa.Feature,
+			Name:      fa.Name,
+			PeakStd:   fa.PeakStd,
+			Threshold: fa.Threshold,
+			Flagged:   fa.Flagged(),
+		}
+		for _, iv := range fa.Intervals {
+			rf.Intervals = append(rf.Intervals, RegionInterval{Lo: iv.Lo, Hi: iv.Hi})
+		}
+		resp.Features = append(resp.Features, rf)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// --- retrain --------------------------------------------------------------
+
+// RetrainRequest triggers a retrain on the current training set plus the
+// optional newly labelled rows — the operator's "label the suggested
+// points, retrain" step from the paper's feedback loop.
+type RetrainRequest struct {
+	Rows          [][]float64 `json:"rows,omitempty"`
+	Labels        []int       `json:"labels,omitempty"`
+	Seed          *uint64     `json:"seed,omitempty"`
+	MaxCandidates int         `json:"max_candidates,omitempty"`
+}
+
+// RetrainResponse reports the published snapshot after a successful
+// retrain.
+type RetrainResponse struct {
+	Version   int64   `json:"version"`
+	ValScore  float64 `json:"val_score"`
+	Members   int     `json:"members"`
+	Evaluated int     `json:"evaluated"`
+	TrainRows int     `json:"train_rows"`
+	Attempt   int64   `json:"attempt"`
+}
+
+func (s *Server) handleRetrain(w http.ResponseWriter, r *http.Request) {
+	var req RetrainRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	snap, ok := s.currentSnapshot(w)
+	if !ok {
+		return
+	}
+	if len(req.Rows) != len(req.Labels) {
+		writeError(w, http.StatusBadRequest, "bad_request",
+			fmt.Sprintf("%d rows but %d labels", len(req.Rows), len(req.Labels)))
+		return
+	}
+	if len(req.Rows) > s.cfg.MaxBatchRows {
+		writeError(w, http.StatusBadRequest, "batch_too_large",
+			fmt.Sprintf("%d rows exceed the %d-row batch limit", len(req.Rows), s.cfg.MaxBatchRows))
+		return
+	}
+	// Build the new training set off to the side; validation errors are
+	// the client's, and must neither touch the served snapshot nor count
+	// against the breaker.
+	newTrain := snap.Train.Clone()
+	for i, row := range req.Rows {
+		if err := newTrain.AppendRow(row, req.Labels[i]); err != nil {
+			writeError(w, http.StatusBadRequest, "bad_request", fmt.Sprintf("row %d: %v", i, err))
+			return
+		}
+	}
+	if !s.retrainBusy.CompareAndSwap(false, true) {
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusConflict, "retrain_in_progress", "another retrain is already running")
+		return
+	}
+	defer s.retrainBusy.Store(false)
+	if ok, retryAfter := s.breaker.Allow(); !ok {
+		secs := int(retryAfter/time.Second) + 1
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
+		writeError(w, http.StatusServiceUnavailable, "breaker_open",
+			fmt.Sprintf("retrain circuit breaker is open; retry in %ds", secs))
+		return
+	}
+
+	attempt := s.retrains.Add(1)
+	mlCfg := s.cfg.AutoML
+	// Mirror core.RunLoopCtx's per-round seed derivation so repeated
+	// retrains explore fresh search randomness deterministically.
+	mlCfg.Seed = s.cfg.AutoML.Seed + uint64(attempt)*131
+	if req.Seed != nil {
+		mlCfg.Seed = *req.Seed
+	}
+	if req.MaxCandidates > 0 {
+		mlCfg.MaxCandidates = req.MaxCandidates
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RetrainTimeout)
+	defer cancel()
+
+	var ens *automl.Ensemble
+	var err error
+	if s.cfg.Fault.RetrainFails(int(attempt)) {
+		err = faultinject.ErrInjected
+	} else {
+		ens, err = automl.RunCtx(ctx, newTrain, mlCfg)
+	}
+	if err != nil {
+		if errors.Is(err, context.Canceled) {
+			// The client went away; that is not a model failure, so it
+			// neither degrades the service nor counts against the breaker.
+			writeError(w, http.StatusInternalServerError, "retrain_canceled", "retrain canceled by client")
+			return
+		}
+		s.breaker.Failure()
+		reason := fmt.Sprintf("retrain %d failed: %v", attempt, err)
+		s.degraded.Store(&reason)
+		s.logf("serve: degraded, keeping snapshot v%d: %s", snap.Version, reason)
+		writeError(w, http.StatusInternalServerError, "retrain_failed",
+			fmt.Sprintf("%s; still serving snapshot v%d", reason, snap.Version))
+		return
+	}
+	s.breaker.Success()
+	version := s.Install(ens, newTrain)
+	writeJSON(w, http.StatusOK, RetrainResponse{
+		Version:   version,
+		ValScore:  ens.ValScore,
+		Members:   len(ens.Members),
+		Evaluated: ens.Evaluated,
+		TrainRows: newTrain.Len(),
+		Attempt:   attempt,
+	})
+}

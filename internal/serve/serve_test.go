@@ -1,0 +1,369 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"github.com/netml/alefb/internal/faultinject"
+)
+
+// doReq issues one request against a test server and returns status,
+// headers and body.
+func doReq(t *testing.T, method, url string, payload interface{}) (int, http.Header, []byte) {
+	t.Helper()
+	var body *bytes.Reader
+	if payload != nil {
+		raw, err := json.Marshal(payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body = bytes.NewReader(raw)
+	} else {
+		body = bytes.NewReader(nil)
+	}
+	req, err := http.NewRequest(method, url, body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, resp.Header, buf.Bytes()
+}
+
+// wantError asserts a structured error envelope with the given status and
+// code — the "no naked 5xx" invariant in assertable form.
+func wantError(t *testing.T, status int, raw []byte, wantStatus int, wantCode string) ErrorBody {
+	t.Helper()
+	if status != wantStatus {
+		t.Fatalf("status = %d, want %d (body %s)", status, wantStatus, raw)
+	}
+	var eb ErrorBody
+	if err := json.Unmarshal(raw, &eb); err != nil {
+		t.Fatalf("response is not a structured error envelope: %v (body %s)", err, raw)
+	}
+	if eb.Error.Code != wantCode || eb.Error.Status != wantStatus || eb.Error.Message == "" {
+		t.Fatalf("error = %+v, want code %q status %d", eb.Error, wantCode, wantStatus)
+	}
+	return eb
+}
+
+func TestHealthzAlwaysOK(t *testing.T) {
+	s := New(Config{}) // no snapshot at all
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	status, _, raw := doReq(t, http.MethodGet, ts.URL+"/healthz", nil)
+	if status != http.StatusOK {
+		t.Fatalf("healthz = %d: %s", status, raw)
+	}
+	var h HealthResponse
+	if err := json.Unmarshal(raw, &h); err != nil || h.Status != "ok" {
+		t.Fatalf("healthz body %s (err %v)", raw, err)
+	}
+}
+
+func TestReadyzUnavailableBeforeBootstrap(t *testing.T) {
+	s := New(Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	status, _, raw := doReq(t, http.MethodGet, ts.URL+"/readyz", nil)
+	if status != http.StatusServiceUnavailable {
+		t.Fatalf("readyz = %d, want 503", status)
+	}
+	var rr ReadyResponse
+	if err := json.Unmarshal(raw, &rr); err != nil || rr.Status != "unavailable" {
+		t.Fatalf("readyz body %s (err %v)", raw, err)
+	}
+	// /v1 endpoints answer 503 with the structured envelope.
+	status, hdr, raw := doReq(t, http.MethodPost, ts.URL+"/v1/predict", PredictRequest{Rows: [][]float64{{0.1, 0.2}}})
+	wantError(t, status, raw, http.StatusServiceUnavailable, "unavailable")
+	if hdr.Get("Retry-After") == "" {
+		t.Fatal("503 unavailable missing Retry-After")
+	}
+}
+
+func TestReadyzReady(t *testing.T) {
+	s := newTestServer(t, nil)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	status, _, raw := doReq(t, http.MethodGet, ts.URL+"/readyz", nil)
+	if status != http.StatusOK {
+		t.Fatalf("readyz = %d: %s", status, raw)
+	}
+	var rr ReadyResponse
+	if err := json.Unmarshal(raw, &rr); err != nil {
+		t.Fatal(err)
+	}
+	if rr.Status != "ready" || rr.Version != 1 || rr.Members == 0 || rr.TrainRows != 200 || rr.Breaker != "closed" {
+		t.Fatalf("readyz = %+v", rr)
+	}
+}
+
+func TestSchema(t *testing.T) {
+	s := newTestServer(t, nil)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	status, _, raw := doReq(t, http.MethodGet, ts.URL+"/v1/schema", nil)
+	if status != http.StatusOK {
+		t.Fatalf("schema = %d: %s", status, raw)
+	}
+	var sr SchemaResponse
+	if err := json.Unmarshal(raw, &sr); err != nil {
+		t.Fatal(err)
+	}
+	if len(sr.Features) != 2 || sr.Features[0].Name != "x0" || len(sr.Classes) != 2 {
+		t.Fatalf("schema = %+v", sr)
+	}
+}
+
+func TestPredictBatch(t *testing.T) {
+	s := newTestServer(t, nil)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	rows := [][]float64{{0.1, 0.5}, {0.9, 0.5}, {0.5, 0.5}}
+	status, _, raw := doReq(t, http.MethodPost, ts.URL+"/v1/predict", PredictRequest{Rows: rows})
+	if status != http.StatusOK {
+		t.Fatalf("predict = %d: %s", status, raw)
+	}
+	var pr PredictResponse
+	if err := json.Unmarshal(raw, &pr); err != nil {
+		t.Fatal(err)
+	}
+	if pr.Version != 1 || len(pr.Labels) != 3 || len(pr.Proba) != 3 {
+		t.Fatalf("predict = %+v", pr)
+	}
+	for i, p := range pr.Proba {
+		if len(p) != 2 {
+			t.Fatalf("row %d proba width %d", i, len(p))
+		}
+		sum := p[0] + p[1]
+		if sum < 0.999 || sum > 1.001 {
+			t.Fatalf("row %d proba sums to %v", i, sum)
+		}
+		if pr.Labels[i] != 0 && pr.Labels[i] != 1 {
+			t.Fatalf("row %d label %d", i, pr.Labels[i])
+		}
+	}
+	// Far from the band the model should be confident and correct.
+	if pr.Labels[0] != 0 || pr.Labels[1] != 1 {
+		t.Fatalf("labels = %v, want [0 1 _]", pr.Labels)
+	}
+}
+
+func TestPredictValidation(t *testing.T) {
+	s := newTestServer(t, func(c *Config) { c.MaxBatchRows = 4 })
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	cases := []struct {
+		name    string
+		payload interface{}
+		status  int
+		code    string
+	}{
+		{"empty", PredictRequest{}, http.StatusBadRequest, "bad_request"},
+		{"width", PredictRequest{Rows: [][]float64{{0.1}}}, http.StatusBadRequest, "bad_request"},
+		{"nan", map[string]interface{}{"rows": [][]interface{}{{0.1, "NaN"}}}, http.StatusBadRequest, "bad_request"},
+		{"toolarge", PredictRequest{Rows: [][]float64{{0, 0}, {0, 0}, {0, 0}, {0, 0}, {0, 0}}}, http.StatusBadRequest, "batch_too_large"},
+		{"unknownfield", map[string]interface{}{"rowz": 1}, http.StatusBadRequest, "bad_request"},
+	}
+	for _, tc := range cases {
+		status, _, raw := doReq(t, http.MethodPost, ts.URL+"/v1/predict", tc.payload)
+		wantError(t, status, raw, tc.status, tc.code)
+	}
+	// JSON can't carry NaN directly; exercise the finiteness check with a
+	// raw body using a huge exponent that parses to +Inf... it does not —
+	// encoding/json rejects it. Use a handcrafted large value instead:
+	// validate via in-process handler call on an Inf row.
+	rec := httptest.NewRecorder()
+	snap := s.reg.Current()
+	if s.validateRows(rec, snap, [][]float64{{1, fInf()}}) {
+		t.Fatal("validateRows accepted an infinite value")
+	}
+	var eb ErrorBody
+	if err := json.Unmarshal(rec.Body.Bytes(), &eb); err != nil || eb.Error.Code != "non_finite" {
+		t.Fatalf("inf row error = %s (err %v)", rec.Body.Bytes(), err)
+	}
+}
+
+func fInf() float64 { f := 1.0; return f / (f - 1) }
+
+func TestBodyTooLarge(t *testing.T) {
+	s := newTestServer(t, func(c *Config) { c.MaxBodyBytes = 256 })
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	rows := make([][]float64, 64)
+	for i := range rows {
+		rows[i] = []float64{0.123456789, 0.987654321}
+	}
+	status, _, raw := doReq(t, http.MethodPost, ts.URL+"/v1/predict", PredictRequest{Rows: rows})
+	wantError(t, status, raw, http.StatusRequestEntityTooLarge, "body_too_large")
+}
+
+func TestALEEndpoint(t *testing.T) {
+	s := newTestServer(t, nil)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	status, _, raw := doReq(t, http.MethodPost, ts.URL+"/v1/ale", ALERequest{Name: "x0", Class: 1, Bins: 8})
+	if status != http.StatusOK {
+		t.Fatalf("ale = %d: %s", status, raw)
+	}
+	var ar ALEResponse
+	if err := json.Unmarshal(raw, &ar); err != nil {
+		t.Fatal(err)
+	}
+	if ar.Feature != 0 || ar.Name != "x0" || len(ar.Grid) == 0 ||
+		len(ar.Grid) != len(ar.Mean) || len(ar.Mean) != len(ar.Std) {
+		t.Fatalf("ale = %+v", ar)
+	}
+	for i, sd := range ar.Std {
+		if sd < 0 {
+			t.Fatalf("std[%d] = %v < 0", i, sd)
+		}
+	}
+
+	// Validation errors.
+	status, _, raw = doReq(t, http.MethodPost, ts.URL+"/v1/ale", ALERequest{Name: "nope"})
+	wantError(t, status, raw, http.StatusBadRequest, "unknown_feature")
+	status, _, raw = doReq(t, http.MethodPost, ts.URL+"/v1/ale", ALERequest{Feature: 9})
+	wantError(t, status, raw, http.StatusBadRequest, "bad_request")
+	status, _, raw = doReq(t, http.MethodPost, ts.URL+"/v1/ale", ALERequest{Class: 7})
+	wantError(t, status, raw, http.StatusBadRequest, "bad_request")
+}
+
+func TestRegionsEndpoint(t *testing.T) {
+	s := newTestServer(t, nil)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	status, _, raw := doReq(t, http.MethodPost, ts.URL+"/v1/regions", RegionsRequest{Bins: 12})
+	if status != http.StatusOK {
+		t.Fatalf("regions = %d: %s", status, raw)
+	}
+	var rr RegionsResponse
+	if err := json.Unmarshal(raw, &rr); err != nil {
+		t.Fatal(err)
+	}
+	if len(rr.Features) != 2 || rr.Threshold <= 0 || rr.Explain == "" {
+		t.Fatalf("regions = %+v", rr)
+	}
+	for _, f := range rr.Features {
+		if f.Flagged && len(f.Intervals) == 0 {
+			t.Fatalf("feature %s flagged without intervals", f.Name)
+		}
+		for _, iv := range f.Intervals {
+			if iv.Lo > iv.Hi {
+				t.Fatalf("feature %s interval [%v, %v]", f.Name, iv.Lo, iv.Hi)
+			}
+		}
+	}
+}
+
+func TestRetrainSuccessBumpsVersion(t *testing.T) {
+	s := newTestServer(t, nil)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	req := RetrainRequest{
+		Rows:   [][]float64{{0.45, 0.5}, {0.55, 0.5}},
+		Labels: []int{0, 1},
+	}
+	status, _, raw := doReq(t, http.MethodPost, ts.URL+"/v1/retrain", req)
+	if status != http.StatusOK {
+		t.Fatalf("retrain = %d: %s", status, raw)
+	}
+	var rr RetrainResponse
+	if err := json.Unmarshal(raw, &rr); err != nil {
+		t.Fatal(err)
+	}
+	if rr.Version != 2 || rr.TrainRows != 202 || rr.Members == 0 {
+		t.Fatalf("retrain = %+v", rr)
+	}
+	// The fixture dataset itself must be untouched (retrain clones).
+	if got := fixTrain.Len(); got != 200 {
+		t.Fatalf("fixture dataset grew to %d rows", got)
+	}
+	// Version visible on subsequent reads.
+	status, _, raw = doReq(t, http.MethodPost, ts.URL+"/v1/predict", PredictRequest{Rows: [][]float64{{0.2, 0.2}}})
+	if status != http.StatusOK {
+		t.Fatalf("predict after retrain = %d", status)
+	}
+	var pr PredictResponse
+	if err := json.Unmarshal(raw, &pr); err != nil || pr.Version != 2 {
+		t.Fatalf("predict version = %+v (err %v)", pr, err)
+	}
+}
+
+func TestRetrainValidation(t *testing.T) {
+	s := newTestServer(t, func(c *Config) { c.MaxBatchRows = 8 })
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	// Mismatched rows/labels.
+	status, _, raw := doReq(t, http.MethodPost, ts.URL+"/v1/retrain",
+		RetrainRequest{Rows: [][]float64{{0.1, 0.2}}, Labels: []int{0, 1}})
+	wantError(t, status, raw, http.StatusBadRequest, "bad_request")
+	// A bad row must be rejected by the AppendRow boundary without
+	// touching the served snapshot or counting a retrain attempt.
+	status, _, raw = doReq(t, http.MethodPost, ts.URL+"/v1/retrain",
+		RetrainRequest{Rows: [][]float64{{0.1, 0.2}}, Labels: []int{9}})
+	eb := wantError(t, status, raw, http.StatusBadRequest, "bad_request")
+	if !strings.Contains(eb.Error.Message, "row 0") {
+		t.Fatalf("message %q does not locate the bad row", eb.Error.Message)
+	}
+	if got := s.retrains.Load(); got != 0 {
+		t.Fatalf("validation failure consumed retrain attempt %d", got)
+	}
+	if v := s.reg.Current().Version; v != 1 {
+		t.Fatalf("snapshot version = %d after rejected retrain", v)
+	}
+}
+
+func TestInjectedErrorAndPanicAreStructured(t *testing.T) {
+	s := newTestServer(t, func(c *Config) {
+		c.Fault = faultinject.New().
+			WithHTTPFault(0, faultinject.Error).
+			WithHTTPFault(1, faultinject.Panic)
+	})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	body := PredictRequest{Rows: [][]float64{{0.1, 0.2}}}
+
+	// seq 0: forced 5xx — must carry the structured envelope.
+	status, _, raw := doReq(t, http.MethodPost, ts.URL+"/v1/predict", body)
+	wantError(t, status, raw, http.StatusInternalServerError, "injected")
+
+	// seq 1: handler panic — recovered into a structured 500, and the
+	// server keeps serving afterwards.
+	status, _, raw = doReq(t, http.MethodPost, ts.URL+"/v1/predict", body)
+	eb := wantError(t, status, raw, http.StatusInternalServerError, "panic")
+	if !strings.Contains(eb.Error.Message, "injected handler panic") {
+		t.Fatalf("panic message %q", eb.Error.Message)
+	}
+
+	// seq 2: healthy again.
+	status, _, _ = doReq(t, http.MethodPost, ts.URL+"/v1/predict", body)
+	if status != http.StatusOK {
+		t.Fatalf("server did not recover after panic: %d", status)
+	}
+}
+
+func TestMethodNotAllowedAndNotFound(t *testing.T) {
+	s := newTestServer(t, nil)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	status, _, _ := doReq(t, http.MethodGet, ts.URL+"/v1/predict", nil)
+	if status != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /v1/predict = %d, want 405", status)
+	}
+	status, _, _ = doReq(t, http.MethodGet, ts.URL+"/nope", nil)
+	if status != http.StatusNotFound {
+		t.Fatalf("GET /nope = %d, want 404", status)
+	}
+}

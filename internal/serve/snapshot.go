@@ -1,0 +1,54 @@
+package serve
+
+import (
+	"sync/atomic"
+
+	"github.com/netml/alefb/internal/automl"
+	"github.com/netml/alefb/internal/data"
+)
+
+// Snapshot is one immutable published state of the model service: the
+// ensemble being served, the training data it was fitted on (the
+// background data for ALE/feedback queries), and a monotonically
+// increasing version. Snapshots are never mutated after publication —
+// readers load the pointer once and use every field from that one load,
+// so a concurrent retrain can never hand a request the ensemble of one
+// version and the background data of another (no torn reads).
+type Snapshot struct {
+	// Ensemble is the model committee served by /v1/predict and
+	// interpreted by /v1/ale and /v1/regions.
+	Ensemble *automl.Ensemble
+	// Train is the training set the ensemble was fitted on. It doubles as
+	// the background dataset for interpretation queries and as the base
+	// that /v1/retrain appends newly labelled rows to.
+	Train *data.Dataset
+	// Version counts publications, starting at 1 for the bootstrap model.
+	Version int64
+	// ValScore repeats the ensemble's holdout balanced accuracy.
+	ValScore float64
+}
+
+// registry is the atomic snapshot store. Readers pay one atomic load;
+// writers publish with one atomic store. The last-good contract of the
+// serving layer rests on a single rule: only a fully constructed snapshot
+// is ever stored, and a failed retrain stores nothing.
+type registry struct {
+	cur atomic.Pointer[Snapshot]
+}
+
+// Current returns the published snapshot, or nil before bootstrap.
+func (g *registry) Current() *Snapshot { return g.cur.Load() }
+
+// Publish installs next as the served snapshot and returns it.
+func (g *registry) Publish(next *Snapshot) *Snapshot {
+	g.cur.Store(next)
+	return next
+}
+
+// NextVersion returns the version a new snapshot should carry.
+func (g *registry) NextVersion() int64 {
+	if cur := g.cur.Load(); cur != nil {
+		return cur.Version + 1
+	}
+	return 1
+}

@@ -1,0 +1,42 @@
+// Package testutil holds small helpers shared by the robustness test
+// suites. It must not import any other internal package: the helpers are
+// used from tests in parallel, automl, core and serve, and a dependency
+// in the other direction would create an import cycle.
+package testutil
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+// LeakCheck snapshots the current goroutine count and returns a verify
+// function to run at the end of the test (typically deferred). The verify
+// function polls for up to two seconds while the runtime retires exiting
+// goroutines, and fails the test if the count never returns to within two
+// goroutines of the snapshot — the same tolerance the deadline tests in
+// automl and parallel historically used inline, which absorbs the
+// finalizer and timer goroutines the runtime may start lazily.
+//
+// Usage:
+//
+//	defer testutil.LeakCheck(t)()
+//	// ... test body that starts and must drain goroutines ...
+func LeakCheck(tb testing.TB) func() {
+	tb.Helper()
+	before := runtime.NumGoroutine()
+	return func() {
+		tb.Helper()
+		deadline := time.Now().Add(2 * time.Second)
+		for {
+			n := runtime.NumGoroutine()
+			if n <= before+2 {
+				return
+			}
+			if time.Now().After(deadline) {
+				tb.Fatalf("testutil: goroutines leaked: %d before, %d after", before, n)
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+}
