@@ -107,6 +107,19 @@ func (b *Breaker) Success() {
 	b.probing = false
 }
 
+// Cancel releases the probe slot of an attempt that ended without a
+// verdict — a client disconnect or a handler panic between Allow and
+// Success/Failure. It neither closes the breaker nor counts a failure:
+// a canceled half-open probe stays half-open with the slot free, so the
+// next Allow admits a fresh probe instead of shedding forever. After
+// Success or Failure (both release the slot) Cancel is a no-op, so
+// callers can simply defer it.
+func (b *Breaker) Cancel() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.probing = false
+}
+
 // Failure records a failed attempt. In the half-open state any failure
 // re-opens immediately; in the closed state the breaker opens once the
 // consecutive-failure count reaches the threshold.

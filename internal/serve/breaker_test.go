@@ -110,6 +110,33 @@ func TestBreakerHalfOpenFailureReopens(t *testing.T) {
 	}
 }
 
+func TestBreakerCancelReleasesProbe(t *testing.T) {
+	clk := newFakeClock()
+	b := NewBreaker(1, 10*time.Second, clk.Now)
+	b.Failure()
+	clk.Advance(11 * time.Second)
+	if ok, _ := b.Allow(); !ok {
+		t.Fatal("no probe admitted after cooldown")
+	}
+	// The probe ends without a verdict (client cancel / panic). Without
+	// Cancel the slot would stay reserved and every further Allow would
+	// shed until restart.
+	b.Cancel()
+	if ok, _ := b.Allow(); !ok {
+		t.Fatal("canceled probe did not release the half-open slot")
+	}
+	b.Success()
+	if b.State() != BreakerClosed {
+		t.Fatalf("state = %v, want closed", b.State())
+	}
+	// After a verdict, Cancel is a no-op: deferred calls must not disturb
+	// the closed breaker.
+	b.Cancel()
+	if ok, _ := b.Allow(); !ok || b.State() != BreakerClosed {
+		t.Fatalf("Cancel after Success changed behavior: ok=%v state=%v", ok, b.State())
+	}
+}
+
 func TestBreakerSuccessResetsFailureCount(t *testing.T) {
 	clk := newFakeClock()
 	b := NewBreaker(2, time.Second, clk.Now)

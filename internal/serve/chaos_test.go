@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"net"
@@ -193,6 +194,85 @@ func TestBreakerShedsRetrains(t *testing.T) {
 	}
 	if st := s.breaker.State(); st != BreakerClosed {
 		t.Fatalf("breaker = %v after probe success, want closed", st)
+	}
+}
+
+// TestRetrainExemptFromRequestTimeout pins the deadline split: the
+// read-path RequestTimeout must not cap /v1/retrain, whose only deadline
+// is RetrainTimeout. If guard wrapped retrain too, any search longer
+// than RequestTimeout would fail with DeadlineExceeded, count against
+// the breaker and mark the service degraded — with a nanosecond timeout
+// this retrain could never succeed.
+func TestRetrainExemptFromRequestTimeout(t *testing.T) {
+	s := newTestServer(t, func(c *Config) {
+		c.RequestTimeout = time.Nanosecond
+	})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	status, _, raw := doReq(t, http.MethodPost, ts.URL+"/v1/retrain", RetrainRequest{})
+	if status != http.StatusOK {
+		t.Fatalf("retrain under tiny RequestTimeout = %d: %s", status, raw)
+	}
+	if st := s.breaker.State(); st != BreakerClosed {
+		t.Fatalf("breaker = %v after successful retrain, want closed", st)
+	}
+
+	// The read path, by contrast, is capped by the same timeout.
+	status, _, raw = doReq(t, http.MethodPost, ts.URL+"/v1/ale", ALERequest{Name: "x0", Class: 1})
+	wantError(t, status, raw, http.StatusGatewayTimeout, "deadline")
+}
+
+// TestCanceledRetrainProbeReleasesBreaker covers the probe-slot leak: a
+// half-open probe whose client disconnects before the search finishes
+// records no verdict, and without releasing the slot every later retrain
+// would be shed with 503 until process restart.
+func TestCanceledRetrainProbeReleasesBreaker(t *testing.T) {
+	clk := newFakeClock()
+	s := newTestServer(t, func(c *Config) {
+		c.BreakerThreshold = 1
+		c.BreakerCooldown = 10 * time.Second
+		c.Fault = faultinject.New().WithRetrainFail(1)
+		c.now = clk.Now
+	})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// Attempt 1 is injected to fail; threshold 1 opens the breaker.
+	status, _, raw := doReq(t, http.MethodPost, ts.URL+"/v1/retrain", RetrainRequest{})
+	wantError(t, status, raw, http.StatusInternalServerError, "retrain_failed")
+	if st := s.breaker.State(); st != BreakerOpen {
+		t.Fatalf("breaker = %v after failure, want open", st)
+	}
+
+	// Cooldown elapses; the next retrain is the half-open probe, but its
+	// client has already gone away, so the attempt ends retrain_canceled
+	// with no Success/Failure verdict.
+	clk.Advance(11 * time.Second)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	body, err := json.Marshal(RetrainRequest{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := httptest.NewRequest(http.MethodPost, "/v1/retrain", bytes.NewReader(body)).WithContext(ctx)
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, req)
+	wantError(t, rec.Code, rec.Body.Bytes(), http.StatusInternalServerError, "retrain_canceled")
+	// The service is still degraded from attempt 1's failure; the canceled
+	// attempt 2 must not have recorded a verdict of its own.
+	if reason := s.degraded.Load(); reason == nil || !strings.Contains(*reason, "retrain 1 failed") {
+		t.Fatalf("degraded reason = %v, want attempt 1's failure untouched", reason)
+	}
+
+	// The canceled probe must have released its slot: the next retrain is
+	// admitted as a fresh probe, succeeds, and closes the breaker.
+	status, _, raw = doReq(t, http.MethodPost, ts.URL+"/v1/retrain", RetrainRequest{})
+	if status != http.StatusOK {
+		t.Fatalf("retrain after canceled probe = %d: %s", status, raw)
+	}
+	if st := s.breaker.State(); st != BreakerClosed {
+		t.Fatalf("breaker = %v after recovered probe, want closed", st)
 	}
 }
 

@@ -32,7 +32,10 @@ func (e *APIError) Error() string {
 // backoff and jitter drawn from the repo's seeded generator, so a test or
 // replay with the same seed observes the identical retry schedule. A
 // Retry-After header from the server overrides the computed delay when it
-// asks for a longer wait.
+// asks for a longer wait. Retrain narrows the policy: only shed responses
+// (429, 503) and transport errors are retried there, because a 500 means
+// a full AutoML search already ran and failed — replaying it would burn
+// another search per retry and feed the server's circuit breaker.
 type Client struct {
 	// Base is the server root, e.g. "http://127.0.0.1:8080".
 	Base string
@@ -45,7 +48,9 @@ type Client struct {
 	// [d/2, d).
 	BaseDelay time.Duration
 	MaxDelay  time.Duration
-	// Sleep is the wait function; tests substitute a recorder.
+	// Sleep, when non-nil, replaces the context-aware timer wait between
+	// retries; tests substitute a recorder. The default wait returns early
+	// when the request context is canceled.
 	Sleep func(time.Duration)
 
 	mu sync.Mutex
@@ -61,7 +66,6 @@ func NewClient(base string, seed uint64) *Client {
 		MaxRetries: 4,
 		BaseDelay:  50 * time.Millisecond,
 		MaxDelay:   2 * time.Second,
-		Sleep:      time.Sleep,
 		r:          rng.New(seed),
 	}
 }
@@ -78,13 +82,25 @@ func (c *Client) backoff(attempt int) time.Duration {
 	return d/2 + time.Duration(f*float64(d/2))
 }
 
-// retryable reports whether a response status warrants another attempt.
-func retryable(status int) bool {
+// retryTransient is the default retry policy: 429 and any 5xx warrant
+// another attempt.
+func retryTransient(status int) bool {
 	return status == http.StatusTooManyRequests || status >= 500
 }
 
+// retryShedOnly retries only load-shedding rejections — 429 (admission
+// queue full) and 503 (breaker open / no snapshot) — and is the policy
+// for /v1/retrain: a 500 there reports a search that genuinely ran and
+// failed, and replaying it would launch another full search per retry
+// while driving the breaker's consecutive-failure count.
+func retryShedOnly(status int) bool {
+	return status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable
+}
+
 // do runs one request with retries, decoding a 2xx JSON body into out.
-func (c *Client) do(ctx context.Context, method, path string, in, out interface{}) error {
+// retryable decides which non-2xx statuses warrant another attempt;
+// transport errors are always retried.
+func (c *Client) do(ctx context.Context, method, path string, in, out interface{}, retryable func(int) bool) error {
 	var body []byte
 	if in != nil {
 		var err error
@@ -128,12 +144,31 @@ func (c *Client) do(ctx context.Context, method, path string, in, out interface{
 		if ae, ok := lastErr.(*APIError); ok && ae.RetryAfter > d {
 			d = ae.RetryAfter
 		}
-		select {
-		case <-ctx.Done():
-			return ctx.Err()
-		default:
+		if err := c.wait(ctx, d); err != nil {
+			return err
 		}
+	}
+}
+
+// wait blocks for the backoff delay or until ctx is canceled, whichever
+// comes first — a Retry-After can be seconds long, and a caller that
+// gave up must not sit through it. A substituted Sleep (test recorder)
+// is called instead of the timer; cancellation is still honored around it.
+func (c *Client) wait(ctx context.Context, d time.Duration) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if c.Sleep != nil {
 		c.Sleep(d)
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
 	}
 }
 
@@ -158,7 +193,7 @@ func decodeAPIError(resp *http.Response) *APIError {
 // Predict submits a batch of rows for classification.
 func (c *Client) Predict(ctx context.Context, rows [][]float64) (*PredictResponse, error) {
 	var out PredictResponse
-	if err := c.do(ctx, http.MethodPost, "/v1/predict", PredictRequest{Rows: rows}, &out); err != nil {
+	if err := c.do(ctx, http.MethodPost, "/v1/predict", PredictRequest{Rows: rows}, &out, retryTransient); err != nil {
 		return nil, err
 	}
 	return &out, nil
@@ -167,7 +202,7 @@ func (c *Client) Predict(ctx context.Context, rows [][]float64) (*PredictRespons
 // ALE fetches the committee effect curve for one feature.
 func (c *Client) ALE(ctx context.Context, req ALERequest) (*ALEResponse, error) {
 	var out ALEResponse
-	if err := c.do(ctx, http.MethodPost, "/v1/ale", req, &out); err != nil {
+	if err := c.do(ctx, http.MethodPost, "/v1/ale", req, &out, retryTransient); err != nil {
 		return nil, err
 	}
 	return &out, nil
@@ -176,18 +211,21 @@ func (c *Client) ALE(ctx context.Context, req ALERequest) (*ALEResponse, error) 
 // Regions fetches the disagreement-region analysis.
 func (c *Client) Regions(ctx context.Context, req RegionsRequest) (*RegionsResponse, error) {
 	var out RegionsResponse
-	if err := c.do(ctx, http.MethodPost, "/v1/regions", req, &out); err != nil {
+	if err := c.do(ctx, http.MethodPost, "/v1/regions", req, &out, retryTransient); err != nil {
 		return nil, err
 	}
 	return &out, nil
 }
 
 // Retrain triggers a retrain, optionally appending newly labelled rows.
-// Retrain conflicts (409) are not retried — the caller decides whether to
-// wait for the in-flight retrain.
+// Only shed responses (429, 503) and transport errors are retried here:
+// a 409 conflict means another retrain is in flight (the caller decides
+// whether to wait for it), and a 500 means a full search already ran and
+// failed — retrying it would launch another search and push the server's
+// breaker toward open.
 func (c *Client) Retrain(ctx context.Context, req RetrainRequest) (*RetrainResponse, error) {
 	var out RetrainResponse
-	if err := c.do(ctx, http.MethodPost, "/v1/retrain", req, &out); err != nil {
+	if err := c.do(ctx, http.MethodPost, "/v1/retrain", req, &out, retryShedOnly); err != nil {
 		return nil, err
 	}
 	return &out, nil
@@ -196,7 +234,7 @@ func (c *Client) Retrain(ctx context.Context, req RetrainRequest) (*RetrainRespo
 // Schema fetches the feature schema of the served snapshot.
 func (c *Client) Schema(ctx context.Context) (*SchemaResponse, error) {
 	var out SchemaResponse
-	if err := c.do(ctx, http.MethodGet, "/v1/schema", nil, &out); err != nil {
+	if err := c.do(ctx, http.MethodGet, "/v1/schema", nil, &out, retryTransient); err != nil {
 		return nil, err
 	}
 	return &out, nil

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"context"
+	"errors"
 	"net/http"
 	"net/http/httptest"
 	"testing"
@@ -92,7 +93,7 @@ func TestClientHonorsRetryAfter(t *testing.T) {
 	defer ts.Close()
 	c, sleeps := newRecordingClient(ts.URL, 1)
 	var out ReadyResponse
-	if err := c.do(context.Background(), http.MethodGet, "/", nil, &out); err != nil {
+	if err := c.do(context.Background(), http.MethodGet, "/", nil, &out, retryTransient); err != nil {
 		t.Fatal(err)
 	}
 	if len(*sleeps) != 1 || (*sleeps)[0] != 3*time.Second {
@@ -115,6 +116,78 @@ func TestClientDoesNotRetryClientErrors(t *testing.T) {
 	}
 	if calls != 1 || len(*sleeps) != 0 {
 		t.Fatalf("client retried a 400: calls %d sleeps %d", calls, len(*sleeps))
+	}
+}
+
+// TestClientRetrainDoesNotRetryFailures pins the narrowed retrain retry
+// policy: a 500 retrain_failed reports a search that genuinely ran and
+// failed, so replaying it would launch another full search per retry and
+// actively push the server's breaker toward open.
+func TestClientRetrainDoesNotRetryFailures(t *testing.T) {
+	var calls int
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls++
+		writeError(w, http.StatusInternalServerError, "retrain_failed",
+			"retrain 1 failed; still serving snapshot v1")
+	}))
+	defer ts.Close()
+	c, sleeps := newRecordingClient(ts.URL, 1)
+	_, err := c.Retrain(context.Background(), RetrainRequest{})
+	ae, ok := err.(*APIError)
+	if !ok || ae.Status != http.StatusInternalServerError || ae.Code != "retrain_failed" {
+		t.Fatalf("err = %v", err)
+	}
+	if calls != 1 || len(*sleeps) != 0 {
+		t.Fatalf("client replayed a failed retrain: calls %d sleeps %d", calls, len(*sleeps))
+	}
+}
+
+// TestClientRetrainRetriesSheds checks the retained half of the retrain
+// policy: shed responses (429 queue full, 503 breaker open) are still
+// retried — they mean "try later", not "the search failed".
+func TestClientRetrainRetriesSheds(t *testing.T) {
+	var calls int
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls++
+		switch calls {
+		case 1:
+			writeError(w, http.StatusServiceUnavailable, "breaker_open", "cooling down")
+		case 2:
+			writeError(w, http.StatusTooManyRequests, "overloaded", "queue full")
+		default:
+			writeJSON(w, http.StatusOK, RetrainResponse{Version: 2, Attempt: 1})
+		}
+	}))
+	defer ts.Close()
+	c, sleeps := newRecordingClient(ts.URL, 1)
+	out, err := c.Retrain(context.Background(), RetrainRequest{})
+	if err != nil || out.Version != 2 {
+		t.Fatalf("out %+v err %v", out, err)
+	}
+	if calls != 3 || len(*sleeps) != 2 {
+		t.Fatalf("calls %d sleeps %d, want 3 calls with 2 backoffs", calls, len(*sleeps))
+	}
+}
+
+// TestClientCancelInterruptsBackoff checks the backoff wait is
+// context-aware: a server-sent Retry-After of 30s must not pin a caller
+// whose context has already given up.
+func TestClientCancelInterruptsBackoff(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "30")
+		writeError(w, http.StatusTooManyRequests, "overloaded", "busy")
+	}))
+	defer ts.Close()
+	c := NewClient(ts.URL, 1) // default context-aware timer wait
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := c.Predict(ctx, [][]float64{{0.1, 0.2}})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("canceled backoff still blocked %v (Retry-After honored past cancellation)", elapsed)
 	}
 }
 

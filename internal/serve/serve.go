@@ -64,7 +64,8 @@ type Config struct {
 	// beyond it are shed with 429 (default 2*MaxInFlight).
 	MaxQueue int
 	// RequestTimeout is the per-request deadline for read endpoints
-	// (default 10s).
+	// (default 10s). /v1/retrain is exempt: its only deadline is
+	// RetrainTimeout.
 	RequestTimeout time.Duration
 	// RetrainTimeout is the per-attempt deadline for /v1/retrain
 	// (default 5m). A retrain that exceeds it fails like any other
@@ -163,13 +164,17 @@ func New(cfg Config) *Server {
 		started: cfg.now(),
 	}
 	mux := http.NewServeMux()
-	mux.Handle("GET /healthz", s.guard(false, s.handleHealthz))
-	mux.Handle("GET /readyz", s.guard(false, s.handleReadyz))
-	mux.Handle("GET /v1/schema", s.guard(true, s.handleSchema))
-	mux.Handle("POST /v1/predict", s.guard(true, s.handlePredict))
-	mux.Handle("POST /v1/ale", s.guard(true, s.handleALE))
-	mux.Handle("POST /v1/regions", s.guard(true, s.handleRegions))
-	mux.Handle("POST /v1/retrain", s.guard(true, s.handleRetrain))
+	mux.Handle("GET /healthz", s.guard(false, 0, s.handleHealthz))
+	mux.Handle("GET /readyz", s.guard(false, 0, s.handleReadyz))
+	mux.Handle("GET /v1/schema", s.guard(true, cfg.RequestTimeout, s.handleSchema))
+	mux.Handle("POST /v1/predict", s.guard(true, cfg.RequestTimeout, s.handlePredict))
+	mux.Handle("POST /v1/ale", s.guard(true, cfg.RequestTimeout, s.handleALE))
+	mux.Handle("POST /v1/regions", s.guard(true, cfg.RequestTimeout, s.handleRegions))
+	// Retrain is the one slow mutating endpoint: its deadline is
+	// RetrainTimeout, applied inside handleRetrain, so the read-path
+	// RequestTimeout must not wrap it (a 5m search under a 10s parent
+	// deadline would always fail and falsely trip the breaker).
+	mux.Handle("POST /v1/retrain", s.guard(true, 0, s.handleRetrain))
 	s.handler = mux
 	s.httpSrv = &http.Server{Handler: mux, ReadHeaderTimeout: 10 * time.Second}
 	return s
@@ -287,15 +292,35 @@ func (w *statusWriter) Write(b []byte) (int, error) {
 	return w.ResponseWriter.Write(b)
 }
 
+// Flush forwards to the wrapped writer's Flusher so streaming handlers
+// work through guard. A flush commits the response like a Write: after
+// it, the panic middleware can no longer send a structured 500.
+func (w *statusWriter) Flush() {
+	f, ok := w.ResponseWriter.(http.Flusher)
+	if !ok {
+		return
+	}
+	if !w.wrote {
+		w.wrote, w.status = true, http.StatusOK
+	}
+	f.Flush()
+}
+
+// Unwrap exposes the wrapped writer to http.ResponseController, giving
+// handlers the optional interfaces (Hijacker, deadline setters) this
+// wrapper does not re-implement.
+func (w *statusWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
+
 // --- middleware -----------------------------------------------------------
 
 // guard wraps a handler with the protection chain. Every handler gets
 // panic isolation and a body-size limit; admitted (/v1) handlers
 // additionally get a sequence number, fault-injection points, bounded
-// admission with load shedding, and a per-request deadline. Health
-// endpoints bypass admission so readiness stays observable under
-// overload — exactly when an operator needs it.
-func (s *Server) guard(admitted bool, h func(http.ResponseWriter, *http.Request)) http.Handler {
+// admission with load shedding, and — when timeout is non-zero — a
+// per-request deadline. Retrain passes timeout 0 and applies its own
+// RetrainTimeout instead. Health endpoints bypass admission so readiness
+// stays observable under overload — exactly when an operator needs it.
+func (s *Server) guard(admitted bool, timeout time.Duration, h func(http.ResponseWriter, *http.Request)) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		sw := &statusWriter{ResponseWriter: w}
 		defer func() {
@@ -338,9 +363,11 @@ func (s *Server) guard(admitted bool, h func(http.ResponseWriter, *http.Request)
 			if d := s.cfg.Fault.HTTPLatency(seq); d > 0 {
 				time.Sleep(d)
 			}
-			ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
-			defer cancel()
-			r = r.WithContext(ctx)
+			if timeout > 0 {
+				ctx, cancel := context.WithTimeout(r.Context(), timeout)
+				defer cancel()
+				r = r.WithContext(ctx)
+			}
 		}
 		h(sw, r)
 	})
@@ -777,6 +804,11 @@ func (s *Server) handleRetrain(w http.ResponseWriter, r *http.Request) {
 			fmt.Sprintf("retrain circuit breaker is open; retry in %ds", secs))
 		return
 	}
+	// Allow may have reserved the half-open probe slot. Success and
+	// Failure both release it; this covers the verdict-free exits — the
+	// client-canceled return below and a panic inside the search — so a
+	// canceled probe can never wedge the breaker into shedding forever.
+	defer s.breaker.Cancel()
 
 	attempt := s.retrains.Add(1)
 	mlCfg := s.cfg.AutoML

@@ -367,3 +367,26 @@ func TestMethodNotAllowedAndNotFound(t *testing.T) {
 		t.Fatalf("GET /nope = %d, want 404", status)
 	}
 }
+
+// TestStatusWriterForwardsOptionalInterfaces checks guard's response
+// wrapper does not strip the wrapped writer's optional capabilities: a
+// direct Flush reaches the underlying Flusher (committing the response,
+// so the panic middleware knows a structured 500 is no longer possible),
+// and Unwrap exposes the original writer to http.ResponseController.
+func TestStatusWriterForwardsOptionalInterfaces(t *testing.T) {
+	rec := httptest.NewRecorder()
+	sw := &statusWriter{ResponseWriter: rec}
+	sw.Flush()
+	if !rec.Flushed {
+		t.Fatal("Flush did not reach the wrapped writer")
+	}
+	if !sw.wrote || sw.status != http.StatusOK {
+		t.Fatalf("Flush did not commit the response: wrote=%v status=%d", sw.wrote, sw.status)
+	}
+	if sw.Unwrap() != http.ResponseWriter(rec) {
+		t.Fatal("Unwrap did not return the wrapped writer")
+	}
+	if err := http.NewResponseController(sw).Flush(); err != nil {
+		t.Fatalf("ResponseController.Flush through the wrapper: %v", err)
+	}
+}
