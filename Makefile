@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-ml bench-json ci fmt-check vet fmt fuzz test-fault test-serve
+.PHONY: all build test race bench bench-ml bench-smoke bench-json ci fmt-check vet fmt fuzz test-fault test-serve
 
 all: build test
 
@@ -25,12 +25,20 @@ race:
 bench:
 	$(GO) test -bench . -benchmem -benchtime 1x -run XXX .
 
-# bench-ml sweeps the inference-engine benchmarks (batch predict paths,
-# ALE/PDP committee, feedback loop) into results/bench_current.txt.
+# bench-ml sweeps the engine benchmarks — training paths (tree/forest/
+# GBDT/AdaBoost fit, AutoML generation), batch predict paths, ALE/PDP
+# committee, feedback loop — into results/bench_current.txt.
 bench-ml:
 	$(GO) test -run '^$$' -bench . -benchmem \
-		./internal/ml/ ./internal/interpret/ ./internal/core/ \
+		./internal/ml/ ./internal/interpret/ ./internal/core/ ./internal/automl/ \
 		| tee results/bench_current.txt
+
+# bench-smoke executes every benchmark exactly once as a correctness
+# gate (not a measurement): a benchmark that panics or regresses into an
+# error fails CI even when nobody is timing it.
+bench-smoke:
+	$(GO) test -run '^$$' -bench . -benchtime 1x \
+		./internal/ml/ ./internal/interpret/ ./internal/core/ ./internal/automl/
 
 # bench-json renders the baseline-vs-current sweep comparison to
 # BENCH_ML.json at the repo root (run bench-ml first to refresh the
@@ -66,8 +74,8 @@ test-serve:
 # ci is the full gate: formatting, vet, tests, race detector, fault
 # suite, serving chaos suite (test-fault/test-serve overlap with race
 # but pin the robustness contracts by name, so a renamed-away test is
-# noticed).
-ci: fmt-check vet test race test-fault test-serve
+# noticed), and a single-iteration benchmark smoke run.
+ci: fmt-check vet test race test-fault test-serve bench-smoke
 
 fmt-check:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \

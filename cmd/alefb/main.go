@@ -18,12 +18,17 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 
 	"github.com/netml/alefb"
 	"github.com/netml/alefb/internal/metrics"
 	"github.com/netml/alefb/internal/rng"
 )
+
+// version identifies the CLI build; bump alongside workflow changes.
+const version = "alefb 0.5.0"
 
 func main() {
 	var (
@@ -39,11 +44,32 @@ func main() {
 		workers    = flag.Int("workers", 0, "worker goroutines for AutoML search and ALE committees (0 = all cores, 1 = serial; results are identical either way)")
 		savePath   = flag.String("save", "", "save the trained ensemble description to this JSON file")
 		loadPath   = flag.String("load", "", "load an ensemble description instead of searching (refits on -train)")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile (pprof) to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile (pprof) to this file on exit")
+		showVer    = flag.Bool("version", false, "print the version and exit")
 	)
 	flag.Parse()
+	if *showVer {
+		fmt.Println(version)
+		return
+	}
 	if *trainPath == "" {
 		flag.Usage()
 		os.Exit(2)
+	}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer writeMemProfile(*memprofile)
 	}
 
 	train, err := loadCSV(*trainPath)
@@ -175,6 +201,20 @@ func loadCSV(path string) (*alefb.Dataset, error) {
 	}
 	defer f.Close()
 	return alefb.ReadCSV(f)
+}
+
+// writeMemProfile snapshots the heap after a final GC so the profile
+// reflects live allocations, not garbage awaiting collection.
+func writeMemProfile(path string) {
+	f, err := os.Create(path)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		fatal(err)
+	}
 }
 
 func fatal(err error) {

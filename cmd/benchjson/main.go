@@ -21,6 +21,10 @@ import (
 	"strings"
 )
 
+// version identifies the converter build; bump when the JSON schema
+// changes.
+const version = "alefb-benchjson 0.5.0"
+
 // metrics holds one benchmark line's measurements.
 type metrics struct {
 	NsPerOp     float64 `json:"ns_per_op"`
@@ -79,7 +83,12 @@ func main() {
 	baselinePath := flag.String("baseline", "results/bench_baseline.txt", "baseline sweep (go test -bench -benchmem output)")
 	currentPath := flag.String("current", "results/bench_current.txt", "current sweep")
 	outPath := flag.String("out", "BENCH_ML.json", "output JSON path")
+	showVer := flag.Bool("version", false, "print the version and exit")
 	flag.Parse()
+	if *showVer {
+		fmt.Println(version)
+		return
+	}
 
 	base, err := parseFile(*baselinePath)
 	if err != nil {

@@ -21,10 +21,16 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"github.com/netml/alefb/internal/experiments"
 )
+
+// version identifies the experiments-driver build; bump alongside
+// experiment or preset changes.
+const version = "alefb-experiments 0.5.0"
 
 func main() {
 	var (
@@ -40,10 +46,31 @@ func main() {
 		timeout = flag.Duration("timeout", 0, "hard wall-clock deadline for table1/ucl; on expiry the run aborts with context.DeadlineExceeded (0 = none)")
 		ckpt    = flag.String("checkpoint", "", "directory for per-trial snapshots of table1/ucl; a snapshot is written after every completed repetition/split")
 		resume  = flag.Bool("resume", false, "restore completed trials from -checkpoint instead of recomputing them (requires -checkpoint); the resumed result is bit-identical to an uninterrupted run")
+		cpuprof = flag.String("cpuprofile", "", "write a CPU profile (pprof) to this file")
+		memprof = flag.String("memprofile", "", "write a heap profile (pprof) to this file on exit")
+		showVer = flag.Bool("version", false, "print the version and exit")
 	)
 	flag.Parse()
+	if *showVer {
+		fmt.Println(version)
+		return
+	}
 	if *resume && *ckpt == "" {
 		fatal(fmt.Errorf("-resume requires -checkpoint"))
+	}
+	if *cpuprof != "" {
+		f, err := os.Create(*cpuprof)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprof != "" {
+		defer writeMemProfile(*memprof)
 	}
 
 	scream, ucl, err := configs(*scale)
@@ -231,6 +258,20 @@ func saveJSON(dir, name string, v interface{}) {
 		return
 	}
 	fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+}
+
+// writeMemProfile snapshots the heap after a final GC so the profile
+// reflects live allocations, not garbage awaiting collection.
+func writeMemProfile(path string) {
+	f, err := os.Create(path)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		fatal(err)
+	}
 }
 
 func fatal(err error) {

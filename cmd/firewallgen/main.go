@@ -15,13 +15,22 @@ import (
 	"github.com/netml/alefb/internal/rng"
 )
 
+// version identifies the generator build; bump when the synthetic
+// distribution changes.
+const version = "alefb-firewallgen 0.5.0"
+
 func main() {
 	var (
-		n    = flag.Int("n", 10000, "number of rows")
-		seed = flag.Uint64("seed", 1, "random seed")
-		out  = flag.String("o", "", "output CSV path (default stdout)")
+		n       = flag.Int("n", 10000, "number of rows")
+		seed    = flag.Uint64("seed", 1, "random seed")
+		out     = flag.String("o", "", "output CSV path (default stdout)")
+		showVer = flag.Bool("version", false, "print the version and exit")
 	)
 	flag.Parse()
+	if *showVer {
+		fmt.Println(version)
+		return
+	}
 
 	d := firewall.Generate(*n, rng.New(*seed))
 	w := os.Stdout

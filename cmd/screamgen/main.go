@@ -19,6 +19,10 @@ import (
 	"github.com/netml/alefb/internal/screamset"
 )
 
+// version identifies the generator build; bump when the emulation or
+// labeling changes.
+const version = "alefb-screamgen 0.5.0"
+
 func main() {
 	var (
 		n        = flag.Int("n", 100, "number of data points")
@@ -26,8 +30,13 @@ func main() {
 		out      = flag.String("o", "", "output CSV path (default stdout)")
 		duration = flag.Float64("duration", 0, "emulated seconds per protocol run (0 = auto, scaled by RTT)")
 		details  = flag.Bool("details", false, "print per-protocol emulation results instead of CSV")
+		showVer  = flag.Bool("version", false, "print the version and exit")
 	)
 	flag.Parse()
+	if *showVer {
+		fmt.Println(version)
+		return
+	}
 
 	gen := screamset.NewGenerator(*seed)
 	gen.Duration = *duration

@@ -90,8 +90,16 @@ type Config struct {
 	// pre-screening and member refits. 0 selects runtime.GOMAXPROCS(0);
 	// 1 forces serial execution. Every value produces bit-identical
 	// results (when TimeBudget is 0): each evaluation draws from its own
-	// rng stream derived from the task index, never from a shared one.
+	// rng stream keyed by the candidate's spec hash, never from a shared
+	// one.
 	Workers int
+	// DisableEvalCache turns off the deterministic evaluation cache, so
+	// every candidate is fit even when an identical spec was already
+	// evaluated this run. Because evaluation rng is keyed by the spec,
+	// cached and uncached searches return bit-identical ensembles; the
+	// switch exists for benchmarking and for the equivalence tests that
+	// prove that claim.
+	DisableEvalCache bool
 }
 
 func (c Config) withDefaults() Config {
@@ -165,6 +173,12 @@ type Ensemble struct {
 	// of aborting on: panicking fits, failing fits, NaN scores, budget
 	// overruns.
 	Dropped DropCounts
+	// CacheHits is the number of candidate evaluations answered by the
+	// deterministic evaluation cache instead of a fresh fit (identical
+	// specs re-proposed by the evolutionary phase). Hits are counted in
+	// deterministic candidate order, so the tally is identical at every
+	// worker count.
+	CacheHits int
 
 	// workers is the refit pool size inherited from Config.Workers
 	// (0 = GOMAXPROCS). It never affects results, only wall-clock.
@@ -364,6 +378,17 @@ func RunCtx(ctx context.Context, train *data.Dataset, cfg Config) (*Ensemble, er
 		return nil, err
 	}
 	r := rng.New(cfg.Seed)
+	// evalSeed keys every candidate's private rng stream via
+	// rng.Derive(evalSeed, specHash(spec)). Drawn exactly once, before any
+	// evaluation, it makes each evaluation a pure function of (seed, spec,
+	// data) — equal specs consume equal randomness — which is what lets
+	// the evaluation cache replay results bit-identically (see cache.go).
+	evalSeed := r.Uint64()
+	var cache *evalCache
+	if !cfg.DisableEvalCache {
+		cache = newEvalCache()
+	}
+	cacheHits := 0
 	k := train.Schema.NumClasses()
 
 	logf := func(format string, args ...interface{}) {
@@ -461,35 +486,63 @@ func RunCtx(ctx context.Context, train *data.Dataset, cfg Config) (*Ensemble, er
 	}
 
 	// evalBatch evaluates a batch of specs on the worker pool and returns
-	// the successful candidates in spec order. The batch seed is drawn
-	// from r exactly once, so r's stream — and with it every later
-	// stochastic choice of the search — is independent of the pool size.
-	// Under a soft TimeBudget, tasks that start after the deadline are
-	// skipped (except task 0 of the first batch, so at least one candidate
-	// is always evaluated); that is the only worker-count-dependent
-	// behavior. Dropped candidates are counted and logged in index order
-	// after the batch completes, so logs are deterministic too.
+	// the successful candidates in spec order. Each task's rng stream is
+	// keyed by its spec hash (never a shared stream), so a batch yields
+	// the same candidates no matter how many workers process it. The
+	// evaluation cache is consulted in a serial pre-pass and filled in a
+	// serial post-pass — only cache misses reach the pool — so cache
+	// state, hit counts and logs are deterministic too. Evaluations under
+	// an injected fault or delay (keyed by global candidate index, not
+	// spec) bypass the cache in both directions. Under a soft TimeBudget,
+	// tasks that start after the deadline are skipped (except task 0 of
+	// the first batch, so at least one candidate is always evaluated);
+	// that is the only worker-count-dependent behavior.
 	evalCount := 0
 	evalBatch := func(specs []Spec, first bool) ([]candidate, error) {
-		batchSeed := r.Uint64()
 		base := evalCount
 		evalCount += len(specs)
 		type result struct {
 			c      candidate
 			reason dropReason
+			hit    bool
 		}
-		results, err := parallel.MapCtx(ctx, len(specs), cfg.Workers, func(i int) (result, error) {
+		results := make([]result, len(specs))
+		bypass := func(i int) bool {
+			gi := base + i
+			return cache == nil || cfg.Fault.Fit(gi) != faultinject.None || cfg.Fault.Slow(gi) > 0
+		}
+		todo := make([]int, 0, len(specs))
+		for i, spec := range specs {
+			if !bypass(i) {
+				if e, ok := cache.lookup(specHash(spec), spec); ok {
+					results[i] = result{c: e.cand, reason: e.reason, hit: true}
+					continue
+				}
+			}
+			todo = append(todo, i)
+		}
+		computed, err := parallel.MapCtx(ctx, len(todo), cfg.Workers, func(ti int) (result, error) {
+			i := todo[ti]
 			if expired() && !(first && i == 0) {
 				return result{reason: dropSkipped}, nil
 			}
-			c, reason := evaluate(base+i, specs[i], rng.Derive(batchSeed, uint64(i)))
+			c, reason := evaluate(base+i, specs[i], rng.Derive(evalSeed, specHash(specs[i])))
 			return result{c: c, reason: reason}, nil
 		})
 		if err != nil {
 			return nil, err
 		}
+		for ti, i := range todo {
+			results[i] = computed[ti]
+		}
 		out := make([]candidate, 0, len(results))
 		for i, res := range results {
+			if res.hit {
+				cacheHits++
+				logf("automl: candidate %d cache hit: %s", base+i, specs[i])
+			} else if !bypass(i) && cacheable(res.reason) {
+				cache.store(specHash(specs[i]), specs[i], res.c, res.reason)
+			}
 			switch res.reason {
 			case dropNone:
 				out = append(out, res.c)
@@ -643,6 +696,7 @@ func RunCtx(ctx context.Context, train *data.Dataset, cfg Config) (*Ensemble, er
 	}
 	ens.Members = kept
 	ens.Dropped = drops
+	ens.CacheHits = cacheHits
 	return ens, nil
 }
 

@@ -1,0 +1,126 @@
+package automl
+
+import (
+	"math"
+	"sort"
+)
+
+// This file implements the deterministic candidate-evaluation cache.
+//
+// The evolutionary phase frequently re-proposes hyperparameter points the
+// search already tried: mutation perturbs each parameter with probability
+// 1/2, so a child can equal its parent or an earlier cousin exactly. The
+// seed engine re-fit such duplicates from scratch. The cache memoizes
+// evaluations by spec instead — and the reason this is *bit-identical*,
+// not approximately right, is how evaluation rng is keyed. Every
+// candidate's private stream is rng.Derive(evalSeed, specHash(spec)),
+// where evalSeed is drawn from the run's root rng exactly once, before
+// any evaluation. Two evaluations of the same spec therefore consume
+// identical randomness over identical data: the evaluation is a pure
+// function of (run seed, spec, dataset), and replaying a stored result is
+// indistinguishable from recomputing it — at any worker count, since
+// cache reads and writes happen in the serial pre/post passes of
+// evalBatch, never inside the worker pool.
+//
+// What is cached: clean evaluations, including deterministic failures
+// (fit error, fit panic, NaN score) — replaying a failure drops the
+// candidate again exactly as recomputing would. What is never cached:
+// evaluations under an injected fault or injected delay (the fault is
+// keyed by the global candidate index, not the spec, so replaying it for
+// a different index would be wrong in both directions) and budget
+// outcomes (dropTimeout/dropSkipped depend on wall-clock, not the spec).
+
+// evalEntry is one memoized evaluation: the candidate (empty for cached
+// failures) plus the deterministic drop reason.
+type evalEntry struct {
+	spec   Spec // stored for exact-equality verification of hash matches
+	cand   candidate
+	reason dropReason
+}
+
+// evalCache memoizes candidate evaluations within one run, keyed by
+// specHash with stored-spec equality checked on lookup, so a hash
+// collision degrades to a miss instead of returning the wrong model.
+type evalCache struct {
+	entries map[uint64]evalEntry
+}
+
+func newEvalCache() *evalCache {
+	return &evalCache{entries: map[uint64]evalEntry{}}
+}
+
+func (c *evalCache) lookup(h uint64, spec Spec) (evalEntry, bool) {
+	e, ok := c.entries[h]
+	if !ok || !specEqual(e.spec, spec) {
+		return evalEntry{}, false
+	}
+	return e, true
+}
+
+func (c *evalCache) store(h uint64, spec Spec, cand candidate, reason dropReason) {
+	if old, ok := c.entries[h]; ok && !specEqual(old.spec, spec) {
+		return // hash collision: keep the first entry, never overwrite
+	}
+	c.entries[h] = evalEntry{spec: spec.clone(), cand: cand, reason: reason}
+}
+
+// cacheable reports whether an evaluation outcome is a pure function of
+// the spec. Budget expiries and injected skips are wall-clock artifacts
+// and must be re-tried, not replayed.
+func cacheable(reason dropReason) bool {
+	switch reason {
+	case dropNone, dropError, dropPanic, dropNaN:
+		return true
+	}
+	return false
+}
+
+// specHash returns the canonical FNV-1a hash of a spec: the family index
+// followed by the parameters as (name, float64-bits) pairs in sorted name
+// order, so map iteration order can never leak into the key. The hash
+// doubles as the candidate's rng-stream index, which is what makes equal
+// specs evaluate identically and the cache exact.
+func specHash(s Spec) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	byte8 := func(v uint64) {
+		for shift := 0; shift < 64; shift += 8 {
+			h ^= (v >> shift) & 0xff
+			h *= prime64
+		}
+	}
+	byte8(uint64(s.Family))
+	keys := make([]string, 0, len(s.Params))
+	for k := range s.Params {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		for i := 0; i < len(k); i++ {
+			h ^= uint64(k[i])
+			h *= prime64
+		}
+		h ^= 0xff // terminator so "ab"+"c" and "a"+"bc" differ
+		h *= prime64
+		byte8(math.Float64bits(s.Params[k]))
+	}
+	return h
+}
+
+// specEqual reports exact equality of two specs (same family, same
+// parameter set, bit-equal values).
+func specEqual(a, b Spec) bool {
+	if a.Family != b.Family || len(a.Params) != len(b.Params) {
+		return false
+	}
+	for k, v := range a.Params {
+		w, ok := b.Params[k]
+		if !ok || math.Float64bits(v) != math.Float64bits(w) {
+			return false
+		}
+	}
+	return true
+}

@@ -58,6 +58,9 @@ func assertEnsemblesIdentical(t *testing.T, a, b *Ensemble, probes [][]float64) 
 	if a.ValScore != b.ValScore {
 		t.Errorf("ValScore: %v vs %v (diff %g)", a.ValScore, b.ValScore, math.Abs(a.ValScore-b.ValScore))
 	}
+	if a.CacheHits != b.CacheHits {
+		t.Errorf("CacheHits: %d vs %d", a.CacheHits, b.CacheHits)
+	}
 	if len(a.Members) != len(b.Members) {
 		t.Fatalf("member count: %d vs %d", len(a.Members), len(b.Members))
 	}

@@ -71,15 +71,20 @@ func (a *AdaBoost) Fit(d *data.Dataset, r *rng.Rand) error {
 	}
 	// Weak learners are trained on weighted resamples (weight-aware tree
 	// fitting via resampling keeps the tree code unchanged and is the
-	// standard randomized approximation).
+	// standard randomized approximation). Every round's resample is a
+	// projection of one shared master sort (see presort.go), so the rows
+	// are never re-sorted after the initial presort.
+	scratch := newSplitScratch(k)
+	scratch.ps.presortMaster(d.X, d.Schema.NumFeatures())
+	idx := make([]int, n)
 	for round := 0; round < cfg.Rounds; round++ {
-		idx := make([]int, n)
 		for i := range idx {
 			idx[i] = r.Weighted(weights)
 		}
 		sample := d.Subset(idx)
 		tree := NewTree(TreeConfig{MaxDepth: cfg.MaxDepth, MinSamplesLeaf: 1})
-		if err := tree.Fit(sample, r); err != nil {
+		scratch.ps.prepareSubset(idx)
+		if err := tree.fit(sample, r, scratch); err != nil {
 			return fmt.Errorf("ml: adaboost round %d: %w", round, err)
 		}
 		// Weighted training error of this weak learner.
@@ -121,7 +126,8 @@ func (a *AdaBoost) Fit(d *data.Dataset, r *rng.Rand) error {
 	if len(a.trees) == 0 {
 		// Degenerate data (e.g. one class): fall back to a single tree.
 		tree := NewTree(TreeConfig{MaxDepth: cfg.MaxDepth})
-		if err := tree.Fit(d, r); err != nil {
+		scratch.ps.prepareFull()
+		if err := tree.fit(d, r, scratch); err != nil {
 			return err
 		}
 		a.trees = append(a.trees, tree)

@@ -39,7 +39,15 @@ type flatTree struct {
 // conditional move instead of an unpredictable branch. The right array is
 // still materialized for layout introspection and equivalence checks.
 func compileTree(root *treeNode, k int) flatTree {
-	f := flatTree{k: k}
+	nodes, leaves := countTree(root)
+	f := flatTree{
+		k:         k,
+		feature:   make([]int32, 0, nodes),
+		threshold: make([]float64, 0, nodes),
+		left:      make([]int32, 0, nodes),
+		right:     make([]int32, 0, nodes),
+		leafProba: make([]float64, 0, leaves*k),
+	}
 	reserve := func() int32 {
 		id := int32(len(f.feature))
 		f.feature = append(f.feature, 0)
@@ -67,6 +75,17 @@ func compileTree(root *treeNode, k int) flatTree {
 	}
 	fill(root, reserve())
 	return f
+}
+
+// countTree sizes a pointer tree so compileTree can allocate its arrays
+// exactly once.
+func countTree(n *treeNode) (nodes, leaves int) {
+	if n.proba != nil {
+		return 1, 1
+	}
+	ln, ll := countTree(n.left)
+	rn, rl := countTree(n.right)
+	return ln + rn + 1, ll + rl
 }
 
 // leafFor walks the flattened tree and returns the leaf's probability
@@ -156,7 +175,13 @@ type flatRegTree struct {
 // compileRegTree flattens a fitted pointer regression tree with the same
 // adjacent-sibling layout as compileTree (right child == left child + 1).
 func compileRegTree(root *regNode) flatRegTree {
-	var f flatRegTree
+	nodes := countRegTree(root)
+	f := flatRegTree{
+		feature:   make([]int32, 0, nodes),
+		threshold: make([]float64, 0, nodes),
+		left:      make([]int32, 0, nodes),
+		right:     make([]int32, 0, nodes),
+	}
 	reserve := func() int32 {
 		id := int32(len(f.feature))
 		f.feature = append(f.feature, 0)
@@ -183,6 +208,15 @@ func compileRegTree(root *regNode) flatRegTree {
 	}
 	fill(root, reserve())
 	return f
+}
+
+// countRegTree sizes a pointer regression tree so compileRegTree can
+// allocate its arrays exactly once.
+func countRegTree(n *regNode) int {
+	if n.isLeaf {
+		return 1
+	}
+	return countRegTree(n.left) + countRegTree(n.right) + 1
 }
 
 // predict4 walks four rows through the regression tree in lockstep (same
@@ -249,55 +283,64 @@ func (f *flatRegTree) predict(x []float64) float64 {
 	return threshold[i]
 }
 
-// splitScratch holds the buffers one tree fit reuses across nodes and
-// candidate features, so training no longer allocates per node per
-// feature. An ensemble shares one scratch across all of its trees.
+// splitScratch holds the state one tree fit reuses across nodes and
+// candidate features: the class-count buffers and feature-draw buffer of
+// the split search, plus the presorted feature orderings the tree grows
+// over (see presort.go). An ensemble shares one scratch — and thus one
+// master sort of the training matrix — across all of its trees.
 type splitScratch struct {
-	pairs       []valueLabel
 	leftCounts  []float64
 	rightCounts []float64
-	part        []int // transient storage for the stable in-place partition
-	regPairs    []regPair
+	feats       []int // per-node candidate-feature draw (rng.SampleInto)
+	ps          presorted
+
+	// Chunked arenas for the pointer nodes and leaf payloads the build
+	// step produces: each chunk is handed out slot by slot and replaced —
+	// never reused — when full, so returned pointers and slices stay valid
+	// for the life of the fitted trees while costing one allocation per
+	// chunk instead of one per node.
+	nodeBuf  []treeNode
+	regBuf   []regNode
+	probaBuf []float64
 }
 
-// newSplitScratch sizes a scratch for n training rows and k classes.
-func newSplitScratch(n, k int) *splitScratch {
+// newSplitScratch returns a scratch for k classes; the presorted buffers
+// size themselves when presortMaster sees the training matrix.
+func newSplitScratch(k int) *splitScratch {
 	return &splitScratch{
-		pairs:       make([]valueLabel, n),
 		leftCounts:  make([]float64, k),
 		rightCounts: make([]float64, k),
-		part:        make([]int, 0, n),
 	}
 }
 
-// regScratch lazily sizes the regression-pair buffer (GBDT shares one
-// scratch across every round and class).
-func (s *splitScratch) regScratch(n int) []regPair {
-	if cap(s.regPairs) < n {
-		s.regPairs = make([]regPair, n)
+func (s *splitScratch) newNode() *treeNode {
+	if len(s.nodeBuf) == cap(s.nodeBuf) {
+		s.nodeBuf = make([]treeNode, 0, 512)
 	}
-	return s.regPairs[:n]
+	s.nodeBuf = s.nodeBuf[:len(s.nodeBuf)+1]
+	return &s.nodeBuf[len(s.nodeBuf)-1]
 }
 
-// partitionStable splits idx in place into the rows with
-// rows[i][feat] <= thr followed by the rest, preserving relative order on
-// both sides (exactly the order the old append-based partition produced).
-// The returned slices alias idx; part is transient storage with cap >=
-// len(idx).
-func partitionStable(rows [][]float64, idx []int, feat int, thr float64, part []int) (left, right []int) {
-	tmp := part[:0]
-	nl := 0
-	for _, i := range idx {
-		if rows[i][feat] <= thr {
-			idx[nl] = i
-			nl++
-		} else {
-			tmp = append(tmp, i)
+func (s *splitScratch) newRegNode() *regNode {
+	if len(s.regBuf) == cap(s.regBuf) {
+		s.regBuf = make([]regNode, 0, 512)
+	}
+	s.regBuf = s.regBuf[:len(s.regBuf)+1]
+	return &s.regBuf[len(s.regBuf)-1]
+}
+
+// newProba returns a zeroed k-float leaf payload carved from the proba
+// arena, capped so appends can never bleed into a neighbouring leaf.
+func (s *splitScratch) newProba(k int) []float64 {
+	if len(s.probaBuf)+k > cap(s.probaBuf) {
+		c := 2048
+		if k > c {
+			c = k
 		}
+		s.probaBuf = make([]float64, 0, c)
 	}
-	copy(idx[nl:], tmp)
-	return idx[:nl], idx[nl:]
+	l := len(s.probaBuf)
+	out := s.probaBuf[l : l+k : l+k]
+	s.probaBuf = s.probaBuf[:l+k]
+	return out
 }
-
-// regPair pairs one feature value with its row's regression target.
-type regPair struct{ v, y float64 }

@@ -80,7 +80,15 @@ func (f *Forest) Fit(d *data.Dataset, r *rng.Rand) error {
 	}
 	f.nClasses = d.Schema.NumClasses()
 	f.trees = make([]*Tree, cfg.NumTrees)
-	scratch := newSplitScratch(d.Len(), f.nClasses)
+	// One scratch — and one master sort of the training matrix — shared by
+	// every tree: bootstrap trees project the master orderings through
+	// their resample, extra-trees restore the full view by copy.
+	scratch := newSplitScratch(f.nClasses)
+	scratch.ps.presortMaster(d.X, d.Schema.NumFeatures())
+	var idx []int
+	if cfg.Bootstrap {
+		idx = make([]int, d.Len())
+	}
 	for t := range f.trees {
 		tree := NewTree(TreeConfig{
 			MaxDepth:         cfg.MaxDepth,
@@ -90,11 +98,13 @@ func (f *Forest) Fit(d *data.Dataset, r *rng.Rand) error {
 		})
 		train := d
 		if cfg.Bootstrap {
-			idx := make([]int, d.Len())
 			for i := range idx {
 				idx[i] = r.Intn(d.Len())
 			}
 			train = d.Subset(idx)
+			scratch.ps.prepareSubset(idx)
+		} else {
+			scratch.ps.prepareFull()
 		}
 		if err := tree.fit(train, r, scratch); err != nil {
 			return fmt.Errorf("ml: forest tree %d: %w", t, err)

@@ -85,45 +85,60 @@ func (g *GBDT) Fit(d *data.Dataset, r *rng.Rand) error {
 	g.rounds = make([][]*regTree, 0, cfg.NumRounds)
 	residual := make([]float64, n)
 	proba := make([]float64, g.nClasses)
-	// One scratch shared across every round and class keeps regression-tree
-	// training allocation-free per node.
-	scratch := newSplitScratch(n, g.nClasses)
+	// One scratch — and one master sort of the training matrix — shared
+	// across every round and class: full-row rounds restore the presorted
+	// view by copy, subsampled rounds project it through the row draw.
+	scratch := newSplitScratch(g.nClasses)
+	scratch.ps.presortMaster(d.X, d.Schema.NumFeatures())
+	subsampled := cfg.Subsample < 1
+	var subY []float64
+	if subsampled {
+		subY = make([]float64, n)
+	}
 	for round := 0; round < cfg.NumRounds; round++ {
 		// Optional stochastic row subsample for this round.
-		rows := d.X
-		rowIdx := make([]int, n)
-		for i := range rowIdx {
-			rowIdx[i] = i
-		}
-		if cfg.Subsample < 1 {
+		var rowIdx []int
+		if subsampled {
 			m := int(math.Max(1, cfg.Subsample*float64(n)))
 			rowIdx = r.Sample(n, m)
 		}
 
 		trees := make([]*regTree, g.nClasses)
 		for k := 0; k < g.nClasses; k++ {
-			// Residual = one-hot(y) - softmax(scores) for class k.
-			subX := make([][]float64, len(rowIdx))
-			subY := make([]float64, len(rowIdx))
-			for si, i := range rowIdx {
-				softmaxInto(scores[i], proba)
-				target := 0.0
-				if d.Y[i] == k {
-					target = 1
-				}
-				residual[i] = target - proba[k]
-				subX[si] = rows[i]
-				subY[si] = residual[i]
-			}
 			t := &regTree{maxDepth: cfg.MaxDepth, minSamplesLeaf: cfg.MinSamplesLeaf}
-			t.fit(subX, subY, r, scratch)
+			if subsampled {
+				// Residual = one-hot(y) - softmax(scores) for class k,
+				// gathered into subsample order (working row si is d row
+				// rowIdx[si]).
+				for si, i := range rowIdx {
+					softmaxInto(scores[i], proba)
+					target := 0.0
+					if d.Y[i] == k {
+						target = 1
+					}
+					subY[si] = target - proba[k]
+				}
+				scratch.ps.prepareSubset(rowIdx)
+				t.fit(subY[:len(rowIdx)], scratch)
+			} else {
+				for i := 0; i < n; i++ {
+					softmaxInto(scores[i], proba)
+					target := 0.0
+					if d.Y[i] == k {
+						target = 1
+					}
+					residual[i] = target - proba[k]
+				}
+				scratch.ps.prepareFull()
+				t.fit(residual, scratch)
+			}
 			trees[k] = t
 		}
 		// Update all scores (not only the subsample) so residuals stay
 		// consistent across rounds.
 		for i := 0; i < n; i++ {
 			for k := 0; k < g.nClasses; k++ {
-				scores[i][k] += cfg.LearningRate * trees[k].predict(rows[i])
+				scores[i][k] += cfg.LearningRate * trees[k].predict(d.X[i])
 			}
 		}
 		g.rounds = append(g.rounds, trees)

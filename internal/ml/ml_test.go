@@ -374,18 +374,6 @@ func TestPredictHelpers(t *testing.T) {
 	}
 }
 
-func BenchmarkForestFit(b *testing.B) {
-	train := blobs(500, 3, rng.New(17))
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		f := NewRandomForest(20, 8)
-		if err := f.Fit(train, rng.New(1)); err != nil {
-			b.Fatal(err)
-		}
-	}
-}
-
 func BenchmarkForestPredict(b *testing.B) {
 	train := blobs(500, 3, rng.New(18))
 	f := NewRandomForest(20, 8)
@@ -396,17 +384,6 @@ func BenchmarkForestPredict(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		f.PredictProba(x)
-	}
-}
-
-func BenchmarkGBDTFit(b *testing.B) {
-	train := blobs(300, 3, rng.New(19))
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		g := NewGBDT(GBDTConfig{NumRounds: 10})
-		if err := g.Fit(train, rng.New(1)); err != nil {
-			b.Fatal(err)
-		}
 	}
 }
 

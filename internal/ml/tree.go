@@ -3,7 +3,6 @@ package ml
 import (
 	"fmt"
 	"math"
-	"sort"
 
 	"github.com/netml/alefb/internal/data"
 	"github.com/netml/alefb/internal/rng"
@@ -35,7 +34,8 @@ func (c TreeConfig) withDefaults() TreeConfig {
 	return c
 }
 
-// Tree is a CART decision-tree classifier. Fit builds the usual pointer
+// Tree is a CART decision-tree classifier. Fit grows the tree with the
+// presort-and-partition engine (see presort.go), builds the usual pointer
 // tree and then compiles it into a flattened structure-of-arrays form
 // (see flat.go) that every predict path traverses.
 type Tree struct {
@@ -73,22 +73,23 @@ func (t *Tree) Fit(d *data.Dataset, r *rng.Rand) error {
 	if d.Len() == 0 {
 		return ErrEmptyDataset
 	}
-	return t.fit(d, r, newSplitScratch(d.Len(), d.Schema.NumClasses()))
+	s := newSplitScratch(d.Schema.NumClasses())
+	s.ps.presortMaster(d.X, d.Schema.NumFeatures())
+	s.ps.prepareFull()
+	return t.fit(d, r, s)
 }
 
-// fit trains the tree with caller-provided scratch, so ensembles can share
-// one scratch across all of their trees.
+// fit trains the tree with caller-provided scratch whose presorted view
+// has been prepared for exactly the rows of d (prepareFull, or
+// prepareSubset with the index set d was built from), so ensembles share
+// one master sort and one scratch across all of their trees.
 func (t *Tree) fit(d *data.Dataset, r *rng.Rand, s *splitScratch) error {
 	if d.Len() == 0 {
 		return ErrEmptyDataset
 	}
 	t.nClasses = d.Schema.NumClasses()
 	t.nFeatures = d.Schema.NumFeatures()
-	idx := make([]int, d.Len())
-	for i := range idx {
-		idx[i] = i
-	}
-	t.root = t.build(d, idx, 0, r, s)
+	t.root = t.build(d, 0, d.Len(), 0, r, s)
 	t.flat = compileTree(t.root, t.nClasses)
 	return nil
 }
@@ -126,39 +127,45 @@ func (t *Tree) predictProbaPointer(x []float64) []float64 {
 	return append([]float64(nil), n.proba...)
 }
 
-func (t *Tree) leaf(d *data.Dataset, idx []int) *treeNode {
-	proba := make([]float64, t.nClasses)
-	for _, i := range idx {
+func (t *Tree) leaf(d *data.Dataset, rows []int32, s *splitScratch) *treeNode {
+	proba := s.newProba(t.nClasses)
+	for _, i := range rows {
 		proba[d.Y[i]]++
 	}
 	normalize(proba)
-	return &treeNode{proba: proba}
+	n := s.newNode()
+	n.proba = proba
+	return n
 }
 
-func (t *Tree) build(d *data.Dataset, idx []int, depth int, r *rng.Rand, s *splitScratch) *treeNode {
+// build grows the subtree for node segment [lo, hi) of the presorted
+// working view in s.ps.
+func (t *Tree) build(d *data.Dataset, lo, hi, depth int, r *rng.Rand, s *splitScratch) *treeNode {
 	cfg := t.Config
-	if len(idx) < cfg.MinSamplesSplit || (cfg.MaxDepth > 0 && depth >= cfg.MaxDepth) || pure(d, idx) {
-		return t.leaf(d, idx)
+	rows := s.ps.rows[lo:hi]
+	if hi-lo < cfg.MinSamplesSplit || (cfg.MaxDepth > 0 && depth >= cfg.MaxDepth) || pure(d, rows) {
+		return t.leaf(d, rows, s)
 	}
-	feat, thr, ok := t.bestSplit(d, idx, r, s)
+	feat, thr, ok := t.bestSplit(d, lo, hi, r, s)
 	if !ok {
-		return t.leaf(d, idx)
+		return t.leaf(d, rows, s)
 	}
-	left, right := partitionStable(d.X, idx, feat, thr, s.part)
-	if len(left) < cfg.MinSamplesLeaf || len(right) < cfg.MinSamplesLeaf {
-		return t.leaf(d, idx)
+	nl := s.ps.markLeft(feat, lo, hi, thr)
+	if nl < cfg.MinSamplesLeaf || hi-lo-nl < cfg.MinSamplesLeaf {
+		return t.leaf(d, rows, s)
 	}
-	return &treeNode{
-		feature:   feat,
-		threshold: thr,
-		left:      t.build(d, left, depth+1, r, s),
-		right:     t.build(d, right, depth+1, r, s),
-	}
+	s.ps.partition(lo, hi)
+	node := s.newNode()
+	node.feature = feat
+	node.threshold = thr
+	node.left = t.build(d, lo, lo+nl, depth+1, r, s)
+	node.right = t.build(d, lo+nl, hi, depth+1, r, s)
+	return node
 }
 
-func pure(d *data.Dataset, idx []int) bool {
-	first := d.Y[idx[0]]
-	for _, i := range idx[1:] {
+func pure(d *data.Dataset, rows []int32) bool {
+	first := d.Y[rows[0]]
+	for _, i := range rows[1:] {
 		if d.Y[i] != first {
 			return false
 		}
@@ -167,58 +174,60 @@ func pure(d *data.Dataset, idx []int) bool {
 }
 
 // bestSplit finds the (feature, threshold) pair with lowest weighted Gini
-// impurity among a random subset of features.
-func (t *Tree) bestSplit(d *data.Dataset, idx []int, r *rng.Rand, s *splitScratch) (feat int, thr float64, ok bool) {
+// impurity among a random subset of features, scanning each candidate's
+// presorted segment directly — no per-node sort, no allocation.
+func (t *Tree) bestSplit(d *data.Dataset, lo, hi int, r *rng.Rand, s *splitScratch) (feat int, thr float64, ok bool) {
 	nf := t.nFeatures
 	candidates := nf
 	if t.Config.MaxFeatures > 0 && t.Config.MaxFeatures < nf {
 		candidates = t.Config.MaxFeatures
 	}
-	feats := r.Sample(nf, candidates)
+	s.feats = r.SampleInto(nf, candidates, s.feats)
 
+	ps := &s.ps
+	n, m := ps.n, hi-lo
 	bestGini := math.Inf(1)
-	pairs := s.pairs[:len(idx)]
-	for _, f := range feats {
-		for pi, i := range idx {
-			pairs[pi] = valueLabel{d.X[i][f], d.Y[i]}
-		}
-		sort.Slice(pairs, func(a, b int) bool { return pairs[a].v < pairs[b].v })
-		if pairs[0].v == pairs[len(pairs)-1].v {
+	for _, f := range s.feats {
+		vals := ps.val[f*n+lo : f*n+hi]
+		rows := ps.ord[f*n+lo : f*n+hi]
+		if vals[0] == vals[m-1] {
 			continue // constant feature in this node
 		}
 		if t.Config.RandomThresholds {
-			cut := r.Uniform(pairs[0].v, pairs[len(pairs)-1].v)
-			g, valid := giniAt(pairs, cut, t.Config.MinSamplesLeaf, s.leftCounts, s.rightCounts)
+			cut := r.Uniform(vals[0], vals[m-1])
+			g, valid := giniAt(vals, rows, d.Y, cut, t.Config.MinSamplesLeaf, s.leftCounts, s.rightCounts)
 			if valid && g < bestGini {
 				bestGini, feat, thr, ok = g, f, cut, true
 			}
 			continue
 		}
-		// Exhaustive scan: sweep sorted values maintaining class counts.
+		// Exhaustive scan: sweep the presorted values maintaining class
+		// counts.
 		leftCounts, rightCounts := s.leftCounts, s.rightCounts
 		for i := range leftCounts {
 			leftCounts[i], rightCounts[i] = 0, 0
 		}
-		for _, p := range pairs {
-			rightCounts[p.y]++
+		for _, row := range rows {
+			rightCounts[d.Y[row]]++
 		}
-		n := float64(len(pairs))
-		for i := 0; i < len(pairs)-1; i++ {
-			leftCounts[pairs[i].y]++
-			rightCounts[pairs[i].y]--
-			if pairs[i].v == pairs[i+1].v {
+		nn := float64(m)
+		for i := 0; i < m-1; i++ {
+			y := d.Y[rows[i]]
+			leftCounts[y]++
+			rightCounts[y]--
+			if vals[i] == vals[i+1] {
 				continue
 			}
 			nl := float64(i + 1)
-			nr := n - nl
+			nr := nn - nl
 			if int(nl) < t.Config.MinSamplesLeaf || int(nr) < t.Config.MinSamplesLeaf {
 				continue
 			}
-			g := (nl*giniImpurity(leftCounts, nl) + nr*giniImpurity(rightCounts, nr)) / n
+			g := (nl*giniImpurity(leftCounts, nl) + nr*giniImpurity(rightCounts, nr)) / nn
 			if g < bestGini {
 				bestGini = g
 				feat = f
-				thr = (pairs[i].v + pairs[i+1].v) / 2
+				thr = (vals[i] + vals[i+1]) / 2
 				ok = true
 			}
 		}
@@ -235,25 +244,19 @@ func giniImpurity(counts []float64, n float64) float64 {
 	return g
 }
 
-// valueLabel pairs one feature value with its row's class label.
-type valueLabel struct {
-	v float64
-	y int
-}
-
-// giniAt evaluates a single threshold over pre-sorted pairs, using the
-// caller's count buffers as scratch.
-func giniAt(pairs []valueLabel, cut float64, minLeaf int, leftCounts, rightCounts []float64) (float64, bool) {
+// giniAt evaluates a single threshold over one presorted feature segment,
+// using the caller's count buffers as scratch.
+func giniAt(vals []float64, rows []int32, y []int, cut float64, minLeaf int, leftCounts, rightCounts []float64) (float64, bool) {
 	for i := range leftCounts {
 		leftCounts[i], rightCounts[i] = 0, 0
 	}
 	nl, nr := 0.0, 0.0
-	for _, p := range pairs {
-		if p.v <= cut {
-			leftCounts[p.y]++
+	for i, v := range vals {
+		if v <= cut {
+			leftCounts[y[rows[i]]]++
 			nl++
 		} else {
-			rightCounts[p.y]++
+			rightCounts[y[rows[i]]]++
 			nr++
 		}
 	}
@@ -296,69 +299,75 @@ type regNode struct {
 	left, right *regNode
 }
 
-func (t *regTree) fit(X [][]float64, y []float64, r *rng.Rand, s *splitScratch) {
-	idx := make([]int, len(X))
-	for i := range idx {
-		idx[i] = i
-	}
-	t.root = t.build(X, y, idx, 0, s)
+// fit trains the tree on targets y over the presorted working view
+// prepared in s.ps (y is indexed by working row). The caller prepares the
+// view, so GBDT reuses one master sort across every round and class.
+func (t *regTree) fit(y []float64, s *splitScratch) {
+	t.root = t.build(y, 0, s.ps.n, 0, s)
 	t.flat = compileRegTree(t.root)
-	_ = r
 }
 
-func (t *regTree) build(X [][]float64, y []float64, idx []int, depth int, s *splitScratch) *regNode {
+func (t *regTree) build(y []float64, lo, hi, depth int, s *splitScratch) *regNode {
 	mean := 0.0
-	for _, i := range idx {
+	for _, i := range s.ps.rows[lo:hi] {
 		mean += y[i]
 	}
-	mean /= float64(len(idx))
-	if depth >= t.maxDepth || len(idx) < 2*t.minSamplesLeaf {
-		return &regNode{isLeaf: true, value: mean}
+	mean /= float64(hi - lo)
+	if depth >= t.maxDepth || hi-lo < 2*t.minSamplesLeaf {
+		return t.regLeaf(mean, s)
 	}
-	feat, thr, ok := t.bestSplit(X, y, idx, s)
+	feat, thr, ok := t.bestSplit(y, lo, hi, s)
 	if !ok {
-		return &regNode{isLeaf: true, value: mean}
+		return t.regLeaf(mean, s)
 	}
-	left, right := partitionStable(X, idx, feat, thr, s.part)
-	if len(left) < t.minSamplesLeaf || len(right) < t.minSamplesLeaf {
-		return &regNode{isLeaf: true, value: mean}
+	nl := s.ps.markLeft(feat, lo, hi, thr)
+	if nl < t.minSamplesLeaf || hi-lo-nl < t.minSamplesLeaf {
+		return t.regLeaf(mean, s)
 	}
-	return &regNode{
-		feature:   feat,
-		threshold: thr,
-		left:      t.build(X, y, left, depth+1, s),
-		right:     t.build(X, y, right, depth+1, s),
-	}
+	s.ps.partition(lo, hi)
+	node := s.newRegNode()
+	node.feature = feat
+	node.threshold = thr
+	node.left = t.build(y, lo, lo+nl, depth+1, s)
+	node.right = t.build(y, lo+nl, hi, depth+1, s)
+	return node
 }
 
-func (t *regTree) bestSplit(X [][]float64, y []float64, idx []int, s *splitScratch) (feat int, thr float64, ok bool) {
-	nf := len(X[idx[0]])
-	pairs := s.regScratch(len(idx))
+func (t *regTree) regLeaf(mean float64, s *splitScratch) *regNode {
+	n := s.newRegNode()
+	n.isLeaf = true
+	n.value = mean
+	return n
+}
+
+func (t *regTree) bestSplit(y []float64, lo, hi int, s *splitScratch) (feat int, thr float64, ok bool) {
+	ps := &s.ps
+	n, m := ps.n, hi-lo
 	bestScore := math.Inf(1)
-	for f := 0; f < nf; f++ {
-		for pi, i := range idx {
-			pairs[pi] = regPair{X[i][f], y[i]}
-		}
-		sort.Slice(pairs, func(a, b int) bool { return pairs[a].v < pairs[b].v })
-		if pairs[0].v == pairs[len(pairs)-1].v {
+	for f := 0; f < ps.nf; f++ {
+		vals := ps.val[f*n+lo : f*n+hi]
+		rows := ps.ord[f*n+lo : f*n+hi]
+		if vals[0] == vals[m-1] {
 			continue
 		}
 		sumL, sumR, sqL, sqR := 0.0, 0.0, 0.0, 0.0
-		for _, p := range pairs {
-			sumR += p.y
-			sqR += p.y * p.y
+		for _, row := range rows {
+			v := y[row]
+			sumR += v
+			sqR += v * v
 		}
-		n := float64(len(pairs))
-		for i := 0; i < len(pairs)-1; i++ {
-			sumL += pairs[i].y
-			sqL += pairs[i].y * pairs[i].y
-			sumR -= pairs[i].y
-			sqR -= pairs[i].y * pairs[i].y
-			if pairs[i].v == pairs[i+1].v {
+		nn := float64(m)
+		for i := 0; i < m-1; i++ {
+			v := y[rows[i]]
+			sumL += v
+			sqL += v * v
+			sumR -= v
+			sqR -= v * v
+			if vals[i] == vals[i+1] {
 				continue
 			}
 			nl := float64(i + 1)
-			nr := n - nl
+			nr := nn - nl
 			if int(nl) < t.minSamplesLeaf || int(nr) < t.minSamplesLeaf {
 				continue
 			}
@@ -367,7 +376,7 @@ func (t *regTree) bestSplit(X [][]float64, y []float64, idx []int, s *splitScrat
 			if score < bestScore {
 				bestScore = score
 				feat = f
-				thr = (pairs[i].v + pairs[i+1].v) / 2
+				thr = (vals[i] + vals[i+1]) / 2
 				ok = true
 			}
 		}

@@ -204,6 +204,47 @@ func (r *Rand) Sample(n, k int) []int {
 	return out
 }
 
+// SampleInto is Sample with a caller-provided buffer: it consumes exactly
+// the same stream and returns exactly the same indices as Sample(n, k),
+// but reuses buf (grown as needed) instead of allocating. Hot loops — the
+// per-node feature draw in tree training — call this with a scratch
+// buffer so sampling costs no allocations.
+func (r *Rand) SampleInto(n, k int, buf []int) []int {
+	if cap(buf) < n {
+		buf = make([]int, n)
+	}
+	if k >= n {
+		out := buf[:n]
+		for i := range out {
+			out[i] = i
+		}
+		r.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
+		return out
+	}
+	// Floyd's algorithm, with the membership test as a linear scan over
+	// the values chosen so far (k is small; the scan replaces Sample's
+	// per-call map without touching the Intn stream).
+	out := buf[:0]
+	for j := n - k; j < n; j++ {
+		t := r.Intn(j + 1)
+		if containsInt(out, t) {
+			t = j
+		}
+		out = append(out, t)
+	}
+	r.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
+	return out
+}
+
+func containsInt(s []int, v int) bool {
+	for _, x := range s {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
 // Weighted returns an index in [0, len(weights)) drawn proportionally to
 // weights. Non-positive weights are treated as zero. If all weights are
 // zero it falls back to uniform.

@@ -277,3 +277,46 @@ func BenchmarkNormFloat64(b *testing.B) {
 	}
 	_ = sink
 }
+
+// TestSampleIntoMatchesSample pins the stream-compatibility contract:
+// SampleInto must return the same indices as Sample and leave the
+// generator in the same state, for every (n, k) shape including the
+// permutation fallback, so the tree trainer can switch to the buffered
+// variant without perturbing any fitted model.
+func TestSampleIntoMatchesSample(t *testing.T) {
+	buf := make([]int, 0, 64)
+	for seed := uint64(1); seed <= 50; seed++ {
+		a, b := New(seed), New(seed)
+		n := 1 + int(seed%13)
+		for _, k := range []int{1, n / 2, n - 1, n, n + 3} {
+			if k < 1 {
+				k = 1
+			}
+			want := a.Sample(n, k)
+			got := b.SampleInto(n, k, buf)
+			if len(want) != len(got) {
+				t.Fatalf("seed %d n=%d k=%d: len %d != %d", seed, n, k, len(got), len(want))
+			}
+			for i := range want {
+				if want[i] != got[i] {
+					t.Fatalf("seed %d n=%d k=%d: index %d: %d != %d", seed, n, k, i, got[i], want[i])
+				}
+			}
+			if a.Uint64() != b.Uint64() {
+				t.Fatalf("seed %d n=%d k=%d: stream diverged after sampling", seed, n, k)
+			}
+		}
+	}
+}
+
+// TestSampleIntoZeroAllocs checks the warm path allocates nothing.
+func TestSampleIntoZeroAllocs(t *testing.T) {
+	r := New(3)
+	buf := make([]int, 0, 32)
+	if allocs := testing.AllocsPerRun(100, func() { buf = r.SampleInto(20, 5, buf) }); allocs != 0 {
+		t.Errorf("SampleInto allocates %.1f objects per call, want 0", allocs)
+	}
+	if allocs := testing.AllocsPerRun(100, func() { buf = r.SampleInto(20, 20, buf) }); allocs != 0 {
+		t.Errorf("SampleInto (perm path) allocates %.1f objects per call, want 0", allocs)
+	}
+}
