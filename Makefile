@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-ml bench-smoke bench-json ci fmt-check vet fmt fuzz test-fault test-serve
+.PHONY: all build test race bench bench-ml bench-serve bench-smoke bench-json ci fmt-check vet fmt fuzz test-fault test-serve test-serve-race
 
 all: build test
 
@@ -33,21 +33,38 @@ bench-ml:
 		./internal/ml/ ./internal/interpret/ ./internal/core/ ./internal/automl/ \
 		| tee results/bench_current.txt
 
+# bench-serve runs the end-to-end serving throughput benchmark twice —
+# coalescing off (the legacy per-request sweep, the baseline) and on
+# (the micro-batch scheduler) — so the recorded speedup is the scheduler
+# itself, measured over identical HTTP, JSON, and model layers.
+bench-serve:
+	$(GO) test ./internal/serve/ -run '^$$' -bench BenchmarkServePredictLoad64 \
+		-benchmem -benchtime 2s -serve.batch=off \
+		| tee results/bench_serve_baseline.txt
+	$(GO) test ./internal/serve/ -run '^$$' -bench BenchmarkServePredictLoad64 \
+		-benchmem -benchtime 2s -serve.batch=on \
+		| tee results/bench_serve_current.txt
+
 # bench-smoke executes every benchmark exactly once as a correctness
 # gate (not a measurement): a benchmark that panics or regresses into an
 # error fails CI even when nobody is timing it.
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime 1x \
-		./internal/ml/ ./internal/interpret/ ./internal/core/ ./internal/automl/
+		./internal/ml/ ./internal/interpret/ ./internal/core/ \
+		./internal/automl/ ./internal/serve/
 
-# bench-json renders the baseline-vs-current sweep comparison to
-# BENCH_ML.json at the repo root (run bench-ml first to refresh the
-# current numbers).
+# bench-json renders the baseline-vs-current sweep comparisons to
+# BENCH_ML.json and BENCH_SERVE.json at the repo root (run bench-ml and
+# bench-serve first to refresh the inputs).
 bench-json:
 	$(GO) run ./cmd/benchjson \
 		-baseline results/bench_baseline.txt \
 		-current results/bench_current.txt \
 		-out BENCH_ML.json
+	$(GO) run ./cmd/benchjson \
+		-baseline results/bench_serve_baseline.txt \
+		-current results/bench_serve_current.txt \
+		-out BENCH_SERVE.json
 
 # test-fault runs the robustness suites under the race detector: the
 # fault-injection drop-equivalence tests (a panicking/erroring/NaN
@@ -71,11 +88,25 @@ test-fault:
 test-serve:
 	$(GO) test -race -count=1 ./internal/serve/
 
+# test-serve-race pins the batch-scheduler and multi-tenant contracts by
+# name under the race detector: coalesced-vs-sequential byte identity,
+# timer flushes and row-cap splits under injected scheduler stalls,
+# snapshot swaps mid-batch (no torn batches), sweep-panic containment,
+# cross-tenant retrain/breaker/panic isolation, LRU eviction with the
+# default model pinned, registry churn against in-flight predicts, and
+# the per-tenant load-report breakdown. test-serve already covers these
+# files, but naming the suites means a renamed-away test is noticed.
+test-serve-race:
+	$(GO) test -race -count=1 \
+		-run 'TestCoalesced|TestBatch|TestSnapshotSwapMidBatch|TestSweepPanic|TestCrossTenant|TestRegistryChurn|TestLRUEviction|TestModelRouting|TestModelsStats|TestLoadMultiTenant|TestLoadSingleTenant' \
+		./internal/serve/
+
 # ci is the full gate: formatting, vet, tests, race detector, fault
-# suite, serving chaos suite (test-fault/test-serve overlap with race
-# but pin the robustness contracts by name, so a renamed-away test is
-# noticed), and a single-iteration benchmark smoke run.
-ci: fmt-check vet test race test-fault test-serve bench-smoke
+# suite, serving chaos suites (test-fault/test-serve/test-serve-race
+# overlap with race but pin the robustness contracts by name, so a
+# renamed-away test is noticed), and a single-iteration benchmark smoke
+# run.
+ci: fmt-check vet test race test-fault test-serve test-serve-race bench-smoke
 
 fmt-check:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \

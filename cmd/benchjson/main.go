@@ -23,13 +23,16 @@ import (
 
 // version identifies the converter build; bump when the JSON schema
 // changes.
-const version = "alefb-benchjson 0.5.0"
+const version = "alefb-benchjson 0.6.0"
 
-// metrics holds one benchmark line's measurements.
+// metrics holds one benchmark line's measurements. Extra carries any
+// custom b.ReportMetric columns (e.g. the serving benchmark's "req/s"
+// and "reqs/batch"), keyed by unit.
 type metrics struct {
-	NsPerOp     float64 `json:"ns_per_op"`
-	BytesPerOp  float64 `json:"bytes_per_op"`
-	AllocsPerOp float64 `json:"allocs_per_op"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  float64            `json:"bytes_per_op"`
+	AllocsPerOp float64            `json:"allocs_per_op"`
+	Extra       map[string]float64 `json:"extra,omitempty"`
 }
 
 // entry pairs a benchmark's baseline and current measurements. Speedup is
@@ -52,10 +55,17 @@ type report struct {
 // benchLine matches one -benchmem output row, e.g.
 //
 //	BenchmarkForestPredictBatch-8   2562   430741 ns/op   264288 B/op   10501 allocs/op
+//	BenchmarkServePredictLoad64     12926  178374 ns/op   5612 req/s   45.04 reqs/batch   11411 B/op   135 allocs/op
 //
-// The -N GOMAXPROCS suffix is optional and stripped from the name.
+// The -N GOMAXPROCS suffix is optional and stripped from the name;
+// custom b.ReportMetric columns between ns/op and B/op are captured as
+// extras.
 var benchLine = regexp.MustCompile(
-	`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op\s+([0-9.]+) B/op\s+([0-9.]+) allocs/op`)
+	`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op((?:\s+[0-9.]+ \S+)*?)\s+([0-9.]+) B/op\s+([0-9.]+) allocs/op`)
+
+// extraMetric splits one custom column of the middle group, e.g.
+// "5612 req/s".
+var extraMetric = regexp.MustCompile(`([0-9.]+) (\S+)`)
 
 func parseFile(path string) (map[string]metrics, error) {
 	b, err := os.ReadFile(path)
@@ -69,9 +79,20 @@ func parseFile(path string) (map[string]metrics, error) {
 			continue
 		}
 		ns, _ := strconv.ParseFloat(m[2], 64)
-		bytes, _ := strconv.ParseFloat(m[3], 64)
-		allocs, _ := strconv.ParseFloat(m[4], 64)
-		out[m[1]] = metrics{NsPerOp: ns, BytesPerOp: bytes, AllocsPerOp: allocs}
+		bytes, _ := strconv.ParseFloat(m[4], 64)
+		allocs, _ := strconv.ParseFloat(m[5], 64)
+		mt := metrics{NsPerOp: ns, BytesPerOp: bytes, AllocsPerOp: allocs}
+		for _, ex := range extraMetric.FindAllStringSubmatch(m[3], -1) {
+			v, err := strconv.ParseFloat(ex[1], 64)
+			if err != nil {
+				continue
+			}
+			if mt.Extra == nil {
+				mt.Extra = make(map[string]float64)
+			}
+			mt.Extra[ex[2]] = v
+		}
+		out[m[1]] = mt
 	}
 	if len(out) == 0 {
 		return nil, fmt.Errorf("no benchmark lines found in %s", path)

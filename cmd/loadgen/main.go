@@ -9,6 +9,7 @@
 //
 //	loadgen -base http://127.0.0.1:8080 -n 500 -c 8
 //	loadgen -base http://127.0.0.1:8080 -mix 1,1,1,1   # uniform mix
+//	loadgen -base http://127.0.0.1:8080 -models default,video,voip
 //	loadgen -version
 package main
 
@@ -25,7 +26,7 @@ import (
 )
 
 // version identifies the load-generator build.
-const version = "alefb-loadgen 0.4.0"
+const version = "alefb-loadgen 0.6.0"
 
 func main() {
 	var (
@@ -35,6 +36,7 @@ func main() {
 		rows        = flag.Int("rows", 16, "rows per predict batch")
 		seed        = flag.Uint64("seed", 1, "random seed (fixes the request mix)")
 		mixSpec     = flag.String("mix", "", "predict,ale,regions,health weights (default 8,1,0.5,0.5)")
+		modelsSpec  = flag.String("models", "", "comma-separated tenant models to spread load across (default: the default model)")
 		timeout     = flag.Duration("timeout", 10*time.Second, "per-request timeout")
 		showVersion = flag.Bool("version", false, "print the version and exit")
 	)
@@ -51,6 +53,14 @@ func main() {
 			fatal(err)
 		}
 	}
+	var tenants []string
+	if *modelsSpec != "" {
+		for _, m := range strings.Split(*modelsSpec, ",") {
+			if m = strings.TrimSpace(m); m != "" {
+				tenants = append(tenants, m)
+			}
+		}
+	}
 	report, err := serve.RunLoad(context.Background(), serve.LoadConfig{
 		Base:        *base,
 		Concurrency: *concurrency,
@@ -58,6 +68,7 @@ func main() {
 		Rows:        *rows,
 		Seed:        *seed,
 		Mix:         mix,
+		Models:      tenants,
 		Timeout:     *timeout,
 	})
 	if err != nil {

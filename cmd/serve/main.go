@@ -1,17 +1,25 @@
 // Command serve runs the hardened HTTP inference/feedback service: it
-// trains an AutoML ensemble on a CSV dataset and serves batch prediction,
+// trains AutoML ensembles on CSV datasets and serves batch prediction,
 // ALE curves, disagreement regions and operator-triggered retraining with
-// load shedding, panic isolation, a retrain circuit breaker and last-good
-// snapshot serving.
+// request coalescing, load shedding, panic isolation, per-model retrain
+// circuit breakers and last-good snapshot serving.
 //
 // Usage:
 //
 //	serve -train data.csv                    # bootstrap + listen on :8080
 //	serve -train data.csv -addr :9090 -budget 24
+//	serve -train data.csv -model video=video.csv -model voip=voip.csv
 //	serve -version
 //
-// Endpoints: GET /healthz, GET /readyz, GET /v1/schema,
-// POST /v1/predict, /v1/ale, /v1/regions, /v1/retrain.
+// Endpoints: GET /healthz, GET /readyz, GET /v1/schema, GET /v1/models,
+// POST /v1/predict, /v1/ale, /v1/regions, /v1/retrain — plus the same
+// read/retrain endpoints per tenant under /v1/models/{name}/....
+//
+// -train bootstraps the pinned default model; each repeatable
+// -model name=path.csv bootstraps an additional named tenant. Concurrent
+// predict requests of one model are coalesced into micro-batches (bounded
+// by -max-batch-rows and -batch-delay) and answered from one ensemble
+// sweep; -no-coalesce restores the per-request sweep.
 //
 // SIGINT/SIGTERM trigger a graceful shutdown that drains in-flight
 // requests before exiting.
@@ -23,6 +31,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -33,24 +42,43 @@ import (
 )
 
 // version identifies the serving layer build; bump alongside API changes.
-const version = "alefb-serve 0.4.0"
+const version = "alefb-serve 0.6.0"
+
+// modelSpec is one -model name=path.csv mapping.
+type modelSpec struct {
+	name, path string
+}
 
 func main() {
+	var models []modelSpec
 	var (
-		addr         = flag.String("addr", ":8080", "listen address")
-		trainPath    = flag.String("train", "", "training CSV (required)")
-		budget       = flag.Int("budget", 24, "AutoML pipelines to evaluate at bootstrap and retrain")
-		bins         = flag.Int("bins", 32, "ALE grid resolution for /v1/ale and /v1/regions")
-		workers      = flag.Int("workers", 0, "worker goroutines for search and committees (0 = all cores)")
-		seed         = flag.Uint64("seed", 1, "random seed")
-		maxInFlight  = flag.Int("max-inflight", 64, "concurrently executing /v1 requests before queueing")
-		maxQueue     = flag.Int("max-queue", 0, "queued requests before shedding with 429 (0 = 2*max-inflight)")
-		reqTimeout   = flag.Duration("request-timeout", 10*time.Second, "per-request deadline for read endpoints")
-		retrainTO    = flag.Duration("retrain-timeout", 5*time.Minute, "per-attempt retrain deadline")
-		brkThreshold = flag.Int("breaker-threshold", 3, "consecutive retrain failures that open the circuit breaker")
-		brkCooldown  = flag.Duration("breaker-cooldown", 30*time.Second, "how long the open breaker sheds retrains before probing")
-		showVersion  = flag.Bool("version", false, "print the version and exit")
+		addr           = flag.String("addr", ":8080", "listen address")
+		trainPath      = flag.String("train", "", "training CSV of the default model (required)")
+		budget         = flag.Int("budget", 24, "AutoML pipelines to evaluate at bootstrap and retrain")
+		bins           = flag.Int("bins", 32, "ALE grid resolution for /v1/ale and /v1/regions")
+		workers        = flag.Int("workers", 0, "worker goroutines for search and committees (0 = all cores)")
+		seed           = flag.Uint64("seed", 1, "random seed")
+		maxInFlight    = flag.Int("max-inflight", 64, "concurrently executing /v1 requests before queueing")
+		maxQueue       = flag.Int("max-queue", 0, "queued requests before shedding with 429 (0 = 2*max-inflight)")
+		reqTimeout     = flag.Duration("request-timeout", 10*time.Second, "per-request deadline for read endpoints")
+		retrainTO      = flag.Duration("retrain-timeout", 5*time.Minute, "per-attempt retrain deadline")
+		brkThreshold   = flag.Int("breaker-threshold", 3, "consecutive retrain failures that open the circuit breaker")
+		brkCooldown    = flag.Duration("breaker-cooldown", 30*time.Second, "how long the open breaker sheds retrains before probing")
+		maxModels      = flag.Int("max-models", 0, "resident models before LRU eviction of the coldest unpinned one (0 = default)")
+		maxBatchRows   = flag.Int("max-batch-rows", 0, "row cap of one coalesced predict batch (0 = default)")
+		batchDelay     = flag.Duration("batch-delay", 0, "max wait for a coalesced batch to fill (0 = default)")
+		predictWorkers = flag.Int("predict-workers", 0, "worker goroutines for one coalesced sweep (0 = all cores)")
+		noCoalesce     = flag.Bool("no-coalesce", false, "disable request coalescing; sweep each predict request alone")
+		showVersion    = flag.Bool("version", false, "print the version and exit")
 	)
+	flag.Func("model", "additional tenant model as name=path.csv (repeatable)", func(v string) error {
+		name, path, ok := strings.Cut(v, "=")
+		if !ok || name == "" || path == "" {
+			return fmt.Errorf("want name=path.csv, got %q", v)
+		}
+		models = append(models, modelSpec{name: name, path: path})
+		return nil
+	})
 	flag.Parse()
 	if *showVersion {
 		fmt.Println(version)
@@ -61,36 +89,46 @@ func main() {
 		os.Exit(2)
 	}
 
-	f, err := os.Open(*trainPath)
-	if err != nil {
-		fatal(err)
-	}
-	train, err := data.ReadCSV(f)
-	f.Close()
-	if err != nil {
-		fatal(fmt.Errorf("read %s: %w", *trainPath, err))
-	}
-	fmt.Printf("loaded %s: %d rows, %d features, %d classes\n",
-		*trainPath, train.Len(), train.Schema.NumFeatures(), train.Schema.NumClasses())
-
 	s := serve.New(serve.Config{
-		AutoML:           automl.Config{MaxCandidates: *budget, Seed: *seed, Workers: *workers},
-		Feedback:         core.Config{Bins: *bins, Workers: *workers},
-		MaxInFlight:      *maxInFlight,
-		MaxQueue:         *maxQueue,
-		RequestTimeout:   *reqTimeout,
-		RetrainTimeout:   *retrainTO,
-		BreakerThreshold: *brkThreshold,
-		BreakerCooldown:  *brkCooldown,
-		Log:              os.Stderr,
+		AutoML:            automl.Config{MaxCandidates: *budget, Seed: *seed, Workers: *workers},
+		Feedback:          core.Config{Bins: *bins, Workers: *workers},
+		MaxInFlight:       *maxInFlight,
+		MaxQueue:          *maxQueue,
+		RequestTimeout:    *reqTimeout,
+		RetrainTimeout:    *retrainTO,
+		BreakerThreshold:  *brkThreshold,
+		BreakerCooldown:   *brkCooldown,
+		MaxModels:         *maxModels,
+		MaxBatchRows:      *maxBatchRows,
+		MaxBatchDelay:     *batchDelay,
+		PredictWorkers:    *predictWorkers,
+		DisableCoalescing: *noCoalesce,
+		Log:               os.Stderr,
 	})
 
-	fmt.Printf("bootstrapping ensemble (budget %d, seed %d)...\n", *budget, *seed)
-	start := time.Now()
-	if err := s.Bootstrap(context.Background(), train); err != nil {
-		fatal(err)
+	bootstrap := func(name, path string) {
+		train := loadCSV(path)
+		label := name
+		if label == "" {
+			label = serve.DefaultModel
+		}
+		fmt.Printf("bootstrapping %s ensemble (budget %d, seed %d)...\n", label, *budget, *seed)
+		start := time.Now()
+		var err error
+		if name == "" {
+			err = s.Bootstrap(context.Background(), train)
+		} else {
+			err = s.BootstrapModel(context.Background(), name, train)
+		}
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("bootstrap of %s done in %s\n", label, time.Since(start).Round(time.Millisecond))
 	}
-	fmt.Printf("bootstrap done in %s\n", time.Since(start).Round(time.Millisecond))
+	bootstrap("", *trainPath)
+	for _, m := range models {
+		bootstrap(m.name, m.path)
+	}
 
 	// Serve until a termination signal, then drain gracefully.
 	errCh := make(chan error, 1)
@@ -116,6 +154,21 @@ func main() {
 		}
 		fmt.Println("drained, bye")
 	}
+}
+
+func loadCSV(path string) *data.Dataset {
+	f, err := os.Open(path)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	train, err := data.ReadCSV(f)
+	if err != nil {
+		fatal(fmt.Errorf("read %s: %w", path, err))
+	}
+	fmt.Printf("loaded %s: %d rows, %d features, %d classes\n",
+		path, train.Len(), train.Schema.NumFeatures(), train.Schema.NumClasses())
+	return train
 }
 
 func fatal(err error) {

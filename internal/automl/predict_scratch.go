@@ -1,0 +1,42 @@
+package automl
+
+import "github.com/netml/alefb/internal/ml"
+
+// PredictScratch holds the reusable working memory of one member-major
+// ensemble batch sweep: the per-member probability matrix and the shared
+// pipeline-scaling scratch. A zero value is ready to use; the serving
+// layer pools these so steady-state coalesced inference allocates
+// nothing.
+type PredictScratch struct {
+	member ml.Matrix
+	batch  ml.BatchScratch
+}
+
+// PredictProbaBatchIntoScratch writes the ensemble probability matrix of
+// X into out, bit-identical to PredictProbaBatchInto but member-major:
+// each member's own batch path sweeps the whole row matrix at once (the
+// flat SoA engine's 4-row lockstep walk amortizes tree traversal across
+// every row of a coalesced batch), and the weighted accumulation into out
+// visits members in the same order as the row-major path, so every
+// (row, class) cell sees the identical float64 addition sequence.
+func (e *Ensemble) PredictProbaBatchIntoScratch(X, out [][]float64, sc *PredictScratch) {
+	if len(X) == 0 {
+		return
+	}
+	for i := range out {
+		o := out[i]
+		for c := range o {
+			o[c] = 0
+		}
+	}
+	member := sc.member.Rows(len(X), e.NumClasses)
+	for _, m := range e.Members {
+		ml.PredictProbaBatchIntoScratch(m.Model, X, member, &sc.batch)
+		for i, row := range member {
+			o := out[i]
+			for c, v := range row {
+				o[c] += m.Weight * v
+			}
+		}
+	}
+}

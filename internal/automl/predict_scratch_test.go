@@ -1,0 +1,81 @@
+package automl
+
+import (
+	"context"
+	"testing"
+
+	"github.com/netml/alefb/internal/rng"
+)
+
+// TestPredictScratchBitIdentity pins the member-major shared-scratch
+// ensemble sweep to the row-major path bit for bit, on an ensemble found
+// by a real search (so the member set mixes model families and
+// pipelines). The serving layer's coalesced-batch determinism claim
+// reduces to exactly this equality.
+func TestPredictScratchBitIdentity(t *testing.T) {
+	d := blobs(240, 3, rng.New(5))
+	ens, err := RunCtx(context.Background(), d, smallCfg(21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(64)
+	X := make([][]float64, 300) // spans one 256-row serving chunk boundary
+	for i := range X {
+		X[i] = []float64{r.Uniform(-4, 8), r.Uniform(-4, 8)}
+	}
+	k := ens.NumClasses
+	mk := func() [][]float64 {
+		backing := make([]float64, len(X)*k)
+		out := make([][]float64, len(X))
+		for i := range out {
+			out[i] = backing[i*k : (i+1)*k : (i+1)*k]
+		}
+		return out
+	}
+	want := mk()
+	ens.PredictProbaBatchInto(X, want)
+
+	var sc PredictScratch
+	for pass := 0; pass < 2; pass++ { // pass 2 reuses warm scratch
+		got := mk()
+		ens.PredictProbaBatchIntoScratch(X, got, &sc)
+		for i := range want {
+			for c := range want[i] {
+				if want[i][c] != got[i][c] {
+					t.Fatalf("pass %d row %d class %d: scratch %v != row-major %v",
+						pass, i, c, got[i][c], want[i][c])
+				}
+			}
+		}
+	}
+}
+
+// TestPredictScratchZeroAlloc pins the steady-state allocation count of
+// the coalesced sweep core at zero: warm scratch plus caller-owned output
+// means repeated sweeps touch the allocator not at all.
+func TestPredictScratchZeroAlloc(t *testing.T) {
+	d := blobs(240, 3, rng.New(5))
+	ens, err := RunCtx(context.Background(), d, smallCfg(21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(64)
+	X := make([][]float64, 128)
+	for i := range X {
+		X[i] = []float64{r.Uniform(-4, 8), r.Uniform(-4, 8)}
+	}
+	k := ens.NumClasses
+	backing := make([]float64, len(X)*k)
+	out := make([][]float64, len(X))
+	for i := range out {
+		out[i] = backing[i*k : (i+1)*k : (i+1)*k]
+	}
+	var sc PredictScratch
+	ens.PredictProbaBatchIntoScratch(X, out, &sc) // warm the scratch
+	allocs := testing.AllocsPerRun(50, func() {
+		ens.PredictProbaBatchIntoScratch(X, out, &sc)
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state coalesced sweep allocates %.1f/op, want 0", allocs)
+	}
+}

@@ -84,6 +84,20 @@ type Injector struct {
 	httpFault   map[int]Kind
 	httpSlow    map[int]time.Duration
 	retrainFail map[int]bool
+	// retrainFailFor scopes retrain failures to one named model, so the
+	// cross-tenant isolation suite can fail tenant B's attempt n while
+	// tenant A retrains cleanly. The plain retrainFail map applies to
+	// every model (the single-tenant behavior).
+	retrainFailFor map[string]map[int]bool
+
+	// schedStall gates the predict micro-batch scheduler: the leader of
+	// coalesced batch n keeps the batch open — ignoring the fast
+	// everyone-joined flush — until the gate channel closes, the row cap
+	// fills, or the batch-delay timer fires. Tests use it to pile a known
+	// set of concurrent requests into one batch, or (with a gate that
+	// never closes) to force the timer flush path, without wall-clock
+	// sleeps. Keyed by the per-model batch sequence number.
+	schedStall map[int]<-chan struct{}
 }
 
 // New returns an empty injector.
@@ -163,6 +177,33 @@ func (in *Injector) WithRetrainFail(n int) *Injector {
 	return in
 }
 
+// WithRetrainFailFor makes retrain attempt n (1-based) of the named
+// model fail with ErrInjected, leaving every other model's retrains
+// untouched.
+func (in *Injector) WithRetrainFailFor(model string, n int) *Injector {
+	if in.retrainFailFor == nil {
+		in.retrainFailFor = map[string]map[int]bool{}
+	}
+	if in.retrainFailFor[model] == nil {
+		in.retrainFailFor[model] = map[int]bool{}
+	}
+	in.retrainFailFor[model][n] = true
+	return in
+}
+
+// WithSchedulerStall holds coalesced predict batch n (0-based, per
+// model) open until gate closes. While stalled the batch leader still
+// honors the row cap and the MaxBatchDelay timer — a gate that never
+// closes is exactly how the timer flush path is pinned deterministically.
+// Nil/zero injects nothing, like every other fault point.
+func (in *Injector) WithSchedulerStall(batch int, gate <-chan struct{}) *Injector {
+	if in.schedStall == nil {
+		in.schedStall = map[int]<-chan struct{}{}
+	}
+	in.schedStall[batch] = gate
+	return in
+}
+
 // Fit reports the fault for candidate-evaluation index idx. Nil-safe.
 func (in *Injector) Fit(idx int) Kind {
 	if in == nil {
@@ -212,4 +253,23 @@ func (in *Injector) HTTPLatency(seq int) time.Duration {
 // Nil-safe.
 func (in *Injector) RetrainFails(n int) bool {
 	return in != nil && in.retrainFail[n]
+}
+
+// RetrainFailsFor reports whether the named model's retrain attempt n
+// should fail, honoring both the model-scoped and the global maps.
+// Nil-safe.
+func (in *Injector) RetrainFailsFor(model string, n int) bool {
+	if in == nil {
+		return false
+	}
+	return in.retrainFail[n] || in.retrainFailFor[model][n]
+}
+
+// SchedulerStall reports the stall gate for coalesced batch n, nil when
+// the batch runs unstalled. Nil-safe.
+func (in *Injector) SchedulerStall(batch int) <-chan struct{} {
+	if in == nil {
+		return nil
+	}
+	return in.schedStall[batch]
 }

@@ -13,6 +13,9 @@ func TestNilInjectorIsNoOp(t *testing.T) {
 	if in.HTTPFault(0) != None || in.HTTPLatency(0) != 0 || in.RetrainFails(1) {
 		t.Fatal("nil injector injected an HTTP fault")
 	}
+	if in.SchedulerStall(0) != nil || in.RetrainFailsFor("m", 1) {
+		t.Fatal("nil injector injected a scheduler fault")
+	}
 }
 
 func TestZeroValueIsNoOp(t *testing.T) {
@@ -22,6 +25,9 @@ func TestZeroValueIsNoOp(t *testing.T) {
 	}
 	if in.HTTPFault(0) != None || in.HTTPLatency(0) != 0 || in.RetrainFails(0) {
 		t.Fatal("zero-value injector injected an HTTP fault")
+	}
+	if in.SchedulerStall(0) != nil || in.RetrainFailsFor("m", 0) {
+		t.Fatal("zero-value injector injected a scheduler fault")
 	}
 }
 
@@ -40,6 +46,24 @@ func TestConfiguredHTTPFaults(t *testing.T) {
 	}
 	if !in.RetrainFails(1) || in.RetrainFails(2) || !in.RetrainFails(3) {
 		t.Fatal("retrain failures misrouted")
+	}
+}
+
+func TestSchedulerStallAndScopedRetrainFaults(t *testing.T) {
+	gate := make(chan struct{})
+	in := New().
+		WithSchedulerStall(2, gate).
+		WithRetrainFailFor("tenant-b", 1)
+	if in.SchedulerStall(2) == nil || in.SchedulerStall(0) != nil || in.SchedulerStall(1) != nil {
+		t.Fatal("scheduler stall gates misrouted")
+	}
+	if !in.RetrainFailsFor("tenant-b", 1) || in.RetrainFailsFor("tenant-b", 2) || in.RetrainFailsFor("other", 1) {
+		t.Fatal("scoped retrain failures misrouted")
+	}
+	// The global map still applies through the scoped accessor.
+	in.WithRetrainFail(3)
+	if !in.RetrainFailsFor("anything", 3) {
+		t.Fatal("global retrain failure not honored by scoped accessor")
 	}
 }
 

@@ -1,0 +1,81 @@
+package ml
+
+// Matrix is a reusable row-major float64 matrix: one contiguous backing
+// slice plus row views into it. Rows grows the backing geometrically and
+// re-slices, so a steady stream of same-shaped requests settles into
+// zero allocations — the building block of the serving layer's pooled
+// scratch arenas.
+type Matrix struct {
+	backing []float64
+	rows    [][]float64
+}
+
+// Rows returns an n×k matrix view over the reusable backing. The
+// returned rows are full-capacity-capped so an append on one row can
+// never bleed into its neighbor. Contents are NOT cleared; callers that
+// accumulate must zero or overwrite every cell they read.
+func (m *Matrix) Rows(n, k int) [][]float64 {
+	need := n * k
+	if cap(m.backing) < need {
+		m.backing = make([]float64, need)
+	}
+	m.backing = m.backing[:need]
+	if cap(m.rows) < n {
+		m.rows = make([][]float64, n)
+	}
+	m.rows = m.rows[:n]
+	for i := 0; i < n; i++ {
+		m.rows[i] = m.backing[i*k : (i+1)*k : (i+1)*k]
+	}
+	return m.rows
+}
+
+// Backing returns the flat backing of the last Rows call (length n*k).
+func (m *Matrix) Backing() []float64 { return m.backing }
+
+// BatchScratch carries the reusable buffers of one shared-scratch batch
+// predict sweep. Scaled receives Pipeline-scaled input rows, replacing
+// the per-call backing allocation of Pipeline.PredictProbaBatchInto.
+type BatchScratch struct {
+	Scaled Matrix
+}
+
+// ScratchBatchPredictor is implemented by classifiers whose batch path
+// can run entirely on caller-owned scratch, allocating nothing in the
+// steady state.
+type ScratchBatchPredictor interface {
+	Classifier
+	PredictProbaBatchIntoScratch(X, out [][]float64, sc *BatchScratch)
+}
+
+// PredictProbaBatchIntoScratch writes the probability matrix of X into
+// out like PredictProbaBatchInto, but routes any per-call working memory
+// (today: pipeline input scaling) through sc so repeated sweeps reuse it.
+// Results are bit-identical to PredictProbaBatchInto — the scratch only
+// changes where intermediate rows live, never the arithmetic.
+func PredictProbaBatchIntoScratch(c Classifier, X, out [][]float64, sc *BatchScratch) {
+	if sp, ok := c.(ScratchBatchPredictor); ok {
+		sp.PredictProbaBatchIntoScratch(X, out, sc)
+		return
+	}
+	PredictProbaBatchInto(c, X, out)
+}
+
+// PredictProbaBatchIntoScratch implements ScratchBatchPredictor: rows are
+// scaled into the scratch matrix (instead of a fresh backing per call)
+// and the wrapped model's batch path runs over the scaled views.
+func (p *Pipeline) PredictProbaBatchIntoScratch(X, out [][]float64, sc *BatchScratch) {
+	if p.Scaler == nil || len(X) == 0 {
+		p.PredictProbaBatchInto(X, out)
+		return
+	}
+	scaled := sc.Scaled.Rows(len(X), len(X[0]))
+	for i, x := range X {
+		p.Scaler.TransformInto(x, scaled[i])
+	}
+	// Models with a whole-matrix path sweep the scaled matrix at once;
+	// the rest fall back to the same row-at-a-time predict the
+	// unscratched method uses — per-row arithmetic is identical either
+	// way, only the scaled rows' home changes.
+	PredictProbaBatchInto(p.Model, scaled, out)
+}

@@ -1,0 +1,98 @@
+package ml
+
+import (
+	"testing"
+
+	"github.com/netml/alefb/internal/rng"
+)
+
+func TestMatrixRowsReuseAndIsolation(t *testing.T) {
+	var m Matrix
+	a := m.Rows(3, 4)
+	if len(a) != 3 || len(a[0]) != 4 {
+		t.Fatalf("Rows(3,4) shape = %dx%d", len(a), len(a[0]))
+	}
+	a[0][0], a[2][3] = 1.5, -2.5
+	// A row is full-capacity-capped: appending to it must reallocate
+	// instead of bleeding into its neighbor.
+	grown := append(a[0], 99)
+	if a[1][0] == 99 {
+		t.Fatal("append on row 0 bled into row 1")
+	}
+	_ = grown
+	// Shrinking then regrowing within capacity must not allocate a new
+	// backing: the same cells come back (contents are not cleared).
+	b := m.Rows(2, 4)
+	if &b[0][0] != &a[0][0] {
+		t.Fatal("shrink reallocated backing")
+	}
+	c := m.Rows(3, 4)
+	if c[2][3] != -2.5 {
+		t.Fatalf("regrow lost backing contents: %v", c[2][3])
+	}
+	if got := len(m.Backing()); got != 12 {
+		t.Fatalf("Backing len = %d, want 12", got)
+	}
+}
+
+func TestMatrixRowsZeroAllocSteadyState(t *testing.T) {
+	var m Matrix
+	m.Rows(64, 8)
+	allocs := testing.AllocsPerRun(100, func() {
+		m.Rows(64, 8)
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state Rows allocates %.1f/op, want 0", allocs)
+	}
+}
+
+// TestPipelineScratchBitIdentity pins the scratch-routed pipeline batch
+// path to the allocating one, cell for cell, bit for bit — the scratch
+// only moves where the scaled rows live.
+func TestPipelineScratchBitIdentity(t *testing.T) {
+	d := xor(400, rng.New(3))
+	p := &Pipeline{Scaler: &StandardScaler{}, Model: NewRandomForest(12, 5)}
+	if err := p.Fit(d, rng.New(7)); err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(99)
+	X := make([][]float64, 257) // spans the flat engine's internal blocking
+	for i := range X {
+		X[i] = []float64{r.Float64() * 4, r.Float64() * 4}
+	}
+	k := d.Schema.NumClasses()
+	want := alloc2D(len(X), k)
+	p.PredictProbaBatchInto(X, want)
+
+	got := alloc2D(len(X), k)
+	var sc BatchScratch
+	p.PredictProbaBatchIntoScratch(X, got, &sc)
+	for i := range want {
+		for c := range want[i] {
+			if want[i][c] != got[i][c] {
+				t.Fatalf("row %d class %d: scratch %v != direct %v", i, c, got[i][c], want[i][c])
+			}
+		}
+	}
+
+	// Second sweep through the same scratch must be equally identical
+	// (stale scaled rows from sweep one must be fully overwritten).
+	got2 := alloc2D(len(X), k)
+	p.PredictProbaBatchIntoScratch(X, got2, &sc)
+	for i := range want {
+		for c := range want[i] {
+			if want[i][c] != got2[i][c] {
+				t.Fatalf("row %d class %d: reused scratch diverged", i, c)
+			}
+		}
+	}
+}
+
+func alloc2D(n, k int) [][]float64 {
+	backing := make([]float64, n*k)
+	out := make([][]float64, n)
+	for i := range out {
+		out[i] = backing[i*k : (i+1)*k : (i+1)*k]
+	}
+	return out
+}

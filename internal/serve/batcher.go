@@ -1,0 +1,307 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/netml/alefb/internal/automl"
+	"github.com/netml/alefb/internal/faultinject"
+	"github.com/netml/alefb/internal/metrics"
+	"github.com/netml/alefb/internal/ml"
+	"github.com/netml/alefb/internal/parallel"
+)
+
+// errNoSnapshot is surfaced by a coalesced batch whose model lost its
+// snapshot between validation and execution (never happens today —
+// snapshots are only ever replaced — but the scheduler refuses to
+// assume that).
+var errNoSnapshot = errors.New("serve: no model snapshot published")
+
+// batcher is the request-coalescing micro-batch scheduler of one model.
+//
+// It has no resident goroutine. The first predict request to arrive
+// acquires the leader token and becomes the batch leader; concurrent
+// requests hand their job to the leader over an unbuffered channel and
+// wait. The leader closes the batch when one of four things happens:
+//
+//   - no predict of this model is still seeking a batch (the
+//     `interested` gauge reads zero — the common case, which is why an
+//     isolated request pays no added latency at all),
+//   - the coalesced row count reaches MaxBatchRows,
+//   - MaxBatchDelay elapses (the bound on waiting for a request that
+//     registered interest but has not handed over its job yet),
+//   - an injected scheduler-stall gate closes (tests only).
+//
+// It then runs ONE member-major ensemble sweep over the concatenated
+// rows — the flat SoA engine's lockstep walk amortizes tree traversal
+// across every tenant request in the batch — on a sync.Pool-backed
+// arena, and splits the result views back per request. All rows of a
+// batch are served by the single snapshot loaded at execution time, so
+// a concurrent publish can never tear a batch across versions.
+//
+// Leader-based batching means the scheduler's lifetime is exactly the
+// requests': nothing to start, stop, drain, or leak on model eviction.
+type batcher struct {
+	maxRows int
+	delay   time.Duration
+	workers int
+	fault   *faultinject.Injector
+	snap    func() *Snapshot
+
+	leaderTok chan struct{}
+	jobs      chan *predictJob
+
+	// batchSeq numbers batches (0-based) and keys WithSchedulerStall.
+	batchSeq atomic.Int64
+	// interested counts predicts still seeking a batch. A request
+	// increments it on entry to do(); the batch leader that absorbs the
+	// request decrements it (receiver-side, so the gauge can never go
+	// stale while a served request unwinds). The leader flushes as soon
+	// as the gauge reads zero: nobody else is trying to join, so waiting
+	// longer can only add latency.
+	interested atomic.Int64
+	// pending publishes the size of the currently forming batch so tests
+	// can await a known composition without sleeping.
+	pending atomic.Int64
+
+	// Stats, surfaced per model in /v1/models.
+	batches      atomic.Int64
+	batchedReqs  atomic.Int64
+	rowsSwept    atomic.Int64
+	timerFlushes atomic.Int64
+}
+
+func newBatcher(maxRows int, delay time.Duration, workers int, fault *faultinject.Injector, snap func() *Snapshot) *batcher {
+	return &batcher{
+		maxRows:   maxRows,
+		delay:     delay,
+		workers:   workers,
+		fault:     fault,
+		snap:      snap,
+		leaderTok: make(chan struct{}, 1),
+		jobs:      make(chan *predictJob),
+	}
+}
+
+// predictJob is one request's slot in a coalesced batch. The result
+// fields are views into the batch arena; release returns the arena to
+// its pool once every job of the batch has written its response.
+type predictJob struct {
+	rows [][]float64
+
+	version int64
+	classes []string
+	labels  []int
+	proba   [][]float64
+	err     error
+
+	arena *predictArena
+	done  chan struct{}
+}
+
+// release hands the job's share of the batch arena back. Must be called
+// exactly once, after the response has been serialized.
+func (j *predictJob) release() {
+	if j.arena != nil {
+		if j.arena.refs.Add(-1) == 0 {
+			arenaPool.Put(j.arena)
+		}
+		j.arena = nil
+	}
+}
+
+// predictArena is the pooled scratch of one coalesced sweep: the
+// concatenated row pointers, the contiguous output probability matrix,
+// and the argmax labels. refs counts the jobs still holding views.
+type predictArena struct {
+	X      [][]float64
+	out    ml.Matrix
+	labels []int
+	refs   atomic.Int64
+}
+
+var arenaPool = sync.Pool{New: func() any { return &predictArena{} }}
+
+// sweepScratchPool pools the per-worker member-major ensemble scratch.
+var sweepScratchPool = sync.Pool{New: func() any { return &automl.PredictScratch{} }}
+
+// do coalesces one predict request into a batch and blocks until its
+// rows have been swept. The returned job carries result views into the
+// shared arena; the caller must release() it after writing the response.
+func (b *batcher) do(rows [][]float64) *predictJob {
+	j := &predictJob{rows: rows, done: make(chan struct{})}
+	b.interested.Add(1)
+	select {
+	case b.leaderTok <- struct{}{}:
+		// Drain the leadership token in a defer: lead re-panics after a
+		// sweep panic (so the guard middleware can render it), and leaking
+		// the token on that path would wedge every future predict.
+		defer func() { <-b.leaderTok }()
+		b.lead(j)
+	case b.jobs <- j:
+		<-j.done
+	}
+	return j
+}
+
+// lead collects a batch seeded with the leader's own job and executes it.
+// Absorbing a job (the seed, or one received over jobs) decrements the
+// interested gauge exactly once per request.
+func (b *batcher) lead(seed *predictJob) {
+	seq := int(b.batchSeq.Add(1) - 1)
+	gate := b.fault.SchedulerStall(seq)
+	b.interested.Add(-1)
+	batch := append(make([]*predictJob, 0, 16), seed)
+	rows := len(seed.rows)
+	b.pending.Store(1)
+	timer := time.NewTimer(b.delay)
+	defer timer.Stop()
+	timedOut := false
+	yields := 0
+collect:
+	for rows < b.maxRows {
+		// The fast flush: nobody is seeking a batch, so waiting longer can
+		// only add latency. An interested request is guaranteed to arrive
+		// — its jobs-send is the only enabled select case while this
+		// leader holds the token — so blocking on jobs below is safe. A
+		// stall gate suppresses the flush so tests can assemble exact
+		// compositions.
+		//
+		// Before trusting a zero gauge, yield the processor a couple of
+		// times: under load, concurrent requests are often runnable but
+		// not yet scheduled (especially with few cores), and have not had
+		// the chance to declare interest. A yield costs well under a
+		// microsecond on an idle server; under load it converts singleton
+		// batches into real coalescing.
+		if gate == nil && b.interested.Load() == 0 {
+			if yields >= 2 {
+				break
+			}
+			yields++
+			runtime.Gosched()
+			continue
+		}
+		select {
+		case j := <-b.jobs:
+			b.interested.Add(-1)
+			batch = append(batch, j)
+			rows += len(j.rows)
+			b.pending.Store(int64(len(batch)))
+		case <-timer.C:
+			timedOut = true
+			break collect
+		case <-gate:
+			gate = nil
+		}
+	}
+	b.pending.Store(0)
+	if timedOut {
+		b.timerFlushes.Add(1)
+	}
+	b.execute(batch, rows)
+}
+
+// execute runs the single coalesced sweep and distributes result views.
+// Every job's done channel is closed exactly once, even when the sweep
+// fails or panics — a stranded follower would hold its admission slot
+// forever.
+func (b *batcher) execute(batch []*predictJob, totalRows int) {
+	delivered := false
+	defer func() {
+		if delivered {
+			return
+		}
+		// The sweep panicked. Fail every job with a structured error so
+		// followers return 500 envelopes, then re-panic on the leader's
+		// goroutine where the guard middleware renders and logs it.
+		v := recover()
+		err := fmt.Errorf("serve: coalesced sweep panicked: %v", v)
+		for _, j := range batch {
+			j.err = err
+			close(j.done)
+		}
+		if v != nil {
+			panic(v)
+		}
+	}()
+
+	snap := b.snap()
+	if snap == nil {
+		for _, j := range batch {
+			j.err = errNoSnapshot
+			close(j.done)
+		}
+		delivered = true
+		return
+	}
+
+	arena := arenaPool.Get().(*predictArena)
+	arena.X = arena.X[:0]
+	for _, j := range batch {
+		arena.X = append(arena.X, j.rows...)
+	}
+	k := snap.Ensemble.NumClasses
+	out := arena.out.Rows(totalRows, k)
+	if cap(arena.labels) < totalRows {
+		arena.labels = make([]int, totalRows)
+	}
+	labels := arena.labels[:totalRows]
+
+	b.sweep(snap.Ensemble, arena.X, out, labels)
+
+	b.batches.Add(1)
+	b.batchedReqs.Add(int64(len(batch)))
+	b.rowsSwept.Add(int64(totalRows))
+
+	arena.refs.Store(int64(len(batch)))
+	classes := snap.Train.Schema.Classes
+	off := 0
+	for _, j := range batch {
+		n := len(j.rows)
+		j.version = snap.Version
+		j.classes = classes
+		j.proba = out[off : off+n : off+n]
+		j.labels = labels[off : off+n : off+n]
+		j.arena = arena
+		off += n
+		close(j.done)
+	}
+	delivered = true
+}
+
+// sweepChunk is the fixed row granularity of one worker unit. Chunk
+// boundaries never depend on the worker count, and each row's result is
+// independent of its neighbors, so the sweep is bit-identical at every
+// Workers setting — the same contract as every parallel path in this
+// repo.
+const sweepChunk = 256
+
+// sweep fills out and labels for X using the member-major shared-scratch
+// ensemble path, chunked across the configured predict workers.
+func (b *batcher) sweep(ens *automl.Ensemble, X, out [][]float64, labels []int) {
+	nChunks := (len(X) + sweepChunk - 1) / sweepChunk
+	if parallel.Workers(b.workers) <= 1 || nChunks <= 1 {
+		sc := sweepScratchPool.Get().(*automl.PredictScratch)
+		ens.PredictProbaBatchIntoScratch(X, out, sc)
+		sweepScratchPool.Put(sc)
+	} else {
+		err := parallel.ForEach(nChunks, b.workers, func(c int) error {
+			lo := c * sweepChunk
+			hi := min(lo+sweepChunk, len(X))
+			sc := sweepScratchPool.Get().(*automl.PredictScratch)
+			ens.PredictProbaBatchIntoScratch(X[lo:hi], out[lo:hi], sc)
+			sweepScratchPool.Put(sc)
+			return nil
+		})
+		if err != nil {
+			panic(err) // recovered into per-job errors by execute's defer
+		}
+	}
+	for i := range out {
+		labels[i] = metrics.Argmax(out[i])
+	}
+}

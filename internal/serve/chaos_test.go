@@ -163,7 +163,7 @@ func TestBreakerShedsRetrains(t *testing.T) {
 		status, _, raw := doReq(t, http.MethodPost, ts.URL+"/v1/retrain", RetrainRequest{})
 		wantError(t, status, raw, http.StatusInternalServerError, "retrain_failed")
 	}
-	if st := s.breaker.State(); st != BreakerOpen {
+	if st := s.def.breaker.State(); st != BreakerOpen {
 		t.Fatalf("breaker = %v after 2 failures, want open", st)
 	}
 
@@ -173,7 +173,7 @@ func TestBreakerShedsRetrains(t *testing.T) {
 	if hdr.Get("Retry-After") == "" {
 		t.Fatal("breaker 503 without Retry-After")
 	}
-	if got := s.retrains.Load(); got != 2 {
+	if got := s.def.retrains.Load(); got != 2 {
 		t.Fatalf("shed retrain consumed an attempt: %d", got)
 	}
 	status, _, raw = doReq(t, http.MethodGet, ts.URL+"/readyz", nil)
@@ -192,7 +192,7 @@ func TestBreakerShedsRetrains(t *testing.T) {
 	if status != http.StatusOK {
 		t.Fatalf("probe retrain = %d: %s", status, raw)
 	}
-	if st := s.breaker.State(); st != BreakerClosed {
+	if st := s.def.breaker.State(); st != BreakerClosed {
 		t.Fatalf("breaker = %v after probe success, want closed", st)
 	}
 }
@@ -214,7 +214,7 @@ func TestRetrainExemptFromRequestTimeout(t *testing.T) {
 	if status != http.StatusOK {
 		t.Fatalf("retrain under tiny RequestTimeout = %d: %s", status, raw)
 	}
-	if st := s.breaker.State(); st != BreakerClosed {
+	if st := s.def.breaker.State(); st != BreakerClosed {
 		t.Fatalf("breaker = %v after successful retrain, want closed", st)
 	}
 
@@ -241,7 +241,7 @@ func TestCanceledRetrainProbeReleasesBreaker(t *testing.T) {
 	// Attempt 1 is injected to fail; threshold 1 opens the breaker.
 	status, _, raw := doReq(t, http.MethodPost, ts.URL+"/v1/retrain", RetrainRequest{})
 	wantError(t, status, raw, http.StatusInternalServerError, "retrain_failed")
-	if st := s.breaker.State(); st != BreakerOpen {
+	if st := s.def.breaker.State(); st != BreakerOpen {
 		t.Fatalf("breaker = %v after failure, want open", st)
 	}
 
@@ -261,7 +261,7 @@ func TestCanceledRetrainProbeReleasesBreaker(t *testing.T) {
 	wantError(t, rec.Code, rec.Body.Bytes(), http.StatusInternalServerError, "retrain_canceled")
 	// The service is still degraded from attempt 1's failure; the canceled
 	// attempt 2 must not have recorded a verdict of its own.
-	if reason := s.degraded.Load(); reason == nil || !strings.Contains(*reason, "retrain 1 failed") {
+	if reason := s.def.degraded.Load(); reason == nil || !strings.Contains(*reason, "retrain 1 failed") {
 		t.Fatalf("degraded reason = %v, want attempt 1's failure untouched", reason)
 	}
 
@@ -271,7 +271,7 @@ func TestCanceledRetrainProbeReleasesBreaker(t *testing.T) {
 	if status != http.StatusOK {
 		t.Fatalf("retrain after canceled probe = %d: %s", status, raw)
 	}
-	if st := s.breaker.State(); st != BreakerClosed {
+	if st := s.def.breaker.State(); st != BreakerClosed {
 		t.Fatalf("breaker = %v after recovered probe, want closed", st)
 	}
 }
@@ -317,7 +317,7 @@ func TestNoTornSnapshotReads(t *testing.T) {
 	}
 
 	s := newTestServer(t, nil)
-	s.reg.Publish(snapA)
+	s.def.snap.Publish(snapA)
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 
@@ -333,9 +333,9 @@ func TestNoTornSnapshotReads(t *testing.T) {
 			default:
 			}
 			if i%2 == 0 {
-				s.reg.Publish(snapB)
+				s.def.snap.Publish(snapB)
 			} else {
-				s.reg.Publish(snapA)
+				s.def.snap.Publish(snapA)
 			}
 		}
 	}()

@@ -29,9 +29,9 @@ func DefaultMix() Mix { return Mix{Predict: 8, ALE: 1, Regions: 0.5, Health: 0.5
 
 // LoadConfig configures one closed-loop load run. Each of Concurrency
 // workers issues requests back-to-back (no pacing) until the shared
-// request budget is exhausted; worker w draws its request kinds and row
-// values from rng.Derive(Seed, w), so a run is reproducible for a fixed
-// config regardless of scheduling.
+// request budget is exhausted; worker w draws its request kinds, target
+// tenant and row values from rng.Derive(Seed, w), so a run is
+// reproducible for a fixed config regardless of scheduling.
 type LoadConfig struct {
 	Base        string
 	Concurrency int
@@ -40,11 +40,30 @@ type LoadConfig struct {
 	Seed        uint64
 	Mix         Mix
 	Timeout     time.Duration // per-request (default 10s)
+	// Models, when set, spreads load across named tenants: each request
+	// picks one uniformly and targets /v1/models/{name}/... . Empty means
+	// the unprefixed default-model routes.
+	Models []string
+}
+
+// TenantStats is the per-tenant slice of a load report: request count,
+// status histogram (429 sheds included, transport errors under 0) and
+// latency percentiles over that tenant's successful transports.
+type TenantStats struct {
+	Requests      int
+	ByStatus      map[int]int
+	P50, P95, P99 float64
+	MaxMS         float64
+
+	lats []float64
 }
 
 // LoadReport aggregates a load run. Requests counts issued requests;
 // ByStatus maps HTTP status to count (0 for transport errors); latencies
-// are in milliseconds over successful transports.
+// are in milliseconds over successful transports. PerTenant breaks the
+// same numbers down by model name; single-tenant runs report one
+// "default" entry. Health checks target the process, not a tenant, and
+// appear only in the global numbers.
 type LoadReport struct {
 	Requests        int
 	ByStatus        map[int]int
@@ -53,6 +72,7 @@ type LoadReport struct {
 	P50, P95, P99   float64
 	MaxMS           float64
 	Elapsed         time.Duration
+	PerTenant       map[string]*TenantStats
 }
 
 // String renders the report for terminal output.
@@ -76,7 +96,26 @@ func (r *LoadReport) String() string {
 		fmt.Fprintf(&b, "  kind %-8s %d\n", k+":", r.ByKind[k])
 	}
 	fmt.Fprintf(&b, "  latency ms: p50=%.1f p95=%.1f p99=%.1f max=%.1f\n", r.P50, r.P95, r.P99, r.MaxMS)
+	tenants := make([]string, 0, len(r.PerTenant))
+	for t := range r.PerTenant {
+		tenants = append(tenants, t)
+	}
+	sort.Strings(tenants)
+	for _, t := range tenants {
+		ts := r.PerTenant[t]
+		fmt.Fprintf(&b, "  tenant %-12s requests=%d shed=%d p50=%.1f p95=%.1f p99=%.1f max=%.1f\n",
+			t+":", ts.Requests, ts.ByStatus[http.StatusTooManyRequests], ts.P50, ts.P95, ts.P99, ts.MaxMS)
+	}
 	return b.String()
+}
+
+// finalize computes percentiles from accumulated latencies.
+func finalizeLats(lats []float64) (p50, p95, p99, maxMS float64) {
+	if len(lats) == 0 {
+		return 0, 0, 0, 0
+	}
+	sort.Float64s(lats)
+	return percentile(lats, 0.50), percentile(lats, 0.95), percentile(lats, 0.99), lats[len(lats)-1]
 }
 
 // RunLoad drives a deterministic closed-loop load against a serve
@@ -99,9 +138,18 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (*LoadReport, error) {
 	if cfg.Mix == (Mix{}) {
 		cfg.Mix = DefaultMix()
 	}
-	schema, err := fetchSchema(ctx, cfg.Base, cfg.Timeout)
-	if err != nil {
-		return nil, fmt.Errorf("serve: loadgen: fetch schema: %w", err)
+	// "" targets the unprefixed default-model routes.
+	tenants := []string{""}
+	if len(cfg.Models) > 0 {
+		tenants = cfg.Models
+	}
+	schemas := make(map[string]*SchemaResponse, len(tenants))
+	for _, t := range tenants {
+		schema, err := fetchSchema(ctx, cfg.Base, t, cfg.Timeout)
+		if err != nil {
+			return nil, fmt.Errorf("serve: loadgen: fetch schema for %q: %w", tenantLabel(t), err)
+		}
+		schemas[t] = schema
 	}
 
 	weights := []float64{cfg.Mix.Predict, cfg.Mix.ALE, cfg.Mix.Regions, cfg.Mix.Health}
@@ -109,7 +157,7 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (*LoadReport, error) {
 
 	var (
 		mu      sync.Mutex
-		report  = &LoadReport{ByStatus: map[int]int{}, ByKind: map[string]int{}}
+		report  = &LoadReport{ByStatus: map[int]int{}, ByKind: map[string]int{}, PerTenant: map[string]*TenantStats{}}
 		lats    []float64
 		issued  int
 		wg      sync.WaitGroup
@@ -134,7 +182,8 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (*LoadReport, error) {
 				mu.Unlock()
 
 				kind := kinds[r.Weighted(weights)]
-				status, lat, err := issueRequest(ctx, httpCli, cfg, schema, kind, r)
+				tenant := tenants[r.Intn(len(tenants))]
+				status, lat, err := issueRequest(ctx, httpCli, cfg, schemas[tenant], tenant, kind, r)
 				mu.Lock()
 				report.Requests++
 				report.ByKind[kind]++
@@ -145,20 +194,50 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (*LoadReport, error) {
 					report.ByStatus[status]++
 					lats = append(lats, lat)
 				}
+				if kind != "health" {
+					ts := report.PerTenant[tenantLabel(tenant)]
+					if ts == nil {
+						ts = &TenantStats{ByStatus: map[int]int{}}
+						report.PerTenant[tenantLabel(tenant)] = ts
+					}
+					ts.Requests++
+					if err != nil {
+						ts.ByStatus[0]++
+					} else {
+						ts.ByStatus[status]++
+						ts.lats = append(ts.lats, lat)
+					}
+				}
 				mu.Unlock()
 			}
 		}(w)
 	}
 	wg.Wait()
 	report.Elapsed = time.Since(start)
-	if len(lats) > 0 {
-		sort.Float64s(lats)
-		report.P50 = percentile(lats, 0.50)
-		report.P95 = percentile(lats, 0.95)
-		report.P99 = percentile(lats, 0.99)
-		report.MaxMS = lats[len(lats)-1]
+	report.P50, report.P95, report.P99, report.MaxMS = finalizeLats(lats)
+	for _, ts := range report.PerTenant {
+		ts.P50, ts.P95, ts.P99, ts.MaxMS = finalizeLats(ts.lats)
+		ts.lats = nil
 	}
 	return report, nil
+}
+
+// tenantLabel names a tenant in reports; the unprefixed routes report as
+// the default model.
+func tenantLabel(t string) string {
+	if t == "" {
+		return DefaultModel
+	}
+	return t
+}
+
+// tenantPath prefixes an endpoint suffix ("/predict", "/schema", ...)
+// with the tenant's route base.
+func tenantPath(t, suffix string) string {
+	if t == "" {
+		return "/v1" + suffix
+	}
+	return "/v1/models/" + t + suffix
 }
 
 func percentile(sorted []float64, p float64) float64 {
@@ -172,9 +251,9 @@ func percentile(sorted []float64, p float64) float64 {
 	return sorted[i]
 }
 
-func fetchSchema(ctx context.Context, base string, timeout time.Duration) (*SchemaResponse, error) {
+func fetchSchema(ctx context.Context, base, tenant string, timeout time.Duration) (*SchemaResponse, error) {
 	cli := &http.Client{Timeout: timeout}
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/v1/schema", nil)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+tenantPath(tenant, "/schema"), nil)
 	if err != nil {
 		return nil, err
 	}
@@ -211,7 +290,7 @@ func sampleRow(schema *SchemaResponse, r *rng.Rand) []float64 {
 	return row
 }
 
-func issueRequest(ctx context.Context, cli *http.Client, cfg LoadConfig, schema *SchemaResponse, kind string, r *rng.Rand) (status int, latMS float64, err error) {
+func issueRequest(ctx context.Context, cli *http.Client, cfg LoadConfig, schema *SchemaResponse, tenant, kind string, r *rng.Rand) (status int, latMS float64, err error) {
 	var method, path string
 	var payload interface{}
 	switch kind {
@@ -220,15 +299,15 @@ func issueRequest(ctx context.Context, cli *http.Client, cfg LoadConfig, schema 
 		for i := range rows {
 			rows[i] = sampleRow(schema, r)
 		}
-		method, path, payload = http.MethodPost, "/v1/predict", PredictRequest{Rows: rows}
+		method, path, payload = http.MethodPost, tenantPath(tenant, "/predict"), PredictRequest{Rows: rows}
 	case "ale":
-		method, path = http.MethodPost, "/v1/ale"
+		method, path = http.MethodPost, tenantPath(tenant, "/ale")
 		payload = ALERequest{
 			Feature: r.Intn(len(schema.Features)),
 			Class:   r.Intn(max(1, len(schema.Classes))),
 		}
 	case "regions":
-		method, path, payload = http.MethodPost, "/v1/regions", RegionsRequest{}
+		method, path, payload = http.MethodPost, tenantPath(tenant, "/regions"), RegionsRequest{}
 	default:
 		method, path = http.MethodGet, "/healthz"
 	}

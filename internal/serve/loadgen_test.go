@@ -85,6 +85,70 @@ func TestLoadMixDeterministic(t *testing.T) {
 	}
 }
 
+// TestLoadMultiTenant drives load across named tenants and checks the
+// per-tenant breakdown: every configured model gets traffic, the
+// per-tenant request counts sum to the non-health total, and each tenant
+// carries its own latency percentiles and status histogram.
+func TestLoadMultiTenant(t *testing.T) {
+	defer testutil.LeakCheck(t)()
+	train, _, ensB := fixture(t)
+	s := newTestServer(t, nil)
+	s.InstallModel("tenant-b", ensB, train)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	report, err := RunLoad(context.Background(), LoadConfig{
+		Base:        ts.URL,
+		Concurrency: 4,
+		Requests:    120,
+		Rows:        4,
+		Seed:        9,
+		Models:      []string{DefaultModel, "tenant-b"},
+		Timeout:     30 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.PerTenant) != 2 {
+		t.Fatalf("PerTenant has %d entries, want 2:\n%s", len(report.PerTenant), report)
+	}
+	tenantTotal := 0
+	for name, st := range report.PerTenant {
+		if st.Requests == 0 {
+			t.Fatalf("tenant %s got no traffic:\n%s", name, report)
+		}
+		if st.ByStatus[http.StatusOK] == 0 {
+			t.Fatalf("tenant %s has no successes:\n%s", name, report)
+		}
+		if st.P50 <= 0 || st.MaxMS < st.P99 {
+			t.Fatalf("tenant %s percentiles inconsistent: %+v", name, st)
+		}
+		tenantTotal += st.Requests
+	}
+	if want := report.Requests - report.ByKind["health"]; tenantTotal != want {
+		t.Fatalf("per-tenant requests sum to %d, want %d (non-health total)", tenantTotal, want)
+	}
+}
+
+// TestLoadSingleTenantReportsDefault: without a Models list, the whole
+// run is attributed to the default tenant so report consumers always see
+// a per-tenant section.
+func TestLoadSingleTenantReportsDefault(t *testing.T) {
+	s := newTestServer(t, nil)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	report, err := RunLoad(context.Background(), LoadConfig{
+		Base: ts.URL, Concurrency: 2, Requests: 30, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := report.PerTenant[DefaultModel]
+	if st == nil || st.Requests == 0 {
+		t.Fatalf("default tenant stats missing:\n%s", report)
+	}
+}
+
 func TestLoadFailsFastWithoutServer(t *testing.T) {
 	_, err := RunLoad(context.Background(), LoadConfig{
 		Base: "http://127.0.0.1:1", Requests: 5, Timeout: time.Second,

@@ -1,0 +1,159 @@
+package serve
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultModel is the name of the pinned model behind the unprefixed
+// /v1 endpoints. It is listed in /v1/models like any other tenant but is
+// never evicted.
+const DefaultModel = "default"
+
+// Model is one tenant of the serving layer: an independently versioned
+// snapshot store plus all the mutable serving state that must never be
+// shared across tenants — the retrain circuit breaker, the retrain
+// single-flight, the degraded marker, and the predict micro-batch
+// scheduler. The isolation suite's contract is exactly this struct: a
+// failed retrain, an open breaker, or a panicking handler on one Model
+// touches nothing another Model reads.
+type Model struct {
+	name string
+	snap snapStore
+
+	breaker *Breaker
+	batcher *batcher
+
+	// degraded holds the reason this model is serving a stale snapshot,
+	// nil while healthy — the per-tenant twin of
+	// core.LoopResult.Degraded/DegradedReason.
+	degraded atomic.Pointer[string]
+	// retrains counts retrain attempts that actually ran (1-based); it
+	// keys retrain fault injection per model. Breaker-shed and
+	// conflicting requests do not consume attempt numbers.
+	retrains atomic.Int64
+	// retrainBusy single-flights retrains: concurrent triggers get 409.
+	retrainBusy atomic.Bool
+
+	// lastUsed is the registry's LRU clock tick of the most recent
+	// request routed to this model.
+	lastUsed atomic.Int64
+	// pinned models are exempt from LRU eviction (the default model).
+	pinned bool
+}
+
+// Name returns the model's registry name.
+func (m *Model) Name() string { return m.name }
+
+// modelRegistry is the multi-tenant model table. Lookups touch an LRU
+// tick; creating a model beyond the capacity evicts the coldest
+// unpinned one. The mutex only guards the name table — per-model state
+// is reached lock-free through the *Model, so an eviction never blocks
+// or invalidates requests already holding the pointer: they finish on
+// the snapshot they loaded, and only later lookups see the 404.
+type modelRegistry struct {
+	mu     sync.Mutex
+	models map[string]*Model
+	tick   atomic.Int64
+	// max bounds the number of unpinned models; <=0 means unbounded.
+	max int
+}
+
+func newModelRegistry(max int) *modelRegistry {
+	return &modelRegistry{models: map[string]*Model{}, max: max}
+}
+
+// lookup returns the named model and touches its LRU tick, or nil.
+func (r *modelRegistry) lookup(name string) *Model {
+	r.mu.Lock()
+	m := r.models[name]
+	r.mu.Unlock()
+	if m != nil {
+		m.lastUsed.Store(r.tick.Add(1))
+	}
+	return m
+}
+
+// getOrCreate returns the named model, creating it with mk when absent.
+// Creating an unpinned model beyond the capacity evicts the
+// least-recently-used unpinned model, which is returned for logging.
+func (r *modelRegistry) getOrCreate(name string, mk func() *Model) (m *Model, evicted *Model) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m = r.models[name]; m != nil {
+		m.lastUsed.Store(r.tick.Add(1))
+		return m, nil
+	}
+	m = mk()
+	m.name = name
+	m.lastUsed.Store(r.tick.Add(1))
+	if !m.pinned && r.max > 0 {
+		unpinned := 0
+		for _, old := range r.models {
+			if !old.pinned {
+				unpinned++
+			}
+		}
+		if unpinned >= r.max {
+			evicted = r.coldest()
+			if evicted != nil {
+				delete(r.models, evicted.name)
+			}
+		}
+	}
+	r.models[name] = m
+	return m, evicted
+}
+
+// coldest returns the unpinned model with the oldest LRU tick. Callers
+// hold r.mu.
+func (r *modelRegistry) coldest() *Model {
+	var victim *Model
+	for _, m := range r.models {
+		if m.pinned {
+			continue
+		}
+		if victim == nil || m.lastUsed.Load() < victim.lastUsed.Load() ||
+			(m.lastUsed.Load() == victim.lastUsed.Load() && m.name < victim.name) {
+			victim = m
+		}
+	}
+	return victim
+}
+
+// list returns every registered model sorted by name.
+func (r *modelRegistry) list() []*Model {
+	r.mu.Lock()
+	out := make([]*Model, 0, len(r.models))
+	for _, m := range r.models {
+		out = append(out, m)
+	}
+	r.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}
+
+// len reports the number of registered models.
+func (r *modelRegistry) len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.models)
+}
+
+// validModelName bounds registry keys: path-safe, short, non-empty.
+func validModelName(name string) error {
+	if name == "" || len(name) > 64 {
+		return fmt.Errorf("model name must be 1-64 characters")
+	}
+	for _, c := range name {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '-', c == '_', c == '.':
+		default:
+			return fmt.Errorf("model name %q: only letters, digits, '-', '_', '.' allowed", name)
+		}
+	}
+	return nil
+}

@@ -6,24 +6,31 @@
 // Robustness is the design headline, mirroring the degradation policy of
 // core.RunLoopCtx one layer up:
 //
-//   - Reads always hit the last-good snapshot. The served ensemble, its
-//     training data and a version live in one immutable Snapshot behind an
-//     atomic pointer; a retrain builds a complete replacement off to the
-//     side and publishes it with a single store, so a failed or in-flight
-//     retrain can never tear or taint what /v1/predict sees.
+//   - Reads always hit the last-good snapshot. Each model's served
+//     ensemble, training data and version live in one immutable Snapshot
+//     behind an atomic pointer; a retrain builds a complete replacement
+//     off to the side and publishes it with a single store, so a failed
+//     or in-flight retrain can never tear or taint what /v1/predict sees.
 //   - Load is shed, not queued. A bounded admission queue fronts every
 //     /v1 endpoint; once it is full the server answers 429 with
 //     Retry-After instead of stacking goroutines.
 //   - Failures are isolated and structured. Handler panics are recovered
 //     into *parallel.PanicError and rendered as JSON error envelopes; a
 //     5xx without a machine-readable body is a bug the chaos suite hunts.
-//   - Retrains degrade, never corrupt. A failed retrain keeps the previous
-//     snapshot, marks the service degraded (surfaced in /readyz exactly
-//     like LoopResult.Degraded/DegradedReason), and feeds a circuit
-//     breaker that sheds further retrains while the model search is
-//     evidently unhealthy, half-opening on a timer to probe recovery.
+//   - Retrains degrade, never corrupt — per tenant. A failed retrain
+//     keeps that model's previous snapshot, marks it degraded (surfaced
+//     in /readyz and /v1/models exactly like LoopResult.Degraded), and
+//     feeds that model's own circuit breaker. No other tenant notices.
 //   - Shutdown drains. The server stops accepting connections and waits
 //     for in-flight requests; the chaos suite checks zero goroutines leak.
+//
+// Scale is the second headline. The server is multi-tenant — a model
+// registry routes /v1/models/{model}/... to independently versioned,
+// independently breakered models with LRU eviction of cold tenants —
+// and the predict path runs through a request-coalescing micro-batch
+// scheduler: concurrent /v1/predict requests are merged into one
+// member-major flat-engine sweep over pooled scratch arenas and split
+// back per request, bit-identical to the per-request path (see batcher.go).
 package serve
 
 import (
@@ -73,22 +80,38 @@ type Config struct {
 	RetrainTimeout time.Duration
 	// MaxBodyBytes bounds request bodies (default 8 MiB).
 	MaxBodyBytes int64
-	// MaxBatchRows bounds the rows of one predict/retrain request
-	// (default 4096).
+	// MaxBatchRows bounds the rows of one predict/retrain request and of
+	// one coalesced scheduler batch (default 4096).
 	MaxBatchRows int
-	// BreakerThreshold is the consecutive retrain failures that trip the
-	// circuit breaker (default 3).
+	// MaxBatchDelay bounds how long the batch leader waits for predicts
+	// that registered interest but have not joined yet (default 2ms).
+	// Isolated requests never wait it out: the scheduler flushes as soon
+	// as every in-flight predict has joined the batch.
+	MaxBatchDelay time.Duration
+	// PredictWorkers sets the worker count of one coalesced sweep
+	// (0 = GOMAXPROCS). Results are bit-identical at any setting.
+	PredictWorkers int
+	// DisableCoalescing routes /v1/predict through the legacy
+	// per-request sweep instead of the micro-batch scheduler. It exists
+	// as the recorded baseline for BENCH_SERVE.json and as an escape
+	// hatch; responses are bit-identical either way.
+	DisableCoalescing bool
+	// MaxModels bounds the named (non-default) models the registry holds
+	// before LRU-evicting the coldest (default 8).
+	MaxModels int
+	// BreakerThreshold is the consecutive retrain failures that trip a
+	// model's circuit breaker (default 3).
 	BreakerThreshold int
-	// BreakerCooldown is how long the tripped breaker sheds retrains
+	// BreakerCooldown is how long a tripped breaker sheds retrains
 	// before half-opening a probe (default 30s).
 	BreakerCooldown time.Duration
 	// Log, when non-nil, receives one line per notable server event
-	// (publishes, degradations, recovered panics).
+	// (publishes, degradations, evictions, recovered panics).
 	Log io.Writer
 	// Fault is the test-only fault injector; nil injects nothing.
 	Fault *faultinject.Injector
 
-	// now is the clock used by the breaker and uptime reporting;
+	// now is the clock used by the breakers and uptime reporting;
 	// tests override it. nil means time.Now.
 	now func() time.Time
 }
@@ -112,6 +135,12 @@ func (c Config) withDefaults() Config {
 	if c.MaxBatchRows <= 0 {
 		c.MaxBatchRows = 4096
 	}
+	if c.MaxBatchDelay <= 0 {
+		c.MaxBatchDelay = 2 * time.Millisecond
+	}
+	if c.MaxModels <= 0 {
+		c.MaxModels = 8
+	}
 	if c.BreakerThreshold <= 0 {
 		c.BreakerThreshold = 3
 	}
@@ -126,89 +155,127 @@ func (c Config) withDefaults() Config {
 
 // Server is the HTTP inference/feedback service.
 type Server struct {
-	cfg     Config
-	reg     registry
-	breaker *Breaker
-	admit   *admission
-
-	// degraded holds the reason the service is serving a stale snapshot,
-	// nil while healthy. It is set by failed retrains and cleared by the
-	// next successful publish — the serving-layer twin of
-	// core.LoopResult.Degraded/DegradedReason.
-	degraded atomic.Pointer[string]
+	cfg    Config
+	models *modelRegistry
+	def    *Model
+	admit  *admission
 
 	// seq numbers /v1 requests in admission order; it keys the HTTP
 	// fault-injection points.
 	seq atomic.Int64
-	// retrains counts retrain attempts that actually ran (1-based); it
-	// keys retrain fault injection. Breaker-shed and conflicting requests
-	// do not consume attempt numbers, keeping the keying deterministic.
-	retrains atomic.Int64
-	// retrainBusy single-flights retrains: concurrent triggers get 409.
-	retrainBusy atomic.Bool
 
 	started time.Time
 	handler http.Handler
 	httpSrv *http.Server
 }
 
-// New builds a Server. The service starts without a snapshot: /healthz
+// New builds a Server. The service starts without any snapshot: /healthz
 // answers immediately, /readyz and the /v1 endpoints report unavailable
 // until Bootstrap or Install publishes a model.
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
 		cfg:     cfg,
-		breaker: NewBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown, cfg.now),
+		models:  newModelRegistry(cfg.MaxModels),
 		admit:   newAdmission(cfg.MaxInFlight, cfg.MaxQueue),
 		started: cfg.now(),
 	}
+	s.def, _ = s.models.getOrCreate(DefaultModel, func() *Model {
+		m := s.newModel()
+		m.pinned = true
+		return m
+	})
 	mux := http.NewServeMux()
 	mux.Handle("GET /healthz", s.guard(false, 0, s.handleHealthz))
 	mux.Handle("GET /readyz", s.guard(false, 0, s.handleReadyz))
-	mux.Handle("GET /v1/schema", s.guard(true, cfg.RequestTimeout, s.handleSchema))
-	mux.Handle("POST /v1/predict", s.guard(true, cfg.RequestTimeout, s.handlePredict))
-	mux.Handle("POST /v1/ale", s.guard(true, cfg.RequestTimeout, s.handleALE))
-	mux.Handle("POST /v1/regions", s.guard(true, cfg.RequestTimeout, s.handleRegions))
+	mux.Handle("GET /v1/models", s.guard(true, cfg.RequestTimeout, s.handleModels))
+	mux.Handle("GET /v1/schema", s.guard(true, cfg.RequestTimeout, s.onDefault(s.handleSchema)))
+	mux.Handle("POST /v1/predict", s.guard(true, cfg.RequestTimeout, s.onDefault(s.handlePredict)))
+	mux.Handle("POST /v1/ale", s.guard(true, cfg.RequestTimeout, s.onDefault(s.handleALE)))
+	mux.Handle("POST /v1/regions", s.guard(true, cfg.RequestTimeout, s.onDefault(s.handleRegions)))
+	mux.Handle("GET /v1/models/{model}/schema", s.guard(true, cfg.RequestTimeout, s.onNamed(s.handleSchema)))
+	mux.Handle("POST /v1/models/{model}/predict", s.guard(true, cfg.RequestTimeout, s.onNamed(s.handlePredict)))
+	mux.Handle("POST /v1/models/{model}/ale", s.guard(true, cfg.RequestTimeout, s.onNamed(s.handleALE)))
+	mux.Handle("POST /v1/models/{model}/regions", s.guard(true, cfg.RequestTimeout, s.onNamed(s.handleRegions)))
 	// Retrain is the one slow mutating endpoint: its deadline is
 	// RetrainTimeout, applied inside handleRetrain, so the read-path
 	// RequestTimeout must not wrap it (a 5m search under a 10s parent
 	// deadline would always fail and falsely trip the breaker).
-	mux.Handle("POST /v1/retrain", s.guard(true, 0, s.handleRetrain))
+	mux.Handle("POST /v1/retrain", s.guard(true, 0, s.onDefault(s.handleRetrain)))
+	mux.Handle("POST /v1/models/{model}/retrain", s.guard(true, 0, s.onNamed(s.handleRetrain)))
 	s.handler = mux
 	s.httpSrv = &http.Server{Handler: mux, ReadHeaderTimeout: 10 * time.Second}
 	return s
 }
 
+// newModel builds an empty Model wired to this server's config.
+func (s *Server) newModel() *Model {
+	m := &Model{
+		breaker: NewBreaker(s.cfg.BreakerThreshold, s.cfg.BreakerCooldown, s.cfg.now),
+	}
+	m.batcher = newBatcher(s.cfg.MaxBatchRows, s.cfg.MaxBatchDelay, s.cfg.PredictWorkers,
+		s.cfg.Fault, m.snap.Current)
+	return m
+}
+
 // Bootstrap trains the initial ensemble on train and publishes snapshot
-// version 1. Like round 1 of core.RunLoopCtx, a bootstrap failure is
-// fatal — there is no previous state to degrade to.
+// version 1 of the default model. Like round 1 of core.RunLoopCtx, a
+// bootstrap failure is fatal — there is no previous state to degrade to.
 func (s *Server) Bootstrap(ctx context.Context, train *data.Dataset) error {
-	ens, err := automl.RunCtx(ctx, train, s.cfg.AutoML)
-	if err != nil {
+	return s.BootstrapModel(ctx, DefaultModel, train)
+}
+
+// BootstrapModel trains and publishes the named model's first snapshot,
+// creating the model (and possibly evicting the coldest) on success.
+func (s *Server) BootstrapModel(ctx context.Context, name string, train *data.Dataset) error {
+	if err := validModelName(name); err != nil {
 		return fmt.Errorf("serve: bootstrap: %w", err)
 	}
-	s.Install(ens, train)
+	ens, err := automl.RunCtx(ctx, train, s.cfg.AutoML)
+	if err != nil {
+		return fmt.Errorf("serve: bootstrap %s: %w", name, err)
+	}
+	s.InstallModel(name, ens, train)
 	return nil
 }
 
 // Install publishes a ready-made ensemble and its training data as the
-// next snapshot, clearing any degraded state, and returns the new
-// version. It is the programmatic publish path for tools and tests that
-// train out-of-process.
+// default model's next snapshot, clearing any degraded state, and
+// returns the new version. It is the programmatic publish path for
+// tools and tests that train out-of-process.
 func (s *Server) Install(ens *automl.Ensemble, train *data.Dataset) int64 {
+	return s.InstallModel(DefaultModel, ens, train)
+}
+
+// InstallModel publishes a snapshot under the given model name, creating
+// the model if needed. Creating a model beyond MaxModels evicts the
+// least-recently-used non-default model; requests already holding the
+// evicted model finish on their loaded snapshot, later lookups get 404.
+func (s *Server) InstallModel(name string, ens *automl.Ensemble, train *data.Dataset) int64 {
+	m, evicted := s.models.getOrCreate(name, s.newModel)
+	if evicted != nil {
+		s.logf("serve: evicted cold model %q (v%d) for %q", evicted.name, evicted.snap.NextVersion()-1, name)
+	}
+	return s.install(m, ens, train)
+}
+
+// install publishes the next snapshot of m and clears its degraded state.
+func (s *Server) install(m *Model, ens *automl.Ensemble, train *data.Dataset) int64 {
 	next := &Snapshot{
 		Ensemble: ens,
 		Train:    train,
-		Version:  s.reg.NextVersion(),
+		Version:  m.snap.NextVersion(),
 		ValScore: ens.ValScore,
 	}
-	s.reg.Publish(next)
-	s.degraded.Store(nil)
-	s.logf("serve: published snapshot v%d (%d members, val %.3f, %d rows)",
-		next.Version, len(ens.Members), ens.ValScore, train.Len())
+	m.snap.Publish(next)
+	m.degraded.Store(nil)
+	s.logf("serve: model %q published snapshot v%d (%d members, val %.3f, %d rows)",
+		m.name, next.Version, len(ens.Members), ens.ValScore, train.Len())
 	return next.Version
 }
+
+// Model returns the named model, or nil. Intended for tests and tools.
+func (s *Server) Model(name string) *Model { return s.models.lookup(name) }
 
 // Handler returns the root handler (for tests and embedding).
 func (s *Server) Handler() http.Handler { return s.handler }
@@ -373,6 +440,31 @@ func (s *Server) guard(admitted bool, timeout time.Duration, h func(http.Respons
 	})
 }
 
+// modelHandler is an endpoint bound to one resolved tenant.
+type modelHandler func(w http.ResponseWriter, r *http.Request, m *Model)
+
+// onDefault binds a model handler to the pinned default model, serving
+// the unprefixed /v1 routes unchanged from the single-tenant days.
+func (s *Server) onDefault(h modelHandler) func(http.ResponseWriter, *http.Request) {
+	return func(w http.ResponseWriter, r *http.Request) { h(w, r, s.def) }
+}
+
+// onNamed resolves {model} from the route against the registry. An
+// unknown (or evicted) name is the client's 404; resolution also
+// touches the model's LRU tick, which is what keeps hot tenants alive.
+func (s *Server) onNamed(h modelHandler) func(http.ResponseWriter, *http.Request) {
+	return func(w http.ResponseWriter, r *http.Request) {
+		name := r.PathValue("model")
+		m := s.models.lookup(name)
+		if m == nil {
+			writeError(w, http.StatusNotFound, "model_not_found",
+				fmt.Sprintf("no model named %q is loaded", name))
+			return
+		}
+		h(w, r, m)
+	}
+}
+
 // decodeJSON reads and decodes the request body, writing the appropriate
 // structured error (413 for oversized bodies, 400 otherwise) on failure.
 func decodeJSON(w http.ResponseWriter, r *http.Request, v interface{}) bool {
@@ -391,11 +483,11 @@ func decodeJSON(w http.ResponseWriter, r *http.Request, v interface{}) bool {
 	return true
 }
 
-// currentSnapshot loads the published snapshot or writes the 503
+// currentSnapshot loads m's published snapshot or writes the 503
 // unavailable envelope (with Retry-After: the model may just be
 // bootstrapping).
-func (s *Server) currentSnapshot(w http.ResponseWriter) (*Snapshot, bool) {
-	snap := s.reg.Current()
+func currentSnapshot(w http.ResponseWriter, m *Model) (*Snapshot, bool) {
+	snap := m.snap.Current()
 	if snap == nil {
 		w.Header().Set("Retry-After", "1")
 		writeError(w, http.StatusServiceUnavailable, "unavailable", "no model snapshot published yet")
@@ -421,11 +513,13 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	})
 }
 
-// ReadyResponse is the /readyz payload. Status is "ready" when serving a
-// current snapshot, "degraded" when serving a stale last-good snapshot
-// after a failed retrain (DegradedReason says why), and "unavailable"
-// (with HTTP 503) before any snapshot exists.
-type ReadyResponse struct {
+// ModelStatus is one model's entry in /readyz and /v1/models: its
+// serving state plus the micro-batch scheduler's counters (batches
+// executed, requests coalesced into them, rows swept, timer-deadline
+// flushes) — the scheduler's behavior is part of the observable API, per
+// the transparency argument the suite tests against.
+type ModelStatus struct {
+	Name           string  `json:"name"`
 	Status         string  `json:"status"`
 	Version        int64   `json:"version"`
 	Members        int     `json:"members"`
@@ -433,31 +527,91 @@ type ReadyResponse struct {
 	TrainRows      int     `json:"train_rows"`
 	Breaker        string  `json:"breaker"`
 	DegradedReason string  `json:"degraded_reason,omitempty"`
-	InFlight       int     `json:"in_flight"`
-	Queued         int     `json:"queued"`
+	Batches        int64   `json:"batches"`
+	BatchedReqs    int64   `json:"batched_requests"`
+	RowsSwept      int64   `json:"rows_swept"`
+	TimerFlushes   int64   `json:"timer_flushes"`
+}
+
+// status summarizes one model for the status endpoints.
+func (m *Model) status() ModelStatus {
+	st := ModelStatus{
+		Name:         m.name,
+		Status:       "unavailable",
+		Breaker:      m.breaker.State().String(),
+		Batches:      m.batcher.batches.Load(),
+		BatchedReqs:  m.batcher.batchedReqs.Load(),
+		RowsSwept:    m.batcher.rowsSwept.Load(),
+		TimerFlushes: m.batcher.timerFlushes.Load(),
+	}
+	snap := m.snap.Current()
+	if snap == nil {
+		return st
+	}
+	st.Status = "ready"
+	if reason := m.degraded.Load(); reason != nil {
+		st.Status = "degraded"
+		st.DegradedReason = *reason
+	}
+	st.Version = snap.Version
+	st.Members = len(snap.Ensemble.Members)
+	st.ValScore = snap.ValScore
+	st.TrainRows = snap.Train.Len()
+	return st
+}
+
+// ReadyResponse is the /readyz payload. The top-level fields report the
+// default model — unchanged from the single-tenant API — while Models
+// lists every loaded tenant. Status is "ready" when the default model
+// serves a current snapshot, "degraded" when it serves a stale last-good
+// snapshot after a failed retrain (DegradedReason says why), and
+// "unavailable" (with HTTP 503) before any snapshot exists.
+type ReadyResponse struct {
+	Status         string        `json:"status"`
+	Version        int64         `json:"version"`
+	Members        int           `json:"members"`
+	ValScore       float64       `json:"val_score"`
+	TrainRows      int           `json:"train_rows"`
+	Breaker        string        `json:"breaker"`
+	DegradedReason string        `json:"degraded_reason,omitempty"`
+	InFlight       int           `json:"in_flight"`
+	Queued         int           `json:"queued"`
+	Models         []ModelStatus `json:"models,omitempty"`
 }
 
 func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	def := s.def.status()
 	resp := ReadyResponse{
-		Breaker:  s.breaker.State().String(),
-		InFlight: s.admit.inFlight(),
-		Queued:   s.admit.queued(),
+		Status:         def.Status,
+		Version:        def.Version,
+		Members:        def.Members,
+		ValScore:       def.ValScore,
+		TrainRows:      def.TrainRows,
+		Breaker:        def.Breaker,
+		DegradedReason: def.DegradedReason,
+		InFlight:       s.admit.inFlight(),
+		Queued:         s.admit.queued(),
 	}
-	snap := s.reg.Current()
-	if snap == nil {
-		resp.Status = "unavailable"
+	for _, m := range s.models.list() {
+		resp.Models = append(resp.Models, m.status())
+	}
+	if resp.Status == "unavailable" {
 		writeJSON(w, http.StatusServiceUnavailable, resp)
 		return
 	}
-	resp.Status = "ready"
-	if reason := s.degraded.Load(); reason != nil {
-		resp.Status = "degraded"
-		resp.DegradedReason = *reason
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// ModelsResponse is the /v1/models payload.
+type ModelsResponse struct {
+	Models []ModelStatus `json:"models"`
+}
+
+func (s *Server) handleModels(w http.ResponseWriter, _ *http.Request) {
+	resp := ModelsResponse{Models: []ModelStatus{}}
+	for _, m := range s.models.list() {
+		resp.Models = append(resp.Models, m.status())
 	}
-	resp.Version = snap.Version
-	resp.Members = len(snap.Ensemble.Members)
-	resp.ValScore = snap.ValScore
-	resp.TrainRows = snap.Train.Len()
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -479,8 +633,8 @@ type SchemaResponse struct {
 	Classes  []string        `json:"classes"`
 }
 
-func (s *Server) handleSchema(w http.ResponseWriter, _ *http.Request) {
-	snap, ok := s.currentSnapshot(w)
+func (s *Server) handleSchema(w http.ResponseWriter, _ *http.Request, m *Model) {
+	snap, ok := currentSnapshot(w, m)
 	if !ok {
 		return
 	}
@@ -500,7 +654,9 @@ type PredictRequest struct {
 
 // PredictResponse returns per-row class probabilities and argmax labels,
 // plus the snapshot version that produced them so clients can correlate
-// predictions across a retrain.
+// predictions across a retrain. Every row of one response is produced by
+// that single snapshot version, even when the request was coalesced into
+// a scheduler batch spanning a snapshot swap.
 type PredictResponse struct {
 	Version int64       `json:"version"`
 	Classes []string    `json:"classes"`
@@ -540,26 +696,53 @@ func (s *Server) validateRows(w http.ResponseWriter, snap *Snapshot, rows [][]fl
 	return true
 }
 
-func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request, m *Model) {
 	var req PredictRequest
 	if !decodeJSON(w, r, &req) {
 		return
 	}
-	snap, ok := s.currentSnapshot(w)
+	snap, ok := currentSnapshot(w, m)
 	if !ok {
 		return
 	}
 	if !s.validateRows(w, snap, req.Rows) {
 		return
 	}
+	if s.cfg.DisableCoalescing {
+		s.predictDirect(w, snap, req.Rows)
+		return
+	}
+	job := m.batcher.do(req.Rows)
+	defer job.release()
+	if job.err != nil {
+		if errors.Is(job.err, errNoSnapshot) {
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusServiceUnavailable, "unavailable", "no model snapshot published yet")
+			return
+		}
+		writeError(w, http.StatusInternalServerError, "batch_failed", job.err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, PredictResponse{
+		Version: job.version,
+		Classes: job.classes,
+		Labels:  job.labels,
+		Proba:   job.proba,
+	})
+}
+
+// predictDirect is the legacy per-request sweep: one row-major ensemble
+// pass with per-request allocations. It is kept as the recorded baseline
+// the coalesced scheduler is measured (and proven bit-identical) against.
+func (s *Server) predictDirect(w http.ResponseWriter, snap *Snapshot, rows [][]float64) {
 	k := snap.Ensemble.NumClasses
-	backing := make([]float64, len(req.Rows)*k)
-	proba := make([][]float64, len(req.Rows))
+	backing := make([]float64, len(rows)*k)
+	proba := make([][]float64, len(rows))
 	for i := range proba {
 		proba[i] = backing[i*k : (i+1)*k : (i+1)*k]
 	}
-	snap.Ensemble.PredictProbaBatchInto(req.Rows, proba)
-	labels := make([]int, len(req.Rows))
+	snap.Ensemble.PredictProbaBatchInto(rows, proba)
+	labels := make([]int, len(rows))
 	for i := range labels {
 		labels[i] = metrics.Argmax(proba[i])
 	}
@@ -596,12 +779,12 @@ type ALEResponse struct {
 	Std     []float64 `json:"std"`
 }
 
-func (s *Server) handleALE(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleALE(w http.ResponseWriter, r *http.Request, m *Model) {
 	var req ALERequest
 	if !decodeJSON(w, r, &req) {
 		return
 	}
-	snap, ok := s.currentSnapshot(w)
+	snap, ok := currentSnapshot(w, m)
 	if !ok {
 		return
 	}
@@ -696,12 +879,12 @@ type RegionsResponse struct {
 	Explain   string          `json:"explain"`
 }
 
-func (s *Server) handleRegions(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleRegions(w http.ResponseWriter, r *http.Request, m *Model) {
 	var req RegionsRequest
 	if !decodeJSON(w, r, &req) {
 		return
 	}
-	snap, ok := s.currentSnapshot(w)
+	snap, ok := currentSnapshot(w, m)
 	if !ok {
 		return
 	}
@@ -762,12 +945,12 @@ type RetrainResponse struct {
 	Attempt   int64   `json:"attempt"`
 }
 
-func (s *Server) handleRetrain(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleRetrain(w http.ResponseWriter, r *http.Request, m *Model) {
 	var req RetrainRequest
 	if !decodeJSON(w, r, &req) {
 		return
 	}
-	snap, ok := s.currentSnapshot(w)
+	snap, ok := currentSnapshot(w, m)
 	if !ok {
 		return
 	}
@@ -791,13 +974,13 @@ func (s *Server) handleRetrain(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	if !s.retrainBusy.CompareAndSwap(false, true) {
+	if !m.retrainBusy.CompareAndSwap(false, true) {
 		w.Header().Set("Retry-After", "1")
 		writeError(w, http.StatusConflict, "retrain_in_progress", "another retrain is already running")
 		return
 	}
-	defer s.retrainBusy.Store(false)
-	if ok, retryAfter := s.breaker.Allow(); !ok {
+	defer m.retrainBusy.Store(false)
+	if ok, retryAfter := m.breaker.Allow(); !ok {
 		secs := int(retryAfter/time.Second) + 1
 		w.Header().Set("Retry-After", strconv.Itoa(secs))
 		writeError(w, http.StatusServiceUnavailable, "breaker_open",
@@ -808,9 +991,9 @@ func (s *Server) handleRetrain(w http.ResponseWriter, r *http.Request) {
 	// Failure both release it; this covers the verdict-free exits — the
 	// client-canceled return below and a panic inside the search — so a
 	// canceled probe can never wedge the breaker into shedding forever.
-	defer s.breaker.Cancel()
+	defer m.breaker.Cancel()
 
-	attempt := s.retrains.Add(1)
+	attempt := m.retrains.Add(1)
 	mlCfg := s.cfg.AutoML
 	// Mirror core.RunLoopCtx's per-round seed derivation so repeated
 	// retrains explore fresh search randomness deterministically.
@@ -826,7 +1009,7 @@ func (s *Server) handleRetrain(w http.ResponseWriter, r *http.Request) {
 
 	var ens *automl.Ensemble
 	var err error
-	if s.cfg.Fault.RetrainFails(int(attempt)) {
+	if s.cfg.Fault.RetrainFailsFor(m.name, int(attempt)) {
 		err = faultinject.ErrInjected
 	} else {
 		ens, err = automl.RunCtx(ctx, newTrain, mlCfg)
@@ -838,16 +1021,16 @@ func (s *Server) handleRetrain(w http.ResponseWriter, r *http.Request) {
 			writeError(w, http.StatusInternalServerError, "retrain_canceled", "retrain canceled by client")
 			return
 		}
-		s.breaker.Failure()
+		m.breaker.Failure()
 		reason := fmt.Sprintf("retrain %d failed: %v", attempt, err)
-		s.degraded.Store(&reason)
-		s.logf("serve: degraded, keeping snapshot v%d: %s", snap.Version, reason)
+		m.degraded.Store(&reason)
+		s.logf("serve: model %q degraded, keeping snapshot v%d: %s", m.name, snap.Version, reason)
 		writeError(w, http.StatusInternalServerError, "retrain_failed",
 			fmt.Sprintf("%s; still serving snapshot v%d", reason, snap.Version))
 		return
 	}
-	s.breaker.Success()
-	version := s.Install(ens, newTrain)
+	m.breaker.Success()
+	version := s.install(m, ens, newTrain)
 	writeJSON(w, http.StatusOK, RetrainResponse{
 		Version:   version,
 		ValScore:  ens.ValScore,

@@ -185,7 +185,7 @@ func TestPredictValidation(t *testing.T) {
 	// encoding/json rejects it. Use a handcrafted large value instead:
 	// validate via in-process handler call on an Inf row.
 	rec := httptest.NewRecorder()
-	snap := s.reg.Current()
+	snap := s.def.snap.Current()
 	if s.validateRows(rec, snap, [][]float64{{1, fInf()}}) {
 		t.Fatal("validateRows accepted an infinite value")
 	}
@@ -317,10 +317,10 @@ func TestRetrainValidation(t *testing.T) {
 	if !strings.Contains(eb.Error.Message, "row 0") {
 		t.Fatalf("message %q does not locate the bad row", eb.Error.Message)
 	}
-	if got := s.retrains.Load(); got != 0 {
+	if got := s.def.retrains.Load(); got != 0 {
 		t.Fatalf("validation failure consumed retrain attempt %d", got)
 	}
-	if v := s.reg.Current().Version; v != 1 {
+	if v := s.def.snap.Current().Version; v != 1 {
 		t.Fatalf("snapshot version = %d after rejected retrain", v)
 	}
 }

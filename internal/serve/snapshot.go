@@ -7,13 +7,16 @@ import (
 	"github.com/netml/alefb/internal/data"
 )
 
-// Snapshot is one immutable published state of the model service: the
+// Snapshot is one immutable published state of a served model: the
 // ensemble being served, the training data it was fitted on (the
 // background data for ALE/feedback queries), and a monotonically
 // increasing version. Snapshots are never mutated after publication —
 // readers load the pointer once and use every field from that one load,
 // so a concurrent retrain can never hand a request the ensemble of one
-// version and the background data of another (no torn reads).
+// version and the background data of another (no torn reads). The batch
+// scheduler leans on the same rule one level up: one coalesced batch
+// loads the pointer once and serves every row in it from that single
+// snapshot, so a swap mid-batch can never tear a batch across versions.
 type Snapshot struct {
 	// Ensemble is the model committee served by /v1/predict and
 	// interpreted by /v1/ale and /v1/regions.
@@ -28,25 +31,26 @@ type Snapshot struct {
 	ValScore float64
 }
 
-// registry is the atomic snapshot store. Readers pay one atomic load;
-// writers publish with one atomic store. The last-good contract of the
-// serving layer rests on a single rule: only a fully constructed snapshot
-// is ever stored, and a failed retrain stores nothing.
-type registry struct {
+// snapStore is the atomic snapshot store of one model. Readers pay one
+// atomic load; writers publish with one atomic store. The last-good
+// contract of the serving layer rests on a single rule: only a fully
+// constructed snapshot is ever stored, and a failed retrain stores
+// nothing.
+type snapStore struct {
 	cur atomic.Pointer[Snapshot]
 }
 
 // Current returns the published snapshot, or nil before bootstrap.
-func (g *registry) Current() *Snapshot { return g.cur.Load() }
+func (g *snapStore) Current() *Snapshot { return g.cur.Load() }
 
 // Publish installs next as the served snapshot and returns it.
-func (g *registry) Publish(next *Snapshot) *Snapshot {
+func (g *snapStore) Publish(next *Snapshot) *Snapshot {
 	g.cur.Store(next)
 	return next
 }
 
 // NextVersion returns the version a new snapshot should carry.
-func (g *registry) NextVersion() int64 {
+func (g *snapStore) NextVersion() int64 {
 	if cur := g.cur.Load(); cur != nil {
 		return cur.Version + 1
 	}
