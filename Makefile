@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-ml bench-serve bench-smoke bench-json ci fmt-check vet fmt fuzz test-fault test-serve test-serve-race
+.PHONY: all build test race bench bench-ml bench-serve bench-smoke bench-json bench-check ci fmt-check vet fmt fuzz test-fault test-serve test-serve-race test-hist
 
 all: build test
 
@@ -101,12 +101,37 @@ test-serve-race:
 		-run 'TestCoalesced|TestBatch|TestSnapshotSwapMidBatch|TestSweepPanic|TestCrossTenant|TestRegistryChurn|TestLRUEviction|TestModelRouting|TestModelsStats|TestLoadMultiTenant|TestLoadSingleTenant' \
 		./internal/serve/
 
+# test-hist pins the histogram training engine's contracts by name under
+# the race detector: binned-vs-presort fit equality on low-cardinality
+# and dyadic data, zero-alloc steady-state pins, engine-knob propagation
+# through specs / the eval cache / persisted descriptions, fault-injected
+# candidates bypassing hist-path cache writes, Families-restricted
+# searches staying inside their zoo, and Workers=1 vs 8 bit-identity for
+# all of the above.
+test-hist:
+	$(GO) test -race -count=1 \
+		-run 'Hist|Families|KNNHeap|Cumulative' \
+		./internal/rng/ ./internal/ml/ ./internal/automl/
+
+# bench-check gates the committed sweeps against the committed JSON
+# reports: a sweep whose ns/op exceeds the recorded value by more than
+# BENCH_THRESHOLD fails, so a perf regression must be fixed or explicitly
+# acknowledged by regenerating the JSON (bench-ml/bench-serve +
+# bench-json). Pure file comparison: no benchmarks run here.
+BENCH_THRESHOLD ?= 1.30
+bench-check:
+	$(GO) run ./cmd/benchjson -check -json BENCH_ML.json \
+		-current results/bench_current.txt -threshold $(BENCH_THRESHOLD)
+	$(GO) run ./cmd/benchjson -check -json BENCH_SERVE.json \
+		-current results/bench_serve_current.txt -threshold $(BENCH_THRESHOLD)
+
 # ci is the full gate: formatting, vet, tests, race detector, fault
-# suite, serving chaos suites (test-fault/test-serve/test-serve-race
-# overlap with race but pin the robustness contracts by name, so a
-# renamed-away test is noticed), and a single-iteration benchmark smoke
-# run.
-ci: fmt-check vet test race test-fault test-serve test-serve-race bench-smoke
+# suite, serving chaos suites, the histogram-engine suite
+# (test-fault/test-serve/test-serve-race/test-hist overlap with race but
+# pin the robustness contracts by name, so a renamed-away test is
+# noticed), the committed-sweep regression gate, and a single-iteration
+# benchmark smoke run.
+ci: fmt-check vet test race test-fault test-serve test-serve-race test-hist bench-check bench-smoke
 
 fmt-check:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \

@@ -28,7 +28,7 @@ import (
 )
 
 // version identifies the CLI build; bump alongside workflow changes.
-const version = "alefb 0.5.0"
+const version = "alefb 0.7.0"
 
 func main() {
 	var (
@@ -42,6 +42,7 @@ func main() {
 		seed       = flag.Uint64("seed", 1, "random seed")
 		candidates = flag.Int("budget", 24, "AutoML pipelines to evaluate")
 		workers    = flag.Int("workers", 0, "worker goroutines for AutoML search and ALE committees (0 = all cores, 1 = serial; results are identical either way)")
+		engine     = flag.String("trainengine", "presort", "tree-family training engine: presort (exact) or hist (histogram-binned split finding, faster on larger datasets)")
 		savePath   = flag.String("save", "", "save the trained ensemble description to this JSON file")
 		loadPath   = flag.String("load", "", "load an ensemble description instead of searching (refits on -train)")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile (pprof) to this file")
@@ -78,7 +79,11 @@ func main() {
 	}
 	fmt.Printf("loaded %s:\n%s", *trainPath, train.Describe())
 
-	autoCfg := alefb.AutoMLConfig{MaxCandidates: *candidates, Seed: *seed, Workers: *workers}
+	trainEngine, err := alefb.ParseTrainEngine(*engine)
+	if err != nil {
+		fatal(err)
+	}
+	autoCfg := alefb.AutoMLConfig{MaxCandidates: *candidates, Seed: *seed, Workers: *workers, TrainEngine: trainEngine}
 	fbCfg := alefb.FeedbackConfig{Bins: *bins, Threshold: *threshold, Workers: *workers}
 
 	var fb *alefb.Feedback

@@ -8,6 +8,16 @@
 //
 //	go run ./cmd/benchjson -baseline results/bench_baseline.txt \
 //	    -current results/bench_current.txt -out BENCH_ML.json
+//
+// With -check it becomes a regression gate instead of a converter: the
+// sweep named by -current is compared against the measurements recorded
+// in the committed JSON (-json), and the exit status is nonzero when any
+// benchmark's ns/op exceeds its recorded value by more than -threshold.
+// A sweep that regresses must either be fixed or explicitly acknowledged
+// by regenerating the JSON:
+//
+//	go run ./cmd/benchjson -check -json BENCH_ML.json \
+//	    -current results/bench_current.txt -threshold 1.30
 package main
 
 import (
@@ -23,7 +33,7 @@ import (
 
 // version identifies the converter build; bump when the JSON schema
 // changes.
-const version = "alefb-benchjson 0.6.0"
+const version = "alefb-benchjson 0.7.0"
 
 // metrics holds one benchmark line's measurements. Extra carries any
 // custom b.ReportMetric columns (e.g. the serving benchmark's "req/s"
@@ -100,14 +110,77 @@ func parseFile(path string) (map[string]metrics, error) {
 	return out, nil
 }
 
+// checkRegressions gates a sweep against the committed JSON: every
+// benchmark recorded in the report with a current ns/op must not exceed
+// it by more than threshold in the sweep. Benchmarks present only on one
+// side are reported but do not fail the gate (new benchmarks land before
+// the JSON is regenerated; renames are caught by the smoke run). It
+// returns the number of regressions.
+func checkRegressions(rep report, sweep map[string]metrics, sweepPath string, threshold float64) int {
+	regressions := 0
+	for _, e := range rep.Benchmarks {
+		if e.Current == nil || e.Current.NsPerOp <= 0 {
+			continue
+		}
+		m, ok := sweep[e.Name]
+		if !ok {
+			fmt.Printf("benchjson: note: %s recorded in JSON but absent from %s\n", e.Name, sweepPath)
+			continue
+		}
+		ratio := m.NsPerOp / e.Current.NsPerOp
+		if ratio > threshold {
+			fmt.Printf("benchjson: REGRESSION %s: %.0f ns/op vs recorded %.0f (%.2fx > %.2fx threshold)\n",
+				e.Name, m.NsPerOp, e.Current.NsPerOp, ratio, threshold)
+			regressions++
+		}
+	}
+	recorded := make(map[string]bool, len(rep.Benchmarks))
+	for _, e := range rep.Benchmarks {
+		recorded[e.Name] = true
+	}
+	for n := range sweep {
+		if !recorded[n] {
+			fmt.Printf("benchjson: note: %s in %s but not recorded in JSON (regenerate with bench-json)\n", n, sweepPath)
+		}
+	}
+	return regressions
+}
+
 func main() {
 	baselinePath := flag.String("baseline", "results/bench_baseline.txt", "baseline sweep (go test -bench -benchmem output)")
 	currentPath := flag.String("current", "results/bench_current.txt", "current sweep")
 	outPath := flag.String("out", "BENCH_ML.json", "output JSON path")
+	check := flag.Bool("check", false, "regression-gate mode: compare -current against the committed -json instead of writing a report")
+	jsonPath := flag.String("json", "BENCH_ML.json", "committed report to gate against (with -check)")
+	threshold := flag.Float64("threshold", 1.30, "max allowed ns/op ratio vs the recorded value before -check fails")
 	showVer := flag.Bool("version", false, "print the version and exit")
 	flag.Parse()
 	if *showVer {
 		fmt.Println(version)
+		return
+	}
+
+	if *check {
+		raw, err := os.ReadFile(*jsonPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		var rep report
+		if err := json.Unmarshal(raw, &rep); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: parsing %s: %v\n", *jsonPath, err)
+			os.Exit(1)
+		}
+		sweep, err := parseFile(*currentPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		if n := checkRegressions(rep, sweep, *currentPath, *threshold); n > 0 {
+			fmt.Fprintf(os.Stderr, "benchjson: %d benchmark(s) regressed past %.2fx vs %s\n", n, *threshold, *jsonPath)
+			os.Exit(1)
+		}
+		fmt.Printf("benchjson: %s within %.2fx of %s\n", *currentPath, *threshold, *jsonPath)
 		return
 	}
 

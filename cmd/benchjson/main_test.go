@@ -1,0 +1,66 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeSweep(t *testing.T, lines string) string {
+	t.Helper()
+	p := filepath.Join(t.TempDir(), "sweep.txt")
+	if err := os.WriteFile(p, []byte(lines), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestParseFileExtras(t *testing.T) {
+	p := writeSweep(t, `
+goos: linux
+BenchmarkGBDTFit-8   	      50	  20181316 ns/op	  310128 B/op	    2169 allocs/op
+BenchmarkServePredictLoad64     12926  178374 ns/op   5612 req/s   45.04 reqs/batch   11411 B/op   135 allocs/op
+not a benchmark line
+`)
+	m, err := parseFile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2: %v", len(m), m)
+	}
+	if got := m["BenchmarkGBDTFit"]; got.NsPerOp != 20181316 || got.BytesPerOp != 310128 || got.AllocsPerOp != 2169 {
+		t.Fatalf("GBDTFit = %+v", got)
+	}
+	serve := m["BenchmarkServePredictLoad64"]
+	if serve.Extra["req/s"] != 5612 || serve.Extra["reqs/batch"] != 45.04 {
+		t.Fatalf("extras = %+v", serve.Extra)
+	}
+}
+
+func TestCheckRegressions(t *testing.T) {
+	rec := func(ns float64) *metrics { return &metrics{NsPerOp: ns} }
+	rep := report{Benchmarks: []entry{
+		{Name: "BenchmarkA", Current: rec(100)},
+		{Name: "BenchmarkB", Current: rec(1000)},
+		{Name: "BenchmarkRecordedOnly", Current: rec(50)},
+		{Name: "BenchmarkNoCurrent"},
+	}}
+	sweep := map[string]metrics{
+		"BenchmarkA":         {NsPerOp: 120},  // 1.2x: within a 1.3 threshold
+		"BenchmarkB":         {NsPerOp: 1400}, // 1.4x: regression
+		"BenchmarkNewOnly":   {NsPerOp: 10},   // unrecorded: note, not failure
+		"BenchmarkNoCurrent": {NsPerOp: 99},   // no recorded current: skipped
+	}
+	if n := checkRegressions(rep, sweep, "sweep.txt", 1.30); n != 1 {
+		t.Fatalf("regressions = %d, want 1 (only BenchmarkB)", n)
+	}
+	if n := checkRegressions(rep, sweep, "sweep.txt", 1.50); n != 0 {
+		t.Fatalf("regressions at 1.50x = %d, want 0", n)
+	}
+	// Faster-than-recorded sweeps never fail, even at threshold 1.0.
+	fast := map[string]metrics{"BenchmarkA": {NsPerOp: 60}, "BenchmarkB": {NsPerOp: 900}}
+	if n := checkRegressions(rep, fast, "sweep.txt", 1.0); n != 0 {
+		t.Fatalf("faster sweep flagged: %d", n)
+	}
+}

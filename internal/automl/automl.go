@@ -93,6 +93,23 @@ type Config struct {
 	// rng stream keyed by the candidate's spec hash, never from a shared
 	// one.
 	Workers int
+	// TrainEngine selects the tree-growing engine for every tree-family
+	// candidate the search proposes (Tree, Forest, ExtraTrees, GBDT,
+	// AdaBoost): ml.EnginePresort (the zero default, unchanged behavior)
+	// or ml.EngineHist for histogram-binned split finding. The engine is
+	// recorded on each spec as the "hist" parameter, so it flows into
+	// specHash — the evaluation cache and the per-candidate rng streams
+	// never conflate engines — and into persisted descriptions.
+	TrainEngine ml.TrainEngine
+	// Families restricts the search space to the named model families
+	// (see FamilyNames; e.g. "gbdt", "knn"). This is the paper's
+	// domain-customization hook: a networking operator who knows which
+	// model classes suit the task prunes the zoo up front instead of
+	// paying to rediscover it every search. Both the random phase and the
+	// evolutionary phase (including TPOT-style structural re-draws) stay
+	// inside the subset. Empty means the full zoo; unknown or duplicate
+	// names are rejected by Run.
+	Families []string
 	// DisableEvalCache turns off the deterministic evaluation cache, so
 	// every candidate is fit even when an identical spec was already
 	// evaluated this run. Because evaluation rng is keyed by the spec,
@@ -377,6 +394,10 @@ func RunCtx(ctx context.Context, train *data.Dataset, cfg Config) (*Ensemble, er
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	allowed, err := resolveFamilies(cfg.Families)
+	if err != nil {
+		return nil, err
+	}
 	r := rng.New(cfg.Seed)
 	// evalSeed keys every candidate's private rng stream via
 	// rng.Derive(evalSeed, specHash(spec)). Drawn exactly once, before any
@@ -572,13 +593,13 @@ func RunCtx(ctx context.Context, train *data.Dataset, cfg Config) (*Ensemble, er
 	specs := make([]Spec, 0, randomBudget)
 	if cfg.PreScreen > 1 {
 		var err error
-		specs, err = preScreen(ctx, train, cfg.PreScreen*randomBudget, randomBudget, k, cfg.Workers, r)
+		specs, err = preScreen(ctx, train, cfg.PreScreen*randomBudget, randomBudget, k, cfg.Workers, cfg.TrainEngine, allowed, r)
 		if err != nil {
 			return nil, err
 		}
 	} else {
 		for i := 0; i < randomBudget; i++ {
-			specs = append(specs, RandomSpec(r))
+			specs = append(specs, applyEngine(randomSpecIn(r, allowed), cfg.TrainEngine))
 		}
 	}
 	cands, err := evalBatch(specs, true)
@@ -606,7 +627,9 @@ func RunCtx(ctx context.Context, train *data.Dataset, cfg Config) (*Ensemble, er
 		}
 		mutated := make([]Spec, 0, perGen)
 		for i := 0; i < perGen; i++ {
-			mutated = append(mutated, Mutate(cands[r.Intn(parents)].spec, r))
+			// Re-apply the engine after mutation: a structural mutation
+			// re-draws the family from scratch, losing the "hist" knob.
+			mutated = append(mutated, applyEngine(mutateIn(cands[r.Intn(parents)].spec, r, allowed), cfg.TrainEngine))
 		}
 		more, err := evalBatch(mutated, false)
 		if err != nil {
@@ -707,7 +730,7 @@ func RunCtx(ctx context.Context, train *data.Dataset, cfg Config) (*Ensemble, er
 // serially from r first and scored with its own index-derived rng. A
 // screening fit that fails or panics, or a NaN screening score, silently
 // disqualifies the spec — screening is best-effort by construction.
-func preScreen(ctx context.Context, train *data.Dataset, total, keep, k, workers int, r *rng.Rand) ([]Spec, error) {
+func preScreen(ctx context.Context, train *data.Dataset, total, keep, k, workers int, engine ml.TrainEngine, allowed []family, r *rng.Rand) ([]Spec, error) {
 	subN := 200
 	if subN > train.Len() {
 		subN = train.Len()
@@ -718,13 +741,13 @@ func preScreen(ctx context.Context, train *data.Dataset, total, keep, k, workers
 		// Too little data to screen meaningfully: fall back to random.
 		out := make([]Spec, keep)
 		for i := range out {
-			out[i] = RandomSpec(r)
+			out[i] = applyEngine(randomSpecIn(r, allowed), engine)
 		}
 		return out, nil
 	}
 	specs := make([]Spec, total)
 	for i := range specs {
-		specs[i] = RandomSpec(r)
+		specs[i] = applyEngine(randomSpecIn(r, allowed), engine)
 	}
 	screenSeed := r.Uint64()
 	type scored struct {

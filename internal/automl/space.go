@@ -37,6 +37,40 @@ var familyNames = [...]string{
 	"adaboost",
 }
 
+// FamilyNames lists every model family in the search space, in the order
+// used for Config.Families validation and error messages.
+func FamilyNames() []string {
+	return append([]string(nil), familyNames[:]...)
+}
+
+// resolveFamilies maps Config.Families names onto the family subset the
+// search may draw from, preserving the caller's order (which fixes the
+// rng mapping: allowed[i] is drawn with probability 1/len(allowed)). A
+// nil or empty list selects the whole zoo, reported as a nil subset.
+func resolveFamilies(names []string) ([]family, error) {
+	if len(names) == 0 {
+		return nil, nil
+	}
+	byName := map[string]family{}
+	for f, n := range familyNames {
+		byName[n] = family(f)
+	}
+	allowed := make([]family, 0, len(names))
+	seen := map[family]bool{}
+	for _, n := range names {
+		f, ok := byName[n]
+		if !ok {
+			return nil, fmt.Errorf("automl: unknown model family %q (known: %v)", n, familyNames)
+		}
+		if seen[f] {
+			return nil, fmt.Errorf("automl: duplicate model family %q", n)
+		}
+		seen[f] = true
+		allowed = append(allowed, f)
+	}
+	return allowed, nil
+}
+
 // Spec is one point in the pipeline search space: a model family plus its
 // hyperparameters. Specs are value types so they can be mutated cheaply
 // during the evolutionary phase.
@@ -60,10 +94,23 @@ func (s Spec) clone() Spec {
 	return Spec{Family: s.Family, Params: p}
 }
 
-// RandomSpec draws a spec uniformly over families with hyperparameters
-// drawn from per-family distributions.
+// RandomSpec draws a spec uniformly over all families with
+// hyperparameters drawn from per-family distributions.
 func RandomSpec(r *rng.Rand) Spec {
-	f := family(r.Intn(int(numFamilies)))
+	return randomSpecIn(r, nil)
+}
+
+// randomSpecIn draws a spec uniformly over the allowed subset (nil means
+// every family). With a nil subset it consumes exactly the rng draws
+// RandomSpec always has, so full-zoo searches are stream-compatible with
+// configs that predate Families.
+func randomSpecIn(r *rng.Rand, allowed []family) Spec {
+	var f family
+	if len(allowed) == 0 {
+		f = family(r.Intn(int(numFamilies)))
+	} else {
+		f = allowed[r.Intn(len(allowed))]
+	}
 	s := Spec{Family: f, Params: map[string]float64{}}
 	switch f {
 	case famTree:
@@ -104,8 +151,15 @@ func RandomSpec(r *rng.Rand) Spec {
 // perturbed with probability 1/2; with small probability the family is
 // re-drawn entirely (TPOT-style structural mutation).
 func Mutate(s Spec, r *rng.Rand) Spec {
+	return mutateIn(s, r, nil)
+}
+
+// mutateIn is Mutate with structural re-draws confined to the allowed
+// family subset, so a Families-restricted search never escapes its zoo
+// through evolution.
+func mutateIn(s Spec, r *rng.Rand, allowed []family) Spec {
 	if r.Bool(0.15) {
-		return RandomSpec(r)
+		return randomSpecIn(r, allowed)
 	}
 	m := s.clone()
 	// Visit hyperparameters in sorted order: ranging over the map directly
@@ -117,6 +171,12 @@ func Mutate(s Spec, r *rng.Rand) Spec {
 	}
 	sort.Strings(keys)
 	for _, k := range keys {
+		if k == "hist" {
+			// Engine selection, not a tunable: jittering it would corrupt
+			// the knob, and skipping before the coin flip keeps the
+			// mutation rng stream identical across engines.
+			continue
+		}
 		v := m.Params[k]
 		if !r.Bool(0.5) {
 			continue
@@ -144,6 +204,32 @@ func clampF(v, lo, hi float64) float64 {
 	return v
 }
 
+// applyEngine marks a tree-family spec to train with the given engine by
+// setting the "hist" parameter, making the engine part of the spec itself:
+// it enters specHash (so the evaluation cache and the candidate rng
+// streams distinguish engines), the persisted description, and Build. The
+// knob consumes no rng, non-tree families are returned unchanged, and the
+// presort default leaves the spec untouched so existing hashes and
+// persisted descriptions are unaffected.
+func applyEngine(s Spec, e ml.TrainEngine) Spec {
+	if e != ml.EngineHist {
+		return s
+	}
+	switch s.Family {
+	case famTree, famForest, famExtraTrees, famGBDT, famAdaBoost:
+		s.Params["hist"] = 1
+	}
+	return s
+}
+
+// engineOf reads the spec's training engine back out of its parameters.
+func engineOf(s Spec) ml.TrainEngine {
+	if pInt(s, "hist", 0) == 1 {
+		return ml.EngineHist
+	}
+	return ml.EnginePresort
+}
+
 func pInt(s Spec, key string, def int) int {
 	if v, ok := s.Params[key]; ok {
 		return int(math.Round(v))
@@ -165,6 +251,7 @@ func Build(s Spec) ml.Classifier {
 		return ml.NewTree(ml.TreeConfig{
 			MaxDepth:       pInt(s, "depth", 8),
 			MinSamplesLeaf: pInt(s, "leaf", 1),
+			Engine:         engineOf(s),
 		})
 	case famForest:
 		return ml.NewForest(ml.ForestConfig{
@@ -172,6 +259,7 @@ func Build(s Spec) ml.Classifier {
 			MaxDepth:       pInt(s, "depth", 8),
 			MinSamplesLeaf: pInt(s, "leaf", 1),
 			Bootstrap:      true,
+			Engine:         engineOf(s),
 		})
 	case famExtraTrees:
 		return ml.NewForest(ml.ForestConfig{
@@ -179,12 +267,14 @@ func Build(s Spec) ml.Classifier {
 			MaxDepth:       pInt(s, "depth", 8),
 			MinSamplesLeaf: pInt(s, "leaf", 1),
 			ExtraTrees:     true,
+			Engine:         engineOf(s),
 		})
 	case famGBDT:
 		return ml.NewGBDT(ml.GBDTConfig{
 			NumRounds:    pInt(s, "rounds", 30),
 			LearningRate: pFloat(s, "lr", 0.1),
 			MaxDepth:     pInt(s, "depth", 3),
+			Engine:       engineOf(s),
 		})
 	case famKNN:
 		return &ml.Pipeline{
@@ -226,6 +316,7 @@ func Build(s Spec) ml.Classifier {
 		return ml.NewAdaBoost(ml.AdaBoostConfig{
 			Rounds:   pInt(s, "rounds", 30),
 			MaxDepth: pInt(s, "depth", 2),
+			Engine:   engineOf(s),
 		})
 	default:
 		panic(fmt.Sprintf("automl: unknown family %d", s.Family))

@@ -15,6 +15,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
 
 	"github.com/netml/alefb/internal/data"
 	"github.com/netml/alefb/internal/ml"
@@ -109,6 +110,8 @@ type gridScratch struct {
 	rows   [][]float64
 	hi, lo [][]float64
 	bins   []int
+	// Dimensions the buffers were built for, checked on pool reuse.
+	n, nf, classes int
 }
 
 func newGridScratch(n, nf, classes int) *gridScratch {
@@ -117,6 +120,7 @@ func newGridScratch(n, nf, classes int) *gridScratch {
 		hi:   make([][]float64, n),
 		lo:   make([][]float64, n),
 		bins: make([]int, n),
+		n:    n, nf: nf, classes: classes,
 	}
 	rowBack := make([]float64, n*nf)
 	hiBack := make([]float64, n*classes)
@@ -127,6 +131,33 @@ func newGridScratch(n, nf, classes int) *gridScratch {
 		s.lo[i] = loBack[i*classes : (i+1)*classes : (i+1)*classes]
 	}
 	return s
+}
+
+// gridPool recycles gridScratch buffers across grid evaluations. A full
+// scratch for n rows is ~3 slice-header arrays plus 3 backing arrays —
+// tens of kilobytes that used to be reallocated for every model of every
+// committee sweep. Reuse is safe because every evaluation overwrites the
+// whole scratch (rows are copied in, hi/lo fully written by the batch
+// predict, bins reassigned per row) before reading it.
+var gridPool sync.Pool
+
+// getGridScratch returns a pooled scratch when one with exactly the
+// requested dimensions is available, else builds a fresh one. Committee
+// sweeps and repeated feedback rounds evaluate the same dataset with the
+// same class count, so exact-match reuse covers the steady state without
+// the aliasing subtleties of re-slicing a larger buffer.
+func getGridScratch(n, nf, classes int) *gridScratch {
+	if v := gridPool.Get(); v != nil {
+		s := v.(*gridScratch)
+		if s.n == n && s.nf == nf && s.classes == classes {
+			return s
+		}
+	}
+	return newGridScratch(n, nf, classes)
+}
+
+func putGridScratch(s *gridScratch) {
+	gridPool.Put(s)
 }
 
 // probe learns the model's class count from one (allocating) prediction so
@@ -141,7 +172,8 @@ func aleOnGrid(model ml.Classifier, d *data.Dataset, feature int, edges []float6
 	K := len(edges) - 1
 	sumDelta := make([]float64, K+1) // index k: effects of bin k (1-based)
 	counts := make([]float64, K+1)
-	s := newGridScratch(d.Len(), d.Schema.NumFeatures(), probeClasses(model, d.X[0]))
+	s := getGridScratch(d.Len(), d.Schema.NumFeatures(), probeClasses(model, d.X[0]))
+	defer putGridScratch(s)
 	aleAccumulate(model, d.X, feature, edges, class, s, sumDelta, counts)
 
 	values := make([]float64, K+1)
@@ -203,7 +235,8 @@ func aleAccumulate(model ml.Classifier, X [][]float64, feature int, edges []floa
 // grid point only rewrites the feature column before a batch predict.
 func pdpOnGrid(model ml.Classifier, d *data.Dataset, feature int, edges []float64, class int) Curve {
 	values := make([]float64, len(edges))
-	s := newGridScratch(d.Len(), d.Schema.NumFeatures(), probeClasses(model, d.X[0]))
+	s := getGridScratch(d.Len(), d.Schema.NumFeatures(), probeClasses(model, d.X[0]))
+	defer putGridScratch(s)
 	for i, row := range d.X {
 		copy(s.rows[i], row)
 	}

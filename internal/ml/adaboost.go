@@ -18,6 +18,11 @@ type AdaBoostConfig struct {
 	MaxDepth int
 	// LearningRate shrinks each round's vote (default 1.0).
 	LearningRate float64
+	// Engine selects the training engine (presort or histogram-binned)
+	// for every weak learner; see TreeConfig.Engine.
+	Engine TrainEngine
+	// HistWorkers caps the hist engine's feature-parallel scans.
+	HistWorkers int
 }
 
 func (c AdaBoostConfig) withDefaults() AdaBoostConfig {
@@ -75,15 +80,32 @@ func (a *AdaBoost) Fit(d *data.Dataset, r *rng.Rand) error {
 	// projection of one shared master sort (see presort.go), so the rows
 	// are never re-sorted after the initial presort.
 	scratch := newSplitScratch(k)
-	scratch.ps.presortMaster(d.X, d.Schema.NumFeatures())
+	if cfg.Engine == EngineHist {
+		scratch.ps.sortMaster(d.X, d.Schema.NumFeatures())
+		scratch.hist.initHist(&scratch.ps, k, cfg.HistWorkers)
+	} else {
+		scratch.ps.presortMaster(d.X, d.Schema.NumFeatures())
+	}
 	idx := make([]int, n)
 	for round := 0; round < cfg.Rounds; round++ {
+		// One O(n) prefix-sum build amortized over n O(log n) draws: the
+		// naive per-draw Weighted scan made every round's resample O(n²).
+		sampler := rng.NewCumulative(weights)
 		for i := range idx {
-			idx[i] = r.Weighted(weights)
+			idx[i] = sampler.Next(r)
 		}
 		sample := d.Subset(idx)
-		tree := NewTree(TreeConfig{MaxDepth: cfg.MaxDepth, MinSamplesLeaf: 1})
-		scratch.ps.prepareSubset(idx)
+		tree := NewTree(TreeConfig{
+			MaxDepth:       cfg.MaxDepth,
+			MinSamplesLeaf: 1,
+			Engine:         cfg.Engine,
+			HistWorkers:    cfg.HistWorkers,
+		})
+		if cfg.Engine == EngineHist {
+			scratch.hist.prepareSubset(&scratch.ps, idx)
+		} else {
+			scratch.ps.prepareSubset(idx)
+		}
 		if err := tree.fit(sample, r, scratch); err != nil {
 			return fmt.Errorf("ml: adaboost round %d: %w", round, err)
 		}
@@ -125,8 +147,12 @@ func (a *AdaBoost) Fit(d *data.Dataset, r *rng.Rand) error {
 	}
 	if len(a.trees) == 0 {
 		// Degenerate data (e.g. one class): fall back to a single tree.
-		tree := NewTree(TreeConfig{MaxDepth: cfg.MaxDepth})
-		scratch.ps.prepareFull()
+		tree := NewTree(TreeConfig{MaxDepth: cfg.MaxDepth, Engine: cfg.Engine, HistWorkers: cfg.HistWorkers})
+		if cfg.Engine == EngineHist {
+			scratch.hist.prepareFull(&scratch.ps)
+		} else {
+			scratch.ps.prepareFull()
+		}
 		if err := tree.fit(d, r, scratch); err != nil {
 			return err
 		}

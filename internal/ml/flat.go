@@ -291,8 +291,10 @@ func (f *flatRegTree) predict(x []float64) float64 {
 type splitScratch struct {
 	leftCounts  []float64
 	rightCounts []float64
-	feats       []int // per-node candidate-feature draw (rng.SampleInto)
+	nodeCounts  []float64 // per-node class totals (hist engine, bestSplitHist)
+	feats       []int     // per-node candidate-feature draw (rng.SampleInto)
 	ps          presorted
+	hist        histogram // bin maps + node-histogram arenas (hist.go)
 
 	// Chunked arenas for the pointer nodes and leaf payloads the build
 	// step produces: each chunk is handed out slot by slot and replaced —
@@ -310,6 +312,7 @@ func newSplitScratch(k int) *splitScratch {
 	return &splitScratch{
 		leftCounts:  make([]float64, k),
 		rightCounts: make([]float64, k),
+		nodeCounts:  make([]float64, k),
 	}
 }
 

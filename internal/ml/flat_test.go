@@ -1,6 +1,7 @@
 package ml
 
 import (
+	"sort"
 	"testing"
 
 	"github.com/netml/alefb/internal/data"
@@ -231,5 +232,78 @@ func TestKNNDeterministicOnTies(t *testing.T) {
 	// are 0,1,2,1,2,0,2 — a deterministic 2/7, 2/7, 3/7 vote split.
 	if want[0] != 2.0/7 || want[1] != 2.0/7 || want[2] != 3.0/7 {
 		t.Fatalf("tie-break vote split = %v, want [2/7 2/7 3/7]", want)
+	}
+}
+
+// TestKNNHeapSelectionMatchesFullSort pins the bounded-heap partial
+// selection against a full sort of every distance under the same
+// (d2, index) total order: the kk winners, their accumulation order, and
+// therefore the probabilities must be bit-identical, in both weight modes,
+// on data with heavy distance ties and with K larger than the dataset.
+func TestKNNHeapSelectionMatchesFullSort(t *testing.T) {
+	r := rng.New(99)
+	schema := &data.Schema{
+		Features: []data.Feature{{Name: "x0", Min: -4, Max: 4}, {Name: "x1", Min: -4, Max: 4}, {Name: "x2", Min: -4, Max: 4}},
+		Classes:  []string{"a", "b", "c", "d"},
+	}
+	d := data.New(schema)
+	for i := 0; i < 120; i++ {
+		// Integer-valued features make exact distance ties common.
+		row := []float64{float64(r.Intn(7) - 3), float64(r.Intn(7) - 3), float64(r.Intn(7) - 3)}
+		d.Append(row, r.Intn(4))
+	}
+	fullSort := func(k *KNN, x []float64) []float64 {
+		type cand struct {
+			d2 float64
+			y  int
+			i  int
+		}
+		all := make([]cand, len(k.X))
+		for i, row := range k.X {
+			d2 := 0.0
+			for j, v := range row {
+				diff := v - x[j]
+				d2 += diff * diff
+			}
+			all[i] = cand{d2, k.Y[i], i}
+		}
+		sort.Slice(all, func(a, b int) bool {
+			if all[a].d2 != all[b].d2 {
+				return all[a].d2 < all[b].d2
+			}
+			return all[a].i < all[b].i
+		})
+		kk := k.Config.K
+		if kk > len(all) {
+			kk = len(all)
+		}
+		out := make([]float64, k.nClasses)
+		for _, n := range all[:kk] {
+			w := 1.0
+			if k.Config.DistanceWeighted {
+				w = 1 / (n.d2 + 1e-9)
+			}
+			out[n.y] += w
+		}
+		normalize(out)
+		return out
+	}
+	for _, weighted := range []bool{false, true} {
+		for _, kk := range []int{1, 5, 20, 200} { // 200 > len(d): selection degenerates to all rows
+			k := NewKNN(KNNConfig{K: kk, DistanceWeighted: weighted})
+			if err := k.Fit(d, rng.New(1)); err != nil {
+				t.Fatalf("Fit: %v", err)
+			}
+			for probe := 0; probe < 40; probe++ {
+				x := []float64{r.Uniform(-4, 4), r.Uniform(-4, 4), float64(r.Intn(7) - 3)}
+				got := k.PredictProba(x)
+				want := fullSort(k, x)
+				for c := range want {
+					if got[c] != want[c] {
+						t.Fatalf("k=%d weighted=%v probe %d: heap selection diverged from full sort: %v vs %v", kk, weighted, probe, got, want)
+					}
+				}
+			}
+		}
 	}
 }

@@ -23,6 +23,11 @@ type ForestConfig struct {
 	Bootstrap bool
 	// ExtraTrees draws random thresholds instead of exhaustive scans.
 	ExtraTrees bool
+	// Engine selects the training engine (presort or histogram-binned)
+	// for every tree; see TreeConfig.Engine.
+	Engine TrainEngine
+	// HistWorkers caps the hist engine's feature-parallel scans.
+	HistWorkers int
 }
 
 func (c ForestConfig) withDefaults() ForestConfig {
@@ -84,7 +89,12 @@ func (f *Forest) Fit(d *data.Dataset, r *rng.Rand) error {
 	// every tree: bootstrap trees project the master orderings through
 	// their resample, extra-trees restore the full view by copy.
 	scratch := newSplitScratch(f.nClasses)
-	scratch.ps.presortMaster(d.X, d.Schema.NumFeatures())
+	if cfg.Engine == EngineHist {
+		scratch.ps.sortMaster(d.X, d.Schema.NumFeatures())
+		scratch.hist.initHist(&scratch.ps, f.nClasses, cfg.HistWorkers)
+	} else {
+		scratch.ps.presortMaster(d.X, d.Schema.NumFeatures())
+	}
 	var idx []int
 	if cfg.Bootstrap {
 		idx = make([]int, d.Len())
@@ -95,6 +105,8 @@ func (f *Forest) Fit(d *data.Dataset, r *rng.Rand) error {
 			MinSamplesLeaf:   cfg.MinSamplesLeaf,
 			MaxFeatures:      maxFeatures,
 			RandomThresholds: cfg.ExtraTrees,
+			Engine:           cfg.Engine,
+			HistWorkers:      cfg.HistWorkers,
 		})
 		train := d
 		if cfg.Bootstrap {
@@ -102,7 +114,13 @@ func (f *Forest) Fit(d *data.Dataset, r *rng.Rand) error {
 				idx[i] = r.Intn(d.Len())
 			}
 			train = d.Subset(idx)
-			scratch.ps.prepareSubset(idx)
+			if cfg.Engine == EngineHist {
+				scratch.hist.prepareSubset(&scratch.ps, idx)
+			} else {
+				scratch.ps.prepareSubset(idx)
+			}
+		} else if cfg.Engine == EngineHist {
+			scratch.hist.prepareFull(&scratch.ps)
 		} else {
 			scratch.ps.prepareFull()
 		}

@@ -20,6 +20,11 @@ type GBDTConfig struct {
 	MinSamplesLeaf int
 	// Subsample is the row fraction per round, (0,1]; default 1.
 	Subsample float64
+	// Engine selects the training engine (presort or histogram-binned)
+	// for every regression tree; see TreeConfig.Engine.
+	Engine TrainEngine
+	// HistWorkers caps the hist engine's feature-parallel scans.
+	HistWorkers int
 }
 
 func (c GBDTConfig) withDefaults() GBDTConfig {
@@ -89,7 +94,12 @@ func (g *GBDT) Fit(d *data.Dataset, r *rng.Rand) error {
 	// across every round and class: full-row rounds restore the presorted
 	// view by copy, subsampled rounds project it through the row draw.
 	scratch := newSplitScratch(g.nClasses)
-	scratch.ps.presortMaster(d.X, d.Schema.NumFeatures())
+	if cfg.Engine == EngineHist {
+		scratch.ps.sortMaster(d.X, d.Schema.NumFeatures())
+		scratch.hist.initHist(&scratch.ps, 3, cfg.HistWorkers)
+	} else {
+		scratch.ps.presortMaster(d.X, d.Schema.NumFeatures())
+	}
 	subsampled := cfg.Subsample < 1
 	var subY []float64
 	if subsampled {
@@ -105,7 +115,12 @@ func (g *GBDT) Fit(d *data.Dataset, r *rng.Rand) error {
 
 		trees := make([]*regTree, g.nClasses)
 		for k := 0; k < g.nClasses; k++ {
-			t := &regTree{maxDepth: cfg.MaxDepth, minSamplesLeaf: cfg.MinSamplesLeaf}
+			t := &regTree{
+				maxDepth:       cfg.MaxDepth,
+				minSamplesLeaf: cfg.MinSamplesLeaf,
+				engine:         cfg.Engine,
+				histWorkers:    cfg.HistWorkers,
+			}
 			if subsampled {
 				// Residual = one-hot(y) - softmax(scores) for class k,
 				// gathered into subsample order (working row si is d row
@@ -118,7 +133,11 @@ func (g *GBDT) Fit(d *data.Dataset, r *rng.Rand) error {
 					}
 					subY[si] = target - proba[k]
 				}
-				scratch.ps.prepareSubset(rowIdx)
+				if cfg.Engine == EngineHist {
+					scratch.hist.prepareSubset(&scratch.ps, rowIdx)
+				} else {
+					scratch.ps.prepareSubset(rowIdx)
+				}
 				t.fit(subY[:len(rowIdx)], scratch)
 			} else {
 				for i := 0; i < n; i++ {
@@ -129,7 +148,11 @@ func (g *GBDT) Fit(d *data.Dataset, r *rng.Rand) error {
 					}
 					residual[i] = target - proba[k]
 				}
-				scratch.ps.prepareFull()
+				if cfg.Engine == EngineHist {
+					scratch.hist.prepareFull(&scratch.ps)
+				} else {
+					scratch.ps.prepareFull()
+				}
 				t.fit(residual, scratch)
 			}
 			trees[k] = t

@@ -1,0 +1,524 @@
+package ml
+
+import (
+	"math"
+	"testing"
+
+	"github.com/netml/alefb/internal/data"
+	"github.com/netml/alefb/internal/rng"
+)
+
+// The histogram engine's correctness contract has two tiers, mirroring
+// the presort engine's legacy-oracle suites (presort_test.go):
+//
+//   - On columns with at most 256 distinct values binning is lossless
+//     (one bin per distinct value), and hist fits must be bit-identical
+//     to presort fits: same splits, same thresholds, same leaves, same
+//     rng stream consumption. Proven by structural == below across
+//     3 seeds × all five tree families, plus dyadic-rational fuzzing.
+//
+//   - On continuous columns binning is lossy and the contract weakens to
+//     statistical parity: train accuracy within a small tolerance of the
+//     presort engine's.
+
+// discreteBlobs is fitBlobs quantized to a half-unit grid clamped to
+// [-12, 12]: at most 97 distinct values per column, so histogram binning
+// is provably lossless and hist-vs-presort equality is exact.
+func discreteBlobs(n, nf, k int, r *rng.Rand) *data.Dataset {
+	d := fitBlobs(n, nf, k, r)
+	for _, row := range d.X {
+		for f, v := range row {
+			q := math.Round(v*2) / 2
+			if q > 12 {
+				q = 12
+			}
+			if q < -12 {
+				q = -12
+			}
+			row[f] = q
+		}
+	}
+	return d
+}
+
+func withHist(cfg TreeConfig) TreeConfig { cfg.Engine = EngineHist; return cfg }
+
+func TestHistTreeFitMatchesPresort(t *testing.T) {
+	cfgs := []TreeConfig{
+		{MaxDepth: 6},
+		{MaxDepth: 4, MaxFeatures: 2},
+		{MaxDepth: 8, MinSamplesLeaf: 3},
+		{MaxDepth: 5, MaxFeatures: 3, RandomThresholds: true},
+	}
+	for _, seed := range presortSeeds {
+		d := discreteBlobs(150, 6, 3, rng.New(seed))
+		for ci, cfg := range cfgs {
+			want := NewTree(cfg)
+			if err := want.Fit(d, rng.New(seed*31+uint64(ci))); err != nil {
+				t.Fatal(err)
+			}
+			got := NewTree(withHist(cfg))
+			if err := got.Fit(d, rng.New(seed*31+uint64(ci))); err != nil {
+				t.Fatal(err)
+			}
+			assertTreeEqual(t, got.root, want.root, "root")
+		}
+	}
+}
+
+func TestHistForestFitMatchesPresort(t *testing.T) {
+	cfgs := []ForestConfig{
+		{NumTrees: 10, MaxDepth: 5, Bootstrap: true},
+		{NumTrees: 10, MaxDepth: 5, ExtraTrees: true},
+	}
+	for _, seed := range presortSeeds {
+		d := discreteBlobs(120, 5, 3, rng.New(seed))
+		for ci, cfg := range cfgs {
+			want := NewForest(cfg)
+			if err := want.Fit(d, rng.New(seed*37+uint64(ci))); err != nil {
+				t.Fatal(err)
+			}
+			histCfg := cfg
+			histCfg.Engine = EngineHist
+			got := NewForest(histCfg)
+			if err := got.Fit(d, rng.New(seed*37+uint64(ci))); err != nil {
+				t.Fatal(err)
+			}
+			if len(got.trees) != len(want.trees) {
+				t.Fatalf("tree count %d != %d", len(got.trees), len(want.trees))
+			}
+			for ti := range want.trees {
+				assertTreeEqual(t, got.trees[ti].root, want.trees[ti].root, "root")
+			}
+		}
+	}
+}
+
+// TestHistGBDTRegTreeMatchesPresort is the GBDT family's exact-equality
+// suite, pitched at the engine that GBDT actually exercises: its
+// regression-tree trainer, over both working-view preparations (full and
+// row-subset). Targets are dyadic rationals, where every per-bin sum and
+// every parent−sibling subtraction is exact in float64, so the fitted
+// trees must be structurally identical. Full-pipeline GBDT feeds softmax
+// residuals instead, whose duplicated values make many split scores
+// exactly tied in real arithmetic — there the tie falls to float
+// association order, which legitimately differs between a sequential row
+// sweep and per-bin accumulation; TestHistGBDTParity pins that the
+// resulting models still agree to prediction level.
+func TestHistGBDTRegTreeMatchesPresort(t *testing.T) {
+	for _, seed := range presortSeeds {
+		r := rng.New(seed * 61)
+		n, nf := 120, 5
+		X := make([][]float64, n)
+		y := make([]float64, n)
+		for i := range X {
+			X[i] = make([]float64, nf)
+			for f := range X[i] {
+				X[i][f] = float64(r.Intn(33)-16) * 0.25
+			}
+			y[i] = float64(r.Intn(65)-32) * 0.25
+		}
+		idx := make([]int, 80)
+		for i := range idx {
+			idx[i] = r.Intn(n)
+		}
+		subY := make([]float64, len(idx))
+		for j, o := range idx {
+			subY[j] = y[o]
+		}
+
+		sp := newSplitScratch(1)
+		sp.ps.presortMaster(X, nf)
+		sh := newSplitScratch(1)
+		sh.ps.sortMaster(X, nf)
+		sh.hist.initHist(&sh.ps, 3, 1)
+		for _, tc := range []struct{ depth, leaf int }{{3, 5}, {5, 1}} {
+			sp.ps.prepareFull()
+			want := &regTree{maxDepth: tc.depth, minSamplesLeaf: tc.leaf}
+			want.fit(y, sp)
+			sh.hist.prepareFull(&sh.ps)
+			got := &regTree{maxDepth: tc.depth, minSamplesLeaf: tc.leaf, engine: EngineHist}
+			got.fit(y, sh)
+			assertRegTreeEqual(t, got.root, want.root, "full/root")
+
+			sp.ps.prepareSubset(idx)
+			want = &regTree{maxDepth: tc.depth, minSamplesLeaf: tc.leaf}
+			want.fit(subY, sp)
+			sh.hist.prepareSubset(&sh.ps, idx)
+			got = &regTree{maxDepth: tc.depth, minSamplesLeaf: tc.leaf, engine: EngineHist}
+			got.fit(subY, sh)
+			assertRegTreeEqual(t, got.root, want.root, "subset/root")
+		}
+	}
+}
+
+// TestHistGBDTParity pins the full GBDT pipeline on discrete data: the
+// base scores are bit-identical, and the fitted ensembles agree at
+// prediction level (observed max probability delta is ~0.02; the bound
+// here is 0.05) with equal training accuracy to within two rows.
+func TestHistGBDTParity(t *testing.T) {
+	cfgs := []GBDTConfig{
+		{NumRounds: 8, MaxDepth: 3},
+		{NumRounds: 6, MaxDepth: 3, Subsample: 0.7},
+	}
+	for _, seed := range presortSeeds {
+		d := discreteBlobs(120, 5, 3, rng.New(seed))
+		for ci, cfg := range cfgs {
+			want := NewGBDT(cfg)
+			if err := want.Fit(d, rng.New(seed*41+uint64(ci))); err != nil {
+				t.Fatal(err)
+			}
+			histCfg := cfg
+			histCfg.Engine = EngineHist
+			got := NewGBDT(histCfg)
+			if err := got.Fit(d, rng.New(seed*41+uint64(ci))); err != nil {
+				t.Fatal(err)
+			}
+			for k, b := range want.base {
+				if got.base[k] != b {
+					t.Fatalf("base[%d] = %v != %v", k, got.base[k], b)
+				}
+			}
+			accW, accG := 0, 0
+			for i, x := range d.X {
+				pw, pg := want.PredictProba(x), got.PredictProba(x)
+				for c := range pw {
+					if diff := math.Abs(pw[c] - pg[c]); diff > 0.05 {
+						t.Fatalf("seed %d cfg %d row %d class %d: proba %v vs %v (diff %v)",
+							seed, ci, i, c, pw[c], pg[c], diff)
+					}
+				}
+				if PredictOne(want, x) == d.Y[i] {
+					accW++
+				}
+				if PredictOne(got, x) == d.Y[i] {
+					accG++
+				}
+			}
+			if diff := accW - accG; diff > 2 || diff < -2 {
+				t.Fatalf("seed %d cfg %d: train accuracy %d vs %d", seed, ci, accW, accG)
+			}
+		}
+	}
+}
+
+func TestHistAdaBoostFitMatchesPresort(t *testing.T) {
+	for _, seed := range presortSeeds {
+		d := discreteBlobs(120, 5, 3, rng.New(seed))
+		cfg := AdaBoostConfig{Rounds: 8, MaxDepth: 2}
+		want := NewAdaBoost(cfg)
+		if err := want.Fit(d, rng.New(seed*43)); err != nil {
+			t.Fatal(err)
+		}
+		histCfg := cfg
+		histCfg.Engine = EngineHist
+		got := NewAdaBoost(histCfg)
+		if err := got.Fit(d, rng.New(seed*43)); err != nil {
+			t.Fatal(err)
+		}
+		if len(got.trees) != len(want.trees) {
+			t.Fatalf("tree count %d != %d", len(got.trees), len(want.trees))
+		}
+		for ti := range want.trees {
+			if got.alphas[ti] != want.alphas[ti] {
+				t.Fatalf("alpha[%d] = %v != %v", ti, got.alphas[ti], want.alphas[ti])
+			}
+			assertTreeEqual(t, got.trees[ti].root, want.trees[ti].root, "root")
+		}
+	}
+}
+
+// TestHistWorkersDeterminism pins the feature-parallel scans: fits must
+// be bit-identical at HistWorkers=1 and 8. The dataset is continuous and
+// large enough (rows×features ≥ histParallelWork) that the parallel
+// branch actually runs for binning, root builds and top splits.
+func TestHistWorkersDeterminism(t *testing.T) {
+	d := fitBlobs(2048, 10, 3, rng.New(17))
+	if n := d.Len() * d.Schema.NumFeatures(); n < histParallelWork {
+		t.Fatalf("dataset too small to exercise parallel scans: %d < %d", n, histParallelWork)
+	}
+	t.Run("tree", func(t *testing.T) {
+		serial := NewTree(TreeConfig{MaxDepth: 8, Engine: EngineHist, HistWorkers: 1})
+		if err := serial.Fit(d, rng.New(5)); err != nil {
+			t.Fatal(err)
+		}
+		par := NewTree(TreeConfig{MaxDepth: 8, Engine: EngineHist, HistWorkers: 8})
+		if err := par.Fit(d, rng.New(5)); err != nil {
+			t.Fatal(err)
+		}
+		assertTreeEqual(t, par.root, serial.root, "root")
+	})
+	t.Run("gbdt", func(t *testing.T) {
+		serial := NewGBDT(GBDTConfig{NumRounds: 4, Engine: EngineHist, HistWorkers: 1})
+		if err := serial.Fit(d, rng.New(6)); err != nil {
+			t.Fatal(err)
+		}
+		par := NewGBDT(GBDTConfig{NumRounds: 4, Engine: EngineHist, HistWorkers: 8})
+		if err := par.Fit(d, rng.New(6)); err != nil {
+			t.Fatal(err)
+		}
+		for ri := range serial.rounds {
+			for k := range serial.rounds[ri] {
+				assertRegTreeEqual(t, par.rounds[ri][k].root, serial.rounds[ri][k].root, "root")
+			}
+		}
+	})
+}
+
+// TestHistStatisticalParity is the lossy-mode contract: on continuous
+// columns (here ~600 distinct values per feature, well past the 256-bin
+// budget) the hist engine must match the presort engine's training
+// accuracy within a small tolerance.
+func TestHistStatisticalParity(t *testing.T) {
+	accuracy := func(c Classifier, d *data.Dataset) float64 {
+		correct := 0
+		for i, x := range d.X {
+			if PredictOne(c, x) == d.Y[i] {
+				correct++
+			}
+		}
+		return float64(correct) / float64(d.Len())
+	}
+	for _, seed := range presortSeeds {
+		d := fitBlobs(600, 8, 3, rng.New(seed))
+		builds := []struct {
+			name    string
+			presort Classifier
+			hist    Classifier
+		}{
+			{"forest",
+				NewForest(ForestConfig{NumTrees: 15, MaxDepth: 8, Bootstrap: true}),
+				NewForest(ForestConfig{NumTrees: 15, MaxDepth: 8, Bootstrap: true, Engine: EngineHist})},
+			{"gbdt",
+				NewGBDT(GBDTConfig{NumRounds: 15}),
+				NewGBDT(GBDTConfig{NumRounds: 15, Engine: EngineHist})},
+		}
+		for _, b := range builds {
+			if err := b.presort.Fit(d, rng.New(seed*51)); err != nil {
+				t.Fatal(err)
+			}
+			if err := b.hist.Fit(d, rng.New(seed*51)); err != nil {
+				t.Fatal(err)
+			}
+			ap, ah := accuracy(b.presort, d), accuracy(b.hist, d)
+			if diff := math.Abs(ap - ah); diff > 0.05 {
+				t.Fatalf("seed %d %s: presort accuracy %.4f vs hist %.4f (diff %.4f > 0.05)",
+					seed, b.name, ap, ah, diff)
+			}
+		}
+	}
+}
+
+// --- fuzz: hist engine vs presort engine on lossless (dyadic) columns ---
+
+// FuzzHistTreeMatchesPresort grows full (small) classification trees with
+// both engines over the dyadic fuzz datasets of presort_test.go — every
+// column has at most 17 distinct values, so binning is lossless and the
+// trees must be structurally identical, including the extra-trees rng
+// stream.
+func FuzzHistTreeMatchesPresort(f *testing.F) {
+	f.Add([]byte{1, 3, 0, 7, 2, 9, 5, 5, 1, 8, 8, 0, 3, 3, 2, 250, 4, 16, 9})
+	f.Add([]byte{2, 0, 0, 0, 1, 1, 1, 2, 2, 2, 0, 0, 1, 1, 2, 2, 0, 1, 2, 0})
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		if len(raw) < 10 {
+			t.Skip()
+		}
+		d := fuzzDataset(raw)
+		if d == nil {
+			t.Skip()
+		}
+		for _, cfg := range []TreeConfig{
+			{MaxDepth: 4, MinSamplesLeaf: 1},
+			{MaxDepth: 4, MinSamplesLeaf: 2, MaxFeatures: 1},
+			{MaxDepth: 4, MinSamplesLeaf: 1, RandomThresholds: true},
+		} {
+			want := NewTree(cfg)
+			if err := want.Fit(d, rng.New(77)); err != nil {
+				t.Fatal(err)
+			}
+			got := NewTree(withHist(cfg))
+			if err := got.Fit(d, rng.New(77)); err != nil {
+				t.Fatal(err)
+			}
+			assertTreeEqual(t, got.root, want.root, "root")
+		}
+	})
+}
+
+// FuzzHistRegTreeMatchesPresort fits regression trees with both engines
+// on dyadic features AND targets: every per-bin sum and every
+// parent−sibling subtraction is exact in float64, so the fitted trees
+// must match structurally.
+func FuzzHistRegTreeMatchesPresort(f *testing.F) {
+	f.Add([]byte{1, 3, 0, 7, 2, 9, 5, 5, 1, 8, 8, 0, 3, 3, 2, 250, 4, 16, 9, 30, 31})
+	f.Add([]byte{2, 0, 5, 0, 1, 1, 1, 2, 2, 2, 0, 0, 1, 1, 2, 2, 0, 1, 2, 0, 9, 9, 9})
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		if len(raw) < 12 {
+			t.Skip()
+		}
+		nf := int(raw[0]%3) + 1
+		rows := (len(raw) - 1) / (nf + 1)
+		if rows < 4 {
+			t.Skip()
+		}
+		if rows > 64 {
+			rows = 64
+		}
+		X := make([][]float64, rows)
+		y := make([]float64, rows)
+		p := 1
+		for i := 0; i < rows; i++ {
+			X[i] = make([]float64, nf)
+			for f := range X[i] {
+				X[i][f] = float64(int(raw[p])%17-8) * 0.25
+				p++
+			}
+			y[i] = float64(int(raw[p])%33-16) * 0.25
+			p++
+		}
+		sp := newSplitScratch(1)
+		sp.ps.presortMaster(X, nf)
+		sp.ps.prepareFull()
+		want := &regTree{maxDepth: 3, minSamplesLeaf: 1}
+		want.fit(y, sp)
+
+		sh := newSplitScratch(1)
+		sh.ps.sortMaster(X, nf)
+		sh.hist.initHist(&sh.ps, 3, 1)
+		sh.hist.prepareFull(&sh.ps)
+		got := &regTree{maxDepth: 3, minSamplesLeaf: 1, engine: EngineHist}
+		got.fit(y, sh)
+		assertRegTreeEqual(t, got.root, want.root, "root")
+	})
+}
+
+// --- allocation contract: the warm hist fit steady state allocates nothing ---
+
+func TestHistBestSplitZeroAllocs(t *testing.T) {
+	d := fitBlobs(256, 8, 3, rng.New(7))
+	tree := NewTree(TreeConfig{MaxFeatures: 3, Engine: EngineHist})
+	tree.nClasses, tree.nFeatures = 3, 8
+	s := newSplitScratch(3)
+	s.ps.sortMaster(d.X, 8)
+	s.hist.initHist(&s.ps, 3, 1)
+	s.hist.prepareFull(&s.ps)
+	root := s.hist.slot(0)
+	s.histScanClass(d.Y, 0, d.Len(), root, 1)
+	r := rng.New(1)
+	tree.bestSplitHist(r, s, 0, d.Len(), root) // warm s.feats
+	if allocs := testing.AllocsPerRun(50, func() {
+		tree.bestSplitHist(r, s, 0, d.Len(), root)
+	}); allocs != 0 {
+		t.Fatalf("warm hist bestSplit allocates %v/op, want 0", allocs)
+	}
+}
+
+func TestHistRegBestSplitZeroAllocs(t *testing.T) {
+	d := fitBlobs(256, 8, 3, rng.New(8))
+	y := make([]float64, d.Len())
+	r := rng.New(2)
+	for i := range y {
+		y[i] = r.Normal(0, 1)
+	}
+	s := newSplitScratch(1)
+	s.ps.sortMaster(d.X, 8)
+	s.hist.initHist(&s.ps, 3, 1)
+	s.hist.prepareFull(&s.ps)
+	root := s.hist.slot(0)
+	s.histScanReg(y, 0, d.Len(), root, 1)
+	tr := &regTree{maxDepth: 3, minSamplesLeaf: 1, engine: EngineHist}
+	if allocs := testing.AllocsPerRun(50, func() {
+		tr.bestSplitHist(0, d.Len(), s, root)
+	}); allocs != 0 {
+		t.Fatalf("warm hist regression bestSplit allocates %v/op, want 0", allocs)
+	}
+}
+
+// TestHistNodeStepZeroAllocs pins the whole per-node commit: mark +
+// partition + smaller-child scan + parent−sibling subtraction, on warm
+// slots.
+func TestHistNodeStepZeroAllocs(t *testing.T) {
+	d := fitBlobs(256, 8, 3, rng.New(9))
+	s := newSplitScratch(3)
+	s.ps.sortMaster(d.X, 8)
+	s.hist.initHist(&s.ps, 3, 1)
+	s.hist.prepareFull(&s.ps)
+	root := s.hist.slot(0)
+	// Warm the child slots once; later trees of an ensemble reuse them.
+	hl, hr := s.hist.slot(2), s.hist.slot(3)
+	splitBin := int(s.hist.nBins[0]) / 2
+	if allocs := testing.AllocsPerRun(50, func() {
+		s.hist.prepareFull(&s.ps)
+		s.histScanClass(d.Y, 0, d.Len(), root, 1)
+		nl := s.histMarkLeft(0, splitBin, 0, s.ps.n)
+		s.histPartition(0, s.ps.n)
+		hl, hr = s.hist.slot(2), s.hist.slot(3)
+		s.histScanClass(d.Y, 0, nl, hl, 1)
+		histSubtract(hr, root, hl)
+	}); allocs != 0 {
+		t.Fatalf("warm hist node step allocates %v/op, want 0", allocs)
+	}
+}
+
+// TestHistPrepareSubsetZeroAllocs pins the bootstrap/resample path: a
+// warm bin-index gather must not allocate.
+func TestHistPrepareSubsetZeroAllocs(t *testing.T) {
+	d := fitBlobs(256, 8, 3, rng.New(10))
+	s := newSplitScratch(3)
+	s.ps.sortMaster(d.X, 8)
+	s.hist.initHist(&s.ps, 3, 1)
+	r := rng.New(3)
+	idx := make([]int, d.Len())
+	for i := range idx {
+		idx[i] = r.Intn(d.Len())
+	}
+	s.hist.prepareSubset(&s.ps, idx)
+	if allocs := testing.AllocsPerRun(50, func() {
+		s.hist.prepareSubset(&s.ps, idx)
+	}); allocs != 0 {
+		t.Fatalf("warm hist prepareSubset allocates %v/op, want 0", allocs)
+	}
+}
+
+// TestHistLosslessBinning pins the exactness boundary itself: a column
+// with at most 256 distinct values gets exactly one bin per distinct
+// value with binLo == binHi, and one with more gets at most 256 bins
+// covering every value.
+func TestHistLosslessBinning(t *testing.T) {
+	r := rng.New(4)
+	n := 1000
+	X := make([][]float64, n)
+	for i := range X {
+		X[i] = []float64{
+			float64(i%40) * 0.25, // 40 distinct: lossless
+			r.Normal(0, 1),       // ~1000 distinct: lossy
+		}
+	}
+	var s splitScratch
+	s.ps.sortMaster(X, 2)
+	s.hist.initHist(&s.ps, 3, 1)
+	h := &s.hist
+	if got := int(h.nBins[0]); got != 40 {
+		t.Fatalf("discrete column: %d bins, want 40", got)
+	}
+	for b := 0; b < 40; b++ {
+		lo, hi := h.binLo[b], h.binHi[b]
+		if lo != hi {
+			t.Fatalf("discrete bin %d: lo %v != hi %v (lossless bins hold one value)", b, lo, hi)
+		}
+		if want := float64(b) * 0.25; lo != want {
+			t.Fatalf("discrete bin %d: value %v, want %v", b, lo, want)
+		}
+	}
+	if got := int(h.nBins[1]); got > maxHistBins {
+		t.Fatalf("continuous column: %d bins exceeds budget %d", got, maxHistBins)
+	}
+	// Every row's bin must contain its value.
+	base := int(h.binOff[1])
+	for i := range X {
+		b := base + int(h.masterBin[n+i])
+		if v := X[i][1]; v < h.binLo[b] || v > h.binHi[b] {
+			t.Fatalf("row %d: value %v outside bin [%v, %v]", i, v, h.binLo[b], h.binHi[b])
+		}
+	}
+}

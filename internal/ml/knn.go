@@ -71,48 +71,100 @@ func (k *KNN) PredictProba(x []float64) []float64 {
 	return out
 }
 
-// PredictProbaInto implements IntoPredictor. k-NN keeps the whole training
-// set, so it still allocates its O(n) neighbour scratch per call; use the
-// batch path to share that scratch across rows.
+// scratchNeigh sizes a neighbour scratch for predictInto: selection is
+// partial, so only K slots are ever held at once.
+func (k *KNN) scratchNeigh() []neigh {
+	kk := k.Config.K
+	if kk > len(k.X) {
+		kk = len(k.X)
+	}
+	return make([]neigh, kk)
+}
+
+// PredictProbaInto implements IntoPredictor. The neighbour scratch is
+// O(K), not O(n): partial selection never materializes all distances.
 func (k *KNN) PredictProbaInto(x, out []float64) {
-	k.predictInto(x, out, make([]neigh, len(k.X)))
+	k.predictInto(x, out, k.scratchNeigh())
 }
 
 // PredictProbaBatchInto implements BatchPredictor with one neighbour
 // scratch shared across all rows of the batch.
 func (k *KNN) PredictProbaBatchInto(X, out [][]float64) {
-	scratch := make([]neigh, len(k.X))
+	scratch := k.scratchNeigh()
 	for i, x := range X {
 		k.predictInto(x, out[i], scratch)
 	}
 }
 
+// farther reports whether a is a worse neighbour than b. Equal distances
+// (common on integer-valued features) tie-break on the training-row
+// index, so the neighbour set is a strict total order that never depends
+// on selection internals.
+func farther(a, b neigh) bool {
+	if a.d2 != b.d2 {
+		return a.d2 > b.d2
+	}
+	return a.i > b.i
+}
+
+// siftDown restores the max-heap property (worst neighbour at the root,
+// ordered by farther) after heap[i] is replaced.
+func siftDown(heap []neigh, i int) {
+	for {
+		c := 2*i + 1
+		if c >= len(heap) {
+			return
+		}
+		if r := c + 1; r < len(heap) && farther(heap[r], heap[c]) {
+			c = r
+		}
+		if !farther(heap[c], heap[i]) {
+			return
+		}
+		heap[i], heap[c] = heap[c], heap[i]
+		i = c
+	}
+}
+
 func (k *KNN) predictInto(x, out []float64, neighbours []neigh) {
+	kk := k.Config.K
+	if kk > len(k.X) {
+		kk = len(k.X)
+	}
+	// Partial selection of the kk nearest with a bounded max-heap keyed by
+	// farther: O(n log kk) with concrete comparisons, against O(n log n)
+	// through sort.Slice's reflection-based swapper for a full sort that
+	// would discard all but kk entries anyway. The first kk rows seed the
+	// heap; every later row only displaces the current worst.
+	heap := neighbours[:0]
 	for i, row := range k.X {
 		d2 := 0.0
 		for j, v := range row {
 			diff := v - x[j]
 			d2 += diff * diff
 		}
-		neighbours[i] = neigh{d2, k.Y[i], i}
-	}
-	kk := k.Config.K
-	if kk > len(neighbours) {
-		kk = len(neighbours)
-	}
-	// Partial selection of the kk nearest. Equal distances (common on
-	// integer-valued features) tie-break on the training-row index, so the
-	// neighbour set never depends on sort internals.
-	sort.Slice(neighbours, func(a, b int) bool {
-		if neighbours[a].d2 != neighbours[b].d2 {
-			return neighbours[a].d2 < neighbours[b].d2
+		n := neigh{d2, k.Y[i], i}
+		switch {
+		case len(heap) < kk:
+			heap = append(heap, n)
+			if len(heap) == kk {
+				for h := kk/2 - 1; h >= 0; h-- {
+					siftDown(heap, h)
+				}
+			}
+		case farther(heap[0], n):
+			heap[0] = n
+			siftDown(heap, 0)
 		}
-		return neighbours[a].i < neighbours[b].i
-	})
+	}
+	// Accumulate votes in ascending (d2, i) order — the order the old full
+	// sort visited the winners in — so distance-weighted probabilities stay
+	// bit-identical to the full-sort implementation.
+	sort.Slice(heap, func(a, b int) bool { return farther(heap[b], heap[a]) })
 	for i := range out {
 		out[i] = 0
 	}
-	for _, n := range neighbours[:kk] {
+	for _, n := range heap {
 		w := 1.0
 		if k.Config.DistanceWeighted {
 			w = 1 / (n.d2 + 1e-9)

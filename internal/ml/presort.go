@@ -103,17 +103,30 @@ func (p *featSorter) Swap(i, j int) {
 	p.val[i], p.val[j] = p.val[j], p.val[i]
 }
 
-// presortMaster sorts every feature column of X once. Callers then select
-// a working view with prepareFull or prepareSubset before each tree fit.
+// presortMaster sorts every feature column of X once and sizes the
+// working orderings the presort engine partitions. Callers then select a
+// working view with prepareFull or prepareSubset before each tree fit.
 func (ps *presorted) presortMaster(X [][]float64, nf int) {
+	ps.sortMaster(X, nf)
+	need := ps.masterRows * nf
+	if cap(ps.ord) < need {
+		ps.ord = make([]int32, need)
+		ps.val = make([]float64, need)
+	}
+}
+
+// sortMaster sorts every feature column of X once into the master
+// orderings, without allocating the presort engine's working copies. The
+// histogram engine (hist.go) calls it directly: it reads the sorted
+// master columns to place its bin cut points but never partitions value
+// orderings, so the O(rows×features) working arrays would be dead weight.
+func (ps *presorted) sortMaster(X [][]float64, nf int) {
 	n0 := len(X)
 	ps.masterRows, ps.nf = n0, nf
 	need := n0 * nf
 	if cap(ps.masterOrd) < need {
 		ps.masterOrd = make([]int32, need)
 		ps.masterVal = make([]float64, need)
-		ps.ord = make([]int32, need)
-		ps.val = make([]float64, need)
 	}
 	ps.masterOrd = ps.masterOrd[:need]
 	ps.masterVal = ps.masterVal[:need]

@@ -270,3 +270,54 @@ func (r *Rand) Weighted(weights []float64) int {
 	}
 	return len(weights) - 1
 }
+
+// Cumulative is a weighted index sampler over a fixed weight vector:
+// building it costs O(n) and every draw O(log n), against O(n) per draw
+// for Weighted — the difference between an O(n²) and an O(n log n)
+// weighted resample when n indices are drawn from the same weights (as
+// AdaBoost does every boosting round). Each Next consumes exactly one
+// Float64 from r, like Weighted, and selects by inverting the running
+// prefix sum of the positive weights; the returned index can differ from
+// Weighted's only when the draw lands within float-rounding distance of
+// a weight boundary.
+type Cumulative struct {
+	cum []float64 // inclusive prefix sums; flat runs are zero weights
+}
+
+// NewCumulative builds a sampler over weights. Non-positive weights are
+// treated as zero (never returned while any weight is positive); if all
+// weights are zero, draws fall back to uniform. The weights slice is not
+// retained.
+func NewCumulative(weights []float64) *Cumulative {
+	cum := make([]float64, len(weights))
+	total := 0.0
+	for i, w := range weights {
+		if w > 0 {
+			total += w
+		}
+		cum[i] = total
+	}
+	return &Cumulative{cum: cum}
+}
+
+// Next draws one index proportionally to the sampler's weights.
+func (c *Cumulative) Next(r *Rand) int {
+	n := len(c.cum)
+	total := c.cum[n-1]
+	if total <= 0 {
+		return r.Intn(n)
+	}
+	x := r.Float64() * total
+	// First index with cum[i] > x. Zero-weight entries repeat the previous
+	// prefix sum, so the strict inequality can never select them.
+	lo, hi := 0, n-1
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if c.cum[mid] > x {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}

@@ -320,3 +320,73 @@ func TestSampleIntoZeroAllocs(t *testing.T) {
 		t.Errorf("SampleInto (perm path) allocates %.1f objects per call, want 0", allocs)
 	}
 }
+
+// TestCumulativeMatchesWeighted pins the O(log n) sampler to the linear
+// Weighted scan on dyadic weight vectors, where prefix sums are exact and
+// the two selection rules must agree draw for draw — including vectors
+// with zero and negative entries, which neither sampler may ever return
+// while a positive weight exists.
+func TestCumulativeMatchesWeighted(t *testing.T) {
+	vectors := [][]float64{
+		{0.5, 0.25, 0.25},
+		{1, 0, 2, 0, 1},
+		{0, 0, 4},
+		{2, -3, 1, 0, 0.5, 0.5},
+		{0.125, 0.125, 0.25, 0.5},
+	}
+	for vi, w := range vectors {
+		a, b := New(uint64(vi)+1), New(uint64(vi)+1)
+		c := NewCumulative(w)
+		for draw := 0; draw < 2000; draw++ {
+			want := a.Weighted(w)
+			got := c.Next(b)
+			if got != want {
+				t.Fatalf("vector %d draw %d: Cumulative=%d Weighted=%d", vi, draw, got, want)
+			}
+			if w[got] <= 0 {
+				t.Fatalf("vector %d draw %d: selected non-positive weight index %d", vi, draw, got)
+			}
+		}
+	}
+}
+
+// TestCumulativeAllZeroUniform checks the all-zero fallback draws
+// uniformly, matching Weighted's.
+func TestCumulativeAllZeroUniform(t *testing.T) {
+	c := NewCumulative([]float64{0, 0, 0, 0})
+	r := New(7)
+	counts := make([]int, 4)
+	for i := 0; i < 8000; i++ {
+		counts[c.Next(r)]++
+	}
+	for i, n := range counts {
+		if n < 1700 || n > 2300 {
+			t.Fatalf("all-zero fallback not uniform: index %d drawn %d/8000", i, n)
+		}
+	}
+}
+
+// TestCumulativeProportions checks draw frequencies track the weights.
+func TestCumulativeProportions(t *testing.T) {
+	w := []float64{1, 3, 0, 6}
+	c := NewCumulative(w)
+	r := New(11)
+	counts := make([]int, len(w))
+	const draws = 20000
+	for i := 0; i < draws; i++ {
+		counts[c.Next(r)]++
+	}
+	if counts[2] != 0 {
+		t.Fatalf("zero weight drawn %d times", counts[2])
+	}
+	for i, wi := range w {
+		if wi == 0 {
+			continue
+		}
+		got := float64(counts[i]) / draws
+		want := wi / 10
+		if got < want-0.02 || got > want+0.02 {
+			t.Fatalf("index %d: frequency %.3f, want ~%.3f", i, got, want)
+		}
+	}
+}
