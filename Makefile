@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-ml bench-serve bench-smoke bench-json bench-check ci fmt-check vet fmt fuzz test-fault test-serve test-serve-race test-hist
+.PHONY: all build test race bench bench-ml bench-serve bench-smoke bench-json bench-check ci fmt-check vet fmt fuzz test-fault test-serve test-serve-race test-hist test-feedback
 
 all: build test
 
@@ -113,6 +113,19 @@ test-hist:
 		-run 'Hist|Families|KNNHeap|Cumulative' \
 		./internal/rng/ ./internal/ml/ ./internal/automl/
 
+# test-feedback pins the always-on feedback loop's contracts by name
+# under the race detector: WAL kill-and-replay at every record boundary
+# and torn-tail byte offset, checkpoint compaction crash windows,
+# injected WAL/fsync/replay faults, durable ingest across a server
+# restart with bootstrap folding, drift-triggered warm-start retrains
+# bit-identical to a cold rerun from the replayed store, the failed-
+# retrain degradation policy, the concurrent ingest/predict/retrain
+# chaos run, and the client's shed-only feedback retry policy.
+test-feedback:
+	$(GO) test -race -count=1 \
+		-run 'TestStore|TestKill|TestTornTail|TestCorrupt|TestCompaction|TestWALFault|TestFsyncFault|TestReplayFault|TestMemoryStore|TestAppendValidation|TestFeedback|TestDrift|TestClientFeedback|TestLoadFeedbackMix|TestWarmStart|TestWindowDisagreement' \
+		./internal/feedback/ ./internal/faultinject/ ./internal/core/ ./internal/serve/
+
 # bench-check gates the committed sweeps against the committed JSON
 # reports: a sweep whose ns/op exceeds the recorded value by more than
 # BENCH_THRESHOLD fails, so a perf regression must be fixed or explicitly
@@ -126,12 +139,12 @@ bench-check:
 		-current results/bench_serve_current.txt -threshold $(BENCH_THRESHOLD)
 
 # ci is the full gate: formatting, vet, tests, race detector, fault
-# suite, serving chaos suites, the histogram-engine suite
-# (test-fault/test-serve/test-serve-race/test-hist overlap with race but
-# pin the robustness contracts by name, so a renamed-away test is
-# noticed), the committed-sweep regression gate, and a single-iteration
-# benchmark smoke run.
-ci: fmt-check vet test race test-fault test-serve test-serve-race test-hist bench-check bench-smoke
+# suite, serving chaos suites, the histogram-engine suite, the feedback
+# durability/drift suite (the named suites overlap with race but pin the
+# robustness contracts by name, so a renamed-away test is noticed), the
+# committed-sweep regression gate, and a single-iteration benchmark
+# smoke run.
+ci: fmt-check vet test race test-fault test-serve test-serve-race test-hist test-feedback bench-check bench-smoke
 
 fmt-check:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \

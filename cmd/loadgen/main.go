@@ -10,7 +10,13 @@
 //	loadgen -base http://127.0.0.1:8080 -n 500 -c 8
 //	loadgen -base http://127.0.0.1:8080 -mix 1,1,1,1   # uniform mix
 //	loadgen -base http://127.0.0.1:8080 -models default,video,voip
+//	loadgen -base http://127.0.0.1:8080 -feedback-rate 2   # mixed traffic
 //	loadgen -version
+//
+// -feedback-rate interleaves feedback-ingest requests (labelled rows
+// drawn from the schema) with the read mix; the report breaks latency
+// and status down per endpoint so ingestion overhead on the predict
+// path is directly measurable.
 package main
 
 import (
@@ -26,7 +32,7 @@ import (
 )
 
 // version identifies the load-generator build.
-const version = "alefb-loadgen 0.6.0"
+const version = "alefb-loadgen 0.8.0"
 
 func main() {
 	var (
@@ -38,6 +44,7 @@ func main() {
 		mixSpec     = flag.String("mix", "", "predict,ale,regions,health weights (default 8,1,0.5,0.5)")
 		modelsSpec  = flag.String("models", "", "comma-separated tenant models to spread load across (default: the default model)")
 		timeout     = flag.Duration("timeout", 10*time.Second, "per-request timeout")
+		feedback    = flag.Float64("feedback-rate", 0, "mix weight of feedback-ingest requests interleaved with the read mix")
 		showVersion = flag.Bool("version", false, "print the version and exit")
 	)
 	flag.Parse()
@@ -52,6 +59,9 @@ func main() {
 		if mix, err = parseMix(*mixSpec); err != nil {
 			fatal(err)
 		}
+	}
+	if *feedback > 0 {
+		mix.Feedback = *feedback
 	}
 	var tenants []string
 	if *modelsSpec != "" {

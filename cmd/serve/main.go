@@ -12,8 +12,19 @@
 //	serve -version
 //
 // Endpoints: GET /healthz, GET /readyz, GET /v1/schema, GET /v1/models,
-// POST /v1/predict, /v1/ale, /v1/regions, /v1/retrain — plus the same
-// read/retrain endpoints per tenant under /v1/models/{name}/....
+// GET /v1/status, POST /v1/predict, /v1/ale, /v1/regions, /v1/retrain,
+// /v1/feedback — plus the same endpoints per tenant under
+// /v1/models/{name}/....
+//
+// -feedback-dir enables the always-on loop's durability: labelled rows
+// POSTed to /v1/feedback are appended to a per-model write-ahead log and
+// fsynced before the request is acknowledged, and a restart replays them
+// into the bootstrap training set. -drift-threshold (with -drift-window)
+// turns on the drift monitor: when the committee's Cross-ALE
+// disagreement over the most recent ingested rows exceeds the threshold,
+// the model retrains in the background — warm-starting from the served
+// ensemble when possible — while reads keep hitting the last-good
+// snapshot.
 //
 // -train bootstraps the pinned default model; each repeatable
 // -model name=path.csv bootstraps an additional named tenant. Concurrent
@@ -42,7 +53,7 @@ import (
 )
 
 // version identifies the serving layer build; bump alongside API changes.
-const version = "alefb-serve 0.6.0"
+const version = "alefb-serve 0.8.0"
 
 // modelSpec is one -model name=path.csv mapping.
 type modelSpec struct {
@@ -69,6 +80,9 @@ func main() {
 		batchDelay     = flag.Duration("batch-delay", 0, "max wait for a coalesced batch to fill (0 = default)")
 		predictWorkers = flag.Int("predict-workers", 0, "worker goroutines for one coalesced sweep (0 = all cores)")
 		noCoalesce     = flag.Bool("no-coalesce", false, "disable request coalescing; sweep each predict request alone")
+		feedbackDir    = flag.String("feedback-dir", "", "base directory for durable per-model feedback WALs (empty = memory-only)")
+		driftThreshold = flag.Float64("drift-threshold", 0, "Cross-ALE disagreement over the feedback window that triggers a retrain (0 = off)")
+		driftWindow    = flag.Int("drift-window", 0, "most recent feedback rows the drift monitor analyses (0 = default 64)")
 		showVersion    = flag.Bool("version", false, "print the version and exit")
 	)
 	flag.Func("model", "additional tenant model as name=path.csv (repeatable)", func(v string) error {
@@ -103,6 +117,9 @@ func main() {
 		MaxBatchDelay:     *batchDelay,
 		PredictWorkers:    *predictWorkers,
 		DisableCoalescing: *noCoalesce,
+		FeedbackDir:       *feedbackDir,
+		DriftThreshold:    *driftThreshold,
+		DriftWindow:       *driftWindow,
 		Log:               os.Stderr,
 	})
 

@@ -1,0 +1,269 @@
+package core
+
+// Drift monitoring and warm-start retraining for the always-on feedback
+// service (ROADMAP item 3). The serving layer ingests labelled rows into
+// a durable store (internal/feedback) and calls WindowDisagreementCtx
+// over a sliding window of the most recent rows: the committee's
+// Cross-ALE disagreement on fresh data is the drift signal — when the
+// ensemble's members stop agreeing about how features drive the label on
+// the data actually arriving, the served model has drifted off its
+// training distribution. Past a configurable threshold the server
+// retrains, preferring WarmStartCtx: refit only the committee members
+// whose interpretation of the data shifted, fall back to a full AutoML
+// search when too much of the committee moved.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+
+	"github.com/netml/alefb/internal/automl"
+	"github.com/netml/alefb/internal/data"
+	"github.com/netml/alefb/internal/interpret"
+	"github.com/netml/alefb/internal/ml"
+	"github.com/netml/alefb/internal/parallel"
+	"github.com/netml/alefb/internal/rng"
+)
+
+// minDriftWindow is the smallest window the monitor will analyse:
+// quantile-binned ALE over fewer rows is dominated by noise, so shorter
+// windows report zero drift instead of a meaningless number.
+const minDriftWindow = 8
+
+// DriftReport is the outcome of one sliding-window drift evaluation.
+type DriftReport struct {
+	// Rows is the window size actually analysed.
+	Rows int
+	// PeakStd is the committee's maximum Cross-ALE disagreement over all
+	// features, classes and grid points of the window.
+	PeakStd float64
+	// Feature and Name identify the feature with the peak disagreement
+	// (-1 / "" when the window had no analysable features).
+	Feature int
+	Name    string
+	// Threshold echoes the configured trigger level.
+	Threshold float64
+	// Drifted reports PeakStd > Threshold.
+	Drifted bool
+}
+
+// WindowDisagreementCtx computes the committee's Cross-ALE disagreement
+// over a window of labelled rows and compares its peak to threshold. A
+// window too small to analyse, or one where every feature is constant,
+// reports zero drift rather than an error — no signal is not a failure.
+// The computation is deterministic for fixed inputs and worker counts
+// have no effect on the result (cfg.Workers only bounds parallelism).
+func WindowDisagreementCtx(ctx context.Context, models []ml.Classifier, schema *data.Schema, rows [][]float64, labels []int, threshold float64, cfg Config) (DriftReport, error) {
+	rep := DriftReport{Rows: len(rows), Feature: -1, Threshold: threshold}
+	if len(rows) < minDriftWindow || len(models) < 2 {
+		return rep, nil
+	}
+	d := data.New(schema)
+	for i, row := range rows {
+		if err := d.AppendRow(row, labels[i]); err != nil {
+			return rep, fmt.Errorf("core: drift window row %d: %w", i, err)
+		}
+	}
+	// A huge fixed threshold disables both the median heuristic and
+	// interval extraction: the monitor only needs the per-feature peak
+	// disagreement, not flagged regions.
+	cfg.Threshold = math.MaxFloat64
+	fb, err := ComputeCtx(ctx, models, d, cfg)
+	if errors.Is(err, ErrNoAnalysableFeatures) {
+		return rep, nil
+	}
+	if err != nil {
+		return rep, err
+	}
+	for _, fa := range fb.Analyses {
+		if fa.PeakStd > rep.PeakStd {
+			rep.PeakStd = fa.PeakStd
+			rep.Feature = fa.Feature
+			rep.Name = fa.Name
+		}
+	}
+	rep.Drifted = rep.PeakStd > threshold
+	return rep, nil
+}
+
+// WarmStartConfig controls a warm-start retrain.
+type WarmStartConfig struct {
+	// Feedback supplies the interpretation settings (bins, classes,
+	// features, workers) used for shift detection.
+	Feedback Config
+	// ShiftTolerance is the mean absolute ALE delta (old training data vs
+	// new, same member) above which a member counts as shifted and is
+	// refitted. Default 0.02 — two probability points of mean movement.
+	ShiftTolerance float64
+	// MaxRefitFraction is the shifted fraction of the committee above
+	// which warm start gives up and asks for a full retrain (default 0.5).
+	MaxRefitFraction float64
+	// RefitSeed keys the per-member refit rngs (rng.Derive(RefitSeed, i)),
+	// so a warm start is bit-identical no matter how many workers run it
+	// or which members shifted.
+	RefitSeed uint64
+	// Workers bounds refit parallelism (0 = GOMAXPROCS, 1 = serial).
+	Workers int
+}
+
+func (c WarmStartConfig) withDefaults() WarmStartConfig {
+	if c.ShiftTolerance <= 0 {
+		c.ShiftTolerance = 0.02
+	}
+	if c.MaxRefitFraction <= 0 {
+		c.MaxRefitFraction = 0.5
+	}
+	return c
+}
+
+// WarmStartReport describes what a warm start did.
+type WarmStartReport struct {
+	// Members is the committee size.
+	Members int
+	// Shifted lists the member indices whose ALE interpretation moved
+	// beyond ShiftTolerance between the old and new training data.
+	Shifted []int
+	// MaxShift is the largest per-member shift observed.
+	MaxShift float64
+	// FellBack reports that the shifted fraction exceeded
+	// MaxRefitFraction: the returned ensemble is nil and the caller must
+	// run a full retrain.
+	FellBack bool
+}
+
+// WarmStartCtx retrains an ensemble incrementally for new training data.
+// For every committee member it compares the member's ALE curves on the
+// old and the new training data (the same fitted model interpreted
+// against both distributions — curve movement means the data shifted
+// where that member is sensitive) and refits only the members whose mean
+// absolute curve delta exceeds cfg.ShiftTolerance, from their existing
+// specs with index-keyed seeds. Three outcomes:
+//
+//   - nothing shifted: the input ensemble is returned unchanged;
+//   - some members shifted, fraction ≤ MaxRefitFraction: a new ensemble
+//     with exactly those members refitted on newTrain is returned;
+//   - too many shifted: (nil, report with FellBack=true, nil) — the
+//     caller falls back to a full AutoML search.
+//
+// The result is a pure function of (ensemble description, oldTrain,
+// newTrain, cfg): bit-identical across worker counts and across process
+// restarts, which is what lets the crash-recovery suite re-run a warm
+// start cold from a replayed feedback store and compare snapshots.
+func WarmStartCtx(ctx context.Context, ens *automl.Ensemble, oldTrain, newTrain *data.Dataset, cfg WarmStartConfig) (*automl.Ensemble, WarmStartReport, error) {
+	cfg = cfg.withDefaults()
+	rep := WarmStartReport{Members: len(ens.Members)}
+	if len(ens.Members) == 0 {
+		return ens, rep, nil
+	}
+	fc := cfg.Feedback.withDefaults(ens.NumClasses, len(newTrain.Schema.Features))
+
+	shifts, err := parallel.MapCtx(ctx, len(ens.Members), cfg.Workers, func(i int) (float64, error) {
+		return memberShift(ctx, ens.Members[i].Model, oldTrain, newTrain, fc)
+	})
+	if err != nil {
+		return nil, rep, err
+	}
+	for i, s := range shifts {
+		if s > rep.MaxShift {
+			rep.MaxShift = s
+		}
+		if s > cfg.ShiftTolerance {
+			rep.Shifted = append(rep.Shifted, i)
+		}
+	}
+	if len(rep.Shifted) == 0 {
+		return ens, rep, nil
+	}
+	if float64(len(rep.Shifted)) > cfg.MaxRefitFraction*float64(len(ens.Members)) {
+		rep.FellBack = true
+		return nil, rep, nil
+	}
+
+	// Refit the shifted members from their specs. The ensemble value is
+	// copied so the caller's (possibly still-serving) ensemble is never
+	// mutated; unshifted members keep their fitted models.
+	next := *ens
+	next.Members = append([]automl.Member(nil), ens.Members...)
+	err = parallel.ForEachCtx(ctx, len(rep.Shifted), cfg.Workers, func(k int) error {
+		i := rep.Shifted[k]
+		m := automl.Build(next.Members[i].Spec)
+		if err := m.Fit(newTrain, rng.Derive(cfg.RefitSeed, uint64(i))); err != nil {
+			return fmt.Errorf("core: warm-start refit member %d (%s): %w", i, next.Members[i].Spec.String(), err)
+		}
+		next.Members[i].Model = m
+		return nil
+	})
+	if err != nil {
+		return nil, rep, err
+	}
+	return &next, rep, nil
+}
+
+// memberShift measures how far one fitted model's ALE interpretation
+// moves between two datasets: the maximum over features and classes of
+// the mean absolute difference between the old-data curve and the
+// new-data curve. The two curves live on different quantile grids (grid
+// edges are data-dependent and deduplicated), so the new curve is
+// linearly interpolated at the old grid's positions before differencing.
+// Features constant on either dataset contribute nothing.
+func memberShift(ctx context.Context, model ml.Classifier, oldTrain, newTrain *data.Dataset, fc Config) (float64, error) {
+	var worst float64
+	for _, j := range fc.Features {
+		for _, class := range fc.Classes {
+			if err := ctx.Err(); err != nil {
+				return 0, err
+			}
+			opt := interpret.Options{Bins: fc.Bins, Class: class, Workers: 1}
+			oldC, err := interpret.ALE(model, oldTrain, j, opt)
+			if errors.Is(err, interpret.ErrConstantFeature) {
+				continue
+			}
+			if err != nil {
+				return 0, fmt.Errorf("core: shift feature %d class %d (old): %w", j, class, err)
+			}
+			newC, err := interpret.ALE(model, newTrain, j, opt)
+			if errors.Is(err, interpret.ErrConstantFeature) {
+				continue
+			}
+			if err != nil {
+				return 0, fmt.Errorf("core: shift feature %d class %d (new): %w", j, class, err)
+			}
+			var sum float64
+			for i, x := range oldC.Grid {
+				sum += math.Abs(oldC.Values[i] - interpAt(newC.Grid, newC.Values, x))
+			}
+			if d := sum / float64(len(oldC.Grid)); d > worst {
+				worst = d
+			}
+		}
+	}
+	return worst, nil
+}
+
+// interpAt linearly interpolates the piecewise-linear curve (grid,
+// values) at x, clamping outside the grid range. grid is ascending and
+// non-empty.
+func interpAt(grid, values []float64, x float64) float64 {
+	n := len(grid)
+	if x <= grid[0] {
+		return values[0]
+	}
+	if x >= grid[n-1] {
+		return values[n-1]
+	}
+	lo, hi := 0, n-1
+	for hi-lo > 1 {
+		mid := (lo + hi) / 2
+		if grid[mid] <= x {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	if grid[hi] == grid[lo] {
+		return values[lo]
+	}
+	t := (x - grid[lo]) / (grid[hi] - grid[lo])
+	return values[lo] + t*(values[hi]-values[lo])
+}

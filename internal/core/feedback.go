@@ -34,6 +34,12 @@ import (
 	"github.com/netml/alefb/internal/stats"
 )
 
+// ErrNoAnalysableFeatures is returned by ComputeCtx when every requested
+// feature is constant (or otherwise unanalysable) on the given data.
+// Callers that analyse small sliding windows — the drift monitor — treat
+// it as "no signal", not as a failure.
+var ErrNoAnalysableFeatures = errors.New("core: no analysable features")
+
 // Config controls a feedback computation.
 type Config struct {
 	// Method selects the interpretation algorithm (default ALE, the
@@ -359,7 +365,7 @@ func ComputeCtx(ctx context.Context, models []ml.Classifier, d *data.Dataset, cf
 	fb.Threshold = cfg.Threshold
 	if fb.Threshold <= 0 {
 		if len(allStds) == 0 {
-			return nil, errors.New("core: no analysable features")
+			return nil, ErrNoAnalysableFeatures
 		}
 		fb.Threshold = stats.Median(allStds)
 	}
@@ -378,7 +384,7 @@ func ComputeCtx(ctx context.Context, models []ml.Classifier, d *data.Dataset, cf
 		fb.Analyses = append(fb.Analyses, fa)
 	}
 	if len(fb.Analyses) == 0 {
-		return nil, errors.New("core: no analysable features")
+		return nil, ErrNoAnalysableFeatures
 	}
 	return fb, nil
 }

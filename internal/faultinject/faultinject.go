@@ -90,6 +90,16 @@ type Injector struct {
 	// every model (the single-tenant behavior).
 	retrainFailFor map[string]map[int]bool
 
+	// WAL-layer fault points for the durable feedback store. They are
+	// keyed by the store's record sequence number (0-based, monotone
+	// across compactions) and by the store's fsync call count, both
+	// deterministic for a fixed append order, so chaos tests can tear a
+	// write-ahead log at an exact record without OS tricks. Same contract
+	// as every other point: nil/zero injects nothing.
+	walFault    map[int]Kind
+	fsyncFault  map[int]bool
+	replayFault map[int]bool
+
 	// schedStall gates the predict micro-batch scheduler: the leader of
 	// coalesced batch n keeps the batch open — ignoring the fast
 	// everyone-joined flush — until the gate channel closes, the row cap
@@ -204,6 +214,42 @@ func (in *Injector) WithSchedulerStall(batch int, gate <-chan struct{}) *Injecto
 	return in
 }
 
+// WithWALFault arranges for the append of WAL record rec (0-based store
+// sequence number) to fail: Error fails cleanly before any byte reaches
+// the log; Panic writes a torn prefix of the frame and then fails, as if
+// the process died mid-write — replay on reopen must truncate the torn
+// tail. Other kinds have no WAL meaning and are ignored.
+func (in *Injector) WithWALFault(rec int, k Kind) *Injector {
+	if in.walFault == nil {
+		in.walFault = map[int]Kind{}
+	}
+	in.walFault[rec] = k
+	return in
+}
+
+// WithFsyncFault makes the feedback store's n-th fsync call (0-based,
+// counting data and checkpoint syncs alike) fail with ErrInjected,
+// exercising the fsync-failure-is-fatal policy: the store marks itself
+// dirty and refuses further appends until reopened.
+func (in *Injector) WithFsyncFault(n int) *Injector {
+	if in.fsyncFault == nil {
+		in.fsyncFault = map[int]bool{}
+	}
+	in.fsyncFault[n] = true
+	return in
+}
+
+// WithWALReplayFault makes replay fail with ErrInjected when it reaches
+// WAL record rec, exercising the open-time error path (a present but
+// unreadable log must surface, never be silently skipped).
+func (in *Injector) WithWALReplayFault(rec int) *Injector {
+	if in.replayFault == nil {
+		in.replayFault = map[int]bool{}
+	}
+	in.replayFault[rec] = true
+	return in
+}
+
 // Fit reports the fault for candidate-evaluation index idx. Nil-safe.
 func (in *Injector) Fit(idx int) Kind {
 	if in == nil {
@@ -263,6 +309,25 @@ func (in *Injector) RetrainFailsFor(model string, n int) bool {
 		return false
 	}
 	return in.retrainFail[n] || in.retrainFailFor[model][n]
+}
+
+// WALFault reports the append fault for WAL record rec. Nil-safe.
+func (in *Injector) WALFault(rec int) Kind {
+	if in == nil {
+		return None
+	}
+	return in.walFault[rec]
+}
+
+// FsyncFault reports whether the store's n-th fsync should fail. Nil-safe.
+func (in *Injector) FsyncFault(n int) bool {
+	return in != nil && in.fsyncFault[n]
+}
+
+// WALReplayFault reports whether replay should fail at record rec.
+// Nil-safe.
+func (in *Injector) WALReplayFault(rec int) bool {
+	return in != nil && in.replayFault[rec]
 }
 
 // SchedulerStall reports the stall gate for coalesced batch n, nil when

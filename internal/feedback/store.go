@@ -1,0 +1,494 @@
+// Package feedback is the durability layer of the always-on feedback
+// service: an append-only store of operator-labelled rows that survives
+// process crashes and replays deterministically.
+//
+// The design is a classic WAL + checkpoint pair, sized for the serving
+// layer's ingestion path:
+//
+//   - Every labelled row is appended to a write-ahead log as a
+//     length+CRC-framed record (wal.go) and fsynced before the append is
+//     acknowledged — one fsync per Append batch, not per row.
+//   - Replay tolerates a torn or corrupt tail: scanning stops at the
+//     first frame that fails its checksum and the log is truncated back
+//     to the last valid frame boundary, so a crash at any byte offset
+//     recovers to the longest committed prefix.
+//   - Once the log exceeds CompactEvery records the full state is
+//     checkpointed with the repository's atomic temp+rename+fsync
+//     machinery and the log is reset. Records carry monotone sequence
+//     numbers, so a crash between checkpoint publication and log
+//     truncation is harmless: replay skips frames below the checkpoint's
+//     high-water mark.
+//   - Failed writes poison the store. After any append, fsync or
+//     checkpoint error the store marks itself dirty and refuses further
+//     mutation — the on-disk bytes are in an unknown state and only a
+//     reopen (which replays and repairs) may continue. This is the
+//     fsync-failure-is-fatal rule; pretending a failed fsync succeeded is
+//     how databases lose data.
+//
+// Determinism is the second contract: the store's state is a pure
+// function of the sequence of acknowledged appends, and Fingerprint
+// hashes a canonical binary encoding of that state, which is what the
+// kill-and-replay suites compare byte for byte.
+package feedback
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"io/fs"
+	"math"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"github.com/netml/alefb/internal/faultinject"
+)
+
+// ErrDirty is returned by mutating calls after a write error left the
+// on-disk state unknown. The only recovery is Close and re-Open, which
+// replays the log and truncates whatever the failed write left behind.
+var ErrDirty = errors.New("feedback: store dirty after failed write; reopen to recover")
+
+const (
+	walFile        = "wal.log"
+	checkpointFile = "checkpoint.json"
+)
+
+// Config configures one Store.
+type Config struct {
+	// Dir is the durability directory (one store per directory). Empty
+	// selects a memory-only store: same API and in-memory semantics, no
+	// files, nothing survives the process — the zero-config mode tests
+	// and WAL-less deployments use.
+	Dir string
+	// CompactEvery is the WAL record count that triggers checkpoint
+	// compaction (default 1024; negative disables compaction).
+	CompactEvery int
+	// Fault is the test-only fault injector; nil injects nothing.
+	Fault *faultinject.Injector
+}
+
+// checkpoint is the JSON image of the full store state at a sequence
+// high-water mark. Go's JSON encoder renders float64 values in their
+// shortest round-trippable form, so a load recovers every bit.
+type checkpoint struct {
+	Seq       int64       `json:"seq"`
+	NFeatures int         `json:"n_features"`
+	Rows      [][]float64 `json:"rows"`
+	Labels    []int       `json:"labels"`
+}
+
+// Store is a durable append-only set of labelled feature rows. All
+// methods are safe for concurrent use. Row slices handed out by Rows,
+// RowsAfter and Window are immutable by contract — the store never
+// mutates a row after acknowledging it, and callers must not either.
+type Store struct {
+	mu sync.Mutex
+
+	dir          string
+	wal          *os.File
+	walRecords   int   // frames in the log since the last compaction
+	goodOffset   int64 // log size after the last acknowledged write
+	compactEvery int
+	compactions  int64
+	fsyncs       int // fsync call counter, keys fsync fault injection
+	dirty        bool
+	fault        *faultinject.Injector
+
+	seq       int64 // total acknowledged records (checkpoint + log)
+	nFeatures int   // fixed by the first row; -1 until then
+	rows      [][]float64
+	labels    []int
+}
+
+// Open opens (creating if needed) the store in cfg.Dir and replays it:
+// checkpoint first, then every valid WAL frame, truncating a torn or
+// corrupt tail back to the last valid frame boundary.
+func Open(cfg Config) (*Store, error) {
+	s := &Store{
+		dir:          cfg.Dir,
+		compactEvery: cfg.CompactEvery,
+		fault:        cfg.Fault,
+		nFeatures:    -1,
+	}
+	if s.compactEvery == 0 {
+		s.compactEvery = 1024
+	}
+	if s.dir == "" {
+		return s, nil
+	}
+	if err := os.MkdirAll(s.dir, 0o755); err != nil {
+		return nil, fmt.Errorf("feedback: open store: %w", err)
+	}
+	if err := s.loadCheckpoint(); err != nil {
+		return nil, err
+	}
+	if err := s.replayWAL(); err != nil {
+		if s.wal != nil {
+			s.wal.Close()
+		}
+		return nil, err
+	}
+	return s, nil
+}
+
+// loadCheckpoint restores the compacted state, if any.
+func (s *Store) loadCheckpoint() error {
+	blob, err := os.ReadFile(filepath.Join(s.dir, checkpointFile))
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("feedback: read checkpoint: %w", err)
+	}
+	var ck checkpoint
+	if err := json.Unmarshal(blob, &ck); err != nil {
+		return fmt.Errorf("feedback: checkpoint corrupt: %w", err)
+	}
+	if ck.Seq != int64(len(ck.Rows)) || len(ck.Rows) != len(ck.Labels) {
+		return fmt.Errorf("feedback: checkpoint inconsistent: seq %d over %d rows / %d labels",
+			ck.Seq, len(ck.Rows), len(ck.Labels))
+	}
+	s.seq = ck.Seq
+	s.rows = ck.Rows
+	s.labels = ck.Labels
+	if ck.Seq > 0 {
+		s.nFeatures = ck.NFeatures
+	}
+	return nil
+}
+
+// replayWAL opens the log, applies every valid frame past the checkpoint
+// high-water mark, and truncates the file at the last valid boundary.
+func (s *Store) replayWAL() error {
+	f, err := os.OpenFile(filepath.Join(s.dir, walFile), os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return fmt.Errorf("feedback: open wal: %w", err)
+	}
+	s.wal = f
+	buf, err := io.ReadAll(f)
+	if err != nil {
+		return fmt.Errorf("feedback: read wal: %w", err)
+	}
+	off, frame := 0, 0
+	for {
+		rec, next, ok := decodeFrame(buf, off)
+		if !ok {
+			break // torn or corrupt tail: truncate here
+		}
+		if s.fault.WALReplayFault(frame) {
+			return fmt.Errorf("feedback: wal replay record %d: %w", frame, faultinject.ErrInjected)
+		}
+		frame++
+		if rec.seq < uint64(s.seq) {
+			// Stale frame from a crash between checkpoint publication and
+			// log truncation: already folded into the checkpoint.
+			off = next
+			continue
+		}
+		if rec.seq != uint64(s.seq) || (s.nFeatures >= 0 && len(rec.row) != s.nFeatures) {
+			break // sequence gap or width flip: corrupt, truncate here
+		}
+		if s.nFeatures < 0 {
+			s.nFeatures = len(rec.row)
+		}
+		s.rows = append(s.rows, rec.row)
+		s.labels = append(s.labels, int(rec.label))
+		s.seq++
+		s.walRecords++
+		off = next
+	}
+	if int64(off) != int64(len(buf)) {
+		if err := f.Truncate(int64(off)); err != nil {
+			return fmt.Errorf("feedback: truncate torn wal tail: %w", err)
+		}
+		if err := s.fsync(f); err != nil {
+			return fmt.Errorf("feedback: sync truncated wal: %w", err)
+		}
+	}
+	if _, err := f.Seek(int64(off), io.SeekStart); err != nil {
+		return fmt.Errorf("feedback: seek wal: %w", err)
+	}
+	s.goodOffset = int64(off)
+	return nil
+}
+
+// fsync syncs f, honoring injected fsync faults. An injected fault does
+// not sync: the caller must treat the write as lost.
+func (s *Store) fsync(f *os.File) error {
+	n := s.fsyncs
+	s.fsyncs++
+	if s.fault.FsyncFault(n) {
+		return fmt.Errorf("feedback: fsync %d: %w", n, faultinject.ErrInjected)
+	}
+	return f.Sync()
+}
+
+// Append validates and durably appends a batch of labelled rows,
+// returning the store sequence number after the batch. The batch is
+// framed record by record, written with one file write and one fsync,
+// and acknowledged (applied to the in-memory state) only after the sync
+// succeeds — a crash before the sync loses the whole batch, never half
+// of it in memory. maxLabel bounds the labels (exclusive); pass the
+// schema's class count, or 0 to skip the check.
+func (s *Store) Append(rows [][]float64, labels []int, maxLabel int) (int64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.dirty {
+		return s.seq, ErrDirty
+	}
+	if len(rows) != len(labels) {
+		return s.seq, fmt.Errorf("feedback: %d rows but %d labels", len(rows), len(labels))
+	}
+	if len(rows) == 0 {
+		return s.seq, nil
+	}
+	nf := s.nFeatures
+	for i, row := range rows {
+		if nf < 0 {
+			nf = len(row)
+		}
+		if len(row) != nf || len(row) == 0 {
+			return s.seq, fmt.Errorf("feedback: row %d has %d features, store has %d", i, len(row), nf)
+		}
+		for j, v := range row {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return s.seq, fmt.Errorf("feedback: row %d column %d is not finite", i, j)
+			}
+		}
+		if labels[i] < 0 || (maxLabel > 0 && labels[i] >= maxLabel) {
+			return s.seq, fmt.Errorf("feedback: row %d label %d out of range [0, %d)", i, labels[i], maxLabel)
+		}
+	}
+
+	if s.dir != "" {
+		var buf []byte
+		for i, row := range rows {
+			seq := s.seq + int64(i)
+			switch s.fault.WALFault(int(seq)) {
+			case faultinject.Error:
+				// Clean injected failure before any byte of this batch is
+				// written: the append fails whole, the store stays usable.
+				return s.seq, fmt.Errorf("feedback: wal append record %d: %w", seq, faultinject.ErrInjected)
+			case faultinject.Panic:
+				// Torn write: the batch's earlier frames plus half of this
+				// one reach the log, then the "process dies". The store is
+				// dirty until a reopen replays and truncates the torn tail.
+				torn := appendFrame(buf, record{seq: uint64(seq), label: int32(labels[i]), row: row})
+				torn = torn[:len(buf)+frameSize(len(row))/2]
+				_, _ = s.wal.Write(torn)
+				s.dirty = true
+				return s.seq, fmt.Errorf("feedback: wal append record %d torn: %w", seq, faultinject.ErrInjected)
+			}
+			buf = appendFrame(buf, record{seq: uint64(seq), label: int32(labels[i]), row: row})
+		}
+		if _, err := s.wal.Write(buf); err != nil {
+			s.dirty = true
+			return s.seq, fmt.Errorf("feedback: wal append: %w", err)
+		}
+		if err := s.fsync(s.wal); err != nil {
+			s.dirty = true
+			return s.seq, err
+		}
+		s.goodOffset += int64(len(buf))
+		s.walRecords += len(rows)
+	}
+
+	s.nFeatures = nf
+	for i, row := range rows {
+		cp := make([]float64, len(row))
+		copy(cp, row)
+		s.rows = append(s.rows, cp)
+		s.labels = append(s.labels, labels[i])
+	}
+	s.seq += int64(len(rows))
+
+	if s.dir != "" && s.compactEvery > 0 && s.walRecords >= s.compactEvery {
+		if err := s.compactLocked(); err != nil {
+			return s.seq, err
+		}
+	}
+	return s.seq, nil
+}
+
+// Compact forces a checkpoint compaction: the full state is written to a
+// temp file, fsynced, renamed over the checkpoint, the directory synced,
+// and the WAL reset to empty. A crash anywhere in that sequence is safe —
+// before the rename the old checkpoint plus the full log replay the same
+// state; after it, stale log frames are skipped by sequence number.
+func (s *Store) Compact() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.dirty {
+		return ErrDirty
+	}
+	if s.dir == "" {
+		return nil
+	}
+	return s.compactLocked()
+}
+
+func (s *Store) compactLocked() error {
+	ck := checkpoint{Seq: s.seq, NFeatures: s.nFeatures, Rows: s.rows, Labels: s.labels}
+	if ck.Rows == nil {
+		ck.Rows = [][]float64{}
+	}
+	if ck.Labels == nil {
+		ck.Labels = []int{}
+	}
+	blob, err := json.Marshal(ck)
+	if err != nil {
+		return fmt.Errorf("feedback: encode checkpoint: %w", err)
+	}
+	tmp, err := os.CreateTemp(s.dir, checkpointFile+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("feedback: checkpoint temp: %w", err)
+	}
+	if _, err := tmp.Write(blob); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("feedback: write checkpoint: %w", err)
+	}
+	if err := s.fsync(tmp); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("feedback: close checkpoint: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), filepath.Join(s.dir, checkpointFile)); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("feedback: publish checkpoint: %w", err)
+	}
+	if dirF, err := os.Open(s.dir); err == nil {
+		_ = s.fsync(dirF)
+		dirF.Close()
+	}
+	// The checkpoint is durable; resetting the log is now safe. A failure
+	// here dirties the store (the log content no longer matches the
+	// bookkeeping), but replay stays correct either way: stale frames are
+	// skipped by seq.
+	if err := s.wal.Truncate(0); err != nil {
+		s.dirty = true
+		return fmt.Errorf("feedback: reset wal: %w", err)
+	}
+	if _, err := s.wal.Seek(0, io.SeekStart); err != nil {
+		s.dirty = true
+		return fmt.Errorf("feedback: seek wal: %w", err)
+	}
+	if err := s.fsync(s.wal); err != nil {
+		s.dirty = true
+		return err
+	}
+	s.walRecords = 0
+	s.goodOffset = 0
+	s.compactions++
+	return nil
+}
+
+// Close releases the WAL file handle. The store must not be used after.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.wal != nil {
+		err := s.wal.Close()
+		s.wal = nil
+		return err
+	}
+	return nil
+}
+
+// Len returns the number of acknowledged rows.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.rows)
+}
+
+// Seq returns the store sequence number: total rows ever acknowledged.
+func (s *Store) Seq() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.seq
+}
+
+// WALRecords returns the frames in the log since the last compaction.
+func (s *Store) WALRecords() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.walRecords
+}
+
+// Compactions returns how many checkpoint compactions have run.
+func (s *Store) Compactions() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.compactions
+}
+
+// Durable reports whether the store is backed by a directory.
+func (s *Store) Durable() bool { return s.dir != "" }
+
+// Rows returns all acknowledged rows and labels. The returned slices are
+// stable snapshots: later appends never mutate them.
+func (s *Store) Rows() ([][]float64, []int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.rows[:len(s.rows):len(s.rows)], s.labels[:len(s.labels):len(s.labels)]
+}
+
+// RowsAfter returns the rows with sequence number >= n — the suffix a
+// retrain folds in on top of a snapshot that already contains the first
+// n store rows.
+func (s *Store) RowsAfter(n int64) ([][]float64, []int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if n < 0 {
+		n = 0
+	}
+	if n > int64(len(s.rows)) {
+		n = int64(len(s.rows))
+	}
+	return s.rows[n:len(s.rows):len(s.rows)], s.labels[n:len(s.labels):len(s.labels)]
+}
+
+// Window returns the most recent n rows (fewer when the store is
+// shorter) — the drift monitor's sliding window.
+func (s *Store) Window(n int) ([][]float64, []int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if n <= 0 || n > len(s.rows) {
+		n = len(s.rows)
+	}
+	lo := len(s.rows) - n
+	return s.rows[lo:len(s.rows):len(s.rows)], s.labels[lo:len(s.labels):len(s.labels)]
+}
+
+// Fingerprint hashes the canonical binary encoding of the full store
+// state (sequence number, feature width, every row's float64 bits and
+// label). Two stores with equal fingerprints hold byte-identical state;
+// the kill-and-replay suites assert exactly this across crash points.
+func (s *Store) Fingerprint() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	h := fnv.New64a()
+	var b [8]byte
+	put := func(v uint64) {
+		binary.LittleEndian.PutUint64(b[:], v)
+		h.Write(b[:])
+	}
+	put(uint64(s.seq))
+	put(uint64(int64(s.nFeatures)))
+	for i, row := range s.rows {
+		for _, v := range row {
+			put(math.Float64bits(v))
+		}
+		put(uint64(int64(s.labels[i])))
+	}
+	return h.Sum64()
+}

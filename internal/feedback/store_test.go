@@ -1,0 +1,428 @@
+package feedback
+
+import (
+	"errors"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/netml/alefb/internal/faultinject"
+)
+
+// testRows returns n deterministic 2-feature rows with labels.
+func testRows(n, from int) ([][]float64, []int) {
+	rows := make([][]float64, n)
+	labels := make([]int, n)
+	for i := range rows {
+		k := from + i
+		rows[i] = []float64{float64(k) * 0.25, float64(k*k) * 0.125}
+		labels[i] = k % 3
+	}
+	return rows, labels
+}
+
+// openAppend builds a store at dir holding the first n test records,
+// appended one batch at a time.
+func openAppend(t *testing.T, dir string, n int, cfg Config) *Store {
+	t.Helper()
+	cfg.Dir = dir
+	st, err := Open(cfg)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	for i := 0; i < n; i++ {
+		rows, labels := testRows(1, i)
+		if _, err := st.Append(rows, labels, 3); err != nil {
+			t.Fatalf("Append record %d: %v", i, err)
+		}
+	}
+	return st
+}
+
+// prefixFingerprint is the fingerprint of a fresh memory store holding
+// the first n test records — the oracle every replay is compared to.
+func prefixFingerprint(t *testing.T, n int) uint64 {
+	t.Helper()
+	st, err := Open(Config{})
+	if err != nil {
+		t.Fatalf("Open memory store: %v", err)
+	}
+	rows, labels := testRows(n, 0)
+	if _, err := st.Append(rows, labels, 3); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	return st.Fingerprint()
+}
+
+func TestStoreRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	st := openAppend(t, dir, 7, Config{})
+	want := st.Fingerprint()
+	if st.Seq() != 7 || st.Len() != 7 || st.WALRecords() != 7 {
+		t.Fatalf("seq=%d len=%d wal=%d, want 7/7/7", st.Seq(), st.Len(), st.WALRecords())
+	}
+	if err := st.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	re, err := Open(Config{Dir: dir})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer re.Close()
+	if got := re.Fingerprint(); got != want {
+		t.Fatalf("replayed fingerprint %x != original %x", got, want)
+	}
+	if got := prefixFingerprint(t, 7); got != want {
+		t.Fatalf("durable fingerprint %x != memory-built %x", want, got)
+	}
+}
+
+// TestKillAtEveryRecordBoundary truncates the WAL at each frame boundary
+// — the on-disk image of a process killed between record commits — and
+// asserts the replayed state is byte-identical to a store that only ever
+// saw that prefix.
+func TestKillAtEveryRecordBoundary(t *testing.T) {
+	const n = 6
+	src := t.TempDir()
+	st := openAppend(t, src, n, Config{})
+	st.Close()
+	wal, err := os.ReadFile(filepath.Join(src, walFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame := frameSize(2)
+	if len(wal) != n*frame {
+		t.Fatalf("wal is %d bytes, want %d", len(wal), n*frame)
+	}
+	for k := 0; k <= n; k++ {
+		dir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(dir, walFile), wal[:k*frame], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		re, err := Open(Config{Dir: dir})
+		if err != nil {
+			t.Fatalf("boundary %d: reopen: %v", k, err)
+		}
+		if re.Len() != k {
+			t.Fatalf("boundary %d: replayed %d rows", k, re.Len())
+		}
+		if got, want := re.Fingerprint(), prefixFingerprint(t, k); got != want {
+			t.Fatalf("boundary %d: fingerprint %x != prefix oracle %x", k, got, want)
+		}
+		re.Close()
+	}
+}
+
+// TestTornTailEveryByteOffset truncates the WAL at every byte offset
+// inside the last frame — every possible torn final write — and asserts
+// replay truncates cleanly back to the previous frame boundary with
+// byte-identical state, and that the repaired store accepts new appends.
+func TestTornTailEveryByteOffset(t *testing.T) {
+	const n = 4
+	src := t.TempDir()
+	st := openAppend(t, src, n, Config{})
+	st.Close()
+	wal, err := os.ReadFile(filepath.Join(src, walFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame := frameSize(2)
+	lastStart := (n - 1) * frame
+	wantFP := prefixFingerprint(t, n-1)
+	for cut := lastStart; cut < len(wal); cut++ {
+		dir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(dir, walFile), wal[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		re, err := Open(Config{Dir: dir})
+		if err != nil {
+			t.Fatalf("cut %d: reopen: %v", cut, err)
+		}
+		if got := re.Fingerprint(); got != wantFP {
+			t.Fatalf("cut %d: fingerprint %x != %d-record oracle %x", cut, got, n-1, wantFP)
+		}
+		fi, err := os.Stat(filepath.Join(dir, walFile))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fi.Size() != int64(lastStart) {
+			t.Fatalf("cut %d: wal is %d bytes after repair, want %d", cut, fi.Size(), lastStart)
+		}
+		// The repaired store must keep working: re-append the lost record.
+		rows, labels := testRows(1, n-1)
+		if _, err := re.Append(rows, labels, 3); err != nil {
+			t.Fatalf("cut %d: append after repair: %v", cut, err)
+		}
+		if got := re.Fingerprint(); got != prefixFingerprint(t, n) {
+			t.Fatalf("cut %d: post-repair append diverged", cut)
+		}
+		re.Close()
+	}
+}
+
+// TestCorruptMiddleRecord flips one payload byte of an interior frame:
+// replay must stop at the corruption and truncate, keeping the valid
+// prefix only.
+func TestCorruptMiddleRecord(t *testing.T) {
+	const n = 5
+	src := t.TempDir()
+	st := openAppend(t, src, n, Config{})
+	st.Close()
+	walPath := filepath.Join(src, walFile)
+	wal, err := os.ReadFile(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame := frameSize(2)
+	wal[2*frame+frameHeaderSize+3] ^= 0xff // corrupt record 2's payload
+	if err := os.WriteFile(walPath, wal, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	re, err := Open(Config{Dir: src})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer re.Close()
+	if re.Len() != 2 {
+		t.Fatalf("replayed %d rows past a corrupt record 2", re.Len())
+	}
+	if got, want := re.Fingerprint(), prefixFingerprint(t, 2); got != want {
+		t.Fatalf("fingerprint %x != 2-record oracle %x", got, want)
+	}
+}
+
+func TestCompactionRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	st := openAppend(t, dir, 10, Config{CompactEvery: 4})
+	want := st.Fingerprint()
+	if st.Compactions() != 2 {
+		t.Fatalf("compactions=%d, want 2", st.Compactions())
+	}
+	if st.WALRecords() != 2 {
+		t.Fatalf("wal records=%d after compaction, want 2", st.WALRecords())
+	}
+	if _, err := os.Stat(filepath.Join(dir, checkpointFile)); err != nil {
+		t.Fatalf("checkpoint missing: %v", err)
+	}
+	st.Close()
+	re, err := Open(Config{Dir: dir})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer re.Close()
+	if got := re.Fingerprint(); got != want {
+		t.Fatalf("fingerprint %x != %x after compaction replay", got, want)
+	}
+	if got := prefixFingerprint(t, 10); got != want {
+		t.Fatalf("compacted state diverged from memory oracle")
+	}
+}
+
+// TestCompactionCrashWindow simulates a crash between checkpoint
+// publication and WAL truncation: the checkpoint already holds the first
+// records and the log still lists them. Replay must skip the stale
+// frames by sequence number and apply only the newer ones.
+func TestCompactionCrashWindow(t *testing.T) {
+	// Build the "before" log: 5 records, no compaction.
+	a := t.TempDir()
+	st := openAppend(t, a, 5, Config{CompactEvery: -1})
+	st.Close()
+	staleWAL, err := os.ReadFile(filepath.Join(a, walFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Build the "after" state: compacted at 5, then 2 more records.
+	st2, err := Open(Config{Dir: a, CompactEvery: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st2.Compact(); err != nil {
+		t.Fatalf("Compact: %v", err)
+	}
+	rows, labels := testRows(2, 5)
+	if _, err := st2.Append(rows, labels, 3); err != nil {
+		t.Fatal(err)
+	}
+	want := st2.Fingerprint()
+	st2.Close()
+	freshWAL, err := os.ReadFile(filepath.Join(a, walFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ck, err := os.ReadFile(filepath.Join(a, checkpointFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Crash image: new checkpoint + the stale pre-compaction log with the
+	// two new frames appended after it.
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, checkpointFile), ck, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, walFile), append(append([]byte{}, staleWAL...), freshWAL...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	re, err := Open(Config{Dir: dir})
+	if err != nil {
+		t.Fatalf("reopen crash image: %v", err)
+	}
+	defer re.Close()
+	if re.Len() != 7 {
+		t.Fatalf("replayed %d rows, want 7", re.Len())
+	}
+	if got := re.Fingerprint(); got != want {
+		t.Fatalf("fingerprint %x != post-compaction oracle %x", got, want)
+	}
+}
+
+func TestWALFaultError(t *testing.T) {
+	dir := t.TempDir()
+	in := faultinject.New().WithWALFault(2, faultinject.Error)
+	st := openAppend(t, dir, 2, Config{Fault: in})
+	rows, labels := testRows(1, 2)
+	// The fault is keyed by store sequence number, and a clean failure
+	// does not advance the sequence, so every attempt at record 2 fails
+	// identically — that determinism is the point of the injector.
+	for attempt := 0; attempt < 2; attempt++ {
+		if _, err := st.Append(rows, labels, 3); !errors.Is(err, faultinject.ErrInjected) {
+			t.Fatalf("attempt %d: err=%v, want injected", attempt, err)
+		}
+	}
+	// A clean injected failure writes nothing and keeps the store usable:
+	// not dirty, state unchanged, replay matches.
+	if st.Len() != 2 {
+		t.Fatalf("len=%d, want 2", st.Len())
+	}
+	want := st.Fingerprint()
+	st.Close()
+	re, err := Open(Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if got := re.Fingerprint(); got != want {
+		t.Fatalf("replay %x != in-memory %x", got, want)
+	}
+	// Without the injector the append goes through.
+	if _, err := re.Append(rows, labels, 3); err != nil {
+		t.Fatalf("append after reopen: %v", err)
+	}
+	if got := re.Fingerprint(); got != prefixFingerprint(t, 3) {
+		t.Fatalf("post-reopen append diverged")
+	}
+}
+
+func TestWALFaultTorn(t *testing.T) {
+	dir := t.TempDir()
+	in := faultinject.New().WithWALFault(3, faultinject.Panic)
+	st := openAppend(t, dir, 3, Config{Fault: in})
+	rows, labels := testRows(1, 3)
+	if _, err := st.Append(rows, labels, 3); !errors.Is(err, faultinject.ErrInjected) {
+		t.Fatalf("torn append err=%v, want injected", err)
+	}
+	// The store is dirty: the log holds a torn frame it cannot account for.
+	if _, err := st.Append(rows, labels, 3); !errors.Is(err, ErrDirty) {
+		t.Fatalf("append after torn write err=%v, want ErrDirty", err)
+	}
+	if st.Len() != 3 {
+		t.Fatalf("torn write acknowledged: len=%d", st.Len())
+	}
+	st.Close()
+	// The log really is torn on disk.
+	fi, err := os.Stat(filepath.Join(dir, walFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.Size() <= int64(3*frameSize(2)) || fi.Size() >= int64(4*frameSize(2)) {
+		t.Fatalf("wal size %d does not show a torn 4th frame", fi.Size())
+	}
+	// Reopen repairs: truncate the torn tail, keep the 3 good records.
+	re, err := Open(Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if got, want := re.Fingerprint(), prefixFingerprint(t, 3); got != want {
+		t.Fatalf("repaired fingerprint %x != 3-record oracle %x", got, want)
+	}
+	if _, err := re.Append(rows, labels, 3); err != nil {
+		t.Fatalf("append after repair: %v", err)
+	}
+}
+
+func TestFsyncFault(t *testing.T) {
+	dir := t.TempDir()
+	in := faultinject.New().WithFsyncFault(1)
+	st := openAppend(t, dir, 1, Config{Fault: in})
+	rows, labels := testRows(1, 1)
+	if _, err := st.Append(rows, labels, 3); !errors.Is(err, faultinject.ErrInjected) {
+		t.Fatalf("fsync-faulted append err=%v, want injected", err)
+	}
+	if st.Len() != 1 {
+		t.Fatalf("unsynced append acknowledged: len=%d", st.Len())
+	}
+	if _, err := st.Append(rows, labels, 3); !errors.Is(err, ErrDirty) {
+		t.Fatalf("append after fsync failure err=%v, want ErrDirty", err)
+	}
+	st.Close()
+}
+
+func TestReplayFault(t *testing.T) {
+	dir := t.TempDir()
+	st := openAppend(t, dir, 3, Config{})
+	st.Close()
+	in := faultinject.New().WithWALReplayFault(1)
+	if _, err := Open(Config{Dir: dir, Fault: in}); !errors.Is(err, faultinject.ErrInjected) {
+		t.Fatalf("replay fault err=%v, want injected", err)
+	}
+}
+
+func TestMemoryStore(t *testing.T) {
+	st, err := Open(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Durable() {
+		t.Fatal("memory store claims durability")
+	}
+	rows, labels := testRows(4, 0)
+	if _, err := st.Append(rows, labels, 3); err != nil {
+		t.Fatal(err)
+	}
+	if st.Len() != 4 || st.Seq() != 4 {
+		t.Fatalf("len=%d seq=%d", st.Len(), st.Seq())
+	}
+	w, wl := st.Window(2)
+	if len(w) != 2 || len(wl) != 2 || w[0][0] != rows[2][0] {
+		t.Fatalf("Window(2) returned wrong rows")
+	}
+	after, al := st.RowsAfter(3)
+	if len(after) != 1 || len(al) != 1 || after[0][0] != rows[3][0] {
+		t.Fatalf("RowsAfter(3) returned wrong rows")
+	}
+}
+
+func TestAppendValidation(t *testing.T) {
+	st, err := Open(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Append([][]float64{{1, 2}}, []int{0, 1}, 2); err == nil {
+		t.Fatal("rows/labels mismatch accepted")
+	}
+	if _, err := st.Append([][]float64{{1, 2}}, []int{5}, 2); err == nil {
+		t.Fatal("out-of-range label accepted")
+	}
+	if _, err := st.Append([][]float64{{1, inf()}}, []int{0}, 2); err == nil {
+		t.Fatal("non-finite row accepted")
+	}
+	if _, err := st.Append([][]float64{{1, 2}}, []int{1}, 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Append([][]float64{{1, 2, 3}}, []int{1}, 2); err == nil {
+		t.Fatal("width flip accepted")
+	}
+}
+
+func inf() float64 { return math.Inf(1) }

@@ -1,0 +1,90 @@
+package feedback
+
+import (
+	"encoding/binary"
+	"hash/crc32"
+	"math"
+)
+
+// WAL frame layout. Every labelled row is one self-describing frame:
+//
+//	[4 bytes] payload length (uint32 LE)
+//	[4 bytes] CRC-32 (IEEE) of the payload (uint32 LE)
+//	[payload] seq (uint64 LE) · label (int32 LE) · nfeat (uint32 LE) ·
+//	          nfeat × feature value (float64 bits, LE)
+//
+// The length+CRC header is what makes replay self-terminating: a torn
+// tail — a partial header, a length pointing past EOF, a payload whose
+// CRC does not match — is not an error but the exact signature of a
+// crash mid-write, and replay truncates the log at the last frame whose
+// checksum verified. The record sequence number inside the payload makes
+// frames idempotent across checkpoint compaction: a crash between
+// checkpoint publication and log truncation leaves already-checkpointed
+// frames in the log, and replay skips every frame whose seq is below the
+// checkpoint's high-water mark.
+const (
+	frameHeaderSize = 8
+	// payloadFixed is the payload size before the feature values.
+	payloadFixed = 8 + 4 + 4
+	// maxFeatures bounds a frame's feature count so a corrupt length
+	// field can never make replay allocate gigabytes.
+	maxFeatures = 1 << 16
+	maxPayload  = payloadFixed + 8*maxFeatures
+)
+
+// record is one decoded WAL frame: a labelled feature row plus its store
+// sequence number.
+type record struct {
+	seq   uint64
+	label int32
+	row   []float64
+}
+
+// appendFrame encodes rec as one frame and appends it to buf.
+func appendFrame(buf []byte, rec record) []byte {
+	payload := make([]byte, payloadFixed+8*len(rec.row))
+	binary.LittleEndian.PutUint64(payload[0:8], rec.seq)
+	binary.LittleEndian.PutUint32(payload[8:12], uint32(rec.label))
+	binary.LittleEndian.PutUint32(payload[12:16], uint32(len(rec.row)))
+	for i, v := range rec.row {
+		binary.LittleEndian.PutUint64(payload[payloadFixed+8*i:], math.Float64bits(v))
+	}
+	var hdr [frameHeaderSize]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(payload))
+	buf = append(buf, hdr[:]...)
+	return append(buf, payload...)
+}
+
+// frameSize returns the encoded size of a frame holding nfeat features.
+func frameSize(nfeat int) int { return frameHeaderSize + payloadFixed + 8*nfeat }
+
+// decodeFrame parses the frame starting at buf[off:]. It returns the
+// decoded record and the offset of the next frame. ok is false when the
+// bytes at off are not a complete, checksum-valid frame — the torn-tail
+// signal that ends a replay scan; it is never an error.
+func decodeFrame(buf []byte, off int) (rec record, next int, ok bool) {
+	if off+frameHeaderSize > len(buf) {
+		return record{}, 0, false
+	}
+	n := int(binary.LittleEndian.Uint32(buf[off : off+4]))
+	crc := binary.LittleEndian.Uint32(buf[off+4 : off+8])
+	if n < payloadFixed || n > maxPayload || off+frameHeaderSize+n > len(buf) {
+		return record{}, 0, false
+	}
+	payload := buf[off+frameHeaderSize : off+frameHeaderSize+n]
+	if crc32.ChecksumIEEE(payload) != crc {
+		return record{}, 0, false
+	}
+	nfeat := int(binary.LittleEndian.Uint32(payload[12:16]))
+	if nfeat > maxFeatures || payloadFixed+8*nfeat != n {
+		return record{}, 0, false
+	}
+	rec.seq = binary.LittleEndian.Uint64(payload[0:8])
+	rec.label = int32(binary.LittleEndian.Uint32(payload[8:12]))
+	rec.row = make([]float64, nfeat)
+	for i := range rec.row {
+		rec.row[i] = math.Float64frombits(binary.LittleEndian.Uint64(payload[payloadFixed+8*i:]))
+	}
+	return rec, off + frameHeaderSize + n, true
+}

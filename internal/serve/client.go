@@ -231,6 +231,48 @@ func (c *Client) Retrain(ctx context.Context, req RetrainRequest) (*RetrainRespo
 	return &out, nil
 }
 
+// Feedback ingests labelled rows into the default model's feedback
+// store. Like Retrain, only shed responses (429, 503) and transport
+// errors are retried: the append is not idempotent — a 5xx after a
+// partial failure must surface to the caller, and a 503 store-dirty
+// response means the store rejects everything until reopened, so
+// retrying it is safe by construction.
+func (c *Client) Feedback(ctx context.Context, req FeedbackRequest) (*FeedbackResponse, error) {
+	return c.ModelFeedback(ctx, "", req)
+}
+
+// ModelFeedback is Feedback against a named model ("" selects the
+// default model's unprefixed route).
+func (c *Client) ModelFeedback(ctx context.Context, model string, req FeedbackRequest) (*FeedbackResponse, error) {
+	path := "/v1/feedback"
+	if model != "" {
+		path = "/v1/models/" + model + "/feedback"
+	}
+	var out FeedbackResponse
+	if err := c.do(ctx, http.MethodPost, path, req, &out, retryShedOnly); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Status fetches the default model's serving/feedback/drift status.
+func (c *Client) Status(ctx context.Context) (*ModelStatus, error) {
+	return c.ModelStatus(ctx, "")
+}
+
+// ModelStatus fetches a named model's status ("" selects the default).
+func (c *Client) ModelStatus(ctx context.Context, model string) (*ModelStatus, error) {
+	path := "/v1/status"
+	if model != "" {
+		path = "/v1/models/" + model + "/status"
+	}
+	var out ModelStatus
+	if err := c.do(ctx, http.MethodGet, path, nil, &out, retryTransient); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
 // Schema fetches the feature schema of the served snapshot.
 func (c *Client) Schema(ctx context.Context) (*SchemaResponse, error) {
 	var out SchemaResponse

@@ -18,13 +18,16 @@ import (
 // Mix is the relative weight of each request kind in generated load.
 // Weights need not sum to one; zero weights drop the kind.
 type Mix struct {
-	Predict float64
-	ALE     float64
-	Regions float64
-	Health  float64
+	Predict  float64
+	ALE      float64
+	Regions  float64
+	Health   float64
+	Feedback float64
 }
 
-// DefaultMix is a read-heavy production-like blend.
+// DefaultMix is a read-heavy production-like blend. Feedback ingestion
+// is off by default; mixed-traffic runs opt in (loadgen -feedback-rate)
+// to measure ingestion overhead on the predict path.
 func DefaultMix() Mix { return Mix{Predict: 8, ALE: 1, Regions: 0.5, Health: 0.5} }
 
 // LoadConfig configures one closed-loop load run. Each of Concurrency
@@ -73,6 +76,9 @@ type LoadReport struct {
 	MaxMS           float64
 	Elapsed         time.Duration
 	PerTenant       map[string]*TenantStats
+	// PerKind breaks latency and status down by endpoint, so a mixed
+	// feedback+predict run shows what ingestion costs the predict path.
+	PerKind map[string]*TenantStats
 }
 
 // String renders the report for terminal output.
@@ -93,6 +99,11 @@ func (r *LoadReport) String() string {
 	}
 	sort.Strings(kinds)
 	for _, k := range kinds {
+		if ks := r.PerKind[k]; ks != nil {
+			fmt.Fprintf(&b, "  kind %-9s requests=%d shed=%d p50=%.1f p95=%.1f p99=%.1f max=%.1f\n",
+				k+":", ks.Requests, ks.ByStatus[http.StatusTooManyRequests], ks.P50, ks.P95, ks.P99, ks.MaxMS)
+			continue
+		}
 		fmt.Fprintf(&b, "  kind %-8s %d\n", k+":", r.ByKind[k])
 	}
 	fmt.Fprintf(&b, "  latency ms: p50=%.1f p95=%.1f p99=%.1f max=%.1f\n", r.P50, r.P95, r.P99, r.MaxMS)
@@ -152,12 +163,12 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (*LoadReport, error) {
 		schemas[t] = schema
 	}
 
-	weights := []float64{cfg.Mix.Predict, cfg.Mix.ALE, cfg.Mix.Regions, cfg.Mix.Health}
-	kinds := []string{"predict", "ale", "regions", "health"}
+	weights := []float64{cfg.Mix.Predict, cfg.Mix.ALE, cfg.Mix.Regions, cfg.Mix.Health, cfg.Mix.Feedback}
+	kinds := []string{"predict", "ale", "regions", "health", "feedback"}
 
 	var (
 		mu      sync.Mutex
-		report  = &LoadReport{ByStatus: map[int]int{}, ByKind: map[string]int{}, PerTenant: map[string]*TenantStats{}}
+		report  = &LoadReport{ByStatus: map[int]int{}, ByKind: map[string]int{}, PerTenant: map[string]*TenantStats{}, PerKind: map[string]*TenantStats{}}
 		lats    []float64
 		issued  int
 		wg      sync.WaitGroup
@@ -194,6 +205,18 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (*LoadReport, error) {
 					report.ByStatus[status]++
 					lats = append(lats, lat)
 				}
+				ks := report.PerKind[kind]
+				if ks == nil {
+					ks = &TenantStats{ByStatus: map[int]int{}}
+					report.PerKind[kind] = ks
+				}
+				ks.Requests++
+				if err != nil {
+					ks.ByStatus[0]++
+				} else {
+					ks.ByStatus[status]++
+					ks.lats = append(ks.lats, lat)
+				}
 				if kind != "health" {
 					ts := report.PerTenant[tenantLabel(tenant)]
 					if ts == nil {
@@ -218,6 +241,10 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (*LoadReport, error) {
 	for _, ts := range report.PerTenant {
 		ts.P50, ts.P95, ts.P99, ts.MaxMS = finalizeLats(ts.lats)
 		ts.lats = nil
+	}
+	for _, ks := range report.PerKind {
+		ks.P50, ks.P95, ks.P99, ks.MaxMS = finalizeLats(ks.lats)
+		ks.lats = nil
 	}
 	return report, nil
 }
@@ -308,6 +335,14 @@ func issueRequest(ctx context.Context, cli *http.Client, cfg LoadConfig, schema 
 		}
 	case "regions":
 		method, path, payload = http.MethodPost, tenantPath(tenant, "/regions"), RegionsRequest{}
+	case "feedback":
+		rows := make([][]float64, cfg.Rows)
+		labels := make([]int, cfg.Rows)
+		for i := range rows {
+			rows[i] = sampleRow(schema, r)
+			labels[i] = r.Intn(max(1, len(schema.Classes)))
+		}
+		method, path, payload = http.MethodPost, tenantPath(tenant, "/feedback"), FeedbackRequest{Rows: rows, Labels: labels}
 	default:
 		method, path = http.MethodGet, "/healthz"
 	}

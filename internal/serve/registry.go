@@ -5,6 +5,8 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+
+	"github.com/netml/alefb/internal/feedback"
 )
 
 // DefaultModel is the name of the pinned model behind the unprefixed
@@ -37,6 +39,22 @@ type Model struct {
 	// retrainBusy single-flights retrains: concurrent triggers get 409.
 	retrainBusy atomic.Bool
 
+	// fb is the model's feedback store, opened lazily on first use (the
+	// directory is derived from the model name). fbMu guards the open;
+	// the store itself is internally synchronized.
+	fbMu sync.Mutex
+	fb   *feedback.Store
+
+	// drift holds the most recent sliding-window drift evaluation, nil
+	// before the first one.
+	drift atomic.Pointer[DriftStatus]
+	// driftRetrains counts retrains triggered by the drift monitor (as
+	// opposed to operator /retrain calls).
+	driftRetrains atomic.Int64
+	// retraining is true while a drift-triggered background retrain runs;
+	// surfaced as retrain_state in the status endpoints.
+	retraining atomic.Bool
+
 	// lastUsed is the registry's LRU clock tick of the most recent
 	// request routed to this model.
 	lastUsed atomic.Int64
@@ -46,6 +64,16 @@ type Model struct {
 
 // Name returns the model's registry name.
 func (m *Model) Name() string { return m.name }
+
+// closeFeedback closes the model's feedback store if one was opened.
+func (m *Model) closeFeedback() {
+	m.fbMu.Lock()
+	defer m.fbMu.Unlock()
+	if m.fb != nil {
+		_ = m.fb.Close()
+		m.fb = nil
+	}
+}
 
 // modelRegistry is the multi-tenant model table. Lookups touch an LRU
 // tick; creating a model beyond the capacity evicts the coldest

@@ -44,6 +44,7 @@ import (
 	"net/http"
 	"runtime/debug"
 	"strconv"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -105,6 +106,27 @@ type Config struct {
 	// BreakerCooldown is how long a tripped breaker sheds retrains
 	// before half-opening a probe (default 30s).
 	BreakerCooldown time.Duration
+	// FeedbackDir is the base directory for the per-model durable
+	// feedback stores (<FeedbackDir>/<model name>). Empty selects
+	// memory-only stores: ingestion and drift monitoring still work, but
+	// nothing survives a restart.
+	FeedbackDir string
+	// DriftWindow is how many of the most recent feedback rows the drift
+	// monitor analyses after each ingest (default 64).
+	DriftWindow int
+	// DriftThreshold is the Cross-ALE disagreement level over the window
+	// that triggers a background retrain. 0 disables the drift monitor;
+	// ingestion alone never retrains.
+	DriftThreshold float64
+	// FeedbackCompactEvery overrides the stores' WAL-records-per-
+	// checkpoint compaction interval (0 keeps the store default).
+	FeedbackCompactEvery int
+	// DriftShiftTolerance and DriftMaxRefitFraction tune the warm-start
+	// retrain path (zero keeps the core defaults): members whose mean ALE
+	// delta exceeds the tolerance are refitted, and past the fraction the
+	// retrain falls back to a full AutoML search.
+	DriftShiftTolerance   float64
+	DriftMaxRefitFraction float64
 	// Log, when non-nil, receives one line per notable server event
 	// (publishes, degradations, evictions, recovered panics).
 	Log io.Writer
@@ -147,6 +169,9 @@ func (c Config) withDefaults() Config {
 	if c.BreakerCooldown <= 0 {
 		c.BreakerCooldown = 30 * time.Second
 	}
+	if c.DriftWindow <= 0 {
+		c.DriftWindow = 64
+	}
 	if c.now == nil {
 		c.now = time.Now
 	}
@@ -164,6 +189,13 @@ type Server struct {
 	// fault-injection points.
 	seq atomic.Int64
 
+	// retrainWG tracks drift-triggered background retrains; Shutdown
+	// waits for it so the goroutine-leak checks stay honest. retrainCtx
+	// is their base context, canceled by Shutdown after the HTTP drain.
+	retrainWG     sync.WaitGroup
+	retrainCtx    context.Context
+	retrainCancel context.CancelFunc
+
 	started time.Time
 	handler http.Handler
 	httpSrv *http.Server
@@ -180,6 +212,7 @@ func New(cfg Config) *Server {
 		admit:   newAdmission(cfg.MaxInFlight, cfg.MaxQueue),
 		started: cfg.now(),
 	}
+	s.retrainCtx, s.retrainCancel = context.WithCancel(context.Background())
 	s.def, _ = s.models.getOrCreate(DefaultModel, func() *Model {
 		m := s.newModel()
 		m.pinned = true
@@ -193,7 +226,11 @@ func New(cfg Config) *Server {
 	mux.Handle("POST /v1/predict", s.guard(true, cfg.RequestTimeout, s.onDefault(s.handlePredict)))
 	mux.Handle("POST /v1/ale", s.guard(true, cfg.RequestTimeout, s.onDefault(s.handleALE)))
 	mux.Handle("POST /v1/regions", s.guard(true, cfg.RequestTimeout, s.onDefault(s.handleRegions)))
+	mux.Handle("POST /v1/feedback", s.guard(true, cfg.RequestTimeout, s.onDefault(s.handleFeedback)))
+	mux.Handle("GET /v1/status", s.guard(true, cfg.RequestTimeout, s.onDefault(s.handleModelStatus)))
 	mux.Handle("GET /v1/models/{model}/schema", s.guard(true, cfg.RequestTimeout, s.onNamed(s.handleSchema)))
+	mux.Handle("POST /v1/models/{model}/feedback", s.guard(true, cfg.RequestTimeout, s.onNamed(s.handleFeedback)))
+	mux.Handle("GET /v1/models/{model}/status", s.guard(true, cfg.RequestTimeout, s.onNamed(s.handleModelStatus)))
 	mux.Handle("POST /v1/models/{model}/predict", s.guard(true, cfg.RequestTimeout, s.onNamed(s.handlePredict)))
 	mux.Handle("POST /v1/models/{model}/ale", s.guard(true, cfg.RequestTimeout, s.onNamed(s.handleALE)))
 	mux.Handle("POST /v1/models/{model}/regions", s.guard(true, cfg.RequestTimeout, s.onNamed(s.handleRegions)))
@@ -227,15 +264,40 @@ func (s *Server) Bootstrap(ctx context.Context, train *data.Dataset) error {
 
 // BootstrapModel trains and publishes the named model's first snapshot,
 // creating the model (and possibly evicting the coldest) on success.
+// When a durable feedback store exists for the name, its replayed rows
+// are folded into the training set before the search, so a restart
+// trains on exactly the data the previous process had acknowledged —
+// the crash-recovery half of the always-on loop.
 func (s *Server) BootstrapModel(ctx context.Context, name string, train *data.Dataset) error {
 	if err := validModelName(name); err != nil {
 		return fmt.Errorf("serve: bootstrap: %w", err)
+	}
+	m, evicted := s.models.getOrCreate(name, s.newModel)
+	if evicted != nil {
+		evicted.closeFeedback()
+		s.logf("serve: evicted cold model %q (v%d) for %q", evicted.name, evicted.snap.NextVersion()-1, name)
+	}
+	st, err := s.feedbackStore(m)
+	if err != nil {
+		return fmt.Errorf("serve: bootstrap %s: %w", name, err)
+	}
+	var folded int64
+	if n := st.Len(); n > 0 {
+		rows, labels := st.Rows()
+		train = train.Clone()
+		for i, row := range rows {
+			if err := train.AppendRow(row, labels[i]); err != nil {
+				return fmt.Errorf("serve: bootstrap %s: replayed feedback row %d: %w", name, i, err)
+			}
+		}
+		folded = int64(n)
+		s.logf("serve: model %q folded %d replayed feedback rows into bootstrap", name, n)
 	}
 	ens, err := automl.RunCtx(ctx, train, s.cfg.AutoML)
 	if err != nil {
 		return fmt.Errorf("serve: bootstrap %s: %w", name, err)
 	}
-	s.InstallModel(name, ens, train)
+	s.install(m, ens, train, folded)
 	return nil
 }
 
@@ -254,18 +316,22 @@ func (s *Server) Install(ens *automl.Ensemble, train *data.Dataset) int64 {
 func (s *Server) InstallModel(name string, ens *automl.Ensemble, train *data.Dataset) int64 {
 	m, evicted := s.models.getOrCreate(name, s.newModel)
 	if evicted != nil {
+		evicted.closeFeedback()
 		s.logf("serve: evicted cold model %q (v%d) for %q", evicted.name, evicted.snap.NextVersion()-1, name)
 	}
-	return s.install(m, ens, train)
+	return s.install(m, ens, train, 0)
 }
 
 // install publishes the next snapshot of m and clears its degraded state.
-func (s *Server) install(m *Model, ens *automl.Ensemble, train *data.Dataset) int64 {
+// feedbackRows records how many feedback-store rows train already folds
+// in (see Snapshot.FeedbackRows).
+func (s *Server) install(m *Model, ens *automl.Ensemble, train *data.Dataset, feedbackRows int64) int64 {
 	next := &Snapshot{
-		Ensemble: ens,
-		Train:    train,
-		Version:  m.snap.NextVersion(),
-		ValScore: ens.ValScore,
+		Ensemble:     ens,
+		Train:        train,
+		Version:      m.snap.NextVersion(),
+		ValScore:     ens.ValScore,
+		FeedbackRows: feedbackRows,
 	}
 	m.snap.Publish(next)
 	m.degraded.Store(nil)
@@ -299,10 +365,19 @@ func (s *Server) ListenAndServe(addr string) error {
 	return s.Serve(l)
 }
 
-// Shutdown gracefully stops the server: no new connections are accepted
-// and in-flight requests are drained until ctx expires.
+// Shutdown gracefully stops the server: no new connections are accepted,
+// in-flight requests are drained until ctx expires, background drift
+// retrains are canceled and waited for, and every model's feedback store
+// is closed (all acknowledged rows are already fsynced, so closing loses
+// nothing).
 func (s *Server) Shutdown(ctx context.Context) error {
-	return s.httpSrv.Shutdown(ctx)
+	err := s.httpSrv.Shutdown(ctx)
+	s.retrainCancel()
+	s.retrainWG.Wait()
+	for _, m := range s.models.list() {
+		m.closeFeedback()
+	}
+	return err
 }
 
 func (s *Server) logf(format string, args ...interface{}) {
@@ -531,6 +606,24 @@ type ModelStatus struct {
 	BatchedReqs    int64   `json:"batched_requests"`
 	RowsSwept      int64   `json:"rows_swept"`
 	TimerFlushes   int64   `json:"timer_flushes"`
+
+	// Feedback/drift state of the always-on loop. FeedbackRows is the
+	// store's acknowledged row count, FoldedRows how many of those the
+	// served snapshot was trained on; WALRecords is the log length since
+	// the last checkpoint compaction. DriftStd/DriftFeature echo the most
+	// recent sliding-window evaluation, RetrainState is "running" while a
+	// drift-triggered retrain is in flight and "idle" otherwise.
+	FeedbackRows    int     `json:"feedback_rows"`
+	FoldedRows      int64   `json:"folded_feedback_rows"`
+	WALRecords      int     `json:"wal_records"`
+	FeedbackDurable bool    `json:"feedback_durable"`
+	DriftStd        float64 `json:"drift_std"`
+	DriftFeature    string  `json:"drift_feature,omitempty"`
+	Drifted         bool    `json:"drifted"`
+	DriftThreshold  float64 `json:"drift_threshold"`
+	DriftWindow     int     `json:"drift_window"`
+	RetrainState    string  `json:"retrain_state"`
+	DriftRetrains   int64   `json:"drift_retrains"`
 }
 
 // status summarizes one model for the status endpoints.
@@ -543,7 +636,24 @@ func (m *Model) status() ModelStatus {
 		BatchedReqs:  m.batcher.batchedReqs.Load(),
 		RowsSwept:    m.batcher.rowsSwept.Load(),
 		TimerFlushes: m.batcher.timerFlushes.Load(),
+		RetrainState: "idle",
 	}
+	if m.retraining.Load() {
+		st.RetrainState = "running"
+	}
+	st.DriftRetrains = m.driftRetrains.Load()
+	if d := m.drift.Load(); d != nil {
+		st.DriftStd = d.Std
+		st.DriftFeature = d.Feature
+		st.Drifted = d.Drifted
+	}
+	m.fbMu.Lock()
+	if m.fb != nil {
+		st.FeedbackRows = m.fb.Len()
+		st.WALRecords = m.fb.WALRecords()
+		st.FeedbackDurable = m.fb.Durable()
+	}
+	m.fbMu.Unlock()
 	snap := m.snap.Current()
 	if snap == nil {
 		return st
@@ -557,6 +667,15 @@ func (m *Model) status() ModelStatus {
 	st.Members = len(snap.Ensemble.Members)
 	st.ValScore = snap.ValScore
 	st.TrainRows = snap.Train.Len()
+	st.FoldedRows = snap.FeedbackRows
+	return st
+}
+
+// modelStatus is status plus the server-level drift configuration.
+func (s *Server) modelStatus(m *Model) ModelStatus {
+	st := m.status()
+	st.DriftThreshold = s.cfg.DriftThreshold
+	st.DriftWindow = s.cfg.DriftWindow
 	return st
 }
 
@@ -580,7 +699,7 @@ type ReadyResponse struct {
 }
 
 func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
-	def := s.def.status()
+	def := s.modelStatus(s.def)
 	resp := ReadyResponse{
 		Status:         def.Status,
 		Version:        def.Version,
@@ -593,7 +712,7 @@ func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 		Queued:         s.admit.queued(),
 	}
 	for _, m := range s.models.list() {
-		resp.Models = append(resp.Models, m.status())
+		resp.Models = append(resp.Models, s.modelStatus(m))
 	}
 	if resp.Status == "unavailable" {
 		writeJSON(w, http.StatusServiceUnavailable, resp)
@@ -610,7 +729,7 @@ type ModelsResponse struct {
 func (s *Server) handleModels(w http.ResponseWriter, _ *http.Request) {
 	resp := ModelsResponse{Models: []ModelStatus{}}
 	for _, m := range s.models.list() {
-		resp.Models = append(resp.Models, m.status())
+		resp.Models = append(resp.Models, s.modelStatus(m))
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -1030,7 +1149,9 @@ func (s *Server) handleRetrain(w http.ResponseWriter, r *http.Request, m *Model)
 		return
 	}
 	m.breaker.Success()
-	version := s.install(m, ens, newTrain)
+	// An operator retrain extends snap.Train, which already folds in the
+	// first snap.FeedbackRows store rows — the mark carries over.
+	version := s.install(m, ens, newTrain, snap.FeedbackRows)
 	writeJSON(w, http.StatusOK, RetrainResponse{
 		Version:   version,
 		ValScore:  ens.ValScore,

@@ -29,6 +29,11 @@ type Snapshot struct {
 	Version int64
 	// ValScore repeats the ensemble's holdout balanced accuracy.
 	ValScore float64
+	// FeedbackRows is how many rows of the model's feedback store are
+	// already folded into Train. A drift retrain folds only the store
+	// suffix past this mark, so rows are never trained on twice no matter
+	// how retrains, restarts and replays interleave.
+	FeedbackRows int64
 }
 
 // snapStore is the atomic snapshot store of one model. Readers pay one
