@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-ml bench-serve bench-smoke bench-json bench-check ci fmt-check vet fmt fuzz test-fault test-serve test-serve-race test-hist test-feedback
+.PHONY: all build test race bench bench-ml bench-serve bench-smoke bench-json bench-check ci fmt-check vet fmt fuzz test-fault test-serve test-serve-race test-hist test-feedback test-persist
 
 all: build test
 
@@ -126,6 +126,21 @@ test-feedback:
 		-run 'TestStore|TestKill|TestTornTail|TestCorrupt|TestCompaction|TestWALFault|TestFsyncFault|TestReplayFault|TestMemoryStore|TestAppendValidation|TestFeedback|TestDrift|TestClientFeedback|TestLoadFeedbackMix|TestWarmStart|TestWindowDisagreement' \
 		./internal/feedback/ ./internal/faultinject/ ./internal/core/ ./internal/serve/
 
+# test-persist pins the durable model snapshot store's contracts by name
+# under the race detector: wire codec truncation/determinism, model and
+# ensemble codec round-trips (decoded fits predict bit-identically to
+# the originals), versioned history with retention pruning,
+# corrupt-newest-falls-back recovery, the kill-at-any-byte restart
+# sweep (recovered servers serve oracle-identical predictions with zero
+# retrains), persist-before-publish degradation on write faults, the
+# shutdown flush, rollback through the HTTP endpoint and client, and
+# LRU-evicted models reloading from disk with fresh breaker state.
+test-persist:
+	$(GO) test -race -count=1 \
+		-run 'TestWire|TestModelCodec|TestEnsembleCodec|TestModelStore|TestPersist|TestRecoverModel|TestRollback|TestEviction|TestStatusSnapshot' \
+		./internal/wire/ ./internal/ml/ ./internal/automl/ \
+		./internal/modelstore/ ./internal/serve/
+
 # bench-check gates the committed sweeps against the committed JSON
 # reports: a sweep whose ns/op exceeds the recorded value by more than
 # BENCH_THRESHOLD fails, so a perf regression must be fixed or explicitly
@@ -144,7 +159,7 @@ bench-check:
 # robustness contracts by name, so a renamed-away test is noticed), the
 # committed-sweep regression gate, and a single-iteration benchmark
 # smoke run.
-ci: fmt-check vet test race test-fault test-serve test-serve-race test-hist test-feedback bench-check bench-smoke
+ci: fmt-check vet test race test-fault test-serve test-serve-race test-hist test-feedback test-persist bench-check bench-smoke
 
 fmt-check:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \

@@ -32,7 +32,7 @@ import (
 )
 
 // version identifies the load-generator build.
-const version = "alefb-loadgen 0.8.0"
+const version = "alefb-loadgen 0.9.0"
 
 func main() {
 	var (

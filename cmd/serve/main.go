@@ -13,7 +13,7 @@
 //
 // Endpoints: GET /healthz, GET /readyz, GET /v1/schema, GET /v1/models,
 // GET /v1/status, POST /v1/predict, /v1/ale, /v1/regions, /v1/retrain,
-// /v1/feedback — plus the same endpoints per tenant under
+// /v1/feedback, /v1/rollback — plus the same endpoints per tenant under
 // /v1/models/{name}/....
 //
 // -feedback-dir enables the always-on loop's durability: labelled rows
@@ -25,6 +25,13 @@
 // the model retrains in the background — warm-starting from the served
 // ensemble when possible — while reads keep hitting the last-good
 // snapshot.
+//
+// -snapshot-dir makes the models themselves durable: every published
+// ensemble is serialized (CRC-framed, fsynced, atomically renamed) into
+// a per-model versioned history before it starts serving, a restart
+// recovers the newest decodable snapshot and is ready without
+// retraining, and POST /v1/rollback re-points serving to a prior
+// version. -snapshot-retain bounds the on-disk history.
 //
 // -train bootstraps the pinned default model; each repeatable
 // -model name=path.csv bootstraps an additional named tenant. Concurrent
@@ -53,7 +60,7 @@ import (
 )
 
 // version identifies the serving layer build; bump alongside API changes.
-const version = "alefb-serve 0.8.0"
+const version = "alefb-serve 0.9.0"
 
 // modelSpec is one -model name=path.csv mapping.
 type modelSpec struct {
@@ -81,6 +88,8 @@ func main() {
 		predictWorkers = flag.Int("predict-workers", 0, "worker goroutines for one coalesced sweep (0 = all cores)")
 		noCoalesce     = flag.Bool("no-coalesce", false, "disable request coalescing; sweep each predict request alone")
 		feedbackDir    = flag.String("feedback-dir", "", "base directory for durable per-model feedback WALs (empty = memory-only)")
+		snapshotDir    = flag.String("snapshot-dir", "", "base directory for durable model snapshots; restarts recover instead of retraining (empty = memory-only)")
+		snapshotRetain = flag.Int("snapshot-retain", 0, "snapshot versions kept per model for rollback (0 = default 4, negative = all)")
 		driftThreshold = flag.Float64("drift-threshold", 0, "Cross-ALE disagreement over the feedback window that triggers a retrain (0 = off)")
 		driftWindow    = flag.Int("drift-window", 0, "most recent feedback rows the drift monitor analyses (0 = default 64)")
 		showVersion    = flag.Bool("version", false, "print the version and exit")
@@ -118,17 +127,30 @@ func main() {
 		PredictWorkers:    *predictWorkers,
 		DisableCoalescing: *noCoalesce,
 		FeedbackDir:       *feedbackDir,
+		SnapshotDir:       *snapshotDir,
+		SnapshotRetain:    *snapshotRetain,
 		DriftThreshold:    *driftThreshold,
 		DriftWindow:       *driftWindow,
 		Log:               os.Stderr,
 	})
 
+	// Recovery-first bootstrap: a durable snapshot on disk makes the
+	// model ready immediately (the feedback WAL suffix past the
+	// snapshot's high-water mark is folded in, no search runs); only a
+	// missing or undecodable snapshot falls through to the cold CSV
+	// bootstrap.
 	bootstrap := func(name, path string) {
-		train := loadCSV(path)
 		label := name
 		if label == "" {
 			label = serve.DefaultModel
 		}
+		if v, ok, err := s.RecoverModel(context.Background(), label); err != nil {
+			fatal(err)
+		} else if ok {
+			fmt.Printf("recovered %s from snapshot v%d (no retrain)\n", label, v)
+			return
+		}
+		train := loadCSV(path)
 		fmt.Printf("bootstrapping %s ensemble (budget %d, seed %d)...\n", label, *budget, *seed)
 		start := time.Now()
 		var err error

@@ -1,0 +1,121 @@
+package automl
+
+import (
+	"math"
+	"testing"
+
+	"github.com/netml/alefb/internal/rng"
+	"github.com/netml/alefb/internal/wire"
+)
+
+// TestEnsembleCodecRoundTrip runs a real (small) search per seed, then
+// pins that encode→decode yields an ensemble whose batch predictions
+// are bit-identical to the original's and whose committee metadata
+// (specs, weights, scores, search stats) survives intact.
+func TestEnsembleCodecRoundTrip(t *testing.T) {
+	for _, seed := range []uint64{1, 42, 99} {
+		r := rng.New(seed)
+		train := blobs(260, 3, r)
+		test := blobs(80, 3, r)
+		ens, err := Run(train, smallCfg(seed))
+		if err != nil {
+			t.Fatalf("seed %d: Run: %v", seed, err)
+		}
+
+		buf, err := AppendEnsemble(nil, ens)
+		if err != nil {
+			t.Fatalf("seed %d: encode: %v", seed, err)
+		}
+		rd := wire.NewReader(buf)
+		got, err := DecodeEnsemble(rd)
+		if err != nil {
+			t.Fatalf("seed %d: decode: %v", seed, err)
+		}
+		if rd.Remaining() != 0 {
+			t.Fatalf("seed %d: %d bytes left after decode", seed, rd.Remaining())
+		}
+
+		if got.NumClasses != ens.NumClasses || got.ValScore != ens.ValScore ||
+			got.Evaluated != ens.Evaluated || got.Dropped != ens.Dropped ||
+			got.CacheHits != ens.CacheHits || got.workers != ens.workers {
+			t.Fatalf("seed %d: ensemble metadata mismatch: %+v vs %+v", seed, got, ens)
+		}
+		if len(got.Members) != len(ens.Members) {
+			t.Fatalf("seed %d: %d members, want %d", seed, len(got.Members), len(ens.Members))
+		}
+		for i := range ens.Members {
+			w, g := &ens.Members[i], &got.Members[i]
+			if g.Spec.Family != w.Spec.Family || g.Weight != w.Weight || g.ValScore != w.ValScore {
+				t.Fatalf("seed %d member %d: metadata mismatch", seed, i)
+			}
+			if len(g.Spec.Params) != len(w.Spec.Params) {
+				t.Fatalf("seed %d member %d: params size mismatch", seed, i)
+			}
+			for k, v := range w.Spec.Params {
+				if gv, ok := g.Spec.Params[k]; !ok || math.Float64bits(gv) != math.Float64bits(v) {
+					t.Fatalf("seed %d member %d: param %q %v != %v", seed, i, k, gv, v)
+				}
+			}
+		}
+
+		want := make([][]float64, len(test.X))
+		have := make([][]float64, len(test.X))
+		for i := range test.X {
+			want[i] = make([]float64, ens.NumClasses)
+			have[i] = make([]float64, ens.NumClasses)
+		}
+		ens.PredictProbaBatchInto(test.X, want)
+		got.PredictProbaBatchInto(test.X, have)
+		for i := range want {
+			for j := range want[i] {
+				if math.Float64bits(want[i][j]) != math.Float64bits(have[i][j]) {
+					t.Fatalf("seed %d: row %d class %d: %v != %v (bit mismatch)",
+						seed, i, j, have[i][j], want[i][j])
+				}
+			}
+		}
+	}
+}
+
+// TestEnsembleCodecDeterministic pins byte-identical re-encoding —
+// Params maps must not leak map iteration order into the output.
+func TestEnsembleCodecDeterministic(t *testing.T) {
+	train := blobs(200, 3, rng.New(7))
+	ens, err := Run(train, smallCfg(7))
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	a, err := AppendEnsemble(nil, ens)
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	for i := 0; i < 8; i++ {
+		b, err := AppendEnsemble(nil, ens)
+		if err != nil {
+			t.Fatalf("encode %d: %v", i, err)
+		}
+		if string(a) != string(b) {
+			t.Fatalf("encoding %d differs from first", i)
+		}
+	}
+}
+
+// TestEnsembleCodecTruncation pins clean failure on every truncated
+// prefix — a snapshot section that passes CRC but ends early is a
+// reported error, not a panic.
+func TestEnsembleCodecTruncation(t *testing.T) {
+	train := blobs(160, 3, rng.New(3))
+	ens, err := Run(train, smallCfg(3))
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	buf, err := AppendEnsemble(nil, ens)
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	for n := 0; n < len(buf); n += 13 {
+		if _, err := DecodeEnsemble(wire.NewReader(buf[:n])); err == nil {
+			t.Fatalf("prefix %d of %d decoded without error", n, len(buf))
+		}
+	}
+}

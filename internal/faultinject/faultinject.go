@@ -100,6 +100,18 @@ type Injector struct {
 	fsyncFault  map[int]bool
 	replayFault map[int]bool
 
+	// Snapshot-store fault points for the durable model store. Writes
+	// are keyed by the snapshot version being persisted (deterministic:
+	// versions are allocated monotonically per model); loads are keyed
+	// by the store's load call count (0-based across LoadLatest and
+	// LoadVersion decodes). Error fails a write cleanly before any byte
+	// reaches the final path; Panic leaves a torn prefix at the final
+	// path, as if the process died mid-write — recovery must skip it and
+	// fall back to the prior version. Same contract as every other
+	// point: nil/zero injects nothing.
+	snapWrite map[int64]Kind
+	snapLoad  map[int]bool
+
 	// schedStall gates the predict micro-batch scheduler: the leader of
 	// coalesced batch n keeps the batch open — ignoring the fast
 	// everyone-joined flush — until the gate channel closes, the row cap
@@ -239,6 +251,30 @@ func (in *Injector) WithFsyncFault(n int) *Injector {
 	return in
 }
 
+// WithSnapshotWriteFault arranges for the persist of snapshot version v
+// to fail: Error fails cleanly with nothing durable written; Panic
+// leaves a torn prefix of the snapshot at its final path before
+// failing, simulating a crash mid-write. Other kinds are ignored.
+func (in *Injector) WithSnapshotWriteFault(v int64, k Kind) *Injector {
+	if in.snapWrite == nil {
+		in.snapWrite = map[int64]Kind{}
+	}
+	in.snapWrite[v] = k
+	return in
+}
+
+// WithSnapshotLoadFault makes the model store's n-th snapshot decode
+// (0-based load call count) fail as if the file were corrupt, driving
+// the fall-back-to-prior-version recovery path without editing bytes on
+// disk.
+func (in *Injector) WithSnapshotLoadFault(n int) *Injector {
+	if in.snapLoad == nil {
+		in.snapLoad = map[int]bool{}
+	}
+	in.snapLoad[n] = true
+	return in
+}
+
 // WithWALReplayFault makes replay fail with ErrInjected when it reaches
 // WAL record rec, exercising the open-time error path (a present but
 // unreadable log must surface, never be silently skipped).
@@ -322,6 +358,21 @@ func (in *Injector) WALFault(rec int) Kind {
 // FsyncFault reports whether the store's n-th fsync should fail. Nil-safe.
 func (in *Injector) FsyncFault(n int) bool {
 	return in != nil && in.fsyncFault[n]
+}
+
+// SnapshotWriteFault reports the persist fault for snapshot version v.
+// Nil-safe.
+func (in *Injector) SnapshotWriteFault(v int64) Kind {
+	if in == nil {
+		return None
+	}
+	return in.snapWrite[v]
+}
+
+// SnapshotLoadFault reports whether the n-th snapshot decode should be
+// treated as corrupt. Nil-safe.
+func (in *Injector) SnapshotLoadFault(n int) bool {
+	return in != nil && in.snapLoad[n]
 }
 
 // WALReplayFault reports whether replay should fail at record rec.

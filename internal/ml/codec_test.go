@@ -1,0 +1,152 @@
+package ml
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"github.com/netml/alefb/internal/rng"
+	"github.com/netml/alefb/internal/wire"
+)
+
+// codecModels is the round-trip zoo: every family the codec supports,
+// with both engines for the tree models and both scalers for pipelines.
+func codecModels() []Classifier {
+	return []Classifier{
+		NewTree(TreeConfig{MaxDepth: 6}),
+		NewTree(TreeConfig{MaxDepth: 6, Engine: EngineHist}),
+		NewRandomForest(8, 6),
+		NewExtraTrees(8, 6),
+		NewGBDT(GBDTConfig{NumRounds: 8}),
+		NewGBDT(GBDTConfig{NumRounds: 8, Engine: EngineHist}),
+		NewAdaBoost(AdaBoostConfig{Rounds: 6}),
+		NewKNN(KNNConfig{K: 5, DistanceWeighted: true}),
+		NewGaussianNB(),
+		&Pipeline{Scaler: &StandardScaler{}, Model: NewLogReg(LogRegConfig{Epochs: 30})},
+		&Pipeline{Scaler: &MinMaxScaler{}, Model: NewSVM(SVMConfig{Epochs: 20})},
+		&Pipeline{Scaler: &StandardScaler{}, Model: NewMLP(MLPConfig{Epochs: 30})},
+		&Pipeline{Scaler: nil, Model: NewKNN(KNNConfig{K: 3})},
+	}
+}
+
+// TestModelCodecRoundTrip is the tentpole equality suite: for 3 seeds ×
+// every family, encode→decode must yield a model whose batch predictions
+// are bit-identical (Float64bits) to the original's on the zero-alloc
+// path. This is the guarantee that a snapshot restored after a crash
+// serves exactly what the crashed process would have served.
+func TestModelCodecRoundTrip(t *testing.T) {
+	for _, seed := range []uint64{3, 11, 77} {
+		train := blobs(240, 3, rng.New(seed))
+		test := blobs(64, 3, rng.New(seed+1))
+		for _, m := range codecModels() {
+			if err := m.Fit(train, rng.New(seed)); err != nil {
+				t.Fatalf("seed %d %s Fit: %v", seed, m.Name(), err)
+			}
+			buf, err := AppendModel(nil, m)
+			if err != nil {
+				t.Fatalf("seed %d %s encode: %v", seed, m.Name(), err)
+			}
+			r := wire.NewReader(buf)
+			got, err := DecodeModel(r)
+			if err != nil {
+				t.Fatalf("seed %d %s decode: %v", seed, m.Name(), err)
+			}
+			if r.Remaining() != 0 {
+				t.Fatalf("seed %d %s: %d bytes left after decode", seed, m.Name(), r.Remaining())
+			}
+			if got.Name() != m.Name() {
+				t.Fatalf("seed %d: Name %q != %q", seed, got.Name(), m.Name())
+			}
+			want := PredictProbaBatch(m, test.X)
+			have := PredictProbaBatch(got, test.X)
+			for i := range want {
+				for j := range want[i] {
+					if math.Float64bits(want[i][j]) != math.Float64bits(have[i][j]) {
+						t.Fatalf("seed %d %s: row %d class %d: %v != %v (bit mismatch)",
+							seed, m.Name(), i, j, have[i][j], want[i][j])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestModelCodecDeterministic pins that encoding the same fitted model
+// twice produces identical bytes — the basis of snapshot fingerprints.
+func TestModelCodecDeterministic(t *testing.T) {
+	train := blobs(160, 3, rng.New(5))
+	for _, m := range codecModels() {
+		if err := m.Fit(train, rng.New(5)); err != nil {
+			t.Fatalf("%s Fit: %v", m.Name(), err)
+		}
+		a, err := AppendModel(nil, m)
+		if err != nil {
+			t.Fatalf("%s encode: %v", m.Name(), err)
+		}
+		b, err := AppendModel(nil, m)
+		if err != nil {
+			t.Fatalf("%s encode twice: %v", m.Name(), err)
+		}
+		if string(a) != string(b) {
+			t.Fatalf("%s: two encodings differ", m.Name())
+		}
+	}
+}
+
+// TestModelCodecTruncation decodes strict prefixes of a valid encoding:
+// every one must fail cleanly, never panic or succeed.
+func TestModelCodecTruncation(t *testing.T) {
+	train := blobs(120, 3, rng.New(9))
+	m := NewGBDT(GBDTConfig{NumRounds: 4})
+	if err := m.Fit(train, rng.New(9)); err != nil {
+		t.Fatalf("Fit: %v", err)
+	}
+	buf, err := AppendModel(nil, m)
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	for n := 0; n < len(buf); n += 7 {
+		if _, err := DecodeModel(wire.NewReader(buf[:n])); err == nil {
+			t.Fatalf("prefix %d of %d decoded without error", n, len(buf))
+		}
+	}
+}
+
+// TestModelCodecUnknownTag pins the error path for a foreign tag byte.
+func TestModelCodecUnknownTag(t *testing.T) {
+	if _, err := DecodeModel(wire.NewReader([]byte{0xEE})); err == nil ||
+		!strings.Contains(err.Error(), "unknown model tag") {
+		t.Fatalf("err = %v, want unknown model tag", err)
+	}
+	if _, err := AppendModel(nil, nil); err == nil {
+		t.Fatal("AppendModel(nil classifier) must error")
+	}
+}
+
+// TestModelCodecDecodedTreeDepth pins that a decoded tree (nil pointer
+// root, flat arrays only) survives the auxiliary accessors used by logs
+// and feedback explanations.
+func TestModelCodecDecodedTreeDepth(t *testing.T) {
+	train := blobs(120, 3, rng.New(4))
+	m := NewTree(TreeConfig{MaxDepth: 5})
+	if err := m.Fit(train, rng.New(4)); err != nil {
+		t.Fatalf("Fit: %v", err)
+	}
+	buf, err := AppendModel(nil, m)
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	got, err := DecodeModel(wire.NewReader(buf))
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	dt := got.(*Tree)
+	if dt.Depth() != 0 {
+		// The pointer graph is deliberately not persisted; Depth must
+		// degrade to zero, not panic.
+		t.Fatalf("decoded Depth = %d, want 0", dt.Depth())
+	}
+	if name := dt.Name(); name == "" {
+		t.Fatal("decoded Name empty")
+	}
+}

@@ -255,6 +255,30 @@ func (c *Client) ModelFeedback(ctx context.Context, model string, req FeedbackRe
 	return &out, nil
 }
 
+// Rollback re-points the default model to a prior durable snapshot
+// (req.Version 0 selects the version preceding the serving one). Like
+// Retrain, only shed responses (429, 503 from admission) and transport
+// errors are retried: a rollback is not idempotent across retries — the
+// "previous version" target moves with each publication — so outcome
+// errors must surface to the caller.
+func (c *Client) Rollback(ctx context.Context, req RollbackRequest) (*RollbackResponse, error) {
+	return c.ModelRollback(ctx, "", req)
+}
+
+// ModelRollback is Rollback against a named model ("" selects the
+// default model's unprefixed route).
+func (c *Client) ModelRollback(ctx context.Context, model string, req RollbackRequest) (*RollbackResponse, error) {
+	path := "/v1/rollback"
+	if model != "" {
+		path = "/v1/models/" + model + "/rollback"
+	}
+	var out RollbackResponse
+	if err := c.do(ctx, http.MethodPost, path, req, &out, retryShedOnly); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
 // Status fetches the default model's serving/feedback/drift status.
 func (c *Client) Status(ctx context.Context) (*ModelStatus, error) {
 	return c.ModelStatus(ctx, "")

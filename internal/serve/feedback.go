@@ -218,9 +218,15 @@ func (s *Server) runDriftRetrain(m *Model, snap *Snapshot, st *feedback.Store) {
 		s.driftRetrainFailed(m, snap, attempt, err)
 		return
 	}
+	// Persist-before-publish is part of the verdict, as in handleRetrain:
+	// an unpersistable result keeps last-good and feeds the breaker.
+	if _, err := s.install(m, ens, newTrain, folded, seed); err != nil {
+		m.breaker.Failure()
+		s.logf("serve: model %q drift retrain %d trained but could not persist: %v", m.name, attempt, err)
+		return
+	}
 	m.breaker.Success()
 	m.driftRetrains.Add(1)
-	s.install(m, ens, newTrain, folded)
 }
 
 // warmStartOrFull tries the warm-start path and falls back to a full

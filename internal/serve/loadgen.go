@@ -79,6 +79,11 @@ type LoadReport struct {
 	// PerKind breaks latency and status down by endpoint, so a mixed
 	// feedback+predict run shows what ingestion costs the predict path.
 	PerKind map[string]*TenantStats
+	// Versions counts successful predict responses by the snapshot
+	// version that answered them. A run across a retrain, rollback or
+	// restart shows exactly which versions served and how traffic split
+	// between them — the observable side of the durability story.
+	Versions map[int64]int
 }
 
 // String renders the report for terminal output.
@@ -107,6 +112,16 @@ func (r *LoadReport) String() string {
 		fmt.Fprintf(&b, "  kind %-8s %d\n", k+":", r.ByKind[k])
 	}
 	fmt.Fprintf(&b, "  latency ms: p50=%.1f p95=%.1f p99=%.1f max=%.1f\n", r.P50, r.P95, r.P99, r.MaxMS)
+	if len(r.Versions) > 0 {
+		versions := make([]int64, 0, len(r.Versions))
+		for v := range r.Versions {
+			versions = append(versions, v)
+		}
+		sort.Slice(versions, func(i, j int) bool { return versions[i] < versions[j] })
+		for _, v := range versions {
+			fmt.Fprintf(&b, "  snapshot v%d: %d predicts\n", v, r.Versions[v])
+		}
+	}
 	tenants := make([]string, 0, len(r.PerTenant))
 	for t := range r.PerTenant {
 		tenants = append(tenants, t)
@@ -168,7 +183,7 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (*LoadReport, error) {
 
 	var (
 		mu      sync.Mutex
-		report  = &LoadReport{ByStatus: map[int]int{}, ByKind: map[string]int{}, PerTenant: map[string]*TenantStats{}, PerKind: map[string]*TenantStats{}}
+		report  = &LoadReport{ByStatus: map[int]int{}, ByKind: map[string]int{}, PerTenant: map[string]*TenantStats{}, PerKind: map[string]*TenantStats{}, Versions: map[int64]int{}}
 		lats    []float64
 		issued  int
 		wg      sync.WaitGroup
@@ -194,7 +209,7 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (*LoadReport, error) {
 
 				kind := kinds[r.Weighted(weights)]
 				tenant := tenants[r.Intn(len(tenants))]
-				status, lat, err := issueRequest(ctx, httpCli, cfg, schemas[tenant], tenant, kind, r)
+				status, lat, version, err := issueRequest(ctx, httpCli, cfg, schemas[tenant], tenant, kind, r)
 				mu.Lock()
 				report.Requests++
 				report.ByKind[kind]++
@@ -204,6 +219,9 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (*LoadReport, error) {
 				} else {
 					report.ByStatus[status]++
 					lats = append(lats, lat)
+					if kind == "predict" && status == http.StatusOK {
+						report.Versions[version]++
+					}
 				}
 				ks := report.PerKind[kind]
 				if ks == nil {
@@ -317,7 +335,7 @@ func sampleRow(schema *SchemaResponse, r *rng.Rand) []float64 {
 	return row
 }
 
-func issueRequest(ctx context.Context, cli *http.Client, cfg LoadConfig, schema *SchemaResponse, tenant, kind string, r *rng.Rand) (status int, latMS float64, err error) {
+func issueRequest(ctx context.Context, cli *http.Client, cfg LoadConfig, schema *SchemaResponse, tenant, kind string, r *rng.Rand) (status int, latMS float64, version int64, err error) {
 	var method, path string
 	var payload interface{}
 	switch kind {
@@ -350,13 +368,13 @@ func issueRequest(ctx context.Context, cli *http.Client, cfg LoadConfig, schema 
 	if payload != nil {
 		raw, merr := json.Marshal(payload)
 		if merr != nil {
-			return 0, 0, merr
+			return 0, 0, 0, merr
 		}
 		body = bytes.NewReader(raw)
 	}
 	req, err := http.NewRequestWithContext(ctx, method, cfg.Base+path, body)
 	if err != nil {
-		return 0, 0, err
+		return 0, 0, 0, err
 	}
 	if payload != nil {
 		req.Header.Set("Content-Type", "application/json")
@@ -364,9 +382,20 @@ func issueRequest(ctx context.Context, cli *http.Client, cfg LoadConfig, schema 
 	start := time.Now()
 	resp, err := cli.Do(req)
 	if err != nil {
-		return 0, 0, err
+		return 0, 0, 0, err
 	}
-	_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<20))
+	if kind == "predict" && resp.StatusCode == http.StatusOK {
+		// Decode just the snapshot version for the per-version report;
+		// unrelated fields are skipped cheaply.
+		var pr struct {
+			Version int64 `json:"version"`
+		}
+		raw, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+		_ = json.Unmarshal(raw, &pr)
+		version = pr.Version
+	} else {
+		_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<20))
+	}
 	resp.Body.Close()
-	return resp.StatusCode, float64(time.Since(start).Microseconds()) / 1000, nil
+	return resp.StatusCode, float64(time.Since(start).Microseconds()) / 1000, version, nil
 }

@@ -1,0 +1,291 @@
+package serve
+
+// Durable-snapshot integration of the serving layer: persist-before-
+// publish on every install (serve.go calls persist), crash recovery and
+// eviction reloads from the modelstore, the shutdown flush, and the
+// rollback endpoint. The division of labor with internal/modelstore:
+// the store knows files, framing and versions; this file knows which
+// snapshot a model should serve and how the feedback WAL's high-water
+// mark stitches the label timeline to the model timeline.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"github.com/netml/alefb/internal/modelstore"
+)
+
+// SnapMeta describes a model's newest durably persisted snapshot.
+type SnapMeta struct {
+	// Version is the persisted snapshot version.
+	Version int64
+	// Seed is the search seed recorded in the snapshot.
+	Seed uint64
+	// SavedAtMS is the wall-clock persist time (Unix milliseconds).
+	SavedAtMS int64
+}
+
+// persist writes next durably before it is published. A nil store
+// (persistence disabled) is a successful no-op, which keeps every
+// memory-only test and deployment on the exact pre-durability path.
+func (s *Server) persist(m *Model, next *Snapshot, seed uint64) error {
+	if s.snaps == nil {
+		return nil
+	}
+	var parent int64
+	if cur := m.snap.Current(); cur != nil {
+		parent = cur.Version
+	}
+	ds := &modelstore.Snapshot{
+		Version:       next.Version,
+		Parent:        parent,
+		Seed:          seed,
+		FeedbackRows:  next.FeedbackRows,
+		ValScore:      next.ValScore,
+		SavedAtUnixMS: s.cfg.now().UnixMilli(),
+		Ensemble:      next.Ensemble,
+		Train:         next.Train,
+	}
+	if err := s.snaps.Save(m.name, ds); err != nil {
+		return err
+	}
+	m.snapMeta.Store(&SnapMeta{Version: next.Version, Seed: seed, SavedAtMS: ds.SavedAtUnixMS})
+	return nil
+}
+
+// RecoverModel loads the named model's newest decodable snapshot from
+// disk, folds any feedback-store rows past the snapshot's high-water
+// mark into the training set (the model serves its persisted fit — the
+// folded rows wait in Train for the next retrain, exactly as they would
+// have on the crashed process), publishes it under its original version,
+// and marks the model ready — no retrain runs. It returns the recovered
+// version and whether recovery happened: (0, false, nil) means no usable
+// snapshot exists and the caller should bootstrap instead. ctx is
+// accepted for symmetry with BootstrapModel; recovery itself never
+// searches.
+func (s *Server) RecoverModel(ctx context.Context, name string) (int64, bool, error) {
+	_ = ctx
+	if s.snaps == nil || !s.snaps.Has(name) {
+		return 0, false, nil
+	}
+	if err := validModelName(name); err != nil {
+		return 0, false, fmt.Errorf("serve: recover: %w", err)
+	}
+	// Load before registering the model: a store whose every version is
+	// corrupt must leave the registry untouched so the caller's
+	// bootstrap starts from a clean slate.
+	rec, err := s.snaps.LoadLatest(name)
+	if err != nil {
+		s.logf("serve: model %q: no decodable snapshot, bootstrap required: %v", name, err)
+		return 0, false, nil
+	}
+	m, evicted := s.models.getOrCreate(name, s.newModel)
+	if evicted != nil {
+		evicted.closeFeedback()
+		s.logf("serve: evicted cold model %q (v%d) for %q", evicted.name, evicted.snap.NextVersion()-1, name)
+	}
+	st, err := s.feedbackStore(m)
+	if err != nil {
+		return 0, false, fmt.Errorf("serve: recover %s: %w", name, err)
+	}
+	train := rec.Train
+	folded := rec.FeedbackRows
+	if rows, labels := st.RowsAfter(rec.FeedbackRows); len(rows) > 0 {
+		train = train.Clone()
+		for i, row := range rows {
+			if err := train.AppendRow(row, labels[i]); err != nil {
+				return 0, false, fmt.Errorf("serve: recover %s: replayed feedback row %d: %w", name, i, err)
+			}
+		}
+		folded += int64(len(rows))
+		s.logf("serve: model %q folded %d feedback rows past snapshot v%d's high-water mark", name, len(rows), rec.Version)
+	}
+	m.snap.Publish(&Snapshot{
+		Ensemble:     rec.Ensemble,
+		Train:        train,
+		Version:      rec.Version,
+		ValScore:     rec.ValScore,
+		FeedbackRows: folded,
+	})
+	m.degraded.Store(nil)
+	m.snapMeta.Store(&SnapMeta{Version: rec.Version, Seed: rec.Seed, SavedAtMS: rec.SavedAtUnixMS})
+	s.logf("serve: model %q recovered snapshot v%d from disk (%d members, val %.3f, %d rows, no retrain)",
+		name, rec.Version, len(rec.Ensemble.Members), rec.ValScore, train.Len())
+	return rec.Version, true, nil
+}
+
+// reloadFromDisk resurrects an evicted (or never-loaded) model from its
+// durable snapshot on a request miss. Single-flighted: a herd of
+// requests for the same cold name decodes the snapshot once; the rest
+// find it in the registry. A fresh Model carries a fresh breaker and
+// retrain single-flight — eviction resets failure state by design.
+func (s *Server) reloadFromDisk(ctx context.Context, name string) *Model {
+	if s.snaps == nil || validModelName(name) != nil || !s.snaps.Has(name) {
+		return nil
+	}
+	s.reloadMu.Lock()
+	defer s.reloadMu.Unlock()
+	if m := s.models.lookup(name); m != nil {
+		return m
+	}
+	if _, ok, err := s.RecoverModel(ctx, name); err != nil || !ok {
+		if err != nil {
+			s.logf("serve: model %q reload from disk failed: %v", name, err)
+		}
+		return nil
+	}
+	return s.models.lookup(name)
+}
+
+// flushSnapshot brings the model's on-disk snapshot up to date with its
+// served state at shutdown, folding feedback rows ingested since the
+// last persist. The snapshot is rewritten under its CURRENT version —
+// the model didn't change, its durable record did — so a clean stop and
+// restart replays zero WAL rows and never retrains. Models whose disk
+// state already matches are skipped.
+func (s *Server) flushSnapshot(m *Model) error {
+	if s.snaps == nil {
+		return nil
+	}
+	snap := m.snap.Current()
+	if snap == nil {
+		return nil
+	}
+	m.fbMu.Lock()
+	fb := m.fb
+	m.fbMu.Unlock()
+	var rows [][]float64
+	var labels []int
+	if fb != nil {
+		rows, labels = fb.RowsAfter(snap.FeedbackRows)
+	}
+	meta := m.snapMeta.Load()
+	if meta != nil && meta.Version == snap.Version && len(rows) == 0 {
+		return nil
+	}
+	train := snap.Train
+	folded := snap.FeedbackRows
+	if len(rows) > 0 {
+		train = train.Clone()
+		for i, row := range rows {
+			if err := train.AppendRow(row, labels[i]); err != nil {
+				return fmt.Errorf("serve: flush %s: feedback row %d: %w", m.name, i, err)
+			}
+		}
+		folded += int64(len(rows))
+	}
+	seed := s.cfg.AutoML.Seed
+	if meta != nil {
+		seed = meta.Seed
+	}
+	ds := &modelstore.Snapshot{
+		Version:       snap.Version,
+		Parent:        snap.Version - 1,
+		Seed:          seed,
+		FeedbackRows:  folded,
+		ValScore:      snap.ValScore,
+		SavedAtUnixMS: s.cfg.now().UnixMilli(),
+		Ensemble:      snap.Ensemble,
+		Train:         train,
+	}
+	if err := s.snaps.Save(m.name, ds); err != nil {
+		return err
+	}
+	m.snapMeta.Store(&SnapMeta{Version: snap.Version, Seed: seed, SavedAtMS: ds.SavedAtUnixMS})
+	s.logf("serve: model %q flushed snapshot v%d at shutdown (%d feedback rows folded)", m.name, snap.Version, len(rows))
+	return nil
+}
+
+// RollbackRequest selects the snapshot version to roll back to; zero
+// (or an empty body) means the version preceding the one being served.
+type RollbackRequest struct {
+	Version int64 `json:"version,omitempty"`
+}
+
+// RollbackResponse reports a completed rollback. Version is the NEW
+// monotone snapshot version now serving (versions never rewind — a
+// rollback is a new publication whose content is an old fit, so status
+// endpoints and mid-flight batches keep their ordering invariants);
+// RolledBackTo is the historical version whose content it serves.
+type RollbackResponse struct {
+	Version      int64   `json:"version"`
+	RolledBackTo int64   `json:"rolled_back_to"`
+	ValScore     float64 `json:"val_score"`
+	Members      int     `json:"members"`
+	TrainRows    int     `json:"train_rows"`
+}
+
+// handleRollback serves POST /v1/rollback and /v1/models/{model}/rollback:
+// re-point serving to a prior durable snapshot. It shares the retrain
+// single-flight (a rollback racing a retrain would make the outcome a
+// coin flip) but deliberately NOT the circuit breaker: rollback is the
+// operator's remedy FOR a bad retrain streak, and must work exactly when
+// the breaker is open.
+func (s *Server) handleRollback(w http.ResponseWriter, r *http.Request, m *Model) {
+	if s.snaps == nil {
+		writeError(w, http.StatusNotImplemented, "snapshots_disabled",
+			"server runs without a snapshot store (-snapshot-dir); rollback needs durable history")
+		return
+	}
+	var req RollbackRequest
+	if r.ContentLength != 0 {
+		if !decodeJSON(w, r, &req) {
+			return
+		}
+	}
+	snap, ok := currentSnapshot(w, m)
+	if !ok {
+		return
+	}
+	if !m.retrainBusy.CompareAndSwap(false, true) {
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusConflict, "retrain_in_progress", "a retrain or rollback is already running")
+		return
+	}
+	defer m.retrainBusy.Store(false)
+
+	target := req.Version
+	if target == 0 {
+		prev, ok := s.snaps.PreviousVersion(m.name, snap.Version)
+		if !ok {
+			writeError(w, http.StatusNotFound, "no_prior_version",
+				fmt.Sprintf("no snapshot older than the serving v%d exists on disk", snap.Version))
+			return
+		}
+		target = prev
+	}
+	if target == snap.Version {
+		writeError(w, http.StatusBadRequest, "bad_request",
+			fmt.Sprintf("already serving snapshot v%d", target))
+		return
+	}
+	rec, err := s.snaps.LoadVersion(m.name, target)
+	if err != nil {
+		// Neither outcome degrades the model: the serving snapshot is
+		// untouched and rollback can be retried with another version.
+		if errors.Is(err, modelstore.ErrNotFound) {
+			writeError(w, http.StatusNotFound, "version_not_found",
+				fmt.Sprintf("snapshot v%d is not on disk (pruned or never written)", target))
+			return
+		}
+		writeError(w, http.StatusInternalServerError, "rollback_failed",
+			fmt.Sprintf("snapshot v%d failed to load: %v", target, err))
+		return
+	}
+	version, err := s.install(m, rec.Ensemble, rec.Train, rec.FeedbackRows, rec.Seed)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "snapshot_persist_failed",
+			fmt.Sprintf("rollback to v%d could not persist: %v; still serving v%d", target, err, snap.Version))
+		return
+	}
+	s.logf("serve: model %q rolled back to v%d content, serving as v%d", m.name, target, version)
+	writeJSON(w, http.StatusOK, RollbackResponse{
+		Version:      version,
+		RolledBackTo: target,
+		ValScore:     rec.ValScore,
+		Members:      len(rec.Ensemble.Members),
+		TrainRows:    rec.Train.Len(),
+	})
+}

@@ -1,0 +1,485 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/netml/alefb/internal/automl"
+	"github.com/netml/alefb/internal/faultinject"
+)
+
+// probProbe bit-compares two ensembles' batch predictions over rows.
+func probProbe(t *testing.T, label string, want, got *automl.Ensemble, rows [][]float64) {
+	t.Helper()
+	w := make([][]float64, len(rows))
+	g := make([][]float64, len(rows))
+	for i := range rows {
+		w[i] = make([]float64, want.NumClasses)
+		g[i] = make([]float64, got.NumClasses)
+	}
+	want.PredictProbaBatchInto(rows, w)
+	got.PredictProbaBatchInto(rows, g)
+	for i := range w {
+		for j := range w[i] {
+			if math.Float64bits(w[i][j]) != math.Float64bits(g[i][j]) {
+				t.Fatalf("%s: row %d class %d: %v != %v (bit mismatch)", label, i, j, g[i][j], w[i][j])
+			}
+		}
+	}
+}
+
+// TestPersistRestartWithoutRetrain pins the headline recovery path: a
+// server publishes durably, a second process recovers from disk, serves
+// the same version with bit-identical predictions, and never retrains.
+func TestPersistRestartWithoutRetrain(t *testing.T) {
+	train, ensA, _ := fixture(t)
+	dir := t.TempDir()
+	s1 := newTestServer(t, func(c *Config) { c.SnapshotDir = dir })
+	if got := s1.def.snap.Current().Version; got != 1 {
+		t.Fatalf("install published v%d, want 1", got)
+	}
+	if err := s1.Shutdown(context.Background()); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+
+	s2 := New(Config{AutoML: serveAutoML(11), SnapshotDir: dir})
+	v, ok, err := s2.RecoverModel(context.Background(), DefaultModel)
+	if err != nil || !ok {
+		t.Fatalf("RecoverModel = %d, %v, %v", v, ok, err)
+	}
+	if v != 1 {
+		t.Fatalf("recovered v%d, want 1", v)
+	}
+	if got := s2.def.retrains.Load(); got != 0 {
+		t.Fatalf("recovery ran %d retrains, want 0", got)
+	}
+	snap := s2.def.snap.Current()
+	if snap == nil || snap.Version != 1 {
+		t.Fatalf("recovered snapshot = %+v", snap)
+	}
+	probProbe(t, "restart", ensA, snap.Ensemble, train.X[:32])
+	st := s2.modelStatus(s2.def)
+	if st.Status != "ready" || !st.SnapshotDurable || st.SnapshotVersion != 1 {
+		t.Fatalf("recovered status = %+v", st)
+	}
+}
+
+// TestPersistKillAtAnyByte is the acceptance-criteria chaos test: the
+// newest snapshot file is truncated at a sweep of byte offsets (the
+// torn tail a kill-at-any-point leaves behind) and each time a fresh
+// server must come up serving predictions bit-identical to the
+// never-crashed oracle of whichever version survived, with zero
+// retrains.
+func TestPersistKillAtAnyByte(t *testing.T) {
+	train, ensA, ensB := fixture(t)
+	dir := t.TempDir()
+	s1 := newTestServer(t, func(c *Config) { c.SnapshotDir = dir })
+	if v := s1.Install(ensB, train); v != 2 {
+		t.Fatalf("second install published v%d, want 2", v)
+	}
+	if err := s1.Shutdown(context.Background()); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	newest := filepath.Join(dir, DefaultModel, fmt.Sprintf("v%020d.snap", 2))
+	blob, err := os.ReadFile(newest)
+	if err != nil {
+		t.Fatalf("read newest snapshot: %v", err)
+	}
+
+	probe := train.X[:16]
+	offsets := []int{0}
+	for n := 1; n < 256 && n < len(blob); n += 13 {
+		offsets = append(offsets, n)
+	}
+	for n := 256; n < len(blob); n += 997 {
+		offsets = append(offsets, n)
+	}
+	offsets = append(offsets, len(blob))
+	for _, n := range offsets {
+		if err := os.WriteFile(newest, blob[:n], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		s := New(Config{AutoML: serveAutoML(11), SnapshotDir: dir})
+		v, ok, err := s.RecoverModel(context.Background(), DefaultModel)
+		if err != nil || !ok {
+			t.Fatalf("kill@%d: RecoverModel = %v, %v", n, ok, err)
+		}
+		oracle, wantV := ensA, int64(1)
+		if n == len(blob) {
+			oracle, wantV = ensB, 2
+		}
+		if v != wantV {
+			t.Fatalf("kill@%d: recovered v%d, want v%d", n, v, wantV)
+		}
+		if got := s.def.retrains.Load(); got != 0 {
+			t.Fatalf("kill@%d: %d retrains ran, want 0", n, got)
+		}
+		probProbe(t, fmt.Sprintf("kill@%d", n), oracle, s.def.snap.Current().Ensemble, probe)
+	}
+}
+
+// TestPersistShutdownFlushFoldsIngest pins the graceful-stop satellite:
+// rows ingested after the last publish are flushed into the snapshot at
+// shutdown (same version — the model didn't change, its durable record
+// did), so a restart folds zero WAL rows and never retrains.
+func TestPersistShutdownFlushFoldsIngest(t *testing.T) {
+	train, ensA, _ := fixture(t)
+	snapDir, fbDir := t.TempDir(), t.TempDir()
+	s1 := newTestServer(t, func(c *Config) {
+		c.SnapshotDir = snapDir
+		c.FeedbackDir = fbDir
+	})
+	ts := httptest.NewServer(s1.Handler())
+	rows := [][]float64{{0.1, 0.5}, {0.9, 0.5}, {0.2, 0.3}}
+	status, body, err := postJSON(ts.URL+"/v1/feedback", FeedbackRequest{Rows: rows, Labels: []int{0, 1, 0}})
+	if err != nil || status != 200 {
+		t.Fatalf("feedback: %d %s %v", status, body, err)
+	}
+	ts.Close()
+	if err := s1.Shutdown(context.Background()); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+
+	s2 := New(Config{AutoML: serveAutoML(11), SnapshotDir: snapDir, FeedbackDir: fbDir})
+	v, ok, err := s2.RecoverModel(context.Background(), DefaultModel)
+	if err != nil || !ok || v != 1 {
+		t.Fatalf("RecoverModel = %d, %v, %v", v, ok, err)
+	}
+	snap := s2.def.snap.Current()
+	if snap.FeedbackRows != 3 {
+		t.Fatalf("recovered high-water mark = %d, want 3 (flush folded the ingest)", snap.FeedbackRows)
+	}
+	if snap.Train.Len() != train.Len()+3 {
+		t.Fatalf("recovered train rows = %d, want %d", snap.Train.Len(), train.Len()+3)
+	}
+	if got := s2.def.retrains.Load(); got != 0 {
+		t.Fatalf("clean stop + restart ran %d retrains, want 0", got)
+	}
+	probProbe(t, "flush", ensA, snap.Ensemble, train.X[:16])
+
+	// The flush rewrote v1 in place: still exactly one version on disk.
+	if vs := s2.snaps.Versions(DefaultModel); len(vs) != 1 || vs[0] != 1 {
+		t.Fatalf("disk versions after flush = %v, want [1]", vs)
+	}
+}
+
+// TestPersistCrashAfterIngestReplaysWAL is the crash twin of the flush
+// test: no graceful shutdown, so the ingested rows live only in the
+// feedback WAL — recovery must fold exactly the suffix past the
+// snapshot's high-water mark while serving the persisted fit unchanged.
+func TestPersistCrashAfterIngestReplaysWAL(t *testing.T) {
+	train, ensA, _ := fixture(t)
+	snapDir, fbDir := t.TempDir(), t.TempDir()
+	s1 := newTestServer(t, func(c *Config) {
+		c.SnapshotDir = snapDir
+		c.FeedbackDir = fbDir
+	})
+	ts := httptest.NewServer(s1.Handler())
+	status, body, err := postJSON(ts.URL+"/v1/feedback", FeedbackRequest{
+		Rows: [][]float64{{0.3, 0.3}, {0.8, 0.8}}, Labels: []int{0, 1}})
+	if err != nil || status != 200 {
+		t.Fatalf("feedback: %d %s %v", status, body, err)
+	}
+	ts.Close()
+	// Crash: no Shutdown, no flush. Only release the WAL file handle so
+	// the second store can open the directory.
+	s1.def.closeFeedback()
+
+	s2 := New(Config{AutoML: serveAutoML(11), SnapshotDir: snapDir, FeedbackDir: fbDir})
+	v, ok, err := s2.RecoverModel(context.Background(), DefaultModel)
+	if err != nil || !ok || v != 1 {
+		t.Fatalf("RecoverModel = %d, %v, %v", v, ok, err)
+	}
+	snap := s2.def.snap.Current()
+	if snap.FeedbackRows != 2 || snap.Train.Len() != train.Len()+2 {
+		t.Fatalf("recovered mark=%d rows=%d, want mark=2 rows=%d",
+			snap.FeedbackRows, snap.Train.Len(), train.Len()+2)
+	}
+	if got := s2.def.retrains.Load(); got != 0 {
+		t.Fatalf("crash recovery ran %d retrains, want 0", got)
+	}
+	probProbe(t, "wal-replay", ensA, snap.Ensemble, train.X[:16])
+}
+
+// TestRollback pins the rollback endpoint end to end through the
+// Client: default target (previous version), explicit target, and the
+// error paths — always publishing as a NEW monotone version.
+func TestRollback(t *testing.T) {
+	train, ensA, ensB := fixture(t)
+	dir := t.TempDir()
+	s := newTestServer(t, func(c *Config) { c.SnapshotDir = dir })
+	s.Install(ensB, train) // v2
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	cli := NewClient(ts.URL, 1)
+	ctx := context.Background()
+
+	// Default target: the version before the serving one.
+	resp, err := cli.Rollback(ctx, RollbackRequest{})
+	if err != nil {
+		t.Fatalf("Rollback: %v", err)
+	}
+	if resp.RolledBackTo != 1 || resp.Version != 3 {
+		t.Fatalf("rollback = %+v, want rolled_back_to=1 version=3", resp)
+	}
+	probProbe(t, "rollback-prev", ensA, s.def.snap.Current().Ensemble, train.X[:16])
+
+	// Explicit target back to the v2 content.
+	resp, err = cli.Rollback(ctx, RollbackRequest{Version: 2})
+	if err != nil {
+		t.Fatalf("Rollback v2: %v", err)
+	}
+	if resp.RolledBackTo != 2 || resp.Version != 4 {
+		t.Fatalf("rollback = %+v, want rolled_back_to=2 version=4", resp)
+	}
+	probProbe(t, "rollback-explicit", ensB, s.def.snap.Current().Ensemble, train.X[:16])
+
+	// Unknown version → structured 404.
+	if _, err := cli.Rollback(ctx, RollbackRequest{Version: 999}); err == nil ||
+		!strings.Contains(err.Error(), "version_not_found") {
+		t.Fatalf("rollback to ghost version: %v", err)
+	}
+	// Rolling back to the serving version → structured 400.
+	if _, err := cli.Rollback(ctx, RollbackRequest{Version: 4}); err == nil ||
+		!strings.Contains(err.Error(), "bad_request") {
+		t.Fatalf("rollback to serving version: %v", err)
+	}
+	// Rollback publications persisted durably: history holds all four.
+	if vs := s.snaps.Versions(DefaultModel); len(vs) != 4 {
+		t.Fatalf("disk versions = %v, want 4 entries", vs)
+	}
+}
+
+// TestRollbackDisabledWithoutStore pins the 501 when the server runs
+// memory-only.
+func TestRollbackDisabledWithoutStore(t *testing.T) {
+	s := newTestServer(t, nil)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	if _, err := NewClient(ts.URL, 1).Rollback(context.Background(), RollbackRequest{}); err == nil ||
+		!strings.Contains(err.Error(), "snapshots_disabled") {
+		t.Fatalf("rollback without store: %v", err)
+	}
+}
+
+// TestRollbackWorksWithOpenBreaker pins the deliberate design decision
+// that rollback bypasses the retrain circuit breaker: it is the remedy
+// for the failing-retrain streak that opened the breaker.
+func TestRollbackWorksWithOpenBreaker(t *testing.T) {
+	train, _, ensB := fixture(t)
+	dir := t.TempDir()
+	s := newTestServer(t, func(c *Config) { c.SnapshotDir = dir })
+	s.Install(ensB, train) // v2
+	for i := 0; i < s.cfg.BreakerThreshold; i++ {
+		s.def.breaker.Failure()
+	}
+	if st := s.def.breaker.State(); st != BreakerOpen {
+		t.Fatalf("breaker = %v, want open", st)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	resp, err := NewClient(ts.URL, 1).Rollback(context.Background(), RollbackRequest{})
+	if err != nil {
+		t.Fatalf("rollback with open breaker: %v", err)
+	}
+	if resp.RolledBackTo != 1 {
+		t.Fatalf("rolled back to v%d, want 1", resp.RolledBackTo)
+	}
+}
+
+// TestEvictionReloadsFromDisk pins the satellite: an LRU-evicted model
+// is transparently reloaded from its durable snapshot on the next
+// request — bit-identical predictions, fresh breaker, no retrain.
+func TestEvictionReloadsFromDisk(t *testing.T) {
+	train, ensA, ensB := fixture(t)
+	dir := t.TempDir()
+	s := newTestServer(t, func(c *Config) {
+		c.SnapshotDir = dir
+		c.MaxModels = 1
+	})
+	s.InstallModel("tenant-a", ensA, train)
+	// Poison tenant-a's breaker so the reload's fresh-state reset is
+	// observable.
+	ma := s.Model("tenant-a")
+	for i := 0; i < s.cfg.BreakerThreshold; i++ {
+		ma.breaker.Failure()
+	}
+	s.InstallModel("tenant-b", ensB, train) // evicts tenant-a
+	if s.Model("tenant-a") != nil {
+		t.Fatal("tenant-a still resident after eviction")
+	}
+
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	status, body, err := postJSON(ts.URL+"/v1/models/tenant-a/predict", PredictRequest{Rows: train.X[:8]})
+	if err != nil || status != 200 {
+		t.Fatalf("predict on evicted model: %d %s %v", status, body, err)
+	}
+	mb := s.Model("tenant-a")
+	if mb == nil {
+		t.Fatal("tenant-a not reloaded")
+	}
+	if mb == ma {
+		t.Fatal("reload returned the evicted Model value; want a fresh one")
+	}
+	if mb.breaker.State() != BreakerClosed {
+		t.Fatalf("reloaded breaker = %v, want closed (fresh state)", mb.breaker.State())
+	}
+	if got := mb.retrains.Load(); got != 0 {
+		t.Fatalf("reload ran %d retrains, want 0", got)
+	}
+	probProbe(t, "evict-reload", ensA, mb.snap.Current().Ensemble, train.X[:16])
+
+	// A name with no snapshot on disk still 404s.
+	status, _, err = postJSON(ts.URL+"/v1/models/never-existed/predict", PredictRequest{Rows: train.X[:1]})
+	if err != nil || status != 404 {
+		t.Fatalf("ghost model: %d %v", status, err)
+	}
+}
+
+// TestPersistFailureKeepsLastGood pins the degradation policy: a retrain
+// that fits but cannot persist keeps serving the old snapshot, marks the
+// model degraded, and counts a breaker failure — unpersisted state is
+// never published. Clearing the fault and probing after the cooldown
+// recovers to ready.
+func TestPersistFailureKeepsLastGood(t *testing.T) {
+	train, ensA, _ := fixture(t)
+	dir := t.TempDir()
+	clk := newFakeClock()
+	inj := faultinject.New().WithSnapshotWriteFault(2, faultinject.Error)
+	s := newTestServer(t, func(c *Config) {
+		c.SnapshotDir = dir
+		c.Fault = inj
+		c.BreakerThreshold = 1
+		c.BreakerCooldown = 10 * time.Second
+		c.now = clk.Now
+	})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	status, body, err := postJSON(ts.URL+"/v1/retrain", RetrainRequest{})
+	if err != nil {
+		t.Fatalf("retrain: %v", err)
+	}
+	if status != 500 || !strings.Contains(string(body), "snapshot_persist_failed") {
+		t.Fatalf("retrain = %d %s, want 500 snapshot_persist_failed", status, body)
+	}
+	snap := s.def.snap.Current()
+	if snap.Version != 1 {
+		t.Fatalf("serving v%d after persist failure, want last-good v1", snap.Version)
+	}
+	probProbe(t, "persist-fail", ensA, snap.Ensemble, train.X[:16])
+	st := s.modelStatus(s.def)
+	if st.Status != "degraded" || !strings.Contains(st.DegradedReason, "persist") {
+		t.Fatalf("status = %+v, want degraded with persist reason", st)
+	}
+	if got := s.def.breaker.State(); got != BreakerOpen {
+		t.Fatalf("breaker = %v, want open (persist failure counts)", got)
+	}
+
+	// Fault cleared, cooldown elapsed: the half-open probe retrain
+	// persists v2 and the model recovers to ready.
+	inj.WithSnapshotWriteFault(2, faultinject.None)
+	clk.Advance(11 * time.Second)
+	status, body, err = postJSON(ts.URL+"/v1/retrain", RetrainRequest{})
+	if err != nil || status != 200 {
+		t.Fatalf("clean retrain after persist failure: %d %s %v", status, body, err)
+	}
+	st = s.modelStatus(s.def)
+	if st.Status != "ready" || st.SnapshotVersion != 2 {
+		t.Fatalf("status after clean retrain = %+v, want ready v2", st)
+	}
+	if got := s.def.breaker.State(); got != BreakerClosed {
+		t.Fatalf("breaker = %v after probe success, want closed", got)
+	}
+}
+
+// TestPersistTornWriteFallsBack drives the injected torn write: the
+// failed version's torn file lands at its final path, the process keeps
+// serving last-good, and a restart skips the torn file.
+func TestPersistTornWriteFallsBack(t *testing.T) {
+	train, ensA, ensB := fixture(t)
+	dir := t.TempDir()
+	inj := faultinject.New().WithSnapshotWriteFault(2, faultinject.Panic)
+	s1 := newTestServer(t, func(c *Config) {
+		c.SnapshotDir = dir
+		c.Fault = inj
+	})
+	if v := s1.Install(ensB, train); v != 0 {
+		t.Fatalf("torn install returned v%d, want 0 (failure)", v)
+	}
+	if s1.def.snap.Current().Version != 1 {
+		t.Fatal("torn persist must keep serving v1")
+	}
+	// The torn v2 file exists on disk — recovery must skip it.
+	if vs := New(Config{SnapshotDir: dir}).snaps.Versions(DefaultModel); len(vs) != 2 {
+		t.Fatalf("disk versions = %v, want the torn v2 present", vs)
+	}
+	s2 := New(Config{AutoML: serveAutoML(11), SnapshotDir: dir})
+	v, ok, err := s2.RecoverModel(context.Background(), DefaultModel)
+	if err != nil || !ok || v != 1 {
+		t.Fatalf("RecoverModel = %d, %v, %v; want v1", v, ok, err)
+	}
+	probProbe(t, "torn-fallback", ensA, s2.def.snap.Current().Ensemble, train.X[:16])
+}
+
+// TestPersistLoadFaultFallsBack drives the injected corrupt-load: the
+// newest snapshot decodes as corrupt without any byte edits and recovery
+// serves the prior version.
+func TestPersistLoadFaultFallsBack(t *testing.T) {
+	train, ensA, ensB := fixture(t)
+	dir := t.TempDir()
+	s1 := newTestServer(t, func(c *Config) { c.SnapshotDir = dir })
+	s1.Install(ensB, train) // v2
+	inj := faultinject.New().WithSnapshotLoadFault(0)
+	s2 := New(Config{AutoML: serveAutoML(11), SnapshotDir: dir, Fault: inj})
+	v, ok, err := s2.RecoverModel(context.Background(), DefaultModel)
+	if err != nil || !ok || v != 1 {
+		t.Fatalf("RecoverModel = %d, %v, %v; want fall-back to v1", v, ok, err)
+	}
+	probProbe(t, "load-fault", ensA, s2.def.snap.Current().Ensemble, train.X[:16])
+}
+
+// TestStatusSnapshotFields pins the status-surface satellite: version,
+// durability flag and age are reported, and age ticks with the clock.
+func TestStatusSnapshotFields(t *testing.T) {
+	dir := t.TempDir()
+	clk := newFakeClock()
+	s := newTestServer(t, func(c *Config) {
+		c.SnapshotDir = dir
+		c.now = clk.Now
+	})
+	st := s.modelStatus(s.def)
+	if !st.SnapshotDurable || st.SnapshotVersion != 1 || st.SnapshotAgeMS != 0 {
+		t.Fatalf("status = %+v, want durable v1 age 0", st)
+	}
+	clk.Advance(5 * time.Second)
+	if st := s.modelStatus(s.def); st.SnapshotAgeMS != 5000 {
+		t.Fatalf("age = %d, want 5000", st.SnapshotAgeMS)
+	}
+
+	// Memory-only servers report not-durable and no version.
+	s2 := newTestServer(t, nil)
+	if st := s2.modelStatus(s2.def); st.SnapshotDurable || st.SnapshotVersion != 0 {
+		t.Fatalf("memory-only status = %+v", st)
+	}
+}
+
+// TestRecoverModelWithoutStore pins the no-op contract when persistence
+// is disabled or nothing is on disk.
+func TestRecoverModelWithoutStore(t *testing.T) {
+	s := New(Config{AutoML: serveAutoML(11)})
+	if v, ok, err := s.RecoverModel(context.Background(), DefaultModel); v != 0 || ok || err != nil {
+		t.Fatalf("RecoverModel without store = %d, %v, %v", v, ok, err)
+	}
+	s2 := New(Config{AutoML: serveAutoML(11), SnapshotDir: t.TempDir()})
+	if v, ok, err := s2.RecoverModel(context.Background(), DefaultModel); v != 0 || ok || err != nil {
+		t.Fatalf("RecoverModel on empty store = %d, %v, %v", v, ok, err)
+	}
+}

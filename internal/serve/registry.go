@@ -55,6 +55,12 @@ type Model struct {
 	// surfaced as retrain_state in the status endpoints.
 	retraining atomic.Bool
 
+	// snapMeta describes the newest durably persisted snapshot of this
+	// model (version, seed, wall-clock write time), nil before the first
+	// persist or when persistence is disabled. Status endpoints read it;
+	// the shutdown flush uses it to skip models already up to date.
+	snapMeta atomic.Pointer[SnapMeta]
+
 	// lastUsed is the registry's LRU clock tick of the most recent
 	// request routed to this model.
 	lastUsed atomic.Int64

@@ -54,6 +54,7 @@ import (
 	"github.com/netml/alefb/internal/faultinject"
 	"github.com/netml/alefb/internal/interpret"
 	"github.com/netml/alefb/internal/metrics"
+	"github.com/netml/alefb/internal/modelstore"
 	"github.com/netml/alefb/internal/parallel"
 )
 
@@ -121,6 +122,14 @@ type Config struct {
 	// FeedbackCompactEvery overrides the stores' WAL-records-per-
 	// checkpoint compaction interval (0 keeps the store default).
 	FeedbackCompactEvery int
+	// SnapshotDir is the root directory of the durable model snapshot
+	// store (<SnapshotDir>/<model name>/v*.snap). Empty disables
+	// persistence: models live only behind the atomic pointer and a
+	// restart retrains from scratch, the pre-durability behavior.
+	SnapshotDir string
+	// SnapshotRetain is how many snapshot versions each model keeps on
+	// disk (0 selects the store default of 4, negative keeps all).
+	SnapshotRetain int
 	// DriftShiftTolerance and DriftMaxRefitFraction tune the warm-start
 	// retrain path (zero keeps the core defaults): members whose mean ALE
 	// delta exceeds the tolerance are refitted, and past the fraction the
@@ -196,6 +205,14 @@ type Server struct {
 	retrainCtx    context.Context
 	retrainCancel context.CancelFunc
 
+	// snaps is the durable model snapshot store, nil when SnapshotDir is
+	// empty (persistence disabled).
+	snaps *modelstore.Store
+	// reloadMu single-flights disk reloads of evicted models, so a
+	// thundering herd of requests for a cold name decodes the snapshot
+	// once.
+	reloadMu sync.Mutex
+
 	started time.Time
 	handler http.Handler
 	httpSrv *http.Server
@@ -213,6 +230,13 @@ func New(cfg Config) *Server {
 		started: cfg.now(),
 	}
 	s.retrainCtx, s.retrainCancel = context.WithCancel(context.Background())
+	if cfg.SnapshotDir != "" {
+		s.snaps = modelstore.New(modelstore.Config{
+			Dir:    cfg.SnapshotDir,
+			Retain: cfg.SnapshotRetain,
+			Fault:  cfg.Fault,
+		})
+	}
 	s.def, _ = s.models.getOrCreate(DefaultModel, func() *Model {
 		m := s.newModel()
 		m.pinned = true
@@ -240,6 +264,10 @@ func New(cfg Config) *Server {
 	// deadline would always fail and falsely trip the breaker).
 	mux.Handle("POST /v1/retrain", s.guard(true, 0, s.onDefault(s.handleRetrain)))
 	mux.Handle("POST /v1/models/{model}/retrain", s.guard(true, 0, s.onNamed(s.handleRetrain)))
+	// Rollback re-points serving to an already-fitted prior snapshot: no
+	// search runs, so the read-path RequestTimeout is the right deadline.
+	mux.Handle("POST /v1/rollback", s.guard(true, cfg.RequestTimeout, s.onDefault(s.handleRollback)))
+	mux.Handle("POST /v1/models/{model}/rollback", s.guard(true, cfg.RequestTimeout, s.onNamed(s.handleRollback)))
 	s.handler = mux
 	s.httpSrv = &http.Server{Handler: mux, ReadHeaderTimeout: 10 * time.Second}
 	return s
@@ -297,7 +325,13 @@ func (s *Server) BootstrapModel(ctx context.Context, name string, train *data.Da
 	if err != nil {
 		return fmt.Errorf("serve: bootstrap %s: %w", name, err)
 	}
-	s.install(m, ens, train, folded)
+	// A bootstrap that cannot persist is fatal like a bootstrap that
+	// cannot train: there is no previous durable state to fall back to,
+	// and acknowledging an unpersistable model would silently revert to
+	// the retrain-on-every-restart behavior durability exists to end.
+	if _, err := s.install(m, ens, train, folded, s.cfg.AutoML.Seed); err != nil {
+		return fmt.Errorf("serve: bootstrap %s: %w", name, err)
+	}
 	return nil
 }
 
@@ -319,13 +353,26 @@ func (s *Server) InstallModel(name string, ens *automl.Ensemble, train *data.Dat
 		evicted.closeFeedback()
 		s.logf("serve: evicted cold model %q (v%d) for %q", evicted.name, evicted.snap.NextVersion()-1, name)
 	}
-	return s.install(m, ens, train, 0)
+	v, err := s.install(m, ens, train, 0, s.cfg.AutoML.Seed)
+	if err != nil {
+		s.logf("serve: model %q install failed: %v", name, err)
+		return 0
+	}
+	return v
 }
 
-// install publishes the next snapshot of m and clears its degraded state.
-// feedbackRows records how many feedback-store rows train already folds
-// in (see Snapshot.FeedbackRows).
-func (s *Server) install(m *Model, ens *automl.Ensemble, train *data.Dataset, feedbackRows int64) int64 {
+// install publishes the next snapshot of m and clears its degraded
+// state. feedbackRows records how many feedback-store rows train already
+// folds in (see Snapshot.FeedbackRows); seed is recorded in the durable
+// snapshot so recovery can reproduce the fit's provenance.
+//
+// Durability ordering is the core of the crash-safety contract: the
+// snapshot is persisted BEFORE the atomic pointer swap, so a model that
+// was ever served is on disk at its exact served bytes — a crash at any
+// later instant recovers it without retraining. A persist failure
+// publishes nothing: the previous snapshot keeps serving and the model
+// is marked degraded, the same last-good policy as a failed retrain.
+func (s *Server) install(m *Model, ens *automl.Ensemble, train *data.Dataset, feedbackRows int64, seed uint64) (int64, error) {
 	next := &Snapshot{
 		Ensemble:     ens,
 		Train:        train,
@@ -333,11 +380,19 @@ func (s *Server) install(m *Model, ens *automl.Ensemble, train *data.Dataset, fe
 		ValScore:     ens.ValScore,
 		FeedbackRows: feedbackRows,
 	}
+	if err := s.persist(m, next, seed); err != nil {
+		if cur := m.snap.Current(); cur != nil {
+			reason := fmt.Sprintf("snapshot persist failed: %v", err)
+			m.degraded.Store(&reason)
+			s.logf("serve: model %q degraded, keeping snapshot v%d: %s", m.name, cur.Version, reason)
+		}
+		return 0, fmt.Errorf("persist snapshot v%d: %w", next.Version, err)
+	}
 	m.snap.Publish(next)
 	m.degraded.Store(nil)
 	s.logf("serve: model %q published snapshot v%d (%d members, val %.3f, %d rows)",
 		m.name, next.Version, len(ens.Members), ens.ValScore, train.Len())
-	return next.Version
+	return next.Version, nil
 }
 
 // Model returns the named model, or nil. Intended for tests and tools.
@@ -367,14 +422,21 @@ func (s *Server) ListenAndServe(addr string) error {
 
 // Shutdown gracefully stops the server: no new connections are accepted,
 // in-flight requests are drained until ctx expires, background drift
-// retrains are canceled and waited for, and every model's feedback store
-// is closed (all acknowledged rows are already fsynced, so closing loses
-// nothing).
+// retrains are canceled and waited for, each model's snapshot is flushed
+// up to date (folding any feedback rows ingested since the last persist,
+// so a clean stop + restart replays nothing and never retrains), and
+// every model's feedback store is closed (all acknowledged rows are
+// already fsynced, so closing loses nothing).
 func (s *Server) Shutdown(ctx context.Context) error {
 	err := s.httpSrv.Shutdown(ctx)
 	s.retrainCancel()
 	s.retrainWG.Wait()
 	for _, m := range s.models.list() {
+		if ferr := s.flushSnapshot(m); ferr != nil {
+			// The WAL still holds the unflushed rows; recovery replays
+			// them, so a failed flush costs replay time, not data.
+			s.logf("serve: model %q shutdown snapshot flush failed: %v", m.name, ferr)
+		}
 		m.closeFeedback()
 	}
 	return err
@@ -525,12 +587,17 @@ func (s *Server) onDefault(h modelHandler) func(http.ResponseWriter, *http.Reque
 }
 
 // onNamed resolves {model} from the route against the registry. An
-// unknown (or evicted) name is the client's 404; resolution also
-// touches the model's LRU tick, which is what keeps hot tenants alive.
+// unknown (or evicted) name with a durable snapshot on disk is reloaded
+// transparently — eviction sheds memory, not tenants; a name with no
+// snapshot either is the client's 404. Resolution also touches the
+// model's LRU tick, which is what keeps hot tenants alive.
 func (s *Server) onNamed(h modelHandler) func(http.ResponseWriter, *http.Request) {
 	return func(w http.ResponseWriter, r *http.Request) {
 		name := r.PathValue("model")
 		m := s.models.lookup(name)
+		if m == nil {
+			m = s.reloadFromDisk(r.Context(), name)
+		}
 		if m == nil {
 			writeError(w, http.StatusNotFound, "model_not_found",
 				fmt.Sprintf("no model named %q is loaded", name))
@@ -624,6 +691,14 @@ type ModelStatus struct {
 	DriftWindow     int     `json:"drift_window"`
 	RetrainState    string  `json:"retrain_state"`
 	DriftRetrains   int64   `json:"drift_retrains"`
+
+	// Durable-snapshot state. SnapshotVersion is the newest persisted
+	// version (0 while nothing is on disk or persistence is disabled),
+	// SnapshotAgeMS how long ago it was written, and SnapshotDurable
+	// whether a snapshot store is configured at all.
+	SnapshotVersion int64 `json:"snapshot_version,omitempty"`
+	SnapshotAgeMS   int64 `json:"snapshot_age_ms,omitempty"`
+	SnapshotDurable bool  `json:"snapshot_durable"`
 }
 
 // status summarizes one model for the status endpoints.
@@ -671,11 +746,17 @@ func (m *Model) status() ModelStatus {
 	return st
 }
 
-// modelStatus is status plus the server-level drift configuration.
+// modelStatus is status plus the server-level drift configuration and
+// the durable-snapshot state.
 func (s *Server) modelStatus(m *Model) ModelStatus {
 	st := m.status()
 	st.DriftThreshold = s.cfg.DriftThreshold
 	st.DriftWindow = s.cfg.DriftWindow
+	st.SnapshotDurable = s.snaps != nil
+	if meta := m.snapMeta.Load(); meta != nil {
+		st.SnapshotVersion = meta.Version
+		st.SnapshotAgeMS = s.cfg.now().UnixMilli() - meta.SavedAtMS
+	}
 	return st
 }
 
@@ -1148,10 +1229,20 @@ func (s *Server) handleRetrain(w http.ResponseWriter, r *http.Request, m *Model)
 			fmt.Sprintf("%s; still serving snapshot v%d", reason, snap.Version))
 		return
 	}
-	m.breaker.Success()
 	// An operator retrain extends snap.Train, which already folds in the
-	// first snap.FeedbackRows store rows — the mark carries over.
-	version := s.install(m, ens, newTrain, snap.FeedbackRows)
+	// first snap.FeedbackRows store rows — the mark carries over. The
+	// install (which persists before publishing) is part of the retrain's
+	// verdict: a model that fit but cannot be made durable counts as a
+	// failed retrain for the breaker and keeps the last-good snapshot.
+	version, err := s.install(m, ens, newTrain, snap.FeedbackRows, mlCfg.Seed)
+	if err != nil {
+		m.breaker.Failure()
+		writeError(w, http.StatusInternalServerError, "snapshot_persist_failed",
+			fmt.Sprintf("retrain %d trained but could not persist: %v; still serving snapshot v%d",
+				attempt, err, snap.Version))
+		return
+	}
+	m.breaker.Success()
 	writeJSON(w, http.StatusOK, RetrainResponse{
 		Version:   version,
 		ValScore:  ens.ValScore,

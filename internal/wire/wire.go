@@ -1,0 +1,283 @@
+// Package wire implements the little-endian binary primitives shared by
+// the durable encoders of this repository — the fitted-model codec in
+// internal/ml, the ensemble codec in internal/automl, and the snapshot
+// store in internal/modelstore.
+//
+// The encoding is deliberately boring: fixed-width little-endian
+// integers, float64 bit patterns, and u32-length-prefixed slices. No
+// varints, no reflection, no schema evolution magic — determinism and
+// byte-for-byte reproducibility are the contract (the same value always
+// encodes to the same bytes, which is what lets snapshot fingerprints
+// and the round-trip equality suites compare raw output), and corruption
+// detection belongs to the layer above (each snapshot section is framed
+// with a CRC-32, exactly like the feedback WAL).
+//
+// Appenders grow a caller-owned []byte; the Reader consumes one with a
+// sticky error, so decode paths check Err once at the end instead of
+// after every field. Length prefixes are validated against the remaining
+// input before any allocation, so a corrupt length can never make a
+// decoder allocate gigabytes (the same maxFeatures rule the WAL applies).
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrCorrupt is the sticky Reader error: the input ended early or a
+// length prefix pointed past it.
+var ErrCorrupt = errors.New("wire: corrupt or truncated input")
+
+// --- appenders ------------------------------------------------------------
+
+// AppendU64 appends v as 8 little-endian bytes.
+func AppendU64(b []byte, v uint64) []byte {
+	return binary.LittleEndian.AppendUint64(b, v)
+}
+
+// AppendI64 appends v as 8 little-endian bytes (two's complement).
+func AppendI64(b []byte, v int64) []byte {
+	return binary.LittleEndian.AppendUint64(b, uint64(v))
+}
+
+// AppendU32 appends v as 4 little-endian bytes.
+func AppendU32(b []byte, v uint32) []byte {
+	return binary.LittleEndian.AppendUint32(b, v)
+}
+
+// AppendF64 appends the IEEE-754 bit pattern of v — exact, including
+// NaN payloads and signed zeros.
+func AppendF64(b []byte, v float64) []byte {
+	return binary.LittleEndian.AppendUint64(b, math.Float64bits(v))
+}
+
+// AppendBool appends one byte, 0 or 1.
+func AppendBool(b []byte, v bool) []byte {
+	if v {
+		return append(b, 1)
+	}
+	return append(b, 0)
+}
+
+// AppendString appends a u32 length prefix and the raw bytes.
+func AppendString(b []byte, s string) []byte {
+	b = AppendU32(b, uint32(len(s)))
+	return append(b, s...)
+}
+
+// AppendF64s appends a u32 length prefix and each element's bit pattern.
+func AppendF64s(b []byte, v []float64) []byte {
+	b = AppendU32(b, uint32(len(v)))
+	for _, x := range v {
+		b = AppendF64(b, x)
+	}
+	return b
+}
+
+// AppendI32s appends a u32 length prefix and each element as 4 bytes.
+func AppendI32s(b []byte, v []int32) []byte {
+	b = AppendU32(b, uint32(len(v)))
+	for _, x := range v {
+		b = AppendU32(b, uint32(x))
+	}
+	return b
+}
+
+// AppendInts appends a u32 length prefix and each element as an i64.
+func AppendInts(b []byte, v []int) []byte {
+	b = AppendU32(b, uint32(len(v)))
+	for _, x := range v {
+		b = AppendI64(b, int64(x))
+	}
+	return b
+}
+
+// AppendF64Matrix appends a u32 row count and each row as an F64s.
+func AppendF64Matrix(b []byte, m [][]float64) []byte {
+	b = AppendU32(b, uint32(len(m)))
+	for _, row := range m {
+		b = AppendF64s(b, row)
+	}
+	return b
+}
+
+// AppendStrings appends a u32 length prefix and each element as a String.
+func AppendStrings(b []byte, v []string) []byte {
+	b = AppendU32(b, uint32(len(v)))
+	for _, s := range v {
+		b = AppendString(b, s)
+	}
+	return b
+}
+
+// --- reader ---------------------------------------------------------------
+
+// Reader consumes a byte slice encoded by the appenders above. The first
+// failed read sets a sticky error; every later read returns zero values,
+// so decoders can run straight-line and check Err once.
+type Reader struct {
+	buf []byte
+	off int
+	err error
+}
+
+// NewReader returns a Reader over b. The Reader aliases b; callers must
+// not mutate it while decoding.
+func NewReader(b []byte) *Reader { return &Reader{buf: b} }
+
+// Err returns the sticky decode error, nil while all reads succeeded.
+func (r *Reader) Err() error { return r.err }
+
+// Remaining returns the unread byte count.
+func (r *Reader) Remaining() int { return len(r.buf) - r.off }
+
+// fail records the sticky error (first failure wins).
+func (r *Reader) fail() {
+	if r.err == nil {
+		r.err = fmt.Errorf("%w (offset %d of %d)", ErrCorrupt, r.off, len(r.buf))
+	}
+}
+
+// take returns the next n raw bytes, or nil after setting the sticky
+// error when fewer remain.
+func (r *Reader) take(n int) []byte {
+	if n < 0 || r.Remaining() < n || r.err != nil {
+		r.fail()
+		return nil
+	}
+	b := r.buf[r.off : r.off+n]
+	r.off += n
+	return b
+}
+
+// U64 reads 8 bytes.
+func (r *Reader) U64() uint64 {
+	b := r.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+// I64 reads 8 bytes as a signed integer.
+func (r *Reader) I64() int64 { return int64(r.U64()) }
+
+// U8 reads one raw byte (type tags).
+func (r *Reader) U8() byte {
+	b := r.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+// U32 reads 4 bytes.
+func (r *Reader) U32() uint32 {
+	b := r.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+// F64 reads 8 bytes as an IEEE-754 bit pattern.
+func (r *Reader) F64() float64 { return math.Float64frombits(r.U64()) }
+
+// Bool reads one byte.
+func (r *Reader) Bool() bool {
+	b := r.take(1)
+	return b != nil && b[0] != 0
+}
+
+// sliceLen reads a u32 length prefix and validates it against the
+// remaining input at elemSize bytes per element.
+func (r *Reader) sliceLen(elemSize int) int {
+	n := int(r.U32())
+	if r.err != nil {
+		return 0
+	}
+	if n < 0 || n*elemSize > r.Remaining() {
+		r.fail()
+		return 0
+	}
+	return n
+}
+
+// String reads a u32-length-prefixed string.
+func (r *Reader) String() string {
+	n := r.sliceLen(1)
+	b := r.take(n)
+	if b == nil {
+		return ""
+	}
+	return string(b)
+}
+
+// F64s reads a length-prefixed float64 slice; length 0 decodes to nil,
+// matching the zero value of an unfitted field.
+func (r *Reader) F64s() []float64 {
+	n := r.sliceLen(8)
+	if n == 0 {
+		return nil
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = r.F64()
+	}
+	return out
+}
+
+// I32s reads a length-prefixed int32 slice; length 0 decodes to nil.
+func (r *Reader) I32s() []int32 {
+	n := r.sliceLen(4)
+	if n == 0 {
+		return nil
+	}
+	out := make([]int32, n)
+	for i := range out {
+		out[i] = int32(r.U32())
+	}
+	return out
+}
+
+// Ints reads a length-prefixed int slice; length 0 decodes to nil.
+func (r *Reader) Ints() []int {
+	n := r.sliceLen(8)
+	if n == 0 {
+		return nil
+	}
+	out := make([]int, n)
+	for i := range out {
+		out[i] = int(r.I64())
+	}
+	return out
+}
+
+// F64Matrix reads a row-count-prefixed matrix; 0 rows decode to nil.
+func (r *Reader) F64Matrix() [][]float64 {
+	// Each row carries at least its own 4-byte length prefix.
+	n := r.sliceLen(4)
+	if n == 0 {
+		return nil
+	}
+	out := make([][]float64, n)
+	for i := range out {
+		out[i] = r.F64s()
+	}
+	return out
+}
+
+// Strings reads a count-prefixed string slice; 0 entries decode to nil.
+func (r *Reader) Strings() []string {
+	n := r.sliceLen(4)
+	if n == 0 {
+		return nil
+	}
+	out := make([]string, n)
+	for i := range out {
+		out[i] = r.String()
+	}
+	return out
+}

@@ -1,0 +1,179 @@
+package wire
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+// TestWireRoundTrip encodes one value of every primitive and reads the
+// sequence back.
+func TestWireRoundTrip(t *testing.T) {
+	var b []byte
+	b = AppendU64(b, 0xdeadbeefcafe)
+	b = AppendI64(b, -42)
+	b = AppendU32(b, 7)
+	b = AppendF64(b, math.Pi)
+	b = AppendF64(b, math.Inf(-1))
+	b = AppendBool(b, true)
+	b = AppendBool(b, false)
+	b = AppendString(b, "scream")
+	b = AppendString(b, "")
+	b = AppendF64s(b, []float64{1.5, math.Copysign(0, -1), math.MaxFloat64})
+	b = AppendI32s(b, []int32{-1, 0, math.MaxInt32})
+	b = AppendInts(b, []int{9, -9})
+	b = AppendF64Matrix(b, [][]float64{{1, 2}, {3}})
+	b = AppendStrings(b, []string{"a", "bb"})
+
+	r := NewReader(b)
+	if got := r.U64(); got != 0xdeadbeefcafe {
+		t.Fatalf("U64 = %x", got)
+	}
+	if got := r.I64(); got != -42 {
+		t.Fatalf("I64 = %d", got)
+	}
+	if got := r.U32(); got != 7 {
+		t.Fatalf("U32 = %d", got)
+	}
+	if got := r.F64(); got != math.Pi {
+		t.Fatalf("F64 = %v", got)
+	}
+	if got := r.F64(); !math.IsInf(got, -1) {
+		t.Fatalf("F64 inf = %v", got)
+	}
+	if !r.Bool() || r.Bool() {
+		t.Fatalf("Bool order wrong")
+	}
+	if got := r.String(); got != "scream" {
+		t.Fatalf("String = %q", got)
+	}
+	if got := r.String(); got != "" {
+		t.Fatalf("empty String = %q", got)
+	}
+	f := r.F64s()
+	if len(f) != 3 || f[0] != 1.5 || math.Float64bits(f[1]) != math.Float64bits(math.Copysign(0, -1)) || f[2] != math.MaxFloat64 {
+		t.Fatalf("F64s = %v", f)
+	}
+	i32 := r.I32s()
+	if len(i32) != 3 || i32[0] != -1 || i32[2] != math.MaxInt32 {
+		t.Fatalf("I32s = %v", i32)
+	}
+	ints := r.Ints()
+	if len(ints) != 2 || ints[0] != 9 || ints[1] != -9 {
+		t.Fatalf("Ints = %v", ints)
+	}
+	m := r.F64Matrix()
+	if len(m) != 2 || len(m[0]) != 2 || m[1][0] != 3 {
+		t.Fatalf("F64Matrix = %v", m)
+	}
+	ss := r.Strings()
+	if len(ss) != 2 || ss[0] != "a" || ss[1] != "bb" {
+		t.Fatalf("Strings = %v", ss)
+	}
+	if r.Remaining() != 0 {
+		t.Fatalf("%d bytes left over", r.Remaining())
+	}
+	if err := r.Err(); err != nil {
+		t.Fatalf("Err = %v", err)
+	}
+}
+
+// TestWireEmptySlicesDecodeNil pins that a length-0 slice decodes to
+// nil, matching the zero value of an unfitted model field — required
+// for the byte-compare round-trip suites.
+func TestWireEmptySlicesDecodeNil(t *testing.T) {
+	var b []byte
+	b = AppendF64s(b, nil)
+	b = AppendI32s(b, []int32{})
+	b = AppendInts(b, nil)
+	b = AppendF64Matrix(b, nil)
+	b = AppendStrings(b, nil)
+	r := NewReader(b)
+	if got := r.F64s(); got != nil {
+		t.Fatalf("F64s(empty) = %v, want nil", got)
+	}
+	if got := r.I32s(); got != nil {
+		t.Fatalf("I32s(empty) = %v, want nil", got)
+	}
+	if got := r.Ints(); got != nil {
+		t.Fatalf("Ints(empty) = %v, want nil", got)
+	}
+	if got := r.F64Matrix(); got != nil {
+		t.Fatalf("F64Matrix(empty) = %v, want nil", got)
+	}
+	if got := r.Strings(); got != nil {
+		t.Fatalf("Strings(empty) = %v, want nil", got)
+	}
+	if err := r.Err(); err != nil {
+		t.Fatalf("Err = %v", err)
+	}
+}
+
+// TestWireTruncation decodes every strict prefix of a valid encoding and
+// requires a sticky ErrCorrupt — never a panic, never a silent success.
+func TestWireTruncation(t *testing.T) {
+	var b []byte
+	b = AppendU64(b, 1)
+	b = AppendString(b, "hello")
+	b = AppendF64s(b, []float64{1, 2, 3})
+	b = AppendF64Matrix(b, [][]float64{{4, 5}, {6}})
+
+	for n := 0; n < len(b); n++ {
+		r := NewReader(b[:n])
+		r.U64()
+		_ = r.String()
+		r.F64s()
+		r.F64Matrix()
+		if err := r.Err(); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("prefix %d: Err = %v, want ErrCorrupt", n, err)
+		}
+	}
+}
+
+// TestWireHugeLengthPrefix pins the alloc bound: a corrupt length prefix
+// claiming more elements than bytes remain must fail before allocating.
+func TestWireHugeLengthPrefix(t *testing.T) {
+	b := AppendU32(nil, math.MaxUint32)
+	r := NewReader(b)
+	if got := r.F64s(); got != nil {
+		t.Fatalf("F64s = %v, want nil", got)
+	}
+	if !errors.Is(r.Err(), ErrCorrupt) {
+		t.Fatalf("Err = %v, want ErrCorrupt", r.Err())
+	}
+}
+
+// TestWireStickyError pins that reads after a failure keep returning
+// zero values and the first error.
+func TestWireStickyError(t *testing.T) {
+	r := NewReader(nil)
+	if got := r.U64(); got != 0 {
+		t.Fatalf("U64 on empty = %d", got)
+	}
+	first := r.Err()
+	if first == nil {
+		t.Fatal("expected error")
+	}
+	if got := r.F64(); got != 0 {
+		t.Fatalf("F64 after error = %v", got)
+	}
+	if r.Err() != first {
+		t.Fatalf("error replaced: %v != %v", r.Err(), first)
+	}
+}
+
+// TestWireDeterminism pins byte-for-byte determinism: encoding the same
+// values twice yields identical bytes (the fingerprint contract).
+func TestWireDeterminism(t *testing.T) {
+	enc := func() []byte {
+		var b []byte
+		b = AppendF64s(b, []float64{math.Pi, math.NaN(), -0.0})
+		b = AppendStrings(b, []string{"x", "y"})
+		b = AppendU64(b, 99)
+		return b
+	}
+	a, c := enc(), enc()
+	if string(a) != string(c) {
+		t.Fatal("same values encoded to different bytes")
+	}
+}
