@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-ml bench-serve bench-smoke bench-json bench-check ci fmt-check vet fmt fuzz test-fault test-serve test-serve-race test-hist test-feedback test-persist
+.PHONY: all build test race bench bench-ml bench-serve bench-smoke bench-json bench-check ci fmt-check vet fmt fuzz test-fault test-serve test-serve-race test-hist test-feedback test-persist test-interp-cache
 
 all: build test
 
@@ -33,16 +33,20 @@ bench-ml:
 		./internal/ml/ ./internal/interpret/ ./internal/core/ ./internal/automl/ \
 		| tee results/bench_current.txt
 
-# bench-serve runs the end-to-end serving throughput benchmark twice —
-# coalescing off (the legacy per-request sweep, the baseline) and on
-# (the micro-batch scheduler) — so the recorded speedup is the scheduler
-# itself, measured over identical HTTP, JSON, and model layers.
+# bench-serve runs the end-to-end serving throughput benchmarks twice —
+# every amortization off (per-request predict sweep, inline drift
+# evaluation, uncached interpretation: the legacy baseline) and every
+# amortization on (micro-batch scheduler, off-path debounced drift
+# evaluator, snapshot-keyed ALE/regions cache) — so the recorded
+# speedups are the mechanisms themselves, measured over identical HTTP,
+# JSON, and model layers.
+SERVE_BENCHES = BenchmarkServePredictLoad64|BenchmarkFeedbackIngestDrift|BenchmarkInterpretLoad32
 bench-serve:
-	$(GO) test ./internal/serve/ -run '^$$' -bench BenchmarkServePredictLoad64 \
-		-benchmem -benchtime 2s -serve.batch=off \
+	$(GO) test ./internal/serve/ -run '^$$' -bench '$(SERVE_BENCHES)' \
+		-benchmem -benchtime 2s -serve.batch=off -serve.drift=sync -serve.interp=off \
 		| tee results/bench_serve_baseline.txt
-	$(GO) test ./internal/serve/ -run '^$$' -bench BenchmarkServePredictLoad64 \
-		-benchmem -benchtime 2s -serve.batch=on \
+	$(GO) test ./internal/serve/ -run '^$$' -bench '$(SERVE_BENCHES)' \
+		-benchmem -benchtime 2s -serve.batch=on -serve.drift=async -serve.interp=on \
 		| tee results/bench_serve_current.txt
 
 # bench-smoke executes every benchmark exactly once as a correctness
@@ -141,6 +145,21 @@ test-persist:
 		./internal/wire/ ./internal/ml/ ./internal/automl/ \
 		./internal/modelstore/ ./internal/serve/
 
+# test-interp-cache pins the amortized interpretation engine's contracts
+# by name under the race detector: snapshot-keyed ALE/regions cache
+# bit-identity with hit accounting, invalidation on publish, rollback
+# and LRU eviction, the stale-curve chaos run (a swapped snapshot must
+# never serve another version's curves), the curve cache's single-flight
+# and cancellation semantics, warm-start curve reuse, the sliding-window
+# dataset vs its naive oracle, the off-path drift evaluator's
+# bit-identity oracle with Workers 1 vs 8, deterministic gate spacing,
+# burst-coalescing conservation, client-disconnect survival, and the
+# pooled quantile-grid allocation pin.
+test-interp-cache:
+	$(GO) test -race -count=1 \
+		-run 'TestALECache|TestRegionsCached|TestInterpCache|TestALEStaleCurve|TestCurveCache|TestMemberShifts|TestWarmStartOldCurves|TestWindowDisagreementData|TestSlidingWindow|TestAsyncDrift|TestDriftEval|TestDriftCoalescing|TestQuantileGridPooled' \
+		./internal/core/ ./internal/interpret/ ./internal/serve/
+
 # bench-check gates the committed sweeps against the committed JSON
 # reports: a sweep whose ns/op exceeds the recorded value by more than
 # BENCH_THRESHOLD fails, so a perf regression must be fixed or explicitly
@@ -159,7 +178,7 @@ bench-check:
 # robustness contracts by name, so a renamed-away test is noticed), the
 # committed-sweep regression gate, and a single-iteration benchmark
 # smoke run.
-ci: fmt-check vet test race test-fault test-serve test-serve-race test-hist test-feedback test-persist bench-check bench-smoke
+ci: fmt-check vet test race test-fault test-serve test-serve-race test-hist test-feedback test-persist test-interp-cache bench-check bench-smoke
 
 fmt-check:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \

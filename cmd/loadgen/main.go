@@ -16,7 +16,11 @@
 // -feedback-rate interleaves feedback-ingest requests (labelled rows
 // drawn from the schema) with the read mix; the report breaks latency
 // and status down per endpoint so ingestion overhead on the predict
-// path is directly measurable.
+// path is directly measurable. When the target runs the drift monitor,
+// a feedback-carrying run also reports the off-path evaluator's
+// counters (completed evaluations, coalesced gate crossings, cumulative
+// evaluation time) next to — but separate from — the ingest-ack
+// latency, which no longer includes evaluation work.
 package main
 
 import (
@@ -32,7 +36,7 @@ import (
 )
 
 // version identifies the load-generator build.
-const version = "alefb-loadgen 0.9.0"
+const version = "alefb-loadgen 0.10.0"
 
 func main() {
 	var (

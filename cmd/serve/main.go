@@ -24,7 +24,16 @@
 // disagreement over the most recent ingested rows exceeds the threshold,
 // the model retrains in the background — warm-starting from the served
 // ensemble when possible — while reads keep hitting the last-good
-// snapshot.
+// snapshot. Drift is evaluated off the ingest path by a per-model
+// debounced evaluator at deterministic record-sequence gates
+// (-drift-eval-every spaces them); ingest acks return as soon as the
+// rows are durable. -sync-drift-eval restores the legacy inline
+// evaluation.
+//
+// ALE curves and disagreement regions are memoized per published
+// snapshot: repeated /v1/ale and /v1/regions queries are O(1) lookups,
+// invalidated wholesale whenever a retrain, rollback or restart
+// publishes a new snapshot version. -no-interp-cache disables the cache.
 //
 // -snapshot-dir makes the models themselves durable: every published
 // ensemble is serialized (CRC-framed, fsynced, atomically renamed) into
@@ -60,7 +69,7 @@ import (
 )
 
 // version identifies the serving layer build; bump alongside API changes.
-const version = "alefb-serve 0.9.0"
+const version = "alefb-serve 0.10.0"
 
 // modelSpec is one -model name=path.csv mapping.
 type modelSpec struct {
@@ -92,6 +101,9 @@ func main() {
 		snapshotRetain = flag.Int("snapshot-retain", 0, "snapshot versions kept per model for rollback (0 = default 4, negative = all)")
 		driftThreshold = flag.Float64("drift-threshold", 0, "Cross-ALE disagreement over the feedback window that triggers a retrain (0 = off)")
 		driftWindow    = flag.Int("drift-window", 0, "most recent feedback rows the drift monitor analyses (0 = default 64)")
+		driftEvalEvery = flag.Int("drift-eval-every", 0, "acknowledged feedback rows between off-path drift evaluations (0 = default 1, every batch)")
+		syncDrift      = flag.Bool("sync-drift-eval", false, "evaluate drift inline on the ingest path (legacy behavior; slower acks)")
+		noInterpCache  = flag.Bool("no-interp-cache", false, "disable the snapshot-keyed ALE/regions cache; recompute every request")
 		showVersion    = flag.Bool("version", false, "print the version and exit")
 	)
 	flag.Func("model", "additional tenant model as name=path.csv (repeatable)", func(v string) error {
@@ -113,25 +125,28 @@ func main() {
 	}
 
 	s := serve.New(serve.Config{
-		AutoML:            automl.Config{MaxCandidates: *budget, Seed: *seed, Workers: *workers},
-		Feedback:          core.Config{Bins: *bins, Workers: *workers},
-		MaxInFlight:       *maxInFlight,
-		MaxQueue:          *maxQueue,
-		RequestTimeout:    *reqTimeout,
-		RetrainTimeout:    *retrainTO,
-		BreakerThreshold:  *brkThreshold,
-		BreakerCooldown:   *brkCooldown,
-		MaxModels:         *maxModels,
-		MaxBatchRows:      *maxBatchRows,
-		MaxBatchDelay:     *batchDelay,
-		PredictWorkers:    *predictWorkers,
-		DisableCoalescing: *noCoalesce,
-		FeedbackDir:       *feedbackDir,
-		SnapshotDir:       *snapshotDir,
-		SnapshotRetain:    *snapshotRetain,
-		DriftThreshold:    *driftThreshold,
-		DriftWindow:       *driftWindow,
-		Log:               os.Stderr,
+		AutoML:             automl.Config{MaxCandidates: *budget, Seed: *seed, Workers: *workers},
+		Feedback:           core.Config{Bins: *bins, Workers: *workers},
+		MaxInFlight:        *maxInFlight,
+		MaxQueue:           *maxQueue,
+		RequestTimeout:     *reqTimeout,
+		RetrainTimeout:     *retrainTO,
+		BreakerThreshold:   *brkThreshold,
+		BreakerCooldown:    *brkCooldown,
+		MaxModels:          *maxModels,
+		MaxBatchRows:       *maxBatchRows,
+		MaxBatchDelay:      *batchDelay,
+		PredictWorkers:     *predictWorkers,
+		DisableCoalescing:  *noCoalesce,
+		FeedbackDir:        *feedbackDir,
+		SnapshotDir:        *snapshotDir,
+		SnapshotRetain:     *snapshotRetain,
+		DriftThreshold:     *driftThreshold,
+		DriftWindow:        *driftWindow,
+		DriftEvalEvery:     *driftEvalEvery,
+		SyncDriftEval:      *syncDrift,
+		DisableInterpCache: *noInterpCache,
+		Log:                os.Stderr,
 	})
 
 	// Recovery-first bootstrap: a durable snapshot on disk makes the

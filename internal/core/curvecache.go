@@ -1,0 +1,140 @@
+package core
+
+// CurveCache memoizes committee interpretation curves. A committee curve
+// is a pure function of (models, dataset, method, feature, class, bins):
+// for a fixed model snapshot and training set, every /v1/ale request,
+// every /v1/regions sweep and every warm-start shift detection that asks
+// for the same curve recomputes byte-identical output. The cache stores
+// the exact interpret.CommitteeCtx result the first caller produced, so
+// cached reads are bit-identical to uncached ones by construction.
+//
+// One CurveCache is valid for exactly one (models, dataset) pair — the
+// serving layer hangs one off each published snapshot and drops it on
+// snapshot swap, rollback or eviction. Consumers that might be handed a
+// cache built for a different dataset (ComputeCtx via Config.Curves)
+// gate on pointer identity of the dataset and fall back to direct
+// computation on mismatch.
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+
+	"github.com/netml/alefb/internal/data"
+	"github.com/netml/alefb/internal/interpret"
+	"github.com/netml/alefb/internal/ml"
+)
+
+// maxCurveEntries bounds the cache so request-controlled knobs (a client
+// can ask /v1/ale for arbitrary bin counts) cannot grow it without limit.
+// Past the bound, unseen keys are computed directly and not stored; the
+// steady-state working set (features × classes × a few bin settings) is
+// far below it.
+const maxCurveEntries = 512
+
+type curveKey struct {
+	method  interpret.Method
+	feature int
+	class   int
+	bins    int
+}
+
+// curveEntry is a single-flight slot: the first goroutine to claim a key
+// computes and closes done; followers block on done (or their own ctx).
+type curveEntry struct {
+	done chan struct{}
+	cc   interpret.CommitteeCurve
+	err  error
+}
+
+// CurveCache memoizes interpret.CommitteeCtx results for one fixed
+// committee and background dataset. Safe for concurrent use. The zero
+// value is not usable; construct with NewCurveCache.
+type CurveCache struct {
+	models []ml.Classifier
+	d      *data.Dataset
+
+	mu      sync.Mutex
+	entries map[curveKey]*curveEntry
+
+	hits, misses atomic.Int64
+}
+
+// NewCurveCache builds a cache for the given committee over the given
+// background dataset. Both must stay immutable for the cache's lifetime
+// (snapshots in the serving layer are immutable after publish).
+func NewCurveCache(models []ml.Classifier, d *data.Dataset) *CurveCache {
+	return &CurveCache{models: models, d: d, entries: make(map[curveKey]*curveEntry)}
+}
+
+// Dataset returns the background dataset the cache was built for.
+// Callers use pointer identity to decide whether the cache applies.
+func (c *CurveCache) Dataset() *data.Dataset { return c.d }
+
+// Models returns the committee the cache was built for.
+func (c *CurveCache) Models() []ml.Classifier { return c.models }
+
+// Stats returns the cumulative hit and miss counts. A "hit" is a lookup
+// answered from a completed or in-flight entry; a "miss" is a lookup
+// that had to start (or, past the size bound, run uncached) the
+// underlying computation.
+func (c *CurveCache) Stats() (hits, misses int64) {
+	return c.hits.Load(), c.misses.Load()
+}
+
+// Committee returns the committee curve for (feature, method, opt),
+// computing it at most once per key. Concurrent callers for the same key
+// single-flight: one computes, the rest wait on the result (or their own
+// context). Context cancellation and deadline errors are never cached —
+// the entry is removed so the next caller retries — while deterministic
+// errors (interpret.ErrConstantFeature) are cached like values.
+func (c *CurveCache) Committee(ctx context.Context, feature int, method interpret.Method, opt interpret.Options) (interpret.CommitteeCurve, error) {
+	opt = opt.Normalized()
+	key := curveKey{method: method, feature: feature, class: opt.Class, bins: opt.Bins}
+	for {
+		c.mu.Lock()
+		e, ok := c.entries[key]
+		if !ok {
+			if len(c.entries) >= maxCurveEntries {
+				// Bounded: compute directly without storing.
+				c.mu.Unlock()
+				c.misses.Add(1)
+				return interpret.CommitteeCtx(ctx, c.models, c.d, feature, method, opt)
+			}
+			e = &curveEntry{done: make(chan struct{})}
+			c.entries[key] = e
+			c.mu.Unlock()
+			c.misses.Add(1)
+			cc, err := interpret.CommitteeCtx(ctx, c.models, c.d, feature, method, opt)
+			if isCtxErr(err) {
+				// This caller's context expired, not a property of the
+				// inputs: drop the entry so followers recompute.
+				c.mu.Lock()
+				delete(c.entries, key)
+				c.mu.Unlock()
+				e.err = err
+				close(e.done)
+				return interpret.CommitteeCurve{}, err
+			}
+			e.cc, e.err = cc, err
+			close(e.done)
+			return cc, err
+		}
+		c.mu.Unlock()
+		select {
+		case <-e.done:
+			if isCtxErr(e.err) {
+				continue // the computing goroutine was cancelled; retry
+			}
+			c.hits.Add(1)
+			return e.cc, e.err
+		case <-ctx.Done():
+			return interpret.CommitteeCurve{}, ctx.Err()
+		}
+	}
+}
+
+func isCtxErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}

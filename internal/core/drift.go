@@ -65,6 +65,20 @@ func WindowDisagreementCtx(ctx context.Context, models []ml.Classifier, schema *
 			return rep, fmt.Errorf("core: drift window row %d: %w", i, err)
 		}
 	}
+	return WindowDisagreementData(ctx, models, d, threshold, cfg)
+}
+
+// WindowDisagreementData is WindowDisagreementCtx over an already-built
+// window dataset. The debounced drift evaluator maintains its window as
+// a ring buffer (SlidingWindow) and materializes snapshots into a reused
+// dataset, so evaluations cost O(new rows) of copying instead of a full
+// data.New + AppendRow rebuild per call; results are identical to the
+// row-slice entry point for equal window contents.
+func WindowDisagreementData(ctx context.Context, models []ml.Classifier, d *data.Dataset, threshold float64, cfg Config) (DriftReport, error) {
+	rep := DriftReport{Rows: d.Len(), Feature: -1, Threshold: threshold}
+	if d.Len() < minDriftWindow || len(models) < 2 {
+		return rep, nil
+	}
 	// A huge fixed threshold disables both the median heuristic and
 	// interval extraction: the monitor only needs the per-feature peak
 	// disagreement, not flagged regions.
@@ -105,6 +119,14 @@ type WarmStartConfig struct {
 	RefitSeed uint64
 	// Workers bounds refit parallelism (0 = GOMAXPROCS, 1 = serial).
 	Workers int
+	// OldCurves optionally memoizes the old-training-data committee
+	// curves used for shift detection. It is consulted only when built
+	// for exactly the committee and old training set being compared
+	// (pointer identity) — the serving layer hands in the snapshot's
+	// interpretation cache, so a drift retrain reuses the curves that
+	// /v1/ale and /v1/regions requests already computed. Shift results
+	// are bit-identical with or without it.
+	OldCurves *CurveCache
 }
 
 func (c WarmStartConfig) withDefaults() WarmStartConfig {
@@ -158,9 +180,7 @@ func WarmStartCtx(ctx context.Context, ens *automl.Ensemble, oldTrain, newTrain 
 	}
 	fc := cfg.Feedback.withDefaults(ens.NumClasses, len(newTrain.Schema.Features))
 
-	shifts, err := parallel.MapCtx(ctx, len(ens.Members), cfg.Workers, func(i int) (float64, error) {
-		return memberShift(ctx, ens.Members[i].Model, oldTrain, newTrain, fc)
-	})
+	shifts, err := memberShifts(ctx, ens.Models(), oldTrain, newTrain, fc, cfg.OldCurves)
 	if err != nil {
 		return nil, rep, err
 	}
@@ -200,45 +220,82 @@ func WarmStartCtx(ctx context.Context, ens *automl.Ensemble, oldTrain, newTrain 
 	return &next, rep, nil
 }
 
-// memberShift measures how far one fitted model's ALE interpretation
-// moves between two datasets: the maximum over features and classes of
-// the mean absolute difference between the old-data curve and the
-// new-data curve. The two curves live on different quantile grids (grid
-// edges are data-dependent and deduplicated), so the new curve is
-// linearly interpolated at the old grid's positions before differencing.
-// Features constant on either dataset contribute nothing.
-func memberShift(ctx context.Context, model ml.Classifier, oldTrain, newTrain *data.Dataset, fc Config) (float64, error) {
-	var worst float64
+// memberShifts measures how far every fitted member's ALE interpretation
+// moves between two datasets: shifts[i] is the maximum over features and
+// classes of the mean absolute difference between member i's old-data
+// curve and its new-data curve. The two curves live on different
+// quantile grids (grid edges are data-dependent and deduplicated), so
+// the new curve is linearly interpolated at the old grid's positions
+// before differencing. Features constant on either dataset contribute
+// nothing — the quantile grid, and hence constancy, is a property of the
+// dataset alone, so the skip is identical for every member.
+//
+// The computation is committee-shaped: for each (feature, class) pair
+// the shared-grid committee curves on both datasets are computed once,
+// fanning members out via internal/parallel with fc.Workers, instead of
+// the seed's per-member serial loop that re-derived the same quantile
+// grid len(models) times. Per-member curves are read back from
+// CommitteeCurve.PerModel at the member's index, the same aleOnGrid
+// output the serial loop produced, so shifts are bit-identical to the
+// seed implementation for every worker count. When oldCurves matches
+// (committee and old dataset by identity), old-side curves come from the
+// cache — in the serving layer these are the exact curves /v1/ale
+// already computed for the snapshot.
+func memberShifts(ctx context.Context, models []ml.Classifier, oldTrain, newTrain *data.Dataset, fc Config, oldCurves *CurveCache) ([]float64, error) {
+	shifts := make([]float64, len(models))
+	useCache := oldCurves != nil && oldCurves.Dataset() == oldTrain && sameModels(oldCurves.Models(), models)
 	for _, j := range fc.Features {
 		for _, class := range fc.Classes {
 			if err := ctx.Err(); err != nil {
-				return 0, err
+				return nil, err
 			}
-			opt := interpret.Options{Bins: fc.Bins, Class: class, Workers: 1}
-			oldC, err := interpret.ALE(model, oldTrain, j, opt)
+			opt := interpret.Options{Bins: fc.Bins, Class: class, Workers: fc.Workers}
+			var oldCC interpret.CommitteeCurve
+			var err error
+			if useCache {
+				oldCC, err = oldCurves.Committee(ctx, j, interpret.MethodALE, opt)
+			} else {
+				oldCC, err = interpret.CommitteeCtx(ctx, models, oldTrain, j, interpret.MethodALE, opt)
+			}
 			if errors.Is(err, interpret.ErrConstantFeature) {
 				continue
 			}
 			if err != nil {
-				return 0, fmt.Errorf("core: shift feature %d class %d (old): %w", j, class, err)
+				return nil, fmt.Errorf("core: shift feature %d class %d (old): %w", j, class, err)
 			}
-			newC, err := interpret.ALE(model, newTrain, j, opt)
+			newCC, err := interpret.CommitteeCtx(ctx, models, newTrain, j, interpret.MethodALE, opt)
 			if errors.Is(err, interpret.ErrConstantFeature) {
 				continue
 			}
 			if err != nil {
-				return 0, fmt.Errorf("core: shift feature %d class %d (new): %w", j, class, err)
+				return nil, fmt.Errorf("core: shift feature %d class %d (new): %w", j, class, err)
 			}
-			var sum float64
-			for i, x := range oldC.Grid {
-				sum += math.Abs(oldC.Values[i] - interpAt(newC.Grid, newC.Values, x))
-			}
-			if d := sum / float64(len(oldC.Grid)); d > worst {
-				worst = d
+			for m := range models {
+				var sum float64
+				for i, x := range oldCC.Grid {
+					sum += math.Abs(oldCC.PerModel[m][i] - interpAt(newCC.Grid, newCC.PerModel[m], x))
+				}
+				if d := sum / float64(len(oldCC.Grid)); d > shifts[m] {
+					shifts[m] = d
+				}
 			}
 		}
 	}
-	return worst, nil
+	return shifts, nil
+}
+
+// sameModels reports whether two committees hold the same classifiers in
+// the same order (interface identity; classifiers are pointer types).
+func sameModels(a, b []ml.Classifier) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // interpAt linearly interpolates the piecewise-linear curve (grid,

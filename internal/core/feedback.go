@@ -75,6 +75,12 @@ type Config struct {
 	// (one task per committee member). 0 selects runtime.GOMAXPROCS(0);
 	// 1 forces serial execution. Results are bit-identical either way.
 	Workers int
+	// Curves optionally memoizes committee curves across computations.
+	// ComputeCtx consults it only when the cache was built for exactly
+	// the dataset being analysed (pointer identity) and ignores it
+	// otherwise, so a stale cache can slow a computation down but never
+	// change its result: the cache stores exact CommitteeCtx outputs.
+	Curves *CurveCache
 }
 
 func (c Config) withDefaults(nClasses, nFeatures int) Config {
@@ -320,7 +326,14 @@ func ComputeCtx(ctx context.Context, models []ml.Classifier, d *data.Dataset, cf
 		var curves []interpret.CommitteeCurve
 		skip := false
 		for _, class := range cfg.Classes {
-			cc, err := interpret.CommitteeCtx(ctx, models, d, j, cfg.Method, interpret.Options{Bins: cfg.Bins, Class: class, Workers: cfg.Workers})
+			opt := interpret.Options{Bins: cfg.Bins, Class: class, Workers: cfg.Workers}
+			var cc interpret.CommitteeCurve
+			var err error
+			if cfg.Curves != nil && cfg.Curves.Dataset() == d {
+				cc, err = cfg.Curves.Committee(ctx, j, cfg.Method, opt)
+			} else {
+				cc, err = interpret.CommitteeCtx(ctx, models, d, j, cfg.Method, opt)
+			}
 			if err != nil {
 				if errors.Is(err, interpret.ErrConstantFeature) {
 					skip = true

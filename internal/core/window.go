@@ -1,0 +1,131 @@
+package core
+
+// SlidingWindow is the drift evaluator's incremental window dataset: a
+// fixed-capacity ring of the most recent labelled rows. The seed
+// implementation rebuilt a data.Dataset with data.New + AppendRow over
+// the whole window on every evaluation; the ring updates in O(new rows)
+// and materializes a window snapshot by copying into a reusable
+// destination dataset. The materialized order is oldest row first —
+// exactly the order feedback.Store.Window returns — so a drift
+// evaluation over a ring snapshot is bit-identical to one over the
+// store's window at the same record sequence.
+//
+// SlidingWindow is not safe for concurrent use; the owner (one per-model
+// drift evaluator) serializes access.
+
+import "github.com/netml/alefb/internal/data"
+
+// SlidingWindow holds the last `capacity` pushed rows.
+type SlidingWindow struct {
+	schema *data.Schema
+	cap    int
+	rows   [][]float64 // ring slots, one contiguous preallocated backing
+	labels []int
+	next   int   // ring slot the next pushed row lands in
+	n      int   // rows currently held (≤ cap)
+	total  int64 // rows ever pushed; mirrors the feedback store sequence
+}
+
+// NewSlidingWindow builds a window of the given capacity over the schema.
+func NewSlidingWindow(schema *data.Schema, capacity int) *SlidingWindow {
+	if capacity < 1 {
+		capacity = 1
+	}
+	w := &SlidingWindow{
+		schema: schema,
+		cap:    capacity,
+		rows:   make([][]float64, capacity),
+		labels: make([]int, capacity),
+	}
+	nf := schema.NumFeatures()
+	back := make([]float64, capacity*nf)
+	for i := range w.rows {
+		w.rows[i] = back[i*nf : (i+1)*nf : (i+1)*nf]
+	}
+	return w
+}
+
+// Len returns the number of rows currently held.
+func (w *SlidingWindow) Len() int { return w.n }
+
+// Cap returns the window capacity.
+func (w *SlidingWindow) Cap() int { return w.cap }
+
+// Total returns the number of rows ever pushed. When every acknowledged
+// store batch is pushed exactly once, Total equals the store sequence,
+// which is how the evaluator detects out-of-order arrival and resyncs.
+func (w *SlidingWindow) Total() int64 { return w.total }
+
+// Push appends a batch of rows, evicting the oldest beyond capacity.
+// Rows are copied into the ring's own backing; callers keep ownership of
+// their slices. Rows must match the schema width (trusted boundary — the
+// serving layer validates before the WAL append).
+func (w *SlidingWindow) Push(rows [][]float64, labels []int) {
+	for i, row := range rows {
+		copy(w.rows[w.next], row)
+		w.labels[w.next] = labels[i]
+		w.next++
+		if w.next == w.cap {
+			w.next = 0
+		}
+		if w.n < w.cap {
+			w.n++
+		}
+	}
+	w.total += int64(len(rows))
+}
+
+// Reset replaces the window contents with the given rows (oldest first,
+// at most the last `capacity` of them) and sets Total to total. The
+// evaluator uses it to (re)prime the ring from the durable store — at
+// creation, and if batches ever arrive out of order.
+func (w *SlidingWindow) Reset(rows [][]float64, labels []int, total int64) {
+	w.n, w.next = 0, 0
+	if len(rows) > w.cap {
+		labels = labels[len(rows)-w.cap:]
+		rows = rows[len(rows)-w.cap:]
+	}
+	w.Push(rows, labels)
+	w.total = total
+}
+
+// Snapshot materializes the window into dst, oldest row first, reusing
+// dst's row backing when shapes allow, and returns it. Pass nil (or a
+// dataset from a previous Snapshot of the same window) — the steady
+// state, where the window is full and dst was produced by the previous
+// call, copies rows with zero allocations. The returned dataset does not
+// alias the ring: later pushes never mutate a taken snapshot.
+func (w *SlidingWindow) Snapshot(dst *data.Dataset) *data.Dataset {
+	nf := w.schema.NumFeatures()
+	if dst == nil || dst.Schema != w.schema {
+		dst = data.New(w.schema)
+	}
+	if cap(dst.X) < w.n {
+		grown := make([][]float64, len(dst.X), w.n)
+		copy(grown, dst.X)
+		dst.X = grown
+		dst.Y = append(make([]int, 0, w.n), dst.Y...)
+	}
+	for len(dst.X) < w.n {
+		dst.X = append(dst.X, make([]float64, nf))
+		dst.Y = append(dst.Y, 0)
+	}
+	dst.X = dst.X[:w.n]
+	dst.Y = dst.Y[:w.n]
+	start := w.next - w.n
+	if start < 0 {
+		start += w.cap
+	}
+	for i := 0; i < w.n; i++ {
+		src := start + i
+		if src >= w.cap {
+			src -= w.cap
+		}
+		if len(dst.X[i]) != nf {
+			dst.X[i] = make([]float64, nf)
+		}
+		copy(dst.X[i], w.rows[src])
+		dst.Y[i] = w.labels[src]
+	}
+	return dst
+}

@@ -47,6 +47,11 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
+// Normalized resolves defaulted fields (Bins, Class) to their effective
+// values. Caches that key results by options must normalize first so that
+// e.g. Bins 0 and Bins 32 share one entry.
+func (o Options) Normalized() Options { return o.withDefaults() }
+
 // Curve is one model's interpretation of one feature: Values[i] is the
 // effect at Grid[i]. For ALE, values are centred so their weighted mean
 // over the data distribution is zero.
@@ -60,9 +65,39 @@ type Curve struct {
 // the background data, making local effects undefined.
 var ErrConstantFeature = errors.New("interpret: feature is constant in the background data")
 
+// colScratch holds the pooled buffer quantileGrid gathers and sorts a
+// feature column in. Datasets are immutable during interpretation, so the
+// column must be copied before sorting; pooling the copy removes the
+// per-call O(n) allocation (the sort itself is in-place). A dedicated
+// struct (rather than pooling []float64 directly) keeps Put allocation
+// free: the pool stores one stable pointer per scratch.
+type colScratch struct{ buf []float64 }
+
+var colPool sync.Pool
+
+func getColScratch(n int) *colScratch {
+	c, _ := colPool.Get().(*colScratch)
+	if c == nil {
+		c = &colScratch{}
+	}
+	if cap(c.buf) < n {
+		c.buf = make([]float64, n)
+	}
+	c.buf = c.buf[:n]
+	return c
+}
+
 // quantileGrid returns deduplicated quantile edges z_0..z_K for feature j.
+// The column copy+sort runs in pooled scratch: gathering in row order and
+// sorting yields exactly the same sorted values as sorting a fresh
+// d.Column copy, so grids are bit-identical to the unpooled path.
 func quantileGrid(d *data.Dataset, feature, bins int) ([]float64, error) {
-	col := d.Column(feature)
+	sc := getColScratch(d.Len())
+	defer colPool.Put(sc)
+	col := sc.buf
+	for i, row := range d.X {
+		col[i] = row[feature]
+	}
 	sort.Float64s(col)
 	if col[0] == col[len(col)-1] {
 		return nil, fmt.Errorf("%w: feature %d", ErrConstantFeature, feature)

@@ -58,6 +58,29 @@ func TestALEAccumulateZeroAllocs(t *testing.T) {
 	}
 }
 
+// TestQuantileGridPooledAllocs pins the steady-state allocation count of
+// quantileGrid: with the sorted-column scratch pooled, the only remaining
+// allocation is the returned edges slice itself. A regression back to
+// copying the column per call (d.Column allocates O(n)) trips this.
+func TestQuantileGridPooledAllocs(t *testing.T) {
+	r := rng.New(5)
+	d := uniformDataset(4096, r)
+	// Warm the pool so the measured runs reuse the scratch.
+	if _, err := quantileGrid(d, 0, 16); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		if _, err := quantileGrid(d, 0, 16); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// One allocation: the edges slice. The 4096-element column scratch
+	// must come from the pool.
+	if allocs > 1 {
+		t.Errorf("quantileGrid allocates %.1f objects per run, want <= 1", allocs)
+	}
+}
+
 // TestBatchedALEMatchesRowAtATime locks in bit-identity of the batched
 // grid evaluation against a direct row-at-a-time reimplementation of the
 // pre-batch algorithm, exact float64 equality, across models and features.

@@ -7,8 +7,10 @@ import (
 	"net/http/httptest"
 	"sync"
 	"testing"
+	"time"
 
 	"github.com/netml/alefb/internal/automl"
+	"github.com/netml/alefb/internal/core"
 	"github.com/netml/alefb/internal/data"
 	"github.com/netml/alefb/internal/ml"
 	"github.com/netml/alefb/internal/rng"
@@ -21,6 +23,17 @@ import (
 // results/bench_serve_current.txt — and cmd/benchjson derives the
 // speedup into BENCH_SERVE.json.
 var serveBatch = flag.String("serve.batch", "on", "predict path under benchmark: on=coalescing scheduler, off=per-request sweep")
+
+// serveDrift selects the drift-evaluation path for the ingest benchmark:
+// "async" (default) the off-path debounced evaluator, "sync" the legacy
+// inline evaluation on the request path. serveInterp toggles the
+// snapshot-keyed ALE/regions cache for the interpretation benchmark.
+// `make bench-serve` runs baseline with both legacy paths and current
+// with both new ones, alongside -serve.batch.
+var (
+	serveDrift  = flag.String("serve.drift", "async", "drift evaluation under benchmark: async=off-path debounced, sync=inline legacy")
+	serveInterp = flag.String("serve.interp", "on", "interpretation cache under benchmark: on=snapshot-keyed memo, off=recompute per request")
+)
 
 // benchEnsemble hand-builds a forest committee (rather than running an
 // AutoML search) so the benchmark's compute profile is fixed: four
@@ -98,5 +111,141 @@ func BenchmarkServePredictLoad64(b *testing.B) {
 	b.ReportMetric(float64(report.Requests)/report.Elapsed.Seconds(), "req/s")
 	if s.def.batcher.batches.Load() > 0 {
 		b.ReportMetric(float64(s.def.batcher.batchedReqs.Load())/float64(s.def.batcher.batches.Load()), "reqs/batch")
+	}
+}
+
+// benchInterpEnsemble is a lighter committee for the interpretation
+// benchmark: an uncached committee-ALE sweep over the predict
+// benchmark's 16000-row/1024-tree committee takes tens of seconds —
+// long past any sane request timeout — so the baseline would only
+// measure client timeouts. Four 64-tree depth-10 forests on 4000 rows
+// keep the uncached recompute expensive but servable, which is exactly
+// the regime the snapshot-keyed cache targets.
+var (
+	benchInterpOnce  sync.Once
+	benchInterpEns   *automl.Ensemble
+	benchInterpTrain *data.Dataset
+	benchInterpErr   error
+)
+
+func benchInterpEnsemble(b *testing.B) (*automl.Ensemble, *data.Dataset) {
+	b.Helper()
+	benchInterpOnce.Do(func() {
+		train := serveProblem(4000, 7)
+		members := make([]automl.Member, 4)
+		for i := range members {
+			f := ml.NewRandomForest(64, 10)
+			if benchInterpErr = f.Fit(train, rng.New(uint64(200+i))); benchInterpErr != nil {
+				return
+			}
+			members[i] = automl.Member{Model: f, Weight: 0.25, ValScore: 0.9}
+		}
+		benchInterpEns = &automl.Ensemble{Members: members, NumClasses: 2, ValScore: 0.9}
+		benchInterpTrain = train
+	})
+	if benchInterpErr != nil {
+		b.Fatal(benchInterpErr)
+	}
+	return benchInterpEns, benchInterpTrain
+}
+
+// BenchmarkFeedbackIngestDrift measures feedback-ingest throughput with
+// the drift monitor enabled: 32 concurrent closed-loop clients POSTing
+// labelled batches. One op is one acknowledged ingest. The threshold is
+// set astronomically high so the committee's window disagreement is
+// evaluated (the cost under measurement) but never triggers a retrain —
+// the benchmark isolates monitoring, not retraining. With
+// -serve.drift=sync every ack waits out the evaluation inline (the seed
+// behavior); with async (default) the ack returns after the durable
+// append and evaluations debounce off-path.
+func BenchmarkFeedbackIngestDrift(b *testing.B) {
+	ens, train := benchEnsemble(b)
+	s := New(Config{
+		MaxInFlight:    128,
+		MaxQueue:       256,
+		RequestTimeout: 2 * time.Minute,
+		DriftThreshold: 1e9,
+		DriftWindow:    64,
+		SyncDriftEval:  *serveDrift == "sync",
+		Feedback:       core.Config{Bins: 16},
+	})
+	s.Install(ens, train)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	report, err := RunLoad(context.Background(), LoadConfig{
+		Base:        ts.URL,
+		Concurrency: 32,
+		Requests:    b.N,
+		Rows:        4,
+		Seed:        42,
+		Mix:         Mix{Feedback: 1},
+		Timeout:     2 * time.Minute,
+	})
+	b.StopTimer()
+	if err != nil {
+		b.Fatal(err)
+	}
+	for status, n := range report.ByStatus {
+		if status != http.StatusOK {
+			b.Fatalf("status %d x%d under ingest benchmark:\n%s", status, n, report)
+		}
+	}
+	b.ReportMetric(float64(report.Requests)/report.Elapsed.Seconds(), "req/s")
+	if d := report.Drift; d != nil {
+		b.ReportMetric(float64(d.Evals), "evals")
+		b.ReportMetric(float64(d.Coalesced), "coalesced")
+	}
+	ts.Close()
+	if err := s.Shutdown(context.Background()); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkInterpretLoad32 measures repeated-interpretation throughput:
+// 32 concurrent clients issuing an ALE-heavy ALE+regions mix against one
+// published snapshot — the dashboard-refresh workload. One op is one
+// HTTP request. With -serve.interp=off every request recomputes the
+// committee curves from scratch (the seed behavior); with on (default)
+// requests after the first hit the snapshot-keyed cache.
+func BenchmarkInterpretLoad32(b *testing.B) {
+	ens, train := benchInterpEnsemble(b)
+	s := New(Config{
+		MaxInFlight:        128,
+		MaxQueue:           256,
+		RequestTimeout:     2 * time.Minute,
+		DisableInterpCache: *serveInterp == "off",
+		Feedback:           core.Config{Bins: 16},
+	})
+	s.Install(ens, train)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	report, err := RunLoad(context.Background(), LoadConfig{
+		Base:        ts.URL,
+		Concurrency: 32,
+		Requests:    b.N,
+		Seed:        42,
+		Mix:         Mix{ALE: 4, Regions: 1},
+		Timeout:     2 * time.Minute,
+	})
+	b.StopTimer()
+	if err != nil {
+		b.Fatal(err)
+	}
+	for status, n := range report.ByStatus {
+		if status != http.StatusOK {
+			b.Fatalf("status %d x%d under interpretation benchmark:\n%s", status, n, report)
+		}
+	}
+	b.ReportMetric(float64(report.Requests)/report.Elapsed.Seconds(), "req/s")
+	if ist := s.def.interp.Load(); ist != nil {
+		hits, misses := ist.stats()
+		b.ReportMetric(float64(hits), "hits")
+		b.ReportMetric(float64(misses), "misses")
 	}
 }

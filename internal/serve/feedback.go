@@ -27,11 +27,14 @@ import (
 )
 
 // DriftStatus is the published result of one sliding-window drift
-// evaluation, surfaced in the status endpoints.
+// evaluation, surfaced in the status endpoints. Seq is the feedback
+// record sequence the evaluated window ended at (0 for evaluations from
+// the legacy synchronous path, which have no gate sequence).
 type DriftStatus struct {
 	Std     float64
 	Feature string
 	Drifted bool
+	Seq     int64
 }
 
 // feedbackStore returns the model's feedback store, opening it on first
@@ -64,9 +67,14 @@ type FeedbackRequest struct {
 
 // FeedbackResponse acknowledges a durable ingest. Seq is the store's
 // sequence number after the batch (the rows are fsynced before this
-// response is written); the drift fields echo the post-ingest window
-// evaluation, and RetrainTriggered reports that this ingest started a
-// background retrain.
+// response is written). The drift fields report the newest COMPLETED
+// window evaluation: DriftEvalSeq is the record sequence it covered,
+// and DriftPending is true when a newer evaluation is queued or running
+// (with SyncDriftEval the evaluation is inline as in the seed, so the
+// fields always describe this very ingest and DriftPending is never
+// set). RetrainTriggered reports that this ingest's inline evaluation
+// started a background retrain; off-path evaluations trigger retrains
+// themselves, visible through the status endpoint instead.
 type FeedbackResponse struct {
 	Version          int64   `json:"version"`
 	Seq              int64   `json:"seq"`
@@ -75,6 +83,8 @@ type FeedbackResponse struct {
 	DriftStd         float64 `json:"drift_std"`
 	DriftFeature     string  `json:"drift_feature,omitempty"`
 	Drifted          bool    `json:"drifted"`
+	DriftEvalSeq     int64   `json:"drift_eval_seq,omitempty"`
+	DriftPending     bool    `json:"drift_pending,omitempty"`
 	RetrainTriggered bool    `json:"retrain_triggered"`
 }
 
@@ -108,6 +118,13 @@ func (s *Server) handleFeedback(w http.ResponseWriter, r *http.Request, m *Model
 		writeError(w, http.StatusInternalServerError, "feedback_store_failed", err.Error())
 		return
 	}
+	asyncDrift := s.cfg.DriftThreshold > 0 && !s.cfg.SyncDriftEval
+	var ev *driftEvaluator
+	if asyncDrift {
+		// Created (and primed from the store) before the append so the
+		// ring never misses this batch.
+		ev = s.driftEvalFor(m, snap, st)
+	}
 	seq, err := st.Append(req.Rows, req.Labels, nClasses)
 	if err != nil {
 		// Nothing was acknowledged: the rows may or may not have reached
@@ -128,7 +145,25 @@ func (s *Server) handleFeedback(w http.ResponseWriter, r *http.Request, m *Model
 		StoreRows: st.Len(),
 		Durable:   st.Durable(),
 	}
-	if s.cfg.DriftThreshold > 0 {
+	switch {
+	case asyncDrift:
+		// The durable append is acknowledged now; the window evaluation
+		// happens off-path at the evaluator's next gate, under the
+		// server's retrain context rather than this request's (so a
+		// client disconnect after the durable append no longer cancels
+		// the drift check the rows earned). The ack echoes the newest
+		// completed evaluation.
+		evalSeq, pending := ev.noteIngest(snap, st, req.Rows, req.Labels, seq)
+		if ds := m.drift.Load(); ds != nil {
+			resp.DriftStd = ds.Std
+			resp.DriftFeature = ds.Feature
+			resp.Drifted = ds.Drifted
+		}
+		resp.DriftEvalSeq = evalSeq
+		resp.DriftPending = pending
+	case s.cfg.DriftThreshold > 0:
+		// SyncDriftEval: the seed's inline evaluation, kept as the
+		// determinism oracle and benchmark baseline.
 		rows, labels := st.Window(s.cfg.DriftWindow)
 		rep, err := core.WindowDisagreementCtx(r.Context(), snap.Ensemble.Models(), snap.Train.Schema,
 			rows, labels, s.cfg.DriftThreshold, s.cfg.Feedback)
@@ -137,10 +172,11 @@ func (s *Server) handleFeedback(w http.ResponseWriter, r *http.Request, m *Model
 			// the ingest. Report it and move on.
 			s.logf("serve: model %q drift evaluation failed: %v", m.name, err)
 		} else {
-			m.drift.Store(&DriftStatus{Std: rep.PeakStd, Feature: rep.Name, Drifted: rep.Drifted})
+			m.drift.Store(&DriftStatus{Std: rep.PeakStd, Feature: rep.Name, Drifted: rep.Drifted, Seq: seq})
 			resp.DriftStd = rep.PeakStd
 			resp.DriftFeature = rep.Name
 			resp.Drifted = rep.Drifted
+			resp.DriftEvalSeq = seq
 			if rep.Drifted {
 				resp.RetrainTriggered = s.maybeDriftRetrain(m, snap, st)
 			}
@@ -238,6 +274,13 @@ func (s *Server) warmStartOrFull(ctx context.Context, m *Model, snap *Snapshot, 
 		MaxRefitFraction: s.cfg.DriftMaxRefitFraction,
 		RefitSeed:        seed,
 		Workers:          s.cfg.Feedback.Workers,
+	}
+	// Reuse the snapshot's interpretation cache for the old-side shift
+	// curves when it is current: /v1/ale and /v1/regions traffic since the
+	// last publish has usually computed them already, and the warm start
+	// is bit-identical with or without the cache.
+	if ist := m.interp.Load(); ist != nil && ist.snap == snap {
+		ws.OldCurves = ist.curves
 	}
 	ens, rep, err := core.WarmStartCtx(ctx, snap.Ensemble, snap.Train, newTrain, ws)
 	if err != nil {

@@ -84,6 +84,25 @@ type LoadReport struct {
 	// restart shows exactly which versions served and how traffic split
 	// between them — the observable side of the durability story.
 	Versions map[int64]int
+	// Drift summarizes the targets' off-path drift evaluators after the
+	// run (nil when the mix carried no feedback traffic or no status
+	// endpoint answered). Ingest-ack latency is PerKind["feedback"]; the
+	// evaluation cost lives here, off the ack path.
+	Drift *DriftLoadStats
+}
+
+// DriftLoadStats aggregates drift-evaluator counters across the run's
+// tenants, read from their status endpoints once the load finishes.
+type DriftLoadStats struct {
+	// EvalSeq is the newest evaluated record sequence across tenants.
+	EvalSeq int64
+	// Evals and Coalesced partition the gate crossings: each crossing was
+	// either evaluated or folded into a newer capture.
+	Evals     int64
+	Coalesced int64
+	// EvalMSTotal is cumulative evaluation wall time — work the acks no
+	// longer wait for.
+	EvalMSTotal int64
 }
 
 // String renders the report for terminal output.
@@ -112,6 +131,14 @@ func (r *LoadReport) String() string {
 		fmt.Fprintf(&b, "  kind %-8s %d\n", k+":", r.ByKind[k])
 	}
 	fmt.Fprintf(&b, "  latency ms: p50=%.1f p95=%.1f p99=%.1f max=%.1f\n", r.P50, r.P95, r.P99, r.MaxMS)
+	if d := r.Drift; d != nil {
+		avg := 0.0
+		if d.Evals > 0 {
+			avg = float64(d.EvalMSTotal) / float64(d.Evals)
+		}
+		fmt.Fprintf(&b, "  drift: eval_seq=%d evals=%d coalesced=%d eval_ms_total=%d avg_eval_ms=%.1f (off the ack path)\n",
+			d.EvalSeq, d.Evals, d.Coalesced, d.EvalMSTotal, avg)
+	}
 	if len(r.Versions) > 0 {
 		versions := make([]int64, 0, len(r.Versions))
 		for v := range r.Versions {
@@ -264,7 +291,44 @@ func RunLoad(ctx context.Context, cfg LoadConfig) (*LoadReport, error) {
 		ks.P50, ks.P95, ks.P99, ks.MaxMS = finalizeLats(ks.lats)
 		ks.lats = nil
 	}
+	if cfg.Mix.Feedback > 0 {
+		report.Drift = fetchDriftStats(ctx, httpCli, cfg.Base, tenants)
+	}
 	return report, nil
+}
+
+// fetchDriftStats reads each tenant's status endpoint after a feedback-
+// carrying run and folds the drift-evaluator counters into one summary.
+// Returns nil when no status endpoint answered (old server, shed, ...) —
+// the report simply omits the section.
+func fetchDriftStats(ctx context.Context, cli *http.Client, base string, tenants []string) *DriftLoadStats {
+	var out *DriftLoadStats
+	for _, t := range tenants {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+tenantPath(t, "/status"), nil)
+		if err != nil {
+			continue
+		}
+		resp, err := cli.Do(req)
+		if err != nil {
+			continue
+		}
+		var ms ModelStatus
+		err = json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&ms)
+		resp.Body.Close()
+		if err != nil || resp.StatusCode != http.StatusOK {
+			continue
+		}
+		if out == nil {
+			out = &DriftLoadStats{}
+		}
+		if ms.DriftEvalSeq > out.EvalSeq {
+			out.EvalSeq = ms.DriftEvalSeq
+		}
+		out.Evals += ms.DriftEvals
+		out.Coalesced += ms.DriftEvalsCoalesced
+		out.EvalMSTotal += ms.DriftEvalMSTotal
+	}
+	return out
 }
 
 // tenantLabel names a tenant in reports; the unprefixed routes report as

@@ -48,6 +48,15 @@ type Model struct {
 	// drift holds the most recent sliding-window drift evaluation, nil
 	// before the first one.
 	drift atomic.Pointer[DriftStatus]
+	// interp is the interpretation cache for the currently published
+	// snapshot (see interpcache.go), nil until the first cacheable
+	// interpretation request. Swapping a new snapshot in swaps the whole
+	// state out, which is the cache-invalidation mechanism.
+	interp atomic.Pointer[interpState]
+	// driftEval is the model's debounced off-path drift evaluator, created
+	// lazily under driftEvalMu on the first drift-monitored ingest.
+	driftEvalMu sync.Mutex
+	driftEval   *driftEvaluator
 	// driftRetrains counts retrains triggered by the drift monitor (as
 	// opposed to operator /retrain calls).
 	driftRetrains atomic.Int64

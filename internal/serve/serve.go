@@ -119,6 +119,22 @@ type Config struct {
 	// that triggers a background retrain. 0 disables the drift monitor;
 	// ingestion alone never retrains.
 	DriftThreshold float64
+	// DriftEvalEvery spaces the drift monitor's evaluation gates: the
+	// off-path evaluator analyses the window when the acknowledged record
+	// sequence crosses a multiple of this many rows, coalescing ingest
+	// bursts into one evaluation at the newest gate (default 1 —
+	// evaluate-at-every-batch, matching the seed's per-ingest cadence of
+	// sequence points).
+	DriftEvalEvery int
+	// SyncDriftEval restores the seed behavior of evaluating drift
+	// inline on the ingest request path, under the request context.
+	// It exists as the determinism oracle for the off-path evaluator
+	// and as the benchmark baseline; production keeps it false.
+	SyncDriftEval bool
+	// DisableInterpCache turns off the snapshot-keyed interpretation
+	// cache so every /v1/ale and /v1/regions request recomputes from
+	// scratch (the seed behavior); benchmark baseline and escape hatch.
+	DisableInterpCache bool
 	// FeedbackCompactEvery overrides the stores' WAL-records-per-
 	// checkpoint compaction interval (0 keeps the store default).
 	FeedbackCompactEvery int
@@ -180,6 +196,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.DriftWindow <= 0 {
 		c.DriftWindow = 64
+	}
+	if c.DriftEvalEvery <= 0 {
+		c.DriftEvalEvery = 1
 	}
 	if c.now == nil {
 		c.now = time.Now
@@ -692,6 +711,24 @@ type ModelStatus struct {
 	RetrainState    string  `json:"retrain_state"`
 	DriftRetrains   int64   `json:"drift_retrains"`
 
+	// Off-path drift evaluator state. DriftEvalSeq is the record
+	// sequence of the newest completed evaluation, DriftEvals how many
+	// have completed, DriftEvalsCoalesced how many gate crossings were
+	// folded into a newer capture instead of evaluated individually, and
+	// DriftEvalMSTotal the cumulative evaluation wall time (all zero in
+	// SyncDriftEval mode or before the first monitored ingest).
+	DriftEvalSeq        int64 `json:"drift_eval_seq,omitempty"`
+	DriftEvals          int64 `json:"drift_evals,omitempty"`
+	DriftEvalsCoalesced int64 `json:"drift_evals_coalesced,omitempty"`
+	DriftEvalMSTotal    int64 `json:"drift_eval_ms_total,omitempty"`
+	DriftEvalEvery      int   `json:"drift_eval_every"`
+
+	// Interpretation-cache counters for the currently cached snapshot
+	// (response memos plus the shared committee-curve cache). They reset
+	// on every snapshot publish, when the whole cache is invalidated.
+	InterpCacheHits   int64 `json:"interp_cache_hits"`
+	InterpCacheMisses int64 `json:"interp_cache_misses"`
+
 	// Durable-snapshot state. SnapshotVersion is the newest persisted
 	// version (0 while nothing is on disk or persistence is disabled),
 	// SnapshotAgeMS how long ago it was written, and SnapshotDurable
@@ -721,6 +758,18 @@ func (m *Model) status() ModelStatus {
 		st.DriftStd = d.Std
 		st.DriftFeature = d.Feature
 		st.Drifted = d.Drifted
+	}
+	m.driftEvalMu.Lock()
+	ev := m.driftEval
+	m.driftEvalMu.Unlock()
+	if ev != nil {
+		st.DriftEvalSeq = ev.evalSeq.Load()
+		st.DriftEvals = ev.evals.Load()
+		st.DriftEvalsCoalesced = ev.coalesced.Load()
+		st.DriftEvalMSTotal = ev.evalNanos.Load() / 1e6
+	}
+	if ist := m.interp.Load(); ist != nil {
+		st.InterpCacheHits, st.InterpCacheMisses = ist.stats()
 	}
 	m.fbMu.Lock()
 	if m.fb != nil {
@@ -752,6 +801,7 @@ func (s *Server) modelStatus(m *Model) ModelStatus {
 	st := m.status()
 	st.DriftThreshold = s.cfg.DriftThreshold
 	st.DriftWindow = s.cfg.DriftWindow
+	st.DriftEvalEvery = s.cfg.DriftEvalEvery
 	st.SnapshotDurable = s.snaps != nil
 	if meta := m.snapMeta.Load(); meta != nil {
 		st.SnapshotVersion = meta.Version
@@ -1011,21 +1061,44 @@ func (s *Server) handleALE(w http.ResponseWriter, r *http.Request, m *Model) {
 	if opts.Bins <= 0 {
 		opts.Bins = s.cfg.Feedback.Bins
 	}
-	cc, err := interpret.CommitteeCtx(r.Context(), snap.Ensemble.Models(), snap.Train, j, s.cfg.Feedback.Method, opts)
+	// Normalize before keying the cache so defaulted and explicit forms
+	// of the same query (bins 0 vs 32) share one entry.
+	opts = opts.Normalized()
+	build := func(cc interpret.CommitteeCurve) ALEResponse {
+		return ALEResponse{
+			Version: snap.Version,
+			Feature: j,
+			Name:    schema.Features[j].Name,
+			Class:   req.Class,
+			Method:  s.cfg.Feedback.Method.String(),
+			Grid:    cc.Grid,
+			Mean:    cc.Mean,
+			Std:     cc.Std,
+		}
+	}
+	var resp ALEResponse
+	var err error
+	if ist := s.interpFor(m, snap); ist != nil {
+		resp, err = ist.ale.get(r.Context(), aleKey{feature: j, class: opts.Class, bins: opts.Bins},
+			func(ctx context.Context) (ALEResponse, error) {
+				cc, cerr := ist.curves.Committee(ctx, j, s.cfg.Feedback.Method, opts)
+				if cerr != nil {
+					return ALEResponse{}, cerr
+				}
+				return build(cc), nil
+			})
+	} else {
+		var cc interpret.CommitteeCurve
+		cc, err = interpret.CommitteeCtx(r.Context(), snap.Ensemble.Models(), snap.Train, j, s.cfg.Feedback.Method, opts)
+		if err == nil {
+			resp = build(cc)
+		}
+	}
 	if err != nil {
 		s.writeComputeError(w, err, "ale")
 		return
 	}
-	writeJSON(w, http.StatusOK, ALEResponse{
-		Version: snap.Version,
-		Feature: j,
-		Name:    schema.Features[j].Name,
-		Class:   req.Class,
-		Method:  s.cfg.Feedback.Method.String(),
-		Grid:    cc.Grid,
-		Mean:    cc.Mean,
-		Std:     cc.Std,
-	})
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // writeComputeError maps interpretation/feedback errors to structured
@@ -1095,29 +1168,49 @@ func (s *Server) handleRegions(w http.ResponseWriter, r *http.Request, m *Model)
 	if req.Threshold > 0 {
 		cfg.Threshold = req.Threshold
 	}
-	fb, err := core.ComputeCtx(r.Context(), core.WithinCommittee(snap.Ensemble), snap.Train, cfg)
+	build := func(ctx context.Context, curves *core.CurveCache) (RegionsResponse, error) {
+		cfg := cfg
+		cfg.Curves = curves
+		fb, err := core.ComputeCtx(ctx, core.WithinCommittee(snap.Ensemble), snap.Train, cfg)
+		if err != nil {
+			return RegionsResponse{}, err
+		}
+		resp := RegionsResponse{
+			Version:   snap.Version,
+			Method:    fb.Method.String(),
+			Threshold: fb.Threshold,
+			Explain:   fb.Explain(),
+		}
+		for _, fa := range fb.Analyses {
+			rf := RegionFeature{
+				Feature:   fa.Feature,
+				Name:      fa.Name,
+				PeakStd:   fa.PeakStd,
+				Threshold: fa.Threshold,
+				Flagged:   fa.Flagged(),
+			}
+			for _, iv := range fa.Intervals {
+				rf.Intervals = append(rf.Intervals, RegionInterval{Lo: iv.Lo, Hi: iv.Hi})
+			}
+			resp.Features = append(resp.Features, rf)
+		}
+		return resp, nil
+	}
+	var resp RegionsResponse
+	var err error
+	if ist := s.interpFor(m, snap); ist != nil {
+		// Computing through the snapshot's curve cache means a regions
+		// request also primes the per-feature curves that /v1/ale and the
+		// warm-start shift detector read.
+		resp, err = ist.regions.get(r.Context(),
+			regionsKey{bins: cfg.Bins, threshold: math.Float64bits(cfg.Threshold)},
+			func(ctx context.Context) (RegionsResponse, error) { return build(ctx, ist.curves) })
+	} else {
+		resp, err = build(r.Context(), nil)
+	}
 	if err != nil {
 		s.writeComputeError(w, err, "regions")
 		return
-	}
-	resp := RegionsResponse{
-		Version:   snap.Version,
-		Method:    fb.Method.String(),
-		Threshold: fb.Threshold,
-		Explain:   fb.Explain(),
-	}
-	for _, fa := range fb.Analyses {
-		rf := RegionFeature{
-			Feature:   fa.Feature,
-			Name:      fa.Name,
-			PeakStd:   fa.PeakStd,
-			Threshold: fa.Threshold,
-			Flagged:   fa.Flagged(),
-		}
-		for _, iv := range fa.Intervals {
-			rf.Intervals = append(rf.Intervals, RegionInterval{Lo: iv.Lo, Hi: iv.Hi})
-		}
-		resp.Features = append(resp.Features, rf)
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
